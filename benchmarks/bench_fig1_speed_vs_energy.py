@@ -1,0 +1,57 @@
+"""Figure 1: inference speed (fps) vs on-device energy, Pi 4B and Jetson TX2.
+
+Regenerates the headline scatter: frames-per-second against per-inference
+device energy for DGCNN, BRANCHY-GNN, HGNAS and GCoDE with the Raspberry Pi
+4B and the Jetson TX2 as device (Nvidia 1060 edge, 40 Mbps uplink).  GCoDE's
+point must dominate every baseline on both axes, with speedup and energy
+savings of the same order as the paper's annotations (11.5× / 92.3% on the
+Pi 4B plot, 44.9× / 98.2% on the Jetson TX2 plot — note the paper's axis
+labels attach those annotations to the two plots in that order).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import MODELNET_PROFILE, save_report, simulator_for
+from methods import modelnet_method_rows
+
+from repro.evaluation import energy_reduction, format_table
+from repro.hardware import JETSON_TX2, RASPBERRY_PI_4B, NVIDIA_1060, LINK_40MBPS
+
+
+@pytest.fixture(scope="module")
+def fig1_rows(modelnet_space, modelnet_accuracy):
+    rows = []
+    for device, label in ((RASPBERRY_PI_4B, "Pi 4B"), (JETSON_TX2, "Jetson TX2")):
+        method_rows = modelnet_method_rows(modelnet_space, modelnet_accuracy,
+                                           device, NVIDIA_1060, LINK_40MBPS)
+        wanted = {("DGCNN", "D"), ("BRANCHY", "Co"), ("HGNAS", "D"), ("GCoDE", "Co")}
+        for row in method_rows:
+            if (row.method, row.mode) in wanted:
+                rows.append([label, row.method, 1000.0 / row.latency_ms,
+                             row.device_energy_j])
+    return rows
+
+
+def test_fig1_speed_vs_energy(benchmark, fig1_rows):
+    benchmark.pedantic(lambda: fig1_rows, rounds=1, iterations=1)
+    text = format_table(["device", "method", "speed_fps", "device_energy_J"],
+                        fig1_rows,
+                        title="Figure 1: inference speed vs device energy "
+                              "(edge: Nvidia 1060, 40 Mbps)")
+    save_report("fig1_speed_vs_energy.txt", text)
+
+    for device_label in ("Pi 4B", "Jetson TX2"):
+        subset = {row[1]: row for row in fig1_rows if row[0] == device_label}
+        gcode, dgcnn = subset["GCoDE"], subset["DGCNN"]
+        # GCoDE dominates every baseline in both speed and energy.
+        for method, row in subset.items():
+            if method == "GCoDE":
+                continue
+            assert gcode[2] > row[2]
+            assert gcode[3] < row[3]
+        # Order-of-magnitude headline: >5x faster and >80% energy savings
+        # against DGCNN device-only on both devices.
+        assert gcode[2] / dgcnn[2] > 5.0
+        assert energy_reduction(dgcnn[3], gcode[3]) > 0.80

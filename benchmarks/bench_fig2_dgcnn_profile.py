@@ -1,0 +1,47 @@
+"""Figure 2: per-operation latency share and transfer size of DGCNN (Jetson TX2).
+
+Regenerates, for every operation of DGCNN on 1024-point ModelNet40 data, the
+percentage of total latency it accounts for on the Jetson TX2 and the size of
+the intermediate data that would have to be transferred if the model were
+split right after that operation — the two curves of the paper's Fig. 2.
+"""
+
+from __future__ import annotations
+
+from conftest import MODELNET_PROFILE, save_report, simulator_for
+
+from repro.baselines import dgcnn_architecture
+from repro.evaluation import format_table
+from repro.hardware import JETSON_TX2, NVIDIA_1060, LINK_40MBPS
+
+
+def build_profile_rows():
+    simulator = simulator_for(JETSON_TX2, NVIDIA_1060, LINK_40MBPS)
+    arch = dgcnn_architecture()
+    rows = simulator.profile_operations(arch.ops, MODELNET_PROFILE, side="device",
+                                        classifier_hidden=arch.classifier_hidden)
+    total = sum(latency for _, latency, _ in rows)
+    table = []
+    for spec, latency, out_bytes in rows:
+        table.append([spec.short_name(), latency, 100.0 * latency / total,
+                      out_bytes / 1024.0])
+    return table, total
+
+
+def test_fig2_dgcnn_operation_profile(benchmark):
+    table, total = benchmark(build_profile_rows)
+    text = format_table(
+        ["operation", "latency_ms", "latency_share_%", "transfer_size_KiB"],
+        table,
+        title=(f"Figure 2: DGCNN per-operation profile on Jetson TX2 "
+               f"(total {total:.1f} ms)"))
+    save_report("fig2_dgcnn_profile.txt", text)
+
+    # Shape checks mirroring the paper's observations: the final KNN (Sample)
+    # is the single most expensive operation, and Pooling collapses the
+    # transfer size by orders of magnitude.
+    sample_rows = [row for row in table if row[0].startswith("sample")]
+    assert max(row[2] for row in sample_rows) > 15.0
+    pool_row = next(row for row in table if row[0].startswith("global_pool"))
+    widest_row = max(table, key=lambda row: row[3])
+    assert pool_row[3] < widest_row[3] / 50

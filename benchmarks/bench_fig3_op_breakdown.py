@@ -1,0 +1,71 @@
+"""Figure 3: DGCNN execution-time breakdown across devices on ModelNet40 and MR.
+
+Regenerates the per-device percentage breakdown of KNN (Sample), Aggregate and
+Combine time for DGCNN on both applications — the hardware-sensitivity
+observation that motivates GCoDE's system performance awareness.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import MODELNET_PROFILE, MR_PROFILE, save_report
+
+from repro.baselines import dgcnn_architecture
+from repro.evaluation import format_table
+from repro.gnn import OpType
+from repro.hardware import all_devices, trace_workloads
+
+GROUPS = {
+    OpType.SAMPLE: "KNN",
+    OpType.AGGREGATE: "Aggregate",
+    OpType.COMBINE: "Combine",
+    OpType.CLASSIFIER: "Combine",
+    OpType.GLOBAL_POOL: "Other",
+    OpType.IDENTITY: "Other",
+}
+
+
+def breakdown_for(device, profile):
+    arch = dgcnn_architecture()
+    workloads = trace_workloads(arch.ops, profile, arch.classifier_hidden)
+    shares = defaultdict(float)
+    for workload in workloads:
+        shares[GROUPS[workload.spec.op]] += device.op_latency_ms(
+            workload, arch.classifier_hidden)
+    total = sum(shares.values())
+    return {group: 100.0 * value / total for group, value in shares.items()}, total
+
+
+def build_table():
+    rows = []
+    for profile, label in ((MODELNET_PROFILE, "ModelNet40"), (MR_PROFILE, "MR")):
+        for device in all_devices():
+            shares, total = breakdown_for(device, profile)
+            rows.append([label, device.name, total,
+                         shares.get("KNN", 0.0), shares.get("Aggregate", 0.0),
+                         shares.get("Combine", 0.0), shares.get("Other", 0.0)])
+    return rows
+
+
+def test_fig3_execution_breakdown(benchmark):
+    rows = benchmark(build_table)
+    text = format_table(
+        ["dataset", "device", "total_ms", "KNN_%", "Aggregate_%", "Combine_%",
+         "Other_%"],
+        rows, title="Figure 3: DGCNN execution-time breakdown per device")
+    save_report("fig3_op_breakdown.txt", text)
+
+    by_key = {(row[0], row[1]): row for row in rows}
+    # KNN dominates on both GPUs for ModelNet40.
+    for gpu in ("jetson_tx2", "nvidia_1060"):
+        assert by_key[("ModelNet40", gpu)][3] > 40.0
+    # Aggregate is the bottleneck on the i7 for ModelNet40 ...
+    i7_modelnet = by_key[("ModelNet40", "intel_i7")]
+    assert i7_modelnet[4] > i7_modelnet[3] and i7_modelnet[4] > i7_modelnet[5]
+    # ... while Combine dominates on the i7 for MR.
+    i7_mr = by_key[("MR", "intel_i7")]
+    assert i7_mr[5] > i7_mr[3] and i7_mr[5] > i7_mr[4]
+    # The Pi is the slowest platform on ModelNet40.
+    assert by_key[("ModelNet40", "raspberry_pi_4b")][2] == max(
+        by_key[("ModelNet40", device.name)][2] for device in all_devices())

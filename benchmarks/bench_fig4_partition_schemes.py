@@ -1,0 +1,62 @@
+"""Figure 4: fixed partitioning schemes of DGCNN under different heterogeneities.
+
+Regenerates the latency and on-device energy of representative partition
+points of DGCNN (All-Edge, early/mid/late splits, All-Device) with the Jetson
+TX2 as device and either edge platform, at 10 and 40 Mbps — showing that even
+the best fixed split of a fixed architecture leaves large gains on the table.
+"""
+
+from __future__ import annotations
+
+from conftest import MODELNET_PROFILE, save_report, simulator_for
+
+from repro.baselines import dgcnn_architecture
+from repro.evaluation import format_table
+from repro.hardware import JETSON_TX2, INTEL_I7, NVIDIA_1060, LINK_10MBPS, LINK_40MBPS
+from repro.system import evaluate_partitions
+
+
+def build_rows():
+    arch = dgcnn_architecture()
+    rows = []
+    for edge, edge_label in ((INTEL_I7, "Intel i7"), (NVIDIA_1060, "Nvidia 1060")):
+        for link, link_label in ((LINK_10MBPS, "10 Mbps"), (LINK_40MBPS, "40 Mbps")):
+            simulator = simulator_for(JETSON_TX2, edge, link)
+            results = evaluate_partitions(arch.ops, MODELNET_PROFILE, simulator,
+                                          classifier_hidden=arch.classifier_hidden)
+            device_only = simulator.evaluate_device_only(
+                arch.ops, MODELNET_PROFILE, arch.classifier_hidden)
+            for result in results:
+                rows.append([edge_label, link_label, result.label,
+                             result.performance.latency_ms,
+                             result.performance.device_energy_j])
+            rows.append([edge_label, link_label, "all-device",
+                         device_only.latency_ms, device_only.device_energy_j])
+    return rows
+
+
+def test_fig4_partition_schemes(benchmark):
+    rows = benchmark(build_rows)
+    text = format_table(
+        ["edge", "uplink", "partition", "latency_ms", "device_energy_J"],
+        rows, title="Figure 4: DGCNN partition schemes (Jetson TX2 as device)")
+    save_report("fig4_partition_schemes.txt", text)
+
+    def best(edge, link):
+        subset = [r for r in rows if r[0] == edge and r[1] == link]
+        return min(r[3] for r in subset), next(r[3] for r in subset
+                                               if r[2] == "all-device")
+
+    # The paper's Fig. 4 point: fixed partitioning of a fixed architecture
+    # brings only limited gains.  With the strong Nvidia 1060 edge the best
+    # split beats keeping everything on the TX2; with the Intel i7 edge (which
+    # is slower than the TX2 on DGCNN's KNN-heavy profile) even the best split
+    # barely improves on all-device execution.  Faster links never hurt.
+    best_1060_40, device_only = best("Nvidia 1060", "40 Mbps")
+    assert best_1060_40 < device_only
+    best_i7_40, device_only_i7 = best("Intel i7", "40 Mbps")
+    assert best_i7_40 <= device_only_i7 * 1.05
+    for edge in ("Intel i7", "Nvidia 1060"):
+        best40, _ = best(edge, "40 Mbps")
+        best10, _ = best(edge, "10 Mbps")
+        assert best40 <= best10

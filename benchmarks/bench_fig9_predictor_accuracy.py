@@ -1,0 +1,69 @@
+"""Figure 9: system-latency predictor accuracy across the four configurations.
+
+Regenerates (a) the fraction of predictions within the ±5% / ±10% error bound
+and (b) the relative-latency (pairwise ranking) accuracy of the GIN predictor
+with enhanced node features, for each device-edge configuration.  The paper
+reports 72.4–85.3% within ±10% and >94.7% ranking accuracy; the reproduction
+checks the same qualitative level against its simulator ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import MODELNET_PROFILE, SYSTEM_PAIRS, save_report, simulator_for
+
+from repro.core import (FeatureBuilder, LatencyPredictor, PredictorTrainer,
+                        error_bound_accuracy, generate_predictor_dataset,
+                        ranking_accuracy, split_samples)
+from repro.evaluation import format_table
+from repro.hardware import LINK_40MBPS, build_latency_lut
+
+NUM_SAMPLES = 250
+EPOCHS = 40
+
+
+def train_and_score(space, device, edge):
+    simulator = simulator_for(device, edge, LINK_40MBPS)
+    builder = FeatureBuilder(build_latency_lut(device, MODELNET_PROFILE),
+                             build_latency_lut(edge, MODELNET_PROFILE),
+                             LINK_40MBPS, MODELNET_PROFILE, mode="enhanced")
+    samples = generate_predictor_dataset(space, simulator, builder,
+                                         num_samples=NUM_SAMPLES,
+                                         noise_std=0.02, seed=0)
+    train, val = split_samples(samples, 0.7, seed=0)
+    predictor = LatencyPredictor(builder.feature_dim, hidden_dim=64, seed=0)
+    trainer = PredictorTrainer(predictor, lr=3e-3)
+    trainer.fit(train, epochs=EPOCHS, seed=0)
+    predictions = trainer.predict_many(val)
+    measured = np.array([s.latency_ms for s in val])
+    return {
+        "within_5pct": error_bound_accuracy(predictions, measured, 0.05) * 100.0,
+        "within_10pct": error_bound_accuracy(predictions, measured, 0.10) * 100.0,
+        "ranking": ranking_accuracy(predictions, measured) * 100.0,
+    }
+
+
+@pytest.fixture(scope="module")
+def predictor_scores(modelnet_space):
+    return {label: train_and_score(modelnet_space, device, edge)
+            for device, edge, label in SYSTEM_PAIRS}
+
+
+def test_fig9_predictor_accuracy(benchmark, predictor_scores):
+    benchmark.pedantic(lambda: predictor_scores, rounds=1, iterations=1)
+    rows = [[label, scores["within_5pct"], scores["within_10pct"], scores["ranking"]]
+            for label, scores in predictor_scores.items()]
+    text = format_table(["system", "within_±5%_%", "within_±10%_%",
+                         "relative_ranking_%"], rows,
+                        title="Figure 9: GIN latency-predictor accuracy")
+    save_report("fig9_predictor_accuracy.txt", text)
+
+    for label, scores in predictor_scores.items():
+        # (a) a substantial fraction of predictions fall within the ±10% bound
+        # (paper: 72.4–85.3% when trained on 9K architectures; this
+        # reproduction trains on ~36x fewer, so the bar is relaxed);
+        # (b) relative-latency ordering accuracy is high (paper: >94.7%).
+        assert scores["within_10pct"] >= 30.0, label
+        assert scores["ranking"] >= 88.0, label

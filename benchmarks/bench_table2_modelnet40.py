@@ -1,0 +1,68 @@
+"""Table 2: ModelNet40 comparison of GCoDE against all baselines.
+
+Regenerates the paper's main table: accuracy, latency and on-device energy of
+DGCNN, Li et al., HGNAS (device/edge-only), BRANCHY-GNN, HGNAS+Partition and
+GCoDE on the four device-edge configurations at 40 and 10 Mbps, plus the
+speedup / energy-reduction columns relative to DGCNN Device-Only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import LINKS, SYSTEM_PAIRS, save_report
+from methods import modelnet_method_rows
+
+from repro.evaluation import energy_reduction, format_table, speedup
+
+
+@pytest.fixture(scope="module")
+def table_rows(modelnet_space, modelnet_accuracy):
+    all_rows = []
+    for link_label, link in LINKS.items():
+        for device, edge, pair_label in SYSTEM_PAIRS:
+            rows = modelnet_method_rows(modelnet_space, modelnet_accuracy,
+                                        device, edge, link)
+            reference = next(r for r in rows if r.method == "DGCNN" and r.mode == "D")
+            for row in rows:
+                all_rows.append([link_label, pair_label, row.method, row.mode,
+                                 row.accuracy * 100.0, row.latency_ms,
+                                 row.device_energy_j,
+                                 speedup(reference.latency_ms, row.latency_ms),
+                                 energy_reduction(reference.device_energy_j,
+                                                  row.device_energy_j) * 100.0])
+    return all_rows
+
+
+def test_table2_modelnet40_comparison(benchmark, table_rows):
+    benchmark.pedantic(lambda: table_rows, rounds=1, iterations=1)
+    text = format_table(
+        ["uplink", "system", "method", "mode", "acc_%", "latency_ms",
+         "energy_J", "speedup_x", "energy_saving_%"],
+        table_rows, title="Table 2: ModelNet40 device-edge comparison")
+    save_report("table2_modelnet40.txt", text)
+
+    def rows_for(link, system, method, mode=None):
+        return [r for r in table_rows
+                if r[0] == link and r[1] == system and r[2] == method
+                and (mode is None or r[3] == mode)]
+
+    for link in LINKS:
+        for _, _, system in SYSTEM_PAIRS:
+            gcode = rows_for(link, system, "GCoDE")[0]
+            dgcnn_d = rows_for(link, system, "DGCNN", "D")[0]
+            branchy = rows_for(link, system, "BRANCHY")[0]
+            hgnas_part = rows_for(link, system, "HGNAS+Partition")[0]
+            # GCoDE is faster than DGCNN device-only, BRANCHY and the
+            # architecture-mapping-separated HGNAS+Partition on every system.
+            assert gcode[5] < dgcnn_d[5]
+            assert gcode[5] < branchy[5]
+            assert gcode[5] <= hgnas_part[5] * 1.05
+            # ... and saves most of the device energy.
+            assert gcode[8] > 50.0
+
+    # Headline shape: the largest speedup appears on the weak-device /
+    # strong-edge / fast-link configuration (Pi -> 1060 at 40 Mbps) and is
+    # roughly an order of magnitude or more.
+    headline = rows_for("40mbps", "Pi->1060", "GCoDE")[0][7]
+    assert headline > 10.0

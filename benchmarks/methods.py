@@ -1,0 +1,148 @@
+"""Shared method runners for the benchmark harness.
+
+Builds, for a given device-edge-link system, the deployment row of every
+method compared in the paper (DGCNN, Li et al., HGNAS, BRANCHY-GNN,
+HGNAS+Partition, GCoDE, and the MR-side PNAS variants).  Search results are
+memoized so that Table 2, Table 3 and the figures that reuse them do not pay
+for the same search twice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from conftest import MODELNET_PROFILE, MR_PROFILE, simulator_for
+
+from repro.baselines import (HGNAS, HGNASConfig, branchy_architecture,
+                             dgcnn_architecture, hgnas_with_partition,
+                             li_optimized_architecture, pnas_architecture,
+                             pnas_with_partition)
+from repro.core import (Architecture, ConstraintRandomSearch, CostEstimator,
+                        CostEstimatorEvaluator, RandomSearchConfig,
+                        SearchConstraints)
+from repro.evaluation import MethodResult
+from repro.hardware import DataProfile
+
+#: Memo tables (keyed by device/edge/link names) shared across benchmark files.
+_GCODE_CACHE: Dict[Tuple, object] = {}
+_HGNAS_CACHE: Dict[Tuple, object] = {}
+
+GCODE_TRIALS = 150
+HGNAS_TRIALS = 120
+
+
+def run_gcode(space, accuracy, device, edge, link, profile,
+              tradeoff_lambda: float = 0.5, trials: int = GCODE_TRIALS):
+    """Constraint-based random search for one system; memoized."""
+    key = ("gcode", profile.name, device.name, edge.name, link.bandwidth_mbps,
+           tradeoff_lambda, trials)
+    if key not in _GCODE_CACHE:
+        simulator = simulator_for(device, edge, link)
+        estimator = CostEstimator.for_system(device, edge, link, profile)
+        evaluator = CostEstimatorEvaluator(estimator, simulator, profile)
+        search = ConstraintRandomSearch(
+            space, accuracy, evaluator,
+            SearchConstraints(tradeoff_lambda=tradeoff_lambda),
+            RandomSearchConfig(max_trials=trials, tuning_trials=5, keep_top=8,
+                               seed=0))
+        _GCODE_CACHE[key] = search.run()
+    return _GCODE_CACHE[key]
+
+
+def run_hgnas(accuracy, device, profile, trials: int = HGNAS_TRIALS):
+    """Single-device hardware-aware NAS baseline; memoized per device."""
+    key = ("hgnas", profile.name, device.name, trials)
+    if key not in _HGNAS_CACHE:
+        hgnas = HGNAS(profile, device, accuracy,
+                      HGNASConfig(max_trials=trials, tradeoff_lambda=0.5,
+                                  num_layers=8, seed=0))
+        _HGNAS_CACHE[key] = hgnas.search()
+    return _HGNAS_CACHE[key]
+
+
+def evaluate_row(method: str, mode: str, arch: Architecture, accuracy_pair,
+                 simulator, profile) -> MethodResult:
+    """Simulate one deployment row (latency + device energy) of a method."""
+    if mode == "D":
+        perf = simulator.evaluate_device_only(arch.ops, profile,
+                                              arch.classifier_hidden)
+    elif mode == "E":
+        perf = simulator.evaluate_edge_only(arch.ops, profile,
+                                            arch.classifier_hidden)
+    else:
+        perf = simulator.evaluate(arch.ops, profile, arch.classifier_hidden)
+    overall, balanced = accuracy_pair
+    return MethodResult(method=method, mode=mode, accuracy=overall,
+                        balanced_accuracy=balanced, latency_ms=perf.latency_ms,
+                        device_energy_j=perf.device_energy_j)
+
+
+def modelnet_method_rows(space, accuracy, device, edge, link) -> List[MethodResult]:
+    """All Table-2 rows for one ModelNet40 system configuration."""
+    profile = MODELNET_PROFILE
+    simulator = simulator_for(device, edge, link)
+    rows: List[MethodResult] = []
+
+    dgcnn = dgcnn_architecture()
+    li = li_optimized_architecture()
+    fixed_accuracy = {  # fixed designs: accuracy measured once via the supernet
+        "dgcnn": accuracy(Architecture(ops=dgcnn.ops[:space.num_layers])),
+        "li": accuracy(Architecture(ops=li.ops[:space.num_layers])),
+    }
+    rows.append(evaluate_row("DGCNN", "D", dgcnn, fixed_accuracy["dgcnn"],
+                             simulator, profile))
+    rows.append(evaluate_row("DGCNN", "E", dgcnn, fixed_accuracy["dgcnn"],
+                             simulator, profile))
+    rows.append(evaluate_row("Li et al.", "D", li, fixed_accuracy["li"],
+                             simulator, profile))
+    rows.append(evaluate_row("Li et al.", "E", li, fixed_accuracy["li"],
+                             simulator, profile))
+
+    hgnas = run_hgnas(accuracy, device, profile)
+    rows.append(evaluate_row("HGNAS", "D", hgnas.architecture,
+                             (hgnas.accuracy, hgnas.accuracy), simulator, profile))
+    rows.append(evaluate_row("HGNAS", "E", hgnas.architecture,
+                             (hgnas.accuracy, hgnas.accuracy), simulator, profile))
+
+    branchy = branchy_architecture(simulator, profile)
+    rows.append(evaluate_row("BRANCHY", "Co", branchy,
+                             fixed_accuracy["dgcnn"], simulator, profile))
+
+    partitioned = hgnas_with_partition(hgnas, simulator, profile)
+    rows.append(evaluate_row("HGNAS+Partition", "Co", partitioned,
+                             (hgnas.accuracy, hgnas.accuracy), simulator, profile))
+
+    result = run_gcode(space, accuracy, device, edge, link, profile)
+    best = result.top_k(1, "latency")[0]
+    rows.append(MethodResult(method="GCoDE", mode="Co", accuracy=best.accuracy,
+                             balanced_accuracy=best.balanced_accuracy,
+                             latency_ms=best.latency_ms,
+                             device_energy_j=best.device_energy_j))
+    return rows
+
+
+def mr_method_rows(space, accuracy, device, edge, link) -> List[MethodResult]:
+    """All Table-3 rows for one MR system configuration."""
+    profile = MR_PROFILE
+    simulator = simulator_for(device, edge, link)
+    rows: List[MethodResult] = []
+
+    pnas = pnas_architecture()
+    pnas_acc = accuracy(Architecture(ops=pnas.ops[:space.num_layers]))
+    rows.append(evaluate_row("PNAS", "D", pnas, pnas_acc, simulator, profile))
+    rows.append(evaluate_row("PNAS", "E", pnas, pnas_acc, simulator, profile))
+    rows.append(evaluate_row("PNAS+Partition", "Co",
+                             pnas_with_partition(pnas, simulator, profile),
+                             pnas_acc, simulator, profile))
+
+    branchy = branchy_architecture(simulator, profile)
+    rows.append(evaluate_row("BRANCHY", "Co", branchy, pnas_acc, simulator, profile))
+
+    result = run_gcode(space, accuracy, device, edge, link, profile,
+                       trials=GCODE_TRIALS)
+    best = result.top_k(1, "latency")[0]
+    rows.append(MethodResult(method="GCoDE", mode="Co", accuracy=best.accuracy,
+                             balanced_accuracy=best.balanced_accuracy,
+                             latency_ms=best.latency_ms,
+                             device_energy_j=best.device_energy_j))
+    return rows

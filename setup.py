@@ -1,0 +1,10 @@
+"""Setup script for the GCoDE reproduction package.
+
+A classic setuptools layout (setup.py + setup.cfg) is used instead of a
+pyproject.toml build so that ``pip install -e .`` works in fully offline
+environments (PEP 517 build isolation would try to download setuptools).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Baseline methods GCoDE is compared against (paper Tables 2 and 3)."""
+
+from .fixed import (dgcnn_architecture, li_optimized_architecture,
+                    text_gnn_architecture, pnas_architecture)
+from .hgnas import (HGNAS, HGNASConfig, HGNASResult, single_device_space,
+                    device_latency_ms, hgnas_with_partition)
+from .branchy import (BranchyConfig, branchy_backbone, branchy_candidates,
+                      branchy_architecture)
+from .pnas import PNAS, PNASConfig, pnas_with_partition
+
+__all__ = [
+    "dgcnn_architecture", "li_optimized_architecture", "text_gnn_architecture",
+    "pnas_architecture",
+    "HGNAS", "HGNASConfig", "HGNASResult", "single_device_space",
+    "device_latency_ms", "hgnas_with_partition",
+    "BranchyConfig", "branchy_backbone", "branchy_candidates",
+    "branchy_architecture",
+    "PNAS", "PNASConfig", "pnas_with_partition",
+]

@@ -1,0 +1,80 @@
+"""BRANCHY-GNN baseline: fixed-architecture split with bottleneck compression.
+
+BRANCHY-GNN (Shao et al., ICASSP 2021) deploys a fixed point-cloud GNN across
+device and edge by (a) choosing a split point and (b) inserting a small
+"bottleneck" feature-reduction layer before transmission to shrink the
+intermediate data.  It performs no architecture exploration and no hardware
+awareness, which is why the paper finds it leaves most of the co-inference
+potential unrealized.
+
+The reproduction keeps the DGCNN-style backbone, inserts a narrow Combine
+(the learned compression bottleneck) immediately before the Communicate, and
+selects the split point that minimizes simulated latency — i.e. it is given
+the benefit of an oracle split choice, as in the paper's comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.architecture import Architecture
+from ..gnn.operations import OpSpec, OpType
+from ..hardware.workload import DataProfile
+from ..system.simulator import CoInferenceSimulator
+
+
+@dataclass
+class BranchyConfig:
+    """Backbone and bottleneck settings of the BRANCHY-GNN baseline."""
+
+    #: EdgeConv widths of the backbone (a trimmed DGCNN, as in the original).
+    channels: Sequence[int] = (64, 64, 128)
+    #: Width of the compression bottleneck inserted before transmission.
+    bottleneck_dim: int = 32
+    k: int = 20
+    emb_dim: int = 512
+    classifier_hidden: int = 128
+
+
+def branchy_backbone(config: Optional[BranchyConfig] = None) -> List[OpSpec]:
+    """The fixed backbone operation sequence (no communicate yet)."""
+    config = config or BranchyConfig()
+    specs: List[OpSpec] = []
+    for width in config.channels:
+        specs.append(OpSpec(OpType.SAMPLE, "knn", k=config.k))
+        specs.append(OpSpec(OpType.AGGREGATE, "max"))
+        specs.append(OpSpec(OpType.COMBINE, int(width)))
+    specs.append(OpSpec(OpType.COMBINE, int(config.emb_dim)))
+    specs.append(OpSpec(OpType.GLOBAL_POOL, "max||mean"))
+    return specs
+
+
+def branchy_candidates(config: Optional[BranchyConfig] = None) -> List[Architecture]:
+    """All BRANCHY split candidates: bottleneck + communicate after each block."""
+    config = config or BranchyConfig()
+    backbone = branchy_backbone(config)
+    candidates: List[Architecture] = []
+    # Split points considered by BRANCHY: after each Combine of the backbone
+    # (the natural block boundaries of the network).
+    for index, spec in enumerate(backbone):
+        if spec.op != OpType.COMBINE:
+            continue
+        ops = (backbone[:index + 1]
+               + [OpSpec(OpType.COMBINE, config.bottleneck_dim),
+                  OpSpec(OpType.COMMUNICATE, "uplink")]
+               + backbone[index + 1:])
+        candidates.append(Architecture(ops=tuple(ops),
+                                       name=f"branchy-split{index}",
+                                       classifier_hidden=config.classifier_hidden))
+    return candidates
+
+
+def branchy_architecture(simulator: CoInferenceSimulator, profile: DataProfile,
+                         config: Optional[BranchyConfig] = None) -> Architecture:
+    """BRANCHY-GNN with its best (oracle) split point for the target system."""
+    candidates = branchy_candidates(config)
+    best = min(candidates,
+               key=lambda arch: simulator.evaluate(arch.ops, profile,
+                                                   arch.classifier_hidden).latency_ms)
+    return best.with_name("branchy")

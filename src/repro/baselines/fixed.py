@@ -1,0 +1,46 @@
+"""Fixed (manually designed) baseline architectures.
+
+These wrap the operation-level descriptions from :mod:`repro.gnn.models`
+into :class:`~repro.core.architecture.Architecture` objects so that the same
+simulator, partitioning utilities and deployment tooling evaluate every
+method uniformly:
+
+* ``DGCNN`` — the manually designed point-cloud network (paper baseline [9]);
+* ``Li et al.`` — the manually optimized DGCNN variant (paper baseline [1]);
+* the fixed text GNN and the PNAS-searched network used on MR.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.architecture import Architecture
+from ..gnn.models.dgcnn import dgcnn_opspecs, li_optimized_opspecs
+from ..gnn.models.gin import pnas_opspecs, text_gnn_opspecs
+
+
+def dgcnn_architecture(k: int = 20, emb_dim: int = 1024,
+                       classifier_hidden: int = 256) -> Architecture:
+    """DGCNN as a deployable architecture (Device-Only by default)."""
+    return Architecture(ops=tuple(dgcnn_opspecs(k=k, emb_dim=emb_dim)),
+                        name="dgcnn", classifier_hidden=classifier_hidden)
+
+
+def li_optimized_architecture(k: int = 20,
+                              classifier_hidden: int = 128) -> Architecture:
+    """The manually optimized DGCNN of Li et al. (paper baseline "[1]")."""
+    return Architecture(ops=tuple(li_optimized_opspecs(k=k)),
+                        name="li-optimized", classifier_hidden=classifier_hidden)
+
+
+def text_gnn_architecture(hidden: int = 96,
+                          classifier_hidden: int = 64) -> Architecture:
+    """Fixed text-classification GNN for MR-style word graphs."""
+    return Architecture(ops=tuple(text_gnn_opspecs(hidden=hidden)),
+                        name="text-gnn", classifier_hidden=classifier_hidden)
+
+
+def pnas_architecture(classifier_hidden: int = 64) -> Architecture:
+    """Representative PNAS-searched graph-classification network (MR baseline)."""
+    return Architecture(ops=tuple(pnas_opspecs()), name="pnas",
+                        classifier_hidden=classifier_hidden)

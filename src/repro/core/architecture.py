@@ -1,0 +1,253 @@
+"""Architecture representation: operation sequence + implied device-edge mapping.
+
+A GCoDE architecture is a linear sequence of :class:`~repro.gnn.operations.OpSpec`
+between a fixed ``input`` and ``classifier`` book-end.  Because ``Communicate``
+is an explicit operation, the mapping of every operation onto the device or
+the edge is *derived* from the sequence itself: operations before the first
+``Communicate`` run on the device, operations after it run on the edge, and a
+second ``Communicate`` would hand execution back to the device (and so on).
+Architectures with no ``Communicate`` run entirely on the device ("Device-
+Only"); one whose first operation is ``Communicate`` effectively runs
+"Edge-Only".
+
+This module also implements the validity rules the paper's constraint-based
+search uses to discard meaningless candidates (Sec. 3.4), e.g. consecutive
+``Communicate`` operations or an ``Aggregate`` after ``Global Pooling``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..gnn.operations import DEFAULT_FUNCTIONS, OpSpec, OpType
+
+DEVICE = "device"
+EDGE = "edge"
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A co-inference GNN architecture (operations + implied mapping).
+
+    Attributes
+    ----------
+    ops:
+        The searchable operation sequence (excluding input / classifier).
+    name:
+        Optional human-readable identifier (used by the architecture zoo).
+    classifier_hidden:
+        Hidden width of the final classifier MLP.
+    """
+
+    ops: Tuple[OpSpec, ...]
+    name: str = ""
+    classifier_hidden: int = 64
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ops", tuple(self.ops))
+
+    # -- basic accessors -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    @property
+    def num_communicates(self) -> int:
+        return sum(1 for op in self.ops if op.op == OpType.COMMUNICATE)
+
+    @property
+    def is_co_inference(self) -> bool:
+        """True when at least one Communicate appears (device-edge execution)."""
+        return self.num_communicates > 0
+
+    def mapping(self) -> List[str]:
+        """Placement (``"device"`` or ``"edge"``) of each operation in ``ops``.
+
+        A ``Communicate`` op itself is attributed to the link but listed with
+        the side that *initiates* the transfer (the side executing before it).
+        """
+        placements: List[str] = []
+        side = DEVICE
+        for op in self.ops:
+            placements.append(side)
+            if op.op == OpType.COMMUNICATE:
+                side = EDGE if side == DEVICE else DEVICE
+        return placements
+
+    def final_side(self) -> str:
+        """Side on which the classifier executes."""
+        side = DEVICE
+        for op in self.ops:
+            if op.op == OpType.COMMUNICATE:
+                side = EDGE if side == DEVICE else DEVICE
+        return side
+
+    def device_ops(self) -> List[OpSpec]:
+        """Operations mapped onto the device."""
+        return [op for op, side in zip(self.ops, self.mapping()) if side == DEVICE]
+
+    def edge_ops(self) -> List[OpSpec]:
+        """Operations mapped onto the edge."""
+        return [op for op, side in zip(self.ops, self.mapping()) if side == EDGE]
+
+    def partition_segments(self) -> List[Tuple[str, List[OpSpec]]]:
+        """Contiguous execution segments: ``[(side, [ops...]), ...]``.
+
+        Communicate operations terminate a segment and are not included in
+        either side's op list (they belong to the link).
+        """
+        segments: List[Tuple[str, List[OpSpec]]] = []
+        side = DEVICE
+        current: List[OpSpec] = []
+        for op in self.ops:
+            if op.op == OpType.COMMUNICATE:
+                segments.append((side, current))
+                current = []
+                side = EDGE if side == DEVICE else DEVICE
+            else:
+                current.append(op)
+        segments.append((side, current))
+        return segments
+
+    # -- feature-dimension bookkeeping ------------------------------------
+    def feature_dims(self, input_dim: int) -> List[int]:
+        """Output feature dimension after each operation, starting from ``input_dim``."""
+        dims: List[int] = []
+        dim = input_dim
+        for op in self.ops:
+            if op.op == OpType.AGGREGATE:
+                dim = 2 * dim
+            elif op.op == OpType.COMBINE:
+                dim = int(op.function)
+            elif op.op == OpType.GLOBAL_POOL and op.function == "max||mean":
+                dim = 2 * dim
+            dims.append(dim)
+        return dims
+
+    def output_dim(self, input_dim: int) -> int:
+        """Feature dimension entering the classifier."""
+        dims = self.feature_dims(input_dim)
+        return dims[-1] if dims else input_dim
+
+    # -- naming / serialization --------------------------------------------
+    def describe(self) -> List[str]:
+        """Readable per-operation description including the placement."""
+        lines = []
+        for op, side in zip(self.ops, self.mapping()):
+            lines.append(f"{side:>6} | {op.short_name()}")
+        lines.append(f"{self.final_side():>6} | classifier")
+        return lines
+
+    def signature(self) -> Tuple:
+        """Hashable signature used for deduplication during search."""
+        return tuple((op.op, op.function, op.k) for op in self.ops)
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable representation (used by the architecture zoo)."""
+        return {
+            "name": self.name,
+            "classifier_hidden": self.classifier_hidden,
+            "ops": [{"op": op.op, "function": op.function, "k": op.k}
+                    for op in self.ops],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Architecture":
+        """Inverse of :meth:`to_dict`."""
+        ops = tuple(OpSpec(op=entry["op"], function=entry["function"],
+                           k=entry.get("k", 9)) for entry in payload["ops"])
+        return cls(ops=ops, name=payload.get("name", ""),
+                   classifier_hidden=payload.get("classifier_hidden", 64))
+
+    def with_name(self, name: str) -> "Architecture":
+        """Return a copy carrying ``name``."""
+        return Architecture(ops=self.ops, name=name,
+                            classifier_hidden=self.classifier_hidden)
+
+
+# ----------------------------------------------------------------------
+# Validity checking (paper Sec. 3.4: "Check(Ops)")
+# ----------------------------------------------------------------------
+@dataclass
+class ValidityReport:
+    """Outcome of a validity check with the reasons for rejection."""
+
+    valid: bool
+    reasons: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+def check_validity(arch: Architecture, requires_sample: bool = True,
+                   max_communicates: int = 3) -> ValidityReport:
+    """Check the structural validity rules of the co-inference design space.
+
+    Parameters
+    ----------
+    arch:
+        Candidate architecture.
+    requires_sample:
+        When the input data has no pre-existing graph structure (point
+        clouds), an ``Aggregate`` must be preceded by a ``Sample``; text
+        graphs (MR) arrive with edges so this is relaxed.
+    max_communicates:
+        Upper bound on hand-offs; more than a few round trips is never
+        beneficial and inflates the search space.
+    """
+    reasons: List[str] = []
+    ops = arch.ops
+    if not ops:
+        reasons.append("architecture has no operations")
+        return ValidityReport(False, reasons)
+
+    has_structure = not requires_sample
+    pooled = False
+    prev_op: Optional[str] = None
+    num_comm = 0
+    has_compute = False
+
+    for idx, op in enumerate(ops):
+        if op.op == OpType.COMMUNICATE:
+            num_comm += 1
+            if prev_op == OpType.COMMUNICATE:
+                reasons.append(f"consecutive communicate at position {idx}")
+        if op.op == OpType.SAMPLE:
+            if pooled:
+                reasons.append(f"sample after global pooling at position {idx}")
+            has_structure = True
+        if op.op == OpType.AGGREGATE:
+            if pooled:
+                reasons.append(f"aggregate after global pooling at position {idx}")
+            if not has_structure:
+                reasons.append(f"aggregate without graph structure at position {idx}")
+            has_compute = True
+        if op.op == OpType.COMBINE:
+            has_compute = True
+        if op.op == OpType.GLOBAL_POOL:
+            if pooled:
+                reasons.append(f"repeated global pooling at position {idx}")
+            pooled = True
+        prev_op = op.op
+
+    if not pooled:
+        reasons.append("architecture never applies global pooling")
+    if not has_compute:
+        reasons.append("architecture has no trainable compute (combine/aggregate)")
+    if num_comm > max_communicates:
+        reasons.append(f"too many communicate operations ({num_comm} > {max_communicates})")
+    if ops[-1].op == OpType.COMMUNICATE and arch.final_side() == DEVICE:
+        # A trailing communicate that hands the (tiny) classifier input back
+        # to the device is allowed; a trailing communicate to the edge is too.
+        pass
+    return ValidityReport(len(reasons) == 0, reasons)
+
+
+def is_valid(arch: Architecture, requires_sample: bool = True,
+             max_communicates: int = 3) -> bool:
+    """Boolean convenience wrapper around :func:`check_validity`."""
+    return bool(check_validity(arch, requires_sample=requires_sample,
+                               max_communicates=max_communicates))

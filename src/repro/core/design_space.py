@@ -1,0 +1,185 @@
+"""The GCoDE co-inference design space.
+
+The design space (paper Fig. 6) is a supernet of ``num_layers`` slots, each
+of which can hold one of the six operations with one of its function
+choices.  Because ``Communicate`` is one of the choices, every sampled
+architecture carries its own device-edge mapping — this fusion of the
+architecture and mapping spaces is the paper's central idea.
+
+:class:`DesignSpace` owns the choice lists and provides random sampling of
+valid architectures, neighbourhood mutation (used by the evolutionary-search
+ablation) and function scale-down (used by stage 2 of the search).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..gnn.operations import DEFAULT_FUNCTIONS, OpSpec, OpType
+from ..hardware.workload import DataProfile
+from .architecture import Architecture, check_validity
+
+
+@dataclass
+class DesignSpace:
+    """Searchable co-inference architecture space.
+
+    Parameters
+    ----------
+    num_layers:
+        Number of searchable operation slots.
+    profile:
+        Data profile of the target application; point clouds (no incoming
+        edges) force a ``Sample`` before the first ``Aggregate`` during
+        validity checking.
+    combine_widths:
+        Allowed Combine output widths (the *function* choices of Combine).
+    k_choices:
+        Allowed neighbourhood sizes for Sample operations.
+    max_communicates:
+        Maximum number of Communicate operations per architecture.
+    """
+
+    num_layers: int = 8
+    profile: DataProfile = field(default_factory=DataProfile.modelnet40)
+    op_choices: Tuple[str, ...] = OpType.SEARCHABLE
+    combine_widths: Tuple[int, ...] = (16, 32, 64, 128)
+    aggregate_functions: Tuple[str, ...] = ("add", "mean", "max")
+    pool_functions: Tuple[str, ...] = ("sum", "mean", "max", "max||mean")
+    sample_functions: Tuple[str, ...] = ("knn", "random")
+    k_choices: Tuple[int, ...] = (9, 20)
+    max_communicates: int = 2
+    classifier_hidden: int = 64
+
+    # ------------------------------------------------------------------
+    @property
+    def requires_sample(self) -> bool:
+        """Whether the input data arrives without graph structure."""
+        return not self.profile.has_edges
+
+    def function_choices(self, op: str) -> Tuple:
+        """Function choices available for operation type ``op``."""
+        if op == OpType.SAMPLE:
+            return self.sample_functions
+        if op == OpType.AGGREGATE:
+            return self.aggregate_functions
+        if op == OpType.COMBINE:
+            return self.combine_widths
+        if op == OpType.GLOBAL_POOL:
+            return self.pool_functions
+        if op == OpType.IDENTITY:
+            return ("skip",)
+        if op == OpType.COMMUNICATE:
+            return ("uplink",)
+        raise ValueError(f"unknown searchable op {op!r}")
+
+    def num_candidate_ops(self) -> int:
+        """Number of distinct (op, function, k) choices per layer slot."""
+        total = 0
+        for op in self.op_choices:
+            choices = len(self.function_choices(op))
+            if op == OpType.SAMPLE:
+                choices *= len(self.k_choices)
+            total += choices
+        return total
+
+    def size(self) -> int:
+        """Total number of (not necessarily valid) architectures in the space."""
+        return self.num_candidate_ops() ** self.num_layers
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def random_opspec(self, rng: np.random.Generator,
+                      op: Optional[str] = None) -> OpSpec:
+        """Sample one operation (uniform over op types, then over functions)."""
+        op = op or str(rng.choice(list(self.op_choices)))
+        functions = self.function_choices(op)
+        function = functions[int(rng.integers(len(functions)))]
+        k = int(rng.choice(list(self.k_choices))) if op == OpType.SAMPLE else 9
+        return OpSpec(op=op, function=function, k=k)
+
+    def random_architecture(self, rng: np.random.Generator) -> Architecture:
+        """Sample one architecture uniformly (may be invalid)."""
+        ops = tuple(self.random_opspec(rng) for _ in range(self.num_layers))
+        return Architecture(ops=ops, classifier_hidden=self.classifier_hidden)
+
+    def sample_valid(self, rng: np.random.Generator,
+                     max_attempts: int = 200) -> Architecture:
+        """Rejection-sample until a structurally valid architecture is found.
+
+        This implements the ``while Check(Ops)`` loop of Algorithm 1.  The
+        number of attempts is bounded; with the default space roughly one in
+        a few dozen uniform samples is valid, so 200 attempts practically
+        never fails.
+        """
+        for _ in range(max_attempts):
+            arch = self.random_architecture(rng)
+            if self.is_valid(arch):
+                return arch
+        raise RuntimeError("could not sample a valid architecture; the design-"
+                           "space configuration is likely over-constrained")
+
+    def is_valid(self, arch: Architecture) -> bool:
+        """Validity under this space's data profile and communicate budget."""
+        return bool(check_validity(arch, requires_sample=self.requires_sample,
+                                   max_communicates=self.max_communicates))
+
+    # ------------------------------------------------------------------
+    # Mutation / scale-down
+    # ------------------------------------------------------------------
+    def mutate(self, arch: Architecture, rng: np.random.Generator,
+               num_mutations: int = 1) -> Architecture:
+        """Replace ``num_mutations`` random slots with freshly sampled ops."""
+        ops = list(arch.ops)
+        for _ in range(max(1, num_mutations)):
+            position = int(rng.integers(len(ops)))
+            ops[position] = self.random_opspec(rng)
+        return Architecture(ops=tuple(ops), name=arch.name,
+                            classifier_hidden=arch.classifier_hidden)
+
+    def crossover(self, parent_a: Architecture, parent_b: Architecture,
+                  rng: np.random.Generator) -> Architecture:
+        """Single-point crossover between two parents (evolutionary baseline)."""
+        if len(parent_a.ops) != len(parent_b.ops):
+            raise ValueError("parents must have the same number of layers")
+        point = int(rng.integers(1, len(parent_a.ops)))
+        ops = parent_a.ops[:point] + parent_b.ops[point:]
+        return Architecture(ops=ops, classifier_hidden=parent_a.classifier_hidden)
+
+    def scale_down(self, arch: Architecture, rng: np.random.Generator) -> Architecture:
+        """Randomly shrink one Combine width (stage-2 function tuning).
+
+        The paper's second search stage keeps the operation set fixed and
+        explores cheaper function settings, e.g. reducing Combine dimensions.
+        """
+        combine_positions = [i for i, op in enumerate(arch.ops)
+                             if op.op == OpType.COMBINE]
+        if not combine_positions:
+            return arch
+        position = int(rng.choice(combine_positions))
+        current = int(arch.ops[position].function)
+        smaller = [w for w in self.combine_widths if w < current]
+        if not smaller:
+            return arch
+        new_width = int(rng.choice(smaller))
+        ops = list(arch.ops)
+        ops[position] = replace(ops[position], function=new_width)
+        return Architecture(ops=tuple(ops), name=arch.name,
+                            classifier_hidden=arch.classifier_hidden)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict:
+        """Summary of the space configuration (used in reports)."""
+        return {
+            "num_layers": self.num_layers,
+            "profile": self.profile.name,
+            "ops_per_slot": self.num_candidate_ops(),
+            "space_size": self.size(),
+            "combine_widths": list(self.combine_widths),
+            "k_choices": list(self.k_choices),
+            "max_communicates": self.max_communicates,
+        }

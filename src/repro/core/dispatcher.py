@@ -1,0 +1,78 @@
+"""Runtime dispatcher.
+
+At deployment time the device's latency and energy headroom fluctuate (other
+workloads, battery state, varying network throughput).  GCoDE's runtime
+dispatcher (Sec. 3.6) reacts by switching the deployed architecture to the
+zoo entry that best fits the *current* constraints: the most accurate
+architecture that still meets the latency and energy budgets, falling back to
+the fastest / most frugal entry when nothing qualifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .zoo import ArchitectureZoo, ZooEntry
+
+
+@dataclass
+class RuntimeConditions:
+    """Current operating conditions reported by the device at runtime."""
+
+    latency_budget_ms: Optional[float] = None
+    energy_budget_j: Optional[float] = None
+    #: Measured uplink bandwidth relative to the bandwidth assumed at search
+    #: time (1.0 = as planned, 0.5 = link twice as slow).  Latency estimates
+    #: of co-inference entries are rescaled pessimistically by this factor.
+    bandwidth_factor: float = 1.0
+
+
+class RuntimeDispatcher:
+    """Selects the architecture to execute for the current conditions."""
+
+    def __init__(self, zoo: ArchitectureZoo) -> None:
+        if len(zoo) == 0:
+            raise ValueError("cannot dispatch from an empty architecture zoo")
+        self.zoo = zoo
+        self._history: List[str] = []
+
+    # ------------------------------------------------------------------
+    def _effective_latency(self, entry: ZooEntry,
+                           conditions: RuntimeConditions) -> float:
+        factor = max(conditions.bandwidth_factor, 1e-3)
+        if entry.architecture.is_co_inference and factor < 1.0:
+            # Pessimistically inflate the whole latency by the slowdown of the
+            # link; only co-inference entries are affected by the network.
+            return entry.latency_ms / factor
+        return entry.latency_ms
+
+    def select(self, conditions: Optional[RuntimeConditions] = None) -> ZooEntry:
+        """Pick the most accurate entry that satisfies the current budgets.
+
+        Falls back to the lowest-latency entry when no entry satisfies the
+        constraints (degraded but still-functional service).
+        """
+        conditions = conditions or RuntimeConditions()
+        feasible: List[ZooEntry] = []
+        for entry in self.zoo:
+            latency = self._effective_latency(entry, conditions)
+            if (conditions.latency_budget_ms is not None
+                    and latency > conditions.latency_budget_ms):
+                continue
+            if (conditions.energy_budget_j is not None
+                    and entry.device_energy_j > conditions.energy_budget_j):
+                continue
+            feasible.append(entry)
+        if feasible:
+            chosen = max(feasible, key=lambda e: (e.accuracy, -e.latency_ms))
+        else:
+            chosen = min(self.zoo,
+                         key=lambda e: self._effective_latency(e, conditions))
+        self._history.append(chosen.name)
+        return chosen
+
+    @property
+    def history(self) -> List[str]:
+        """Names of the entries selected so far (most recent last)."""
+        return list(self._history)

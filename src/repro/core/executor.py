@@ -1,0 +1,162 @@
+"""Executable form of a co-inference architecture.
+
+:class:`ArchitectureModel` turns an :class:`~repro.core.architecture.Architecture`
+into a trainable model built from the executable operation modules of
+:mod:`repro.gnn.operations`, so that sampled architectures can be trained and
+their validation accuracy measured (the ``acc_val`` term of the paper's
+objective).  :func:`split_callables` additionally slices a trained model at
+its ``Communicate`` point into the device-side and edge-side callables
+consumed by the socket co-inference engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..graph.data import Batch
+from ..gnn.operations import (ClassifierOp, ExecState, Operation, OpSpec, OpType,
+                              build_operation)
+from .architecture import Architecture
+
+
+class ArchitectureModel(nn.Module):
+    """Trainable model realizing one co-inference architecture.
+
+    Parameters
+    ----------
+    architecture:
+        The operation sequence to realize.
+    in_dim:
+        Input node-feature dimensionality.
+    num_classes:
+        Number of output classes of the final classifier.
+    seed:
+        Seed for weight initialization and random-sampling operations.
+    """
+
+    def __init__(self, architecture: Architecture, in_dim: int, num_classes: int,
+                 seed: int = 0) -> None:
+        super().__init__()
+        self.architecture = architecture
+        self.in_dim = in_dim
+        self.num_classes = num_classes
+        rng = np.random.default_rng(seed)
+        self._operations: List[Operation] = []
+        dim = in_dim
+        for index, spec in enumerate(architecture.ops):
+            operation = build_operation(spec, dim, rng=rng, seed=seed + index)
+            self.add_module(f"op{index}", operation)
+            self._operations.append(operation)
+            dim = operation.output_dim(dim)
+        classifier_spec = OpSpec(OpType.CLASSIFIER, "mlp")
+        self.classifier = ClassifierOp(classifier_spec, dim, num_classes,
+                                       hidden_dim=architecture.classifier_hidden,
+                                       rng=rng)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def initial_state(batch: Batch) -> ExecState:
+        """Build the execution state for a batch of graphs."""
+        return ExecState(
+            x=nn.Tensor(batch.x),
+            batch=batch.batch.copy(),
+            num_graphs=batch.num_graphs,
+            edge_index=None if batch.edge_index is None else batch.edge_index.copy(),
+            pos=None if batch.pos is None else batch.pos.copy(),
+        )
+
+    def run_segment(self, state: ExecState, start: int, end: Optional[int] = None,
+                    include_classifier: bool = False) -> ExecState:
+        """Execute operations ``start:end`` (communicates are no-ops here)."""
+        end = len(self._operations) if end is None else end
+        for operation in self._operations[start:end]:
+            state = operation(state)
+        if include_classifier:
+            state = self.classifier(state)
+        return state
+
+    def forward(self, batch: Batch) -> nn.Tensor:
+        """Full forward pass returning class logits, one row per graph."""
+        state = self.run_segment(self.initial_state(batch), 0, None,
+                                 include_classifier=True)
+        return state.x
+
+    # ------------------------------------------------------------------
+    def num_operations(self) -> int:
+        return len(self._operations)
+
+    def first_communicate_index(self) -> Optional[int]:
+        """Index of the first Communicate operation, or ``None``."""
+        for index, operation in enumerate(self._operations):
+            if operation.spec.op == OpType.COMMUNICATE:
+                return index
+        return None
+
+
+# ----------------------------------------------------------------------
+# Engine integration
+# ----------------------------------------------------------------------
+ArrayDict = Dict[str, np.ndarray]
+
+
+def _state_to_arrays(state: ExecState) -> Tuple[ArrayDict, Dict]:
+    arrays: ArrayDict = {"x": state.x.data, "batch": state.batch}
+    if state.edge_index is not None:
+        arrays["edge_index"] = state.edge_index
+    if state.pos is not None:
+        arrays["pos"] = state.pos
+    meta = {"num_graphs": state.num_graphs, "pooled": state.pooled}
+    return arrays, meta
+
+
+def _arrays_to_state(arrays: ArrayDict, meta: Dict) -> ExecState:
+    return ExecState(
+        x=nn.Tensor(arrays["x"]),
+        batch=np.asarray(arrays["batch"], dtype=np.int64),
+        num_graphs=int(meta["num_graphs"]),
+        edge_index=np.asarray(arrays["edge_index"], dtype=np.int64)
+        if "edge_index" in arrays else None,
+        pos=arrays.get("pos"),
+        pooled=bool(meta["pooled"]),
+    )
+
+
+def split_callables(model: ArchitectureModel
+                    ) -> Tuple[Callable[[Batch], Tuple[ArrayDict, Dict]],
+                               Callable[[ArrayDict, Dict], Tuple[ArrayDict, Dict]]]:
+    """Split a trained model into engine callables at its Communicate point.
+
+    Returns ``(device_fn, edge_fn)``: the device function executes every
+    operation before the first ``Communicate`` and serializes the state; the
+    edge function executes the remaining operations and the classifier and
+    returns the logits.  Architectures without a Communicate run everything
+    on the device and the edge function merely echoes the logits back, so the
+    same engine code path covers Device-Only deployments.
+    """
+    split = model.first_communicate_index()
+
+    def device_fn(batch: Batch) -> Tuple[ArrayDict, Dict]:
+        state = model.initial_state(batch)
+        if split is None:
+            state = model.run_segment(state, 0, None, include_classifier=True)
+            arrays, meta = _state_to_arrays(state)
+            meta["finished"] = True
+            return arrays, meta
+        state = model.run_segment(state, 0, split)
+        arrays, meta = _state_to_arrays(state)
+        meta["finished"] = False
+        return arrays, meta
+
+    def edge_fn(arrays: ArrayDict, meta: Dict) -> Tuple[ArrayDict, Dict]:
+        if meta.get("finished"):
+            return {"logits": arrays["x"]}, {"num_graphs": meta["num_graphs"]}
+        state = _arrays_to_state(arrays, meta)
+        start = (split + 1) if split is not None else 0
+        with nn.no_grad():
+            state = model.run_segment(state, start, None, include_classifier=True)
+        return {"logits": state.x.data}, {"num_graphs": state.num_graphs}
+
+    return device_fn, edge_fn

@@ -1,0 +1,108 @@
+"""Efficiency evaluators used during the architecture search.
+
+Algorithm 1 calls ``Evaluate(Sys, Ops, f)`` to obtain the candidate's system
+latency ``P_sys`` and on-device energy ``E_dev``.  Three interchangeable
+evaluators are provided, matching the paper's performance-awareness options:
+
+* :class:`SimulatorEvaluator` — queries the hardware simulator directly
+  (stands in for on-testbed measurement; exact but the most "expensive");
+* :class:`CostEstimatorEvaluator` — LUT accumulation, training-free and
+  cheap, accurate in *relative* terms;
+* :class:`PredictorEvaluator` — the trained GIN latency predictor, used when
+  strict latency constraints demand accurate absolute estimates.
+
+All evaluators estimate energy with the analytical device-energy model
+(Sec. 3.5), since energy is a function of device busy/idle time and uplink
+traffic rather than something the latency predictor outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Protocol, Tuple
+
+from ..hardware.workload import DataProfile
+from ..system.simulator import CoInferenceSimulator, SystemConfig
+from .architecture import Architecture
+from .predictor.cost_estimation import CostEstimator
+from .predictor.features import FeatureBuilder
+from .predictor.gin_predictor import PredictorSample, PredictorTrainer
+
+
+@dataclass(frozen=True)
+class EfficiencyEstimate:
+    """Latency / on-device energy estimate of one candidate architecture."""
+
+    latency_ms: float
+    device_energy_j: float
+
+
+class EfficiencyEvaluator(Protocol):
+    """Anything that can price a candidate architecture for the search."""
+
+    def evaluate(self, arch: Architecture) -> EfficiencyEstimate:  # pragma: no cover
+        ...
+
+
+class SimulatorEvaluator:
+    """Efficiency from the co-inference simulator (the "measurement" oracle)."""
+
+    def __init__(self, simulator: CoInferenceSimulator, profile: DataProfile) -> None:
+        self.simulator = simulator
+        self.profile = profile
+        self._cache: Dict[Tuple, EfficiencyEstimate] = {}
+
+    def evaluate(self, arch: Architecture) -> EfficiencyEstimate:
+        key = arch.signature()
+        if key not in self._cache:
+            perf = self.simulator.evaluate(arch.ops, self.profile,
+                                           arch.classifier_hidden)
+            self._cache[key] = EfficiencyEstimate(latency_ms=perf.latency_ms,
+                                                  device_energy_j=perf.device_energy_j)
+        return self._cache[key]
+
+
+class CostEstimatorEvaluator:
+    """Efficiency from LUT cost estimation (latency) + simulator energy model."""
+
+    def __init__(self, estimator: CostEstimator,
+                 simulator: CoInferenceSimulator, profile: DataProfile) -> None:
+        self.estimator = estimator
+        self.simulator = simulator
+        self.profile = profile
+        self._cache: Dict[Tuple, EfficiencyEstimate] = {}
+
+    def evaluate(self, arch: Architecture) -> EfficiencyEstimate:
+        key = arch.signature()
+        if key not in self._cache:
+            latency = self.estimator.estimate_latency_ms(arch)
+            perf = self.simulator.evaluate(arch.ops, self.profile,
+                                           arch.classifier_hidden)
+            self._cache[key] = EfficiencyEstimate(latency_ms=latency,
+                                                  device_energy_j=perf.device_energy_j)
+        return self._cache[key]
+
+
+class PredictorEvaluator:
+    """Efficiency from the trained GIN latency predictor."""
+
+    def __init__(self, trainer: PredictorTrainer, builder: FeatureBuilder,
+                 simulator: CoInferenceSimulator, profile: DataProfile) -> None:
+        self.trainer = trainer
+        self.builder = builder
+        self.simulator = simulator
+        self.profile = profile
+        self._cache: Dict[Tuple, EfficiencyEstimate] = {}
+
+    def evaluate(self, arch: Architecture) -> EfficiencyEstimate:
+        key = arch.signature()
+        if key not in self._cache:
+            features, edge_index = self.builder.build(arch)
+            sample = PredictorSample(architecture=arch, node_features=features,
+                                     edge_index=edge_index, latency_ms=0.0)
+            latency = self.trainer.predict(sample)
+            perf = self.simulator.evaluate(arch.ops, self.profile,
+                                           arch.classifier_hidden)
+            self._cache[key] = EfficiencyEstimate(latency_ms=latency,
+                                                  device_energy_j=perf.device_energy_j)
+        return self._cache[key]

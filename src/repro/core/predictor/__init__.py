@@ -1,0 +1,20 @@
+"""System performance awareness: graph abstraction, features, predictors."""
+
+from .graph_abstraction import ArchitectureGraph, abstract_architecture, NODE_TYPES
+from .features import FeatureBuilder
+from .gin_predictor import (LatencyPredictor, PredictorTrainer, PredictorSample,
+                            error_bound_accuracy, ranking_accuracy,
+                            PAPER_HIDDEN_DIM)
+from .cost_estimation import CostEstimator, CostEstimate
+from .dataset import (LabelledArchitecture, measure_architectures,
+                      generate_predictor_dataset, split_samples)
+
+__all__ = [
+    "ArchitectureGraph", "abstract_architecture", "NODE_TYPES",
+    "FeatureBuilder",
+    "LatencyPredictor", "PredictorTrainer", "PredictorSample",
+    "error_bound_accuracy", "ranking_accuracy", "PAPER_HIDDEN_DIM",
+    "CostEstimator", "CostEstimate",
+    "LabelledArchitecture", "measure_architectures",
+    "generate_predictor_dataset", "split_samples",
+]

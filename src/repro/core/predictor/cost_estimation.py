@@ -1,0 +1,98 @@
+"""Training-free cost estimation of co-inference latency.
+
+GCoDE's cheaper performance-awareness option (Sec. 3.5) simply accumulates
+the LUT latency of every operation in the architecture graph plus the
+link-model latency of every Communicate.  It ignores runtime overheads (the
+paper acknowledges this), so it under-estimates absolute latency but
+preserves the *relative* ordering of candidates — which is what steers the
+search.  The Fig. 10(b) ablation ("LUT") evaluates exactly this estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ...gnn.operations import OpSpec, OpType
+from ...hardware.latency_lut import LatencyLUT, build_latency_lut, communicate_latency_ms
+from ...hardware.network import WirelessLink
+from ...hardware.workload import DataProfile, input_bytes, trace_workloads
+from ..architecture import Architecture
+
+
+@dataclass
+class CostEstimate:
+    """Cost-estimation result split by contribution."""
+
+    device_ms: float
+    edge_ms: float
+    comm_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.device_ms + self.edge_ms + self.comm_ms
+
+
+class CostEstimator:
+    """LUT-accumulation latency estimator for one target system.
+
+    Parameters
+    ----------
+    device_lut / edge_lut:
+        Operation-latency LUTs for the device and edge platforms.
+    link:
+        Wireless link pricing the Communicate operations.
+    profile:
+        Data profile of the target application.
+    """
+
+    def __init__(self, device_lut: LatencyLUT, edge_lut: LatencyLUT,
+                 link: WirelessLink, profile: DataProfile) -> None:
+        self.device_lut = device_lut
+        self.edge_lut = edge_lut
+        self.link = link
+        self.profile = profile
+
+    @classmethod
+    def for_system(cls, device, edge, link: WirelessLink,
+                   profile: DataProfile) -> "CostEstimator":
+        """Build the estimator (and its LUTs) directly from device specs."""
+        return cls(device_lut=build_latency_lut(device, profile),
+                   edge_lut=build_latency_lut(edge, profile),
+                   link=link, profile=profile)
+
+    # ------------------------------------------------------------------
+    def estimate(self, arch: Architecture) -> CostEstimate:
+        """Accumulated LUT latency of ``arch`` on the target system."""
+        workloads = trace_workloads(arch.ops, self.profile, arch.classifier_hidden)
+        mapping = arch.mapping()
+        device_ms = 0.0
+        edge_ms = 0.0
+        comm_ms = 0.0
+        prev_bytes = input_bytes(self.profile)
+        for index, op in enumerate(arch.ops):
+            workload = workloads[index]
+            if op.op == OpType.COMMUNICATE:
+                payload = workloads[index - 1].output_bytes if index > 0 else prev_bytes
+                comm_ms += communicate_latency_ms(self.link, payload)
+                continue
+            lut = self.device_lut if mapping[index] == "device" else self.edge_lut
+            latency = lut.lookup(op, workload.in_dim)
+            if mapping[index] == "device":
+                device_ms += latency
+            else:
+                edge_ms += latency
+        classifier_workload = workloads[-1]
+        classifier_lut = (self.device_lut if arch.final_side() == "device"
+                          else self.edge_lut)
+        classifier_ms = classifier_lut.lookup(OpSpec(OpType.CLASSIFIER, "mlp"),
+                                              classifier_workload.in_dim)
+        if arch.final_side() == "device":
+            device_ms += classifier_ms
+        else:
+            edge_ms += classifier_ms
+        return CostEstimate(device_ms=device_ms, edge_ms=edge_ms, comm_ms=comm_ms)
+
+    def estimate_latency_ms(self, arch: Architecture) -> float:
+        """Scalar total-latency estimate (the quantity used during search)."""
+        return self.estimate(arch).total_ms

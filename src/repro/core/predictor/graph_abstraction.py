@@ -1,0 +1,111 @@
+"""Graph abstraction of co-inference architectures.
+
+The system-performance predictor treats an architecture as a small directed
+graph (paper Sec. 3.5, Fig. 7): every operation — including the fixed input
+and classifier book-ends — becomes a node, edges follow the data flow,
+self-connections are added, and a *global node* connected to every operation
+node improves connectivity so that three GIN layers can see the whole
+architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ...gnn.operations import OpSpec, OpType
+from ..architecture import Architecture
+
+#: Order of node-type channels in the one-hot encoding.
+NODE_TYPES: Tuple[str, ...] = (
+    OpType.INPUT,
+    OpType.SAMPLE,
+    OpType.AGGREGATE,
+    OpType.COMBINE,
+    OpType.GLOBAL_POOL,
+    OpType.IDENTITY,
+    OpType.COMMUNICATE,
+    OpType.CLASSIFIER,
+    "global",
+)
+
+
+@dataclass
+class ArchitectureGraph:
+    """Directed graph view of an architecture.
+
+    Attributes
+    ----------
+    node_types:
+        Node type name per node (index aligned with ``specs``).
+    specs:
+        The :class:`OpSpec` of each node; synthetic nodes (input, classifier,
+        global) carry placeholder specs.
+    edge_index:
+        COO edge index including data-flow edges, self-loops and global-node
+        edges.
+    """
+
+    node_types: List[str]
+    specs: List[OpSpec]
+    edge_index: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_types)
+
+    def one_hot(self) -> np.ndarray:
+        """One-hot node-type encoding (the HGNAS-style baseline features)."""
+        encoding = np.zeros((self.num_nodes, len(NODE_TYPES)), dtype=np.float64)
+        for row, node_type in enumerate(self.node_types):
+            encoding[row, NODE_TYPES.index(node_type)] = 1.0
+        return encoding
+
+
+def abstract_architecture(arch: Architecture,
+                          add_global_node: bool = True,
+                          add_self_loops: bool = True) -> ArchitectureGraph:
+    """Build the predictor's graph abstraction of ``arch``.
+
+    Node order: ``input``, each operation in sequence, ``classifier`` and —
+    when enabled — one trailing ``global`` node.
+    """
+    node_types: List[str] = [OpType.INPUT]
+    specs: List[OpSpec] = [OpSpec(OpType.INPUT, "input")]
+    for op in arch.ops:
+        node_types.append(op.op)
+        specs.append(op)
+    node_types.append(OpType.CLASSIFIER)
+    specs.append(OpSpec(OpType.CLASSIFIER, "mlp"))
+
+    sources: List[int] = []
+    targets: List[int] = []
+    num_sequence_nodes = len(node_types)
+    for i in range(num_sequence_nodes - 1):
+        sources.append(i)
+        targets.append(i + 1)
+
+    if add_self_loops:
+        for i in range(num_sequence_nodes):
+            sources.append(i)
+            targets.append(i)
+
+    if add_global_node:
+        global_index = num_sequence_nodes
+        node_types.append("global")
+        specs.append(OpSpec(OpType.IDENTITY, "skip"))
+        for i in range(num_sequence_nodes):
+            sources.append(i)
+            targets.append(global_index)
+            sources.append(global_index)
+            targets.append(i)
+        if add_self_loops:
+            sources.append(global_index)
+            targets.append(global_index)
+
+    edge_index = np.stack([np.asarray(sources, dtype=np.int64),
+                           np.asarray(targets, dtype=np.int64)], axis=0)
+    return ArchitectureGraph(node_types=node_types, specs=specs,
+                             edge_index=edge_index)

@@ -1,0 +1,12 @@
+"""Architecture search strategies: constraint-based random search and EA baseline."""
+
+from .common import (SearchConstraints, ScoredArchitecture, SearchResult,
+                     FAILED_SCORE)
+from .random_search import ConstraintRandomSearch, RandomSearchConfig
+from .evolutionary import EvolutionarySearch, EvolutionarySearchConfig
+
+__all__ = [
+    "SearchConstraints", "ScoredArchitecture", "SearchResult", "FAILED_SCORE",
+    "ConstraintRandomSearch", "RandomSearchConfig",
+    "EvolutionarySearch", "EvolutionarySearchConfig",
+]

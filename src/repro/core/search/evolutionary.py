@@ -1,0 +1,137 @@
+"""Evolutionary-search baseline for the Fig. 10(a) ablation.
+
+The paper compares its constraint-based random search against a standard
+evolutionary algorithm (tournament selection, crossover, mutation) and
+observes that the EA "gets stuck in a cycle of identifying valid
+architectures": because most offspring of valid parents are structurally
+invalid in the fused architecture-mapping space, the EA wastes its budget.
+This module implements that baseline, including the "valid initial
+population" variant the paper also evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..architecture import Architecture
+from ..design_space import DesignSpace
+from ..performance import EfficiencyEvaluator
+from .common import (FAILED_SCORE, ScoredArchitecture, SearchConstraints,
+                     SearchResult)
+
+AccuracyFn = Callable[[Architecture], Tuple[float, float]]
+
+
+@dataclass
+class EvolutionarySearchConfig:
+    """Hyper-parameters of the evolutionary baseline."""
+
+    max_trials: int = 2000
+    population_size: int = 20
+    tournament_size: int = 4
+    mutation_probability: float = 0.6
+    crossover_probability: float = 0.4
+    #: Seed the initial population with valid architectures ("EA+Valid initial").
+    valid_initial_population: bool = False
+    keep_top: int = 20
+    seed: int = 0
+
+
+class EvolutionarySearch:
+    """Tournament EA over the co-inference design space."""
+
+    def __init__(self, space: DesignSpace, accuracy_fn: AccuracyFn,
+                 efficiency: EfficiencyEvaluator, constraints: SearchConstraints,
+                 config: Optional[EvolutionarySearchConfig] = None) -> None:
+        self.space = space
+        self.accuracy_fn = accuracy_fn
+        self.efficiency = efficiency
+        self.constraints = constraints
+        self.config = config or EvolutionarySearchConfig()
+        self._latency_scale = 1.0
+        self._energy_scale = 1.0
+
+    # ------------------------------------------------------------------
+    def _score_architecture(self, arch: Architecture,
+                            trial: int) -> Tuple[Optional[ScoredArchitecture], float]:
+        """Score one individual; invalid or violating candidates score -1."""
+        if not self.space.is_valid(arch):
+            return None, FAILED_SCORE
+        estimate = self.efficiency.evaluate(arch)
+        self._latency_scale = max(self._latency_scale, estimate.latency_ms)
+        self._energy_scale = max(self._energy_scale, estimate.device_energy_j)
+        if not self.constraints.satisfied_by(estimate):
+            return None, FAILED_SCORE
+        overall, balanced = self.accuracy_fn(arch)
+        cost = self.constraints.normalized_cost(estimate, self._latency_scale,
+                                                self._energy_scale)
+        score = overall - self.constraints.tradeoff_lambda * cost
+        return ScoredArchitecture(architecture=arch, accuracy=overall,
+                                  balanced_accuracy=balanced,
+                                  latency_ms=estimate.latency_ms,
+                                  device_energy_j=estimate.device_energy_j,
+                                  score=score, trial=trial), score
+
+    def _tournament(self, population: List[Tuple[Architecture, float]],
+                    rng: np.random.Generator) -> Architecture:
+        indices = rng.integers(0, len(population), size=self.config.tournament_size)
+        best_index = max(indices, key=lambda i: population[i][1])
+        return population[best_index][0]
+
+    # ------------------------------------------------------------------
+    def run(self, verbose: bool = False) -> SearchResult:
+        """Run the EA for ``max_trials`` fitness evaluations."""
+        rng = np.random.default_rng(self.config.seed)
+        config = self.config
+        result = SearchResult(best=None)
+        population: List[Tuple[Architecture, float]] = []
+        trial = 0
+
+        # ----- initial population ---------------------------------------
+        while len(population) < config.population_size and trial < config.max_trials:
+            if config.valid_initial_population:
+                arch = self.space.sample_valid(rng)
+            else:
+                arch = self.space.random_architecture(rng)
+            scored, score = self._score_architecture(arch, trial)
+            result.score_history.append(score)
+            if scored is not None:
+                result.candidates.append(scored)
+                if result.best is None or scored.score > result.best.score:
+                    result.best = scored
+            else:
+                result.num_invalid += 1
+            population.append((arch, score))
+            trial += 1
+
+        # ----- generational loop -----------------------------------------
+        while trial < config.max_trials:
+            parent_a = self._tournament(population, rng)
+            if rng.random() < config.crossover_probability:
+                parent_b = self._tournament(population, rng)
+                child = self.space.crossover(parent_a, parent_b, rng)
+            else:
+                child = parent_a
+            if rng.random() < config.mutation_probability:
+                child = self.space.mutate(child, rng)
+            scored, score = self._score_architecture(child, trial)
+            result.score_history.append(score)
+            if scored is not None:
+                result.candidates.append(scored)
+                if result.best is None or scored.score > result.best.score:
+                    result.best = scored
+                    if verbose:
+                        print(f"[ea] trial {trial}: new best {scored.score:.4f}")
+            else:
+                result.num_invalid += 1
+            # Replace the weakest member of the population.
+            weakest = min(range(len(population)), key=lambda i: population[i][1])
+            if score > population[weakest][1]:
+                population[weakest] = (child, score)
+            trial += 1
+
+        result.candidates = result.top_k(config.keep_top, "score")
+        return result

@@ -1,0 +1,153 @@
+"""Constraint-based random search (paper Algorithm 1).
+
+Stage 1 repeatedly samples *valid* operation sets, prices them with the
+efficiency evaluator, discards candidates violating the latency/energy
+constraints (without paying for an accuracy evaluation), scores the
+survivors as ``acc_val − λ·(P̂_sys + Ê_dev)`` and keeps the running best
+set.  Stage 2 ("function scale-down tuning") keeps the best operation sets
+fixed and tries cheaper function settings — narrower Combine widths — keeping
+a change only when accuracy does not degrade beyond a small tolerance.
+
+Random search is deliberately preferred over evolutionary search here: in a
+space where most mutations produce invalid architectures, EA spends its
+budget repairing validity (Fig. 10a ablation, :mod:`.evolutionary`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..architecture import Architecture
+from ..design_space import DesignSpace
+from ..performance import EfficiencyEvaluator
+from .common import (FAILED_SCORE, ScoredArchitecture, SearchConstraints,
+                     SearchResult)
+
+AccuracyFn = Callable[[Architecture], Tuple[float, float]]
+
+
+@dataclass
+class RandomSearchConfig:
+    """Hyper-parameters of the constraint-based random search."""
+
+    max_trials: int = 2000
+    tuning_trials: int = 10
+    keep_top: int = 20
+    #: Accuracy drop (absolute) tolerated when accepting a scaled-down variant.
+    scale_down_tolerance: float = 0.005
+    seed: int = 0
+
+
+class ConstraintRandomSearch:
+    """Runs Algorithm 1 over a design space.
+
+    Parameters
+    ----------
+    space:
+        The co-inference design space to explore.
+    accuracy_fn:
+        Callable returning ``(overall_acc, balanced_acc)`` of a candidate —
+        normally an :class:`~repro.core.supernet.AccuracyCache`.
+    efficiency:
+        Efficiency evaluator providing ``P_sys`` / ``E_dev`` estimates.
+    constraints:
+        Latency/energy constraints and the λ trade-off factor.
+    config:
+        Trial budget and related knobs.
+    """
+
+    def __init__(self, space: DesignSpace, accuracy_fn: AccuracyFn,
+                 efficiency: EfficiencyEvaluator,
+                 constraints: SearchConstraints,
+                 config: Optional[RandomSearchConfig] = None) -> None:
+        self.space = space
+        self.accuracy_fn = accuracy_fn
+        self.efficiency = efficiency
+        self.constraints = constraints
+        self.config = config or RandomSearchConfig()
+        self._latency_scale = 1.0
+        self._energy_scale = 1.0
+
+    # ------------------------------------------------------------------
+    def _score(self, accuracy: float, estimate) -> float:
+        cost = self.constraints.normalized_cost(estimate, self._latency_scale,
+                                                self._energy_scale)
+        return accuracy - self.constraints.tradeoff_lambda * cost
+
+    def _evaluate_candidate(self, arch: Architecture,
+                            trial: int) -> Tuple[Optional[ScoredArchitecture], float, bool]:
+        """Price one candidate; returns (scored-or-None, score, violated)."""
+        estimate = self.efficiency.evaluate(arch)
+        self._latency_scale = max(self._latency_scale, estimate.latency_ms)
+        self._energy_scale = max(self._energy_scale, estimate.device_energy_j)
+        if not self.constraints.satisfied_by(estimate):
+            return None, FAILED_SCORE, True
+        overall, balanced = self.accuracy_fn(arch)
+        score = self._score(overall, estimate)
+        scored = ScoredArchitecture(
+            architecture=arch, accuracy=overall, balanced_accuracy=balanced,
+            latency_ms=estimate.latency_ms,
+            device_energy_j=estimate.device_energy_j, score=score, trial=trial)
+        return scored, score, False
+
+    # ------------------------------------------------------------------
+    def run(self, verbose: bool = False) -> SearchResult:
+        """Execute stage 1 (operation search) and stage 2 (scale-down tuning)."""
+        rng = np.random.default_rng(self.config.seed)
+        result = SearchResult(best=None)
+        seen = set()
+
+        # ----- Stage 1: operation search --------------------------------
+        for trial in range(self.config.max_trials):
+            try:
+                arch = self.space.sample_valid(rng)
+            except RuntimeError:
+                result.num_invalid += 1
+                result.score_history.append(FAILED_SCORE)
+                continue
+            signature = arch.signature()
+            if signature in seen:
+                result.score_history.append(FAILED_SCORE)
+                continue
+            seen.add(signature)
+            scored, score, violated = self._evaluate_candidate(arch, trial)
+            result.score_history.append(score)
+            if violated:
+                result.num_constraint_violations += 1
+                continue
+            result.candidates.append(scored)
+            if result.best is None or scored.score > result.best.score:
+                result.best = scored
+                if verbose:
+                    print(f"[search] trial {trial}: new best score "
+                          f"{scored.score:.4f} (acc={scored.accuracy:.3f}, "
+                          f"lat={scored.latency_ms:.1f}ms)")
+        result.candidates = result.top_k(self.config.keep_top, "score")
+
+        # ----- Stage 2: function scale-down tuning ------------------------
+        tuned: List[ScoredArchitecture] = []
+        for candidate in result.candidates:
+            best_variant = candidate
+            for tuning_trial in range(self.config.tuning_trials):
+                variant = self.space.scale_down(best_variant.architecture, rng)
+                if variant.signature() == best_variant.architecture.signature():
+                    continue
+                if not self.space.is_valid(variant):
+                    continue
+                scored, _, violated = self._evaluate_candidate(
+                    variant, self.config.max_trials + tuning_trial)
+                if violated or scored is None:
+                    continue
+                accuracy_drop = best_variant.accuracy - scored.accuracy
+                if (scored.score >= best_variant.score
+                        or accuracy_drop <= self.config.scale_down_tolerance):
+                    if scored.latency_ms <= best_variant.latency_ms:
+                        best_variant = scored
+            tuned.append(best_variant)
+        result.candidates = sorted(tuned, key=lambda c: -c.score)
+        if result.candidates:
+            result.best = result.candidates[0]
+        return result

@@ -1,0 +1,218 @@
+"""One-shot supernet with weight sharing over the co-inference design space.
+
+GCoDE decouples training from searching: a supernet covering the whole design
+space is pre-trained once, and every candidate sampled during the search is
+scored with the *shared* supernet weights instead of being trained from
+scratch (paper Sec. 3.3).  Following the paper's note that "linear layers are
+used to align the dimensions of all operations within the same layer", the
+supernet keeps a fixed internal width ``hidden_dim``:
+
+* the input is projected to ``hidden_dim``;
+* each layer slot owns a shared Combine weight (whose narrower function
+  choices are realized by masking output channels), plus alignment layers
+  that map the widened outputs of Aggregate (2×) and ``max||mean`` pooling
+  back to ``hidden_dim``;
+* a single shared classifier head consumes the pooled representation.
+
+Training uses the standard single-path one-shot recipe: every step samples a
+random *valid* architecture and updates only the weights it touches.
+Candidate accuracy during the search is then a cheap forward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..graph.data import Batch, DataLoader, GraphData
+from ..gnn.operations import ExecState, OpSpec, OpType, SampleOp
+from .architecture import Architecture
+from .design_space import DesignSpace
+
+
+class SuperNet(nn.Module):
+    """Weight-sharing supernet over a :class:`DesignSpace`.
+
+    Parameters
+    ----------
+    space:
+        The design space whose layer count and choices this supernet covers.
+    in_dim:
+        Input feature dimensionality of the target dataset.
+    num_classes:
+        Number of classes of the target dataset.
+    hidden_dim:
+        Internal (maximum) width; Combine choices narrower than this are
+        realized by channel masking.
+    """
+
+    def __init__(self, space: DesignSpace, in_dim: int, num_classes: int,
+                 hidden_dim: int = 128, seed: int = 0) -> None:
+        super().__init__()
+        self.space = space
+        self.in_dim = in_dim
+        self.num_classes = num_classes
+        self.hidden_dim = hidden_dim
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self.input_proj = nn.Linear(in_dim, hidden_dim, rng=rng)
+        for position in range(space.num_layers):
+            self.add_module(f"combine{position}",
+                            nn.Linear(hidden_dim, hidden_dim, rng=rng))
+            self.add_module(f"agg_align{position}",
+                            nn.Linear(2 * hidden_dim, hidden_dim, rng=rng))
+            self.add_module(f"pool_align{position}",
+                            nn.Linear(2 * hidden_dim, hidden_dim, rng=rng))
+        self.classifier = nn.MLP([hidden_dim, space.classifier_hidden, num_classes],
+                                 rng=rng)
+        self._sample_rng = np.random.default_rng(seed + 1)
+
+    # ------------------------------------------------------------------
+    # Execution of one sampled architecture with shared weights
+    # ------------------------------------------------------------------
+    def _combine_mask(self, width: int) -> Optional[np.ndarray]:
+        if width >= self.hidden_dim:
+            return None
+        mask = np.zeros(self.hidden_dim)
+        mask[:width] = 1.0
+        return mask
+
+    def forward_architecture(self, arch: Architecture, batch: Batch) -> nn.Tensor:
+        """Class logits of ``batch`` under ``arch`` using the shared weights."""
+        state = ExecState(
+            x=self.input_proj(nn.Tensor(batch.x)).relu(),
+            batch=batch.batch.copy(),
+            num_graphs=batch.num_graphs,
+            edge_index=None if batch.edge_index is None else batch.edge_index.copy(),
+            pos=None if batch.pos is None else batch.pos.copy(),
+        )
+        for position, spec in enumerate(arch.ops):
+            state = self._apply(position, spec, state)
+        if not state.pooled:
+            state.x = nn.global_pool(state.x, state.batch, state.num_graphs,
+                                     mode="mean")
+            state.pooled = True
+        return self.classifier(state.x)
+
+    def _apply(self, position: int, spec: OpSpec, state: ExecState) -> ExecState:
+        if spec.op in (OpType.IDENTITY, OpType.COMMUNICATE):
+            return state
+        if spec.op == OpType.SAMPLE:
+            SampleOp(spec, seed=self.seed + position)(state)
+            return state
+        if spec.op == OpType.AGGREGATE:
+            if state.edge_index is None or state.edge_index.size == 0 or state.pooled:
+                return state  # structurally invalid paths degrade to identity
+            src, dst = state.edge_index[0], state.edge_index[1]
+            centres = state.x.gather_rows(dst)
+            neighbours = state.x.gather_rows(src)
+            messages = nn.concat([centres, neighbours - centres], axis=-1)
+            aggregated = nn.scatter(messages, dst, state.num_nodes,
+                                    reduce=str(spec.function))
+            align = getattr(self, f"agg_align{position}")
+            state.x = align(aggregated).relu()
+            return state
+        if spec.op == OpType.COMBINE:
+            combine = getattr(self, f"combine{position}")
+            out = combine(state.x).relu()
+            mask = self._combine_mask(int(spec.function))
+            if mask is not None:
+                out = out * nn.Tensor(mask)
+            state.x = out
+            return state
+        if spec.op == OpType.GLOBAL_POOL:
+            if state.pooled:
+                return state
+            pooled = nn.global_pool(state.x, state.batch, state.num_graphs,
+                                    mode=str(spec.function))
+            if spec.function == "max||mean":
+                align = getattr(self, f"pool_align{position}")
+                pooled = align(pooled).relu()
+            state.x = pooled
+            state.batch = np.arange(state.num_graphs, dtype=np.int64)
+            state.edge_index = None
+            state.pos = None
+            state.pooled = True
+            return state
+        raise ValueError(f"supernet cannot apply operation {spec.op!r}")
+
+    # ------------------------------------------------------------------
+    # Pre-training (single-path one-shot)
+    # ------------------------------------------------------------------
+    def pretrain(self, train_graphs: Sequence[GraphData], epochs: int = 5,
+                 batch_size: int = 16, lr: float = 1e-3,
+                 architectures_per_step: int = 1,
+                 verbose: bool = False) -> List[float]:
+        """Pre-train shared weights by sampling a random valid path per batch.
+
+        Returns the per-epoch mean training loss.
+        """
+        optimizer = nn.Adam(self.parameters(), lr=lr)
+        losses: List[float] = []
+        loader = DataLoader(train_graphs, batch_size=batch_size, shuffle=True,
+                            seed=self.seed)
+        self.train()
+        for epoch in range(epochs):
+            epoch_losses: List[float] = []
+            for batch in loader:
+                for _ in range(max(1, architectures_per_step)):
+                    arch = self.space.sample_valid(self._sample_rng)
+                    logits = self.forward_architecture(arch, batch)
+                    loss = nn.cross_entropy(logits, batch.y)
+                    optimizer.zero_grad()
+                    loss.backward()
+                    optimizer.step()
+                    epoch_losses.append(loss.item())
+            losses.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
+            if verbose:
+                print(f"[supernet] epoch {epoch + 1}/{epochs} "
+                      f"loss={losses[-1]:.4f}")
+        return losses
+
+    # ------------------------------------------------------------------
+    # Candidate evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, arch: Architecture, graphs: Sequence[GraphData],
+                 batch_size: int = 32) -> Tuple[float, float]:
+        """Overall and balanced accuracy of ``arch`` with the shared weights."""
+        self.eval()
+        loader = DataLoader(graphs, batch_size=batch_size, shuffle=False)
+        predictions: List[np.ndarray] = []
+        labels: List[np.ndarray] = []
+        with nn.no_grad():
+            for batch in loader:
+                logits = self.forward_architecture(arch, batch)
+                predictions.append(logits.data.argmax(axis=-1))
+                labels.append(batch.y)
+        preds = np.concatenate(predictions)
+        target = np.concatenate(labels)
+        overall = float((preds == target).mean()) if target.size else 0.0
+        per_class = []
+        for cls in np.unique(target):
+            mask = target == cls
+            per_class.append(float((preds[mask] == cls).mean()))
+        balanced = float(np.mean(per_class)) if per_class else 0.0
+        return overall, balanced
+
+
+class AccuracyCache:
+    """Memoizes supernet accuracy evaluations by architecture signature."""
+
+    def __init__(self, supernet: SuperNet, graphs: Sequence[GraphData],
+                 batch_size: int = 32) -> None:
+        self.supernet = supernet
+        self.graphs = list(graphs)
+        self.batch_size = batch_size
+        self._cache: Dict[Tuple, Tuple[float, float]] = {}
+
+    def __call__(self, arch: Architecture) -> Tuple[float, float]:
+        key = arch.signature()
+        if key not in self._cache:
+            self._cache[key] = self.supernet.evaluate(arch, self.graphs,
+                                                      self.batch_size)
+        return self._cache[key]
+
+    def __len__(self) -> int:
+        return len(self._cache)

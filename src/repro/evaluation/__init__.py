@@ -1,0 +1,13 @@
+"""Evaluation helpers: comparison metrics, Pareto analysis, report formatting."""
+
+from .metrics import speedup, energy_reduction, fps, MethodResult
+from .pareto import pareto_front, dominates, hypervolume
+from .reporting import (format_table, format_series, format_breakdown,
+                        format_architecture, paper_feature_table)
+
+__all__ = [
+    "speedup", "energy_reduction", "fps", "MethodResult",
+    "pareto_front", "dominates", "hypervolume",
+    "format_table", "format_series", "format_breakdown", "format_architecture",
+    "paper_feature_table",
+]

@@ -1,0 +1,60 @@
+"""Pareto-front extraction for accuracy-vs-latency exploration plots (Fig. 8)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def pareto_front(points: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Non-dominated subset of ``(latency, accuracy)`` points.
+
+    A point dominates another when it is no slower *and* no less accurate,
+    and strictly better in at least one of the two.  The returned front is
+    sorted by latency ascending.
+    """
+    front: List[Tuple[float, float]] = []
+    for latency, accuracy in points:
+        dominated = False
+        for other_latency, other_accuracy in points:
+            if (other_latency, other_accuracy) == (latency, accuracy):
+                continue
+            if (other_latency <= latency and other_accuracy >= accuracy
+                    and (other_latency < latency or other_accuracy > accuracy)):
+                dominated = True
+                break
+        if not dominated:
+            front.append((latency, accuracy))
+    # Deduplicate while preserving ordering by latency.
+    unique = sorted(set(front), key=lambda p: (p[0], -p[1]))
+    return unique
+
+
+def dominates(a: Tuple[float, float], b: Tuple[float, float]) -> bool:
+    """Whether point ``a`` (latency, accuracy) Pareto-dominates ``b``."""
+    return (a[0] <= b[0] and a[1] >= b[1]) and (a[0] < b[0] or a[1] > b[1])
+
+
+def hypervolume(points: Sequence[Tuple[float, float]],
+                reference: Tuple[float, float]) -> float:
+    """2-D hypervolume (latency to minimize, accuracy to maximize).
+
+    ``reference`` is the worst corner ``(max_latency, min_accuracy)``.  Used
+    to compare how far different methods push the Pareto frontier.
+    """
+    front = pareto_front(points)
+    front = [(lat, acc) for lat, acc in front
+             if lat <= reference[0] and acc >= reference[1]]
+    if not front:
+        return 0.0
+    # On a (min latency, max accuracy) front sorted by latency ascending, the
+    # best accuracy achievable at any latency budget x in [lat_i, lat_{i+1})
+    # is acc_i, so the dominated area decomposes into vertical slabs.
+    front.sort(key=lambda p: p[0])
+    volume = 0.0
+    for index, (latency, accuracy) in enumerate(front):
+        next_latency = front[index + 1][0] if index + 1 < len(front) else reference[0]
+        width = min(next_latency, reference[0]) - latency
+        height = accuracy - reference[1]
+        if width > 0 and height > 0:
+            volume += width * height
+    return volume

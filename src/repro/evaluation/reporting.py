@@ -1,0 +1,89 @@
+"""Plain-text report formatting for tables and figure data.
+
+The benchmark harness regenerates every table and figure of the paper as
+text: aligned tables for Tables 1–3 and series listings for the figures.
+Keeping the formatting here keeps the benchmark scripts small and uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "", float_format: str = "{:.2f}") -> str:
+    """Render an aligned plain-text table.
+
+    Floats are formatted with ``float_format``; other values with ``str``.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(header).ljust(widths[i])
+                             for i, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence,
+                  x_label: str = "x", y_label: str = "y",
+                  float_format: str = "{:.3f}") -> str:
+    """Render a figure data series as aligned ``x -> y`` pairs."""
+    lines = [f"{name} ({x_label} -> {y_label}):"]
+    for x, y in zip(xs, ys):
+        x_str = float_format.format(x) if isinstance(x, float) else str(x)
+        y_str = float_format.format(y) if isinstance(y, float) else str(y)
+        lines.append(f"  {x_str:>12} -> {y_str}")
+    return "\n".join(lines)
+
+
+def format_breakdown(title: str, breakdown: Dict[str, float],
+                     unit: str = "ms") -> str:
+    """Render a labelled breakdown (e.g. per-operation latency shares)."""
+    total = sum(breakdown.values()) or 1.0
+    lines = [title]
+    for label, value in breakdown.items():
+        share = 100.0 * value / total
+        lines.append(f"  {label:<24} {value:10.3f} {unit}  ({share:5.1f}%)")
+    lines.append(f"  {'total':<24} {total:10.3f} {unit}")
+    return "\n".join(lines)
+
+
+def format_architecture(description_lines: Iterable[str], title: str = "") -> str:
+    """Render an architecture placement listing (used for Fig. 11)."""
+    lines = [title] if title else []
+    lines.extend(f"  {line}" for line in description_lines)
+    return "\n".join(lines)
+
+
+def paper_feature_table() -> str:
+    """Reproduce the qualitative feature-support comparison of Table 1."""
+    headers = ["Supported Features", "GCoDE", "HGNAS", "MaGNAS", "BRANCHY"]
+    rows = [
+        ["Design Automation", "yes", "yes", "yes", "no"],
+        ["Architecture Exploration", "yes", "yes", "yes", "no"],
+        ["Performance Awareness", "yes", "yes", "yes", "no"],
+        ["  - Single Device", "yes", "yes", "no", "no"],
+        ["  - Heterogeneous", "yes", "no", "yes", "no"],
+        ["  - Heterogeneous Wireless Edge", "yes", "no", "no", "no"],
+        ["Multi-Objective Optimization", "yes", "yes", "yes", "no"],
+        ["Device-Edge Deployment", "yes", "no", "no", "yes"],
+        ["Runtime Optimization", "yes", "no", "no", "no"],
+    ]
+    return format_table(headers, rows, title="Table 1: feature-support comparison")

@@ -1,0 +1,18 @@
+"""GNN operations, layers and reference models."""
+
+from .operations import (OpType, OpSpec, ExecState, DEFAULT_FUNCTIONS,
+                         Operation, SampleOp, AggregateOp, CombineOp,
+                         GlobalPoolOp, IdentityOp, CommunicateOp, ClassifierOp,
+                         build_operation)
+from .layers import EdgeConv, GCNConv, GINConv, GNNStack
+from .models import (DGCNN, GINClassifier, dgcnn_opspecs, li_optimized_opspecs,
+                     text_gnn_opspecs, pnas_opspecs)
+
+__all__ = [
+    "OpType", "OpSpec", "ExecState", "DEFAULT_FUNCTIONS",
+    "Operation", "SampleOp", "AggregateOp", "CombineOp", "GlobalPoolOp",
+    "IdentityOp", "CommunicateOp", "ClassifierOp", "build_operation",
+    "EdgeConv", "GCNConv", "GINConv", "GNNStack",
+    "DGCNN", "GINClassifier", "dgcnn_opspecs", "li_optimized_opspecs",
+    "text_gnn_opspecs", "pnas_opspecs",
+]

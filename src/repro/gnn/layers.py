@@ -1,0 +1,133 @@
+"""Reusable GNN layers: EdgeConv (DGCNN), GCNConv and GINConv.
+
+EdgeConv is the building block of the DGCNN baseline; GINConv and GCNConv
+are used by the system-performance predictors (the paper builds its latency
+predictor from three GIN layers and compares against a GCN variant in the
+Fig. 10(b) ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+
+
+class EdgeConv(nn.Module):
+    """Dynamic edge convolution (Wang et al., DGCNN).
+
+    For every edge ``j -> i`` the message is ``MLP([x_i, x_j - x_i])`` and
+    messages are reduced with ``max`` (the DGCNN default) or another reducer.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, reducer: str = "max",
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.reducer = reducer
+        self.mlp = nn.MLP([2 * in_dim, out_dim], activate_last=True, rng=rng)
+
+    def forward(self, x: nn.Tensor, edge_index: np.ndarray) -> nn.Tensor:
+        if edge_index is None or edge_index.size == 0:
+            raise ValueError("EdgeConv requires a non-empty edge index")
+        src, dst = edge_index[0], edge_index[1]
+        centres = x.gather_rows(dst)
+        neighbours = x.gather_rows(src)
+        messages = self.mlp(nn.concat([centres, neighbours - centres], axis=-1))
+        return nn.scatter(messages, dst, x.shape[0], reduce=self.reducer)
+
+
+class GCNConv(nn.Module):
+    """Graph convolution with symmetric degree normalization (Kipf & Welling)."""
+
+    def __init__(self, in_dim: int, out_dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.linear = nn.Linear(in_dim, out_dim, rng=rng)
+
+    def forward(self, x: nn.Tensor, edge_index: np.ndarray) -> nn.Tensor:
+        num_nodes = x.shape[0]
+        # Add self-loops so isolated nodes keep their features.
+        loops = np.arange(num_nodes, dtype=np.int64)
+        if edge_index is None or edge_index.size == 0:
+            src = dst = loops
+        else:
+            src = np.concatenate([edge_index[0], loops])
+            dst = np.concatenate([edge_index[1], loops])
+        degree = np.bincount(dst, minlength=num_nodes).astype(np.float64)
+        inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1.0))
+        norm = inv_sqrt[src] * inv_sqrt[dst]
+        transformed = self.linear(x)
+        messages = transformed.gather_rows(src) * nn.Tensor(norm[:, None])
+        return nn.scatter_add(messages, dst, num_nodes)
+
+
+class GINConv(nn.Module):
+    """Graph isomorphism network layer (Xu et al., ICLR 2019).
+
+    ``h_i' = MLP((1 + eps) * h_i + reduce_j h_j)`` — the paper's predictor
+    uses the *mean* reducer variant together with global sum pooling.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, hidden_dim: Optional[int] = None,
+                 reducer: str = "mean", eps: float = 0.0, train_eps: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        hidden_dim = hidden_dim or out_dim
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.reducer = reducer
+        self.mlp = nn.MLP([in_dim, hidden_dim, out_dim], activate_last=True, rng=rng)
+        if train_eps:
+            self.eps = nn.Parameter(np.asarray([eps]), name="eps")
+        else:
+            self.eps = None
+            self._fixed_eps = eps
+
+    def forward(self, x: nn.Tensor, edge_index: np.ndarray) -> nn.Tensor:
+        num_nodes = x.shape[0]
+        if edge_index is None or edge_index.size == 0:
+            aggregated = nn.Tensor(np.zeros_like(x.data))
+        else:
+            src, dst = edge_index[0], edge_index[1]
+            aggregated = nn.scatter(x.gather_rows(src), dst, num_nodes,
+                                    reduce=self.reducer)
+        if self.eps is not None:
+            scaled = x * (self.eps + 1.0)
+        else:
+            scaled = x * (1.0 + self._fixed_eps)
+        return self.mlp(scaled + aggregated)
+
+
+class GNNStack(nn.Module):
+    """Stack of homogeneous GNN layers with a configurable layer factory."""
+
+    def __init__(self, layer_type: str, dims: Sequence[int],
+                 reducer: str = "mean",
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("GNNStack needs at least input and output widths")
+        self.layer_type = layer_type
+        self._layers = []
+        for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            if layer_type == "gin":
+                layer = GINConv(d_in, d_out, reducer=reducer, rng=rng)
+            elif layer_type == "gcn":
+                layer = GCNConv(d_in, d_out, rng=rng)
+            elif layer_type == "edge":
+                layer = EdgeConv(d_in, d_out, reducer=reducer, rng=rng)
+            else:
+                raise ValueError(f"unknown layer type {layer_type!r}")
+            self.add_module(f"layer{i}", layer)
+            self._layers.append(layer)
+
+    def forward(self, x: nn.Tensor, edge_index: np.ndarray) -> nn.Tensor:
+        for layer in self._layers:
+            x = layer(x, edge_index)
+        return x

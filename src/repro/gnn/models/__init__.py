@@ -1,0 +1,9 @@
+"""Reference GNN models and their operation-level descriptions."""
+
+from .dgcnn import DGCNN, dgcnn_opspecs, li_optimized_opspecs, DGCNN_CHANNELS, DGCNN_K
+from .gin import GINClassifier, text_gnn_opspecs, pnas_opspecs
+
+__all__ = [
+    "DGCNN", "dgcnn_opspecs", "li_optimized_opspecs", "DGCNN_CHANNELS", "DGCNN_K",
+    "GINClassifier", "text_gnn_opspecs", "pnas_opspecs",
+]

@@ -1,0 +1,83 @@
+"""GIN graph classifier — the reference model family used for text graphs.
+
+The paper's MR baseline architectures (PNAS-designed and the fixed text-GNN)
+are message-passing networks over the pre-existing word graph.  This module
+provides a directly executable GIN classifier used in tests and examples, and
+operation-sequence descriptions of the fixed text-GNN and of a typical
+PNAS-searched architecture for the cost models and baselines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ... import nn
+from ...graph.data import Batch
+from ..layers import GINConv
+from ..operations import OpSpec, OpType
+
+
+class GINClassifier(nn.Module):
+    """Stack of GIN layers followed by global pooling and an MLP classifier."""
+
+    def __init__(self, in_dim: int, num_classes: int,
+                 hidden_dims: Sequence[int] = (64, 64),
+                 pool: str = "sum", dropout: float = 0.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.pool = pool
+        self._layers: List[GINConv] = []
+        dim = in_dim
+        for i, width in enumerate(hidden_dims):
+            layer = GINConv(dim, width, rng=rng)
+            self.add_module(f"gin{i}", layer)
+            self._layers.append(layer)
+            dim = width
+        self.classifier = nn.MLP([dim, max(dim // 2, num_classes), num_classes],
+                                 dropout=dropout, rng=rng)
+        self.num_classes = num_classes
+
+    def forward(self, batch: Batch) -> nn.Tensor:
+        x = nn.Tensor(batch.x)
+        for layer in self._layers:
+            x = layer(x, batch.edge_index)
+        pooled = nn.global_pool(x, batch.batch, batch.num_graphs, mode=self.pool)
+        return self.classifier(pooled)
+
+
+def text_gnn_opspecs(hidden: int = 96) -> List[OpSpec]:
+    """Fixed text-classification GNN in the GCoDE operation vocabulary.
+
+    Text graphs (MR) arrive with word co-occurrence edges, so no ``Sample``
+    is needed: the network aggregates twice over the given structure with a
+    Combine after each aggregation, then mean-pools and classifies.
+    """
+    return [
+        OpSpec(OpType.AGGREGATE, "mean"),
+        OpSpec(OpType.COMBINE, int(hidden)),
+        OpSpec(OpType.AGGREGATE, "mean"),
+        OpSpec(OpType.COMBINE, int(hidden)),
+        OpSpec(OpType.GLOBAL_POOL, "mean"),
+    ]
+
+
+def pnas_opspecs() -> List[OpSpec]:
+    """Representative PNAS-searched architecture for graph classification (MR).
+
+    PNAS (Wei et al., ACM TOIS 2023) searches pooling-augmented
+    message-passing architectures for graph classification; the paper uses
+    its searched model as the MR NAS baseline.  The representative design
+    used here is a lightweight two-block network with max aggregation and a
+    sum readout.
+    """
+    return [
+        OpSpec(OpType.COMBINE, 64),
+        OpSpec(OpType.AGGREGATE, "max"),
+        OpSpec(OpType.COMBINE, 64),
+        OpSpec(OpType.AGGREGATE, "add"),
+        OpSpec(OpType.COMBINE, 32),
+        OpSpec(OpType.GLOBAL_POOL, "sum"),
+    ]

@@ -1,0 +1,183 @@
+"""Graph data containers.
+
+:class:`GraphData` stores a single attributed graph (node features, COO edge
+index, optional positions and a graph-level label).  :class:`Batch` merges a
+list of graphs into one disjoint-union graph — the standard trick used by
+PyTorch Geometric — so that message passing over a mini-batch is a single
+vectorized operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class GraphData:
+    """A single attributed graph.
+
+    Attributes
+    ----------
+    x:
+        Node feature matrix of shape ``(num_nodes, num_features)``.
+    edge_index:
+        COO edge index of shape ``(2, num_edges)`` with ``edge_index[0]`` the
+        source and ``edge_index[1]`` the destination of each edge (messages
+        flow source → destination).
+    y:
+        Optional graph-level integer label.
+    pos:
+        Optional node positions (used for point clouds; when present, KNN
+        graph construction operates on ``pos`` rather than ``x``).
+    """
+
+    x: np.ndarray
+    edge_index: Optional[np.ndarray] = None
+    y: Optional[int] = None
+    pos: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=np.float64)
+        if self.x.ndim != 2:
+            raise ValueError(f"node features must be 2-D, got shape {self.x.shape}")
+        if self.edge_index is not None:
+            self.edge_index = np.asarray(self.edge_index, dtype=np.int64)
+            if self.edge_index.ndim != 2 or self.edge_index.shape[0] != 2:
+                raise ValueError("edge_index must have shape (2, num_edges)")
+            if self.edge_index.size and self.edge_index.max() >= self.num_nodes:
+                raise ValueError("edge_index refers to a node that does not exist")
+        if self.pos is not None:
+            self.pos = np.asarray(self.pos, dtype=np.float64)
+            if self.pos.shape[0] != self.x.shape[0]:
+                raise ValueError("pos must have one row per node")
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return 0 if self.edge_index is None else int(self.edge_index.shape[1])
+
+    @property
+    def num_features(self) -> int:
+        return int(self.x.shape[1])
+
+    def copy(self) -> "GraphData":
+        """Deep copy of the graph."""
+        return GraphData(
+            x=self.x.copy(),
+            edge_index=None if self.edge_index is None else self.edge_index.copy(),
+            y=self.y,
+            pos=None if self.pos is None else self.pos.copy(),
+        )
+
+    def nbytes(self) -> int:
+        """Approximate serialized size in bytes (used by the transfer model)."""
+        total = self.x.nbytes
+        if self.edge_index is not None:
+            total += self.edge_index.nbytes
+        if self.pos is not None:
+            total += self.pos.nbytes
+        return int(total)
+
+
+class Batch:
+    """Disjoint union of several graphs with a node-to-graph assignment vector."""
+
+    def __init__(self, x: np.ndarray, edge_index: Optional[np.ndarray],
+                 batch: np.ndarray, y: Optional[np.ndarray] = None,
+                 pos: Optional[np.ndarray] = None, num_graphs: int = 1) -> None:
+        self.x = np.asarray(x, dtype=np.float64)
+        self.edge_index = None if edge_index is None else np.asarray(edge_index, dtype=np.int64)
+        self.batch = np.asarray(batch, dtype=np.int64)
+        self.y = None if y is None else np.asarray(y, dtype=np.int64)
+        self.pos = None if pos is None else np.asarray(pos, dtype=np.float64)
+        self.num_graphs = int(num_graphs)
+        if self.batch.shape[0] != self.x.shape[0]:
+            raise ValueError("batch vector must have one entry per node")
+
+    @classmethod
+    def from_graphs(cls, graphs: Sequence[GraphData]) -> "Batch":
+        """Merge a list of :class:`GraphData` into one batched graph."""
+        if not graphs:
+            raise ValueError("cannot batch an empty list of graphs")
+        xs: List[np.ndarray] = []
+        poss: List[np.ndarray] = []
+        edges: List[np.ndarray] = []
+        batch_vec: List[np.ndarray] = []
+        labels: List[int] = []
+        offset = 0
+        has_pos = all(g.pos is not None for g in graphs)
+        has_edges = all(g.edge_index is not None for g in graphs)
+        for graph_id, graph in enumerate(graphs):
+            xs.append(graph.x)
+            if has_pos:
+                poss.append(graph.pos)
+            if has_edges:
+                edges.append(graph.edge_index + offset)
+            batch_vec.append(np.full(graph.num_nodes, graph_id, dtype=np.int64))
+            labels.append(-1 if graph.y is None else int(graph.y))
+            offset += graph.num_nodes
+        return cls(
+            x=np.concatenate(xs, axis=0),
+            edge_index=np.concatenate(edges, axis=1) if has_edges else None,
+            batch=np.concatenate(batch_vec),
+            y=np.asarray(labels, dtype=np.int64),
+            pos=np.concatenate(poss, axis=0) if has_pos else None,
+            num_graphs=len(graphs),
+        )
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return 0 if self.edge_index is None else int(self.edge_index.shape[1])
+
+    @property
+    def num_features(self) -> int:
+        return int(self.x.shape[1])
+
+    def nodes_per_graph(self) -> np.ndarray:
+        """Number of nodes in each graph of the batch."""
+        return np.bincount(self.batch, minlength=self.num_graphs)
+
+
+class DataLoader:
+    """Mini-batch iterator over a list of :class:`GraphData`.
+
+    Shuffling uses a dedicated generator so epochs are reproducible for a
+    fixed seed regardless of global numpy state.
+    """
+
+    def __init__(self, graphs: Sequence[GraphData], batch_size: int = 32,
+                 shuffle: bool = False, seed: int = 0,
+                 drop_last: bool = False) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.graphs = list(graphs)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        full, rem = divmod(len(self.graphs), self.batch_size)
+        if self.drop_last or rem == 0:
+            return full
+        return full + 1
+
+    def __iter__(self) -> Iterable[Batch]:
+        order = np.arange(len(self.graphs))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            chunk = order[start:start + self.batch_size]
+            if self.drop_last and len(chunk) < self.batch_size:
+                break
+            yield Batch.from_graphs([self.graphs[i] for i in chunk])

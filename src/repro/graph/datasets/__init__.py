@@ -1,0 +1,7 @@
+"""Synthetic datasets standing in for the paper's ModelNet40 and MR benchmarks."""
+
+from .modelnet import SyntheticModelNet40
+from .mr import SyntheticMR
+from .splits import DataSplit, stratified_split
+
+__all__ = ["SyntheticModelNet40", "SyntheticMR", "DataSplit", "stratified_split"]

@@ -1,0 +1,53 @@
+"""Deterministic train/validation/test splitting of graph datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..data import GraphData
+
+
+@dataclass
+class DataSplit:
+    """Container holding the three partitions of a dataset."""
+
+    train: List[GraphData]
+    val: List[GraphData]
+    test: List[GraphData]
+
+    def sizes(self) -> Tuple[int, int, int]:
+        return len(self.train), len(self.val), len(self.test)
+
+
+def stratified_split(graphs: Sequence[GraphData], train_fraction: float = 0.7,
+                     val_fraction: float = 0.15, seed: int = 0) -> DataSplit:
+    """Split graphs into train/val/test preserving per-class proportions.
+
+    The remainder after train and validation fractions becomes the test set.
+    Every class is guaranteed at least one training example when it has any
+    examples at all.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    if not 0.0 <= val_fraction < 1.0 or train_fraction + val_fraction >= 1.0:
+        raise ValueError("train_fraction + val_fraction must be < 1")
+    rng = np.random.default_rng(seed)
+    labels = np.asarray([g.y if g.y is not None else -1 for g in graphs])
+    train: List[GraphData] = []
+    val: List[GraphData] = []
+    test: List[GraphData] = []
+    for cls in np.unique(labels):
+        indices = np.nonzero(labels == cls)[0]
+        rng.shuffle(indices)
+        n = indices.shape[0]
+        n_train = max(1, int(round(train_fraction * n)))
+        n_val = int(round(val_fraction * n))
+        n_train = min(n_train, n)
+        n_val = min(n_val, n - n_train)
+        train.extend(graphs[i] for i in indices[:n_train])
+        val.extend(graphs[i] for i in indices[n_train:n_train + n_val])
+        test.extend(graphs[i] for i in indices[n_train + n_val:])
+    return DataSplit(train=train, val=val, test=test)

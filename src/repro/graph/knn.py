@@ -1,0 +1,116 @@
+"""K-nearest-neighbour graph construction.
+
+DGCNN and the GCoDE design space rebuild the graph dynamically from node
+features at every ``Sample`` operation; this module provides the batched KNN
+used for that (``knn_graph``) together with a plain pairwise variant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def pairwise_sq_distances(points: np.ndarray) -> np.ndarray:
+    """Dense matrix of squared Euclidean distances between rows of ``points``."""
+    points = np.asarray(points, dtype=np.float64)
+    sq_norms = (points ** 2).sum(axis=1)
+    dists = sq_norms[:, None] + sq_norms[None, :] - 2.0 * points @ points.T
+    return np.maximum(dists, 0.0)
+
+
+def knn_indices(points: np.ndarray, k: int, exclude_self: bool = True) -> np.ndarray:
+    """Return the indices of the ``k`` nearest neighbours of each row.
+
+    Output shape is ``(num_points, k)``.  When fewer than ``k`` neighbours
+    exist the available ones are repeated to keep a rectangular result, which
+    mirrors how fixed-k GNN operators behave on tiny graphs.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n == 0:
+        return np.zeros((0, k), dtype=np.int64)
+    if k <= 0:
+        raise ValueError("k must be positive")
+    dists = pairwise_sq_distances(points)
+    if exclude_self:
+        np.fill_diagonal(dists, np.inf)
+    available = n - 1 if exclude_self else n
+    effective_k = min(k, max(available, 1))
+    neighbour_order = np.argsort(dists, axis=1)[:, :effective_k]
+    if effective_k < k:
+        repeats = np.tile(neighbour_order, (1, int(np.ceil(k / effective_k))))
+        neighbour_order = repeats[:, :k]
+    return neighbour_order.astype(np.int64)
+
+
+def knn_graph(points: np.ndarray, k: int,
+              batch: Optional[np.ndarray] = None) -> np.ndarray:
+    """Build a directed KNN edge index (neighbours → centre node).
+
+    Parameters
+    ----------
+    points:
+        ``(N, D)`` coordinates or feature rows.
+    k:
+        Number of neighbours per node.
+    batch:
+        Optional node-to-graph assignment; edges never cross graphs.
+
+    Returns
+    -------
+    np.ndarray
+        Edge index of shape ``(2, N * k)`` where row 0 holds neighbour
+        (source) indices and row 1 holds centre (destination) indices.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n == 0:
+        return np.zeros((2, 0), dtype=np.int64)
+    if batch is None:
+        neighbours = knn_indices(points, k)
+        centres = np.repeat(np.arange(n, dtype=np.int64), neighbours.shape[1])
+        return np.stack([neighbours.reshape(-1), centres], axis=0)
+
+    batch = np.asarray(batch, dtype=np.int64)
+    sources = []
+    targets = []
+    for graph_id in np.unique(batch):
+        node_ids = np.nonzero(batch == graph_id)[0]
+        local = knn_indices(points[node_ids], k)
+        neighbours = node_ids[local]
+        centres = np.repeat(node_ids, local.shape[1])
+        sources.append(neighbours.reshape(-1))
+        targets.append(centres)
+    return np.stack([np.concatenate(sources), np.concatenate(targets)], axis=0)
+
+
+def random_graph(num_nodes: int, k: int,
+                 rng: Optional[np.random.Generator] = None,
+                 batch: Optional[np.ndarray] = None) -> np.ndarray:
+    """Random k-regular-ish directed graph used by the ``Sample(random)`` function.
+
+    Each node receives ``k`` incoming edges from uniformly sampled other nodes
+    of the same graph (self edges excluded when possible).
+    """
+    rng = rng or np.random.default_rng()
+    if num_nodes == 0:
+        return np.zeros((2, 0), dtype=np.int64)
+    if batch is None:
+        batch = np.zeros(num_nodes, dtype=np.int64)
+    batch = np.asarray(batch, dtype=np.int64)
+    sources = []
+    targets = []
+    for graph_id in np.unique(batch):
+        node_ids = np.nonzero(batch == graph_id)[0]
+        size = node_ids.shape[0]
+        for node in node_ids:
+            if size > 1:
+                candidates = node_ids[node_ids != node]
+            else:
+                candidates = node_ids
+            picks = rng.choice(candidates, size=k, replace=candidates.shape[0] < k)
+            sources.append(picks)
+            targets.append(np.full(k, node, dtype=np.int64))
+    return np.stack([np.concatenate(sources), np.concatenate(targets)], axis=0)

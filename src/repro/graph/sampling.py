@@ -1,0 +1,60 @@
+"""Point / node sampling utilities.
+
+Point-cloud GNN pipelines down-sample the input cloud (farthest point or
+random sampling) before building the KNN graph; these helpers provide both
+strategies on plain numpy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def random_sample(num_points: int, num_samples: int,
+                  rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Pick ``num_samples`` distinct indices uniformly at random.
+
+    When ``num_samples >= num_points`` all indices are returned (in order).
+    """
+    if num_points <= 0:
+        return np.zeros(0, dtype=np.int64)
+    rng = rng or np.random.default_rng()
+    if num_samples >= num_points:
+        return np.arange(num_points, dtype=np.int64)
+    return np.sort(rng.choice(num_points, size=num_samples, replace=False)).astype(np.int64)
+
+
+def farthest_point_sample(points: np.ndarray, num_samples: int,
+                          rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Greedy farthest-point sampling of ``num_samples`` rows of ``points``.
+
+    Starts from a random seed point and repeatedly adds the point farthest
+    from the already-selected set — the standard FPS used in point-cloud
+    networks to preserve coverage of the shape.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if num_samples >= n:
+        return np.arange(n, dtype=np.int64)
+    rng = rng or np.random.default_rng()
+    selected = np.empty(num_samples, dtype=np.int64)
+    selected[0] = rng.integers(n)
+    min_dist = ((points - points[selected[0]]) ** 2).sum(axis=1)
+    for i in range(1, num_samples):
+        selected[i] = int(np.argmax(min_dist))
+        new_dist = ((points - points[selected[i]]) ** 2).sum(axis=1)
+        min_dist = np.minimum(min_dist, new_dist)
+    return np.sort(selected)
+
+
+def subsample_graph_nodes(num_nodes: int, ratio: float,
+                          rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Sample ``ceil(ratio * num_nodes)`` node indices uniformly at random."""
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+    num_samples = max(1, int(np.ceil(ratio * num_nodes)))
+    return random_sample(num_nodes, num_samples, rng=rng)

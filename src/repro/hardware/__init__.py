@@ -1,0 +1,22 @@
+"""Hardware substrate: device models, wireless link, latency LUTs, energy."""
+
+from .device import DeviceSpec
+from .profiles import (JETSON_TX2, RASPBERRY_PI_4B, INTEL_I7, NVIDIA_1060,
+                       DEVICE_REGISTRY, PAPER_SYSTEM_CONFIGS, get_device,
+                       all_devices)
+from .network import WirelessLink, LINK_10MBPS, LINK_40MBPS, PAPER_LINKS, get_link
+from .workload import (DataProfile, OpWorkload, trace_workloads, transfer_bytes,
+                       input_bytes, BYTES_PER_FEATURE)
+from .latency_lut import LatencyLUT, build_latency_lut, communicate_latency_ms
+from .energy import EnergyBreakdown, estimate_device_energy
+
+__all__ = [
+    "DeviceSpec",
+    "JETSON_TX2", "RASPBERRY_PI_4B", "INTEL_I7", "NVIDIA_1060",
+    "DEVICE_REGISTRY", "PAPER_SYSTEM_CONFIGS", "get_device", "all_devices",
+    "WirelessLink", "LINK_10MBPS", "LINK_40MBPS", "PAPER_LINKS", "get_link",
+    "DataProfile", "OpWorkload", "trace_workloads", "transfer_bytes",
+    "input_bytes", "BYTES_PER_FEATURE",
+    "LatencyLUT", "build_latency_lut", "communicate_latency_ms",
+    "EnergyBreakdown", "estimate_device_energy",
+]

@@ -1,0 +1,123 @@
+"""Operation latency look-up tables (LUTs).
+
+GCoDE's system-performance awareness (Sec. 3.5) keeps a per-device LUT of
+operation latencies for the target data regime; the LUT feeds both the
+training-free *cost estimation* and the enhanced node features of the GIN
+latency predictor.  Because the design space has few (operation, function)
+combinations, the LUT is cheap to construct — here it is filled from the
+analytical :class:`~repro.hardware.device.DeviceSpec` models instead of
+on-hardware profiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..gnn.operations import DEFAULT_FUNCTIONS, OpSpec, OpType
+from .device import DeviceSpec
+from .network import WirelessLink
+from .workload import DataProfile, OpWorkload, trace_workloads, transfer_bytes
+
+#: Representative feature widths at which LUT entries are tabulated.  The
+#: grid is roughly geometric with extra points at the widths the design space
+#: actually produces, keeping the bucketing error of the cost estimator small.
+LUT_FEATURE_DIMS = (2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256,
+                    384, 512, 768, 1024, 2048)
+
+
+def _nearest_dim(dim: int) -> int:
+    """Snap a feature width to the nearest tabulated LUT width."""
+    return min(LUT_FEATURE_DIMS, key=lambda candidate: abs(candidate - dim))
+
+
+@dataclass
+class LatencyLUT:
+    """Per-device operation-latency table for one data profile.
+
+    Entries are keyed by ``(op_type, function, feature_dim_bucket)`` and hold
+    the modelled latency in milliseconds.  ``Communicate`` entries are keyed
+    by the link and payload bucket instead and are computed on demand.
+    """
+
+    device: DeviceSpec
+    profile: DataProfile
+    entries: Dict[Tuple, float]
+
+    def lookup(self, spec: OpSpec, in_dim: int) -> float:
+        """Latency of ``spec`` with ``in_dim`` input features on this device."""
+        key = self._key(spec, in_dim)
+        if key in self.entries:
+            return self.entries[key]
+        # Fall back to an on-the-fly model evaluation for unseen widths.
+        workload = _single_op_workload(spec, self.profile, in_dim)
+        value = self.device.op_latency_ms(workload)
+        self.entries[key] = value
+        return value
+
+    def _key(self, spec: OpSpec, in_dim: int) -> Tuple:
+        function = spec.function if spec.op != OpType.SAMPLE else f"{spec.function}-k{spec.k}"
+        return (spec.op, function, _nearest_dim(in_dim))
+
+    def values(self) -> List[float]:
+        """All tabulated latencies (used for normalization statistics)."""
+        return list(self.entries.values())
+
+
+def _single_op_workload(spec: OpSpec, profile: DataProfile, in_dim: int) -> OpWorkload:
+    """Construct the workload of one op applied to profile-shaped data."""
+    num_nodes = profile.num_nodes
+    num_edges = num_nodes * spec.k if spec.op in (OpType.SAMPLE, OpType.AGGREGATE) \
+        else (profile.initial_edges if profile.has_edges else 0)
+    if spec.op == OpType.AGGREGATE and profile.has_edges and not num_edges:
+        num_edges = profile.initial_edges
+    if spec.op == OpType.AGGREGATE:
+        out_dim = 2 * in_dim
+    elif spec.op == OpType.COMBINE:
+        out_dim = int(spec.function)
+    elif spec.op == OpType.GLOBAL_POOL:
+        out_dim = 2 * in_dim if spec.function == "max||mean" else in_dim
+    elif spec.op == OpType.CLASSIFIER:
+        out_dim = profile.num_classes
+    else:
+        out_dim = in_dim
+    pooled = spec.op == OpType.CLASSIFIER
+    nodes = 1 if pooled else num_nodes
+    return OpWorkload(spec=spec, num_nodes=nodes, in_dim=in_dim, out_dim=out_dim,
+                      num_edges=num_edges, pooled=pooled,
+                      output_bytes=transfer_bytes(nodes, out_dim, num_edges, False))
+
+
+def build_latency_lut(device: DeviceSpec, profile: DataProfile,
+                      k_choices: Iterable[int] = (9, 20)) -> LatencyLUT:
+    """Tabulate the latency of every (operation, function, width) combination."""
+    entries: Dict[Tuple, float] = {}
+    lut = LatencyLUT(device=device, profile=profile, entries=entries)
+    for dim in LUT_FEATURE_DIMS:
+        for op_type, functions in DEFAULT_FUNCTIONS.items():
+            if op_type == OpType.SAMPLE:
+                for function in functions:
+                    for k in k_choices:
+                        spec = OpSpec(op_type, function, k=k)
+                        entries[lut._key(spec, dim)] = device.op_latency_ms(
+                            _single_op_workload(spec, profile, dim))
+                continue
+            if op_type == OpType.COMMUNICATE:
+                continue  # link-dependent; handled by WirelessLink
+            for function in functions:
+                spec = OpSpec(op_type, function)
+                entries[lut._key(spec, dim)] = device.op_latency_ms(
+                    _single_op_workload(spec, profile, dim))
+        classifier = OpSpec(OpType.CLASSIFIER, "mlp")
+        entries[lut._key(classifier, dim)] = device.op_latency_ms(
+            _single_op_workload(classifier, profile, dim))
+    return lut
+
+
+def communicate_latency_ms(link: WirelessLink, payload_bytes: int) -> float:
+    """Latency of a Communicate operation for a given payload on ``link``.
+
+    The paper notes the communicate latency is "calculable based on the
+    transfer data size and the available network bandwidth" — exactly this.
+    """
+    return link.transfer_time_ms(payload_bytes)

@@ -1,0 +1,44 @@
+"""Weight initialization schemes for the mini NN framework."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def xavier_uniform(shape: Tuple[int, int], gain: float = 1.0,
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for a 2-D weight matrix."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = shape
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, int], a: float = np.sqrt(5.0),
+                    rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He/Kaiming uniform initialization (matches the PyTorch Linear default)."""
+    rng = rng or np.random.default_rng()
+    fan_in = shape[0]
+    gain = np.sqrt(2.0 / (1.0 + a ** 2))
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialization."""
+    return np.zeros(shape)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-ones initialization."""
+    return np.ones(shape)
+
+
+def uniform_bias(fan_in: int, size: int,
+                 rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Uniform bias initialization ``U(-1/sqrt(fan_in), 1/sqrt(fan_in))``."""
+    rng = rng or np.random.default_rng()
+    bound = 1.0 / np.sqrt(fan_in) if fan_in > 0 else 0.0
+    return rng.uniform(-bound, bound, size=size)

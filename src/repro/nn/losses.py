@@ -1,0 +1,70 @@
+"""Loss functions used for supernet training and predictor fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ops import log_softmax
+from .tensor import Tensor, as_tensor
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``targets`` (N,)."""
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    if targets.shape[0] != logits.shape[0]:
+        raise ValueError("targets length must match the logits batch size")
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(targets.shape[0]), targets]
+    return -picked.mean()
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error between predictions and targets."""
+    pred = as_tensor(pred)
+    diff = pred - Tensor(np.asarray(target, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def mae_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean absolute error between predictions and targets."""
+    pred = as_tensor(pred)
+    diff = pred - Tensor(np.asarray(target, dtype=np.float64))
+    return diff.abs().mean()
+
+
+def mape_loss(pred: Tensor, target: np.ndarray, eps: float = 1e-8) -> Tensor:
+    """Mean absolute percentage error, the predictor loss used by GCoDE.
+
+    ``MAPE = mean(|pred - target| / max(|target|, eps))``.  The paper trains
+    its GIN latency predictor with MAPE for 200 epochs (Sec. 4.1).
+    """
+    pred = as_tensor(pred)
+    target = np.asarray(target, dtype=np.float64)
+    denom = np.maximum(np.abs(target), eps)
+    diff = (pred - Tensor(target)).abs()
+    return (diff / Tensor(denom)).mean()
+
+
+def accuracy(logits: Tensor, targets: np.ndarray) -> float:
+    """Classification accuracy of argmax predictions (overall accuracy, OA)."""
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    preds = logits.data.argmax(axis=-1)
+    if targets.size == 0:
+        return 0.0
+    return float((preds == targets).mean())
+
+
+def balanced_accuracy(logits: Tensor, targets: np.ndarray) -> float:
+    """Class-balanced (mean per-class) accuracy — the paper's mAcc metric."""
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    preds = logits.data.argmax(axis=-1)
+    accs = []
+    for cls in np.unique(targets):
+        mask = targets == cls
+        accs.append(float((preds[mask] == cls).mean()))
+    return float(np.mean(accs)) if accs else 0.0

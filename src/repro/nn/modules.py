@@ -1,0 +1,334 @@
+"""Neural-network module system for the mini framework.
+
+Provides the :class:`Module` base class (parameter registration, train/eval
+mode, state-dict (de)serialization) plus the concrete layers that the GNN
+substrate builds on: :class:`Linear`, :class:`MLP`, :class:`Sequential`,
+:class:`ReLU`, :class:`Dropout`, :class:`BatchNorm1d` and :class:`LayerNorm`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import init as initializers
+from .ops import dropout as dropout_fn
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter of a module."""
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; those are discovered automatically for :meth:`parameters`,
+    :meth:`state_dict` and mode switching.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.training = True
+
+    # -- attribute registration ----------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable array that is part of the module state."""
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def add_module(self, name: str, module: "Module") -> None:
+        """Register a child module under ``name``."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # -- traversal ------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        """Return all parameters of this module and its children."""
+        params: List[Parameter] = list(self._parameters.values())
+        for child in self._modules.values():
+            params.extend(child.parameters())
+        return params
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs."""
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix + child_name + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return int(sum(p.size for p in self.parameters()))
+
+    # -- train / eval ----------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively."""
+        self.training = mode
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- state dict -------------------------------------------------------
+    def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        """Return a flat mapping of qualified names to parameter/buffer arrays."""
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self._parameters.items():
+            state[prefix + name] = param.data.copy()
+        for name, buffer in self._buffers.items():
+            state[prefix + name] = np.asarray(buffer).copy()
+        for child_name, child in self._modules.items():
+            state.update(child.state_dict(prefix + child_name + "."))
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], prefix: str = "",
+                        strict: bool = True) -> None:
+        """Load parameter/buffer values previously produced by :meth:`state_dict`."""
+        for name, param in self._parameters.items():
+            key = prefix + name
+            if key in state:
+                value = np.asarray(state[key], dtype=np.float64)
+                if value.shape != param.data.shape:
+                    raise ValueError(f"shape mismatch for {key}: "
+                                     f"{value.shape} vs {param.data.shape}")
+                param.data = value.copy()
+            elif strict:
+                raise KeyError(f"missing parameter in state dict: {key}")
+        for name in list(self._buffers):
+            key = prefix + name
+            if key in state:
+                self._buffers[name] = np.asarray(state[key], dtype=np.float64).copy()
+                object.__setattr__(self, name, self._buffers[name])
+            elif strict:
+                raise KeyError(f"missing buffer in state dict: {key}")
+        for child_name, child in self._modules.items():
+            child.load_state_dict(state, prefix + child_name + ".", strict=strict)
+
+    # -- call protocol ----------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Identity(Module):
+    """A module that returns its input unchanged."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class ReLU(Module):
+    """Rectified-linear activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU activation with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.2) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+
+class Dropout(Module):
+    """Inverted dropout with probability ``p`` (active only in training mode)."""
+
+    def __init__(self, p: float = 0.5,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.p = p
+        self._rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout_fn(x, self.p, self.training, rng=self._rng)
+
+
+class Linear(Module):
+    """Affine transform ``y = x W + b`` over the last dimension."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear dimensions must be positive")
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            initializers.kaiming_uniform((in_features, out_features), rng=rng),
+            name="weight")
+        if bias:
+            self.bias = Parameter(
+                initializers.uniform_bias(in_features, out_features, rng=rng),
+                name="bias")
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._layers: List[Module] = []
+        for i, module in enumerate(modules):
+            self.add_module(str(i), module)
+            self._layers.append(module)
+
+    def append(self, module: Module) -> "Sequential":
+        self.add_module(str(len(self._layers)), module)
+        self._layers.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over the first axis of an ``(N, F)`` tensor."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5,
+                 momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(num_features), name="gamma")
+        self.beta = Parameter(np.zeros(num_features), name="beta")
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = x.data.mean(axis=0)
+            var = x.data.var(axis=0)
+            self._buffers["running_mean"] = (
+                (1 - self.momentum) * self._buffers["running_mean"]
+                + self.momentum * mean)
+            self._buffers["running_var"] = (
+                (1 - self.momentum) * self._buffers["running_var"]
+                + self.momentum * var)
+        else:
+            mean = self._buffers["running_mean"]
+            var = self._buffers["running_var"]
+        normalized = (x - Tensor(mean)) / Tensor(np.sqrt(var + self.eps))
+        return normalized * self.gamma + self.beta
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features), name="gamma")
+        self.beta = Parameter(np.zeros(num_features), name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (var + self.eps) ** 0.5
+        return normalized * self.gamma + self.beta
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU activations between linear layers.
+
+    Parameters
+    ----------
+    dims:
+        Sequence of layer widths, e.g. ``[64, 128, 40]`` builds two linear
+        layers ``64 -> 128 -> 40``.
+    activate_last:
+        Apply the activation after the final linear layer as well.
+    batch_norm:
+        Insert :class:`BatchNorm1d` after every hidden linear layer.
+    dropout:
+        Dropout probability applied after each hidden activation.
+    """
+
+    def __init__(self, dims: Sequence[int], activate_last: bool = False,
+                 batch_norm: bool = False, dropout: float = 0.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least an input and an output width")
+        rng = rng or np.random.default_rng()
+        layers: List[Module] = []
+        for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layers.append(Linear(d_in, d_out, rng=rng))
+            is_last = i == len(dims) - 2
+            if not is_last or activate_last:
+                if batch_norm:
+                    layers.append(BatchNorm1d(d_out))
+                layers.append(ReLU())
+                if dropout > 0:
+                    layers.append(Dropout(dropout, rng=rng))
+        self.net = Sequential(*layers)
+        self.dims = list(dims)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+    @property
+    def out_features(self) -> int:
+        return self.dims[-1]

@@ -1,0 +1,173 @@
+"""Functional operations for the mini neural-network framework.
+
+These free functions complement :mod:`repro.nn.tensor` with the composite
+operations used by the GNN substrate: numerically stable softmax /
+log-softmax, dropout, one-hot encoding, and the scatter (segment) reductions
+that implement message-passing aggregation over graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, is_grad_enabled
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return as_tensor(x).relu()
+
+
+def dropout(x: Tensor, p: float, training: bool,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: zero each element with probability ``p``.
+
+    At evaluation time (``training=False``) the input is returned unchanged.
+    """
+    if not training or p <= 0.0:
+        return as_tensor(x)
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    rng = rng or np.random.default_rng()
+    x = as_tensor(x)
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """Return a dense one-hot encoding of integer ``indices``."""
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.size and (indices.min() < 0 or indices.max() >= num_classes):
+        raise ValueError("one_hot indices out of range "
+                         f"[0, {num_classes}): min={indices.min()}, max={indices.max()}")
+    out = np.zeros((indices.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(indices.shape[0]), indices] = 1.0
+    return out
+
+
+# ----------------------------------------------------------------------
+# Scatter (segment) reductions used for message-passing aggregation
+# ----------------------------------------------------------------------
+def scatter_add(src: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``src`` into ``num_segments`` buckets given by ``index``.
+
+    ``src`` has shape ``(E, F)`` and ``index`` has shape ``(E,)``; the output
+    has shape ``(num_segments, F)`` with ``out[i] = sum_{j: index[j]==i} src[j]``.
+    """
+    src = as_tensor(src)
+    index = np.asarray(index, dtype=np.int64)
+    if index.shape[0] != src.shape[0]:
+        raise ValueError("index length must match the first dimension of src")
+    data = np.zeros((num_segments,) + src.data.shape[1:], dtype=np.float64)
+    np.add.at(data, index, src.data)
+
+    def backward(grad: np.ndarray) -> None:
+        src._accumulate(grad[index])
+
+    return Tensor._make(data, (src,), backward)
+
+
+def scatter_mean(src: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Average rows of ``src`` per segment; empty segments produce zeros."""
+    src = as_tensor(src)
+    index = np.asarray(index, dtype=np.int64)
+    counts = np.bincount(index, minlength=num_segments).astype(np.float64)
+    counts = np.maximum(counts, 1.0)
+    summed = scatter_add(src, index, num_segments)
+    return summed / Tensor(counts.reshape((-1,) + (1,) * (src.ndim - 1)))
+
+
+def scatter_max(src: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Per-segment maximum of rows of ``src``; empty segments produce zeros.
+
+    The gradient flows only to the element that attained the maximum in each
+    segment (ties broken towards the first occurrence).
+    """
+    src = as_tensor(src)
+    index = np.asarray(index, dtype=np.int64)
+    if index.shape[0] != src.shape[0]:
+        raise ValueError("index length must match the first dimension of src")
+    feature_shape = src.data.shape[1:]
+    data = np.full((num_segments,) + feature_shape, -np.inf, dtype=np.float64)
+    np.maximum.at(data, index, src.data)
+    empty = ~np.isfinite(data)
+    data = np.where(empty, 0.0, data)
+
+    # Identify, per (segment, feature), the source row realizing the maximum.
+    argmax = np.full((num_segments,) + feature_shape, -1, dtype=np.int64)
+    if src.data.size:
+        gathered = data[index]
+        is_max = (src.data == gathered)
+        # Iterate rows in reverse so that the *first* maximal row wins ties.
+        for row in range(src.data.shape[0] - 1, -1, -1):
+            seg = index[row]
+            mask = is_max[row]
+            argmax[seg] = np.where(mask, row, argmax[seg])
+
+    def backward(grad: np.ndarray) -> None:
+        if not src.requires_grad:
+            return
+        full = np.zeros_like(src.data)
+        valid = argmax >= 0
+        seg_idx, *feat_idx = np.nonzero(valid)
+        rows = argmax[valid]
+        if rows.size:
+            full[(rows, *feat_idx)] += grad[(seg_idx, *feat_idx)]
+        src._accumulate(full)
+
+    return Tensor._make(data, (src,), backward)
+
+
+def scatter(src: Tensor, index: np.ndarray, num_segments: int,
+            reduce: str = "add") -> Tensor:
+    """Dispatch to :func:`scatter_add`, :func:`scatter_mean` or :func:`scatter_max`."""
+    if reduce in ("add", "sum"):
+        return scatter_add(src, index, num_segments)
+    if reduce == "mean":
+        return scatter_mean(src, index, num_segments)
+    if reduce == "max":
+        return scatter_max(src, index, num_segments)
+    raise ValueError(f"unknown scatter reduction: {reduce!r}")
+
+
+def gather_rows(src: Tensor, index: np.ndarray) -> Tensor:
+    """Row gather ``src[index]`` (alias of :meth:`Tensor.gather_rows`)."""
+    return as_tensor(src).gather_rows(index)
+
+
+def global_pool(x: Tensor, batch: np.ndarray, num_graphs: int,
+                mode: str = "mean") -> Tensor:
+    """Pool node features into per-graph features.
+
+    Supported modes: ``sum``, ``mean``, ``max`` and ``max||mean`` (the
+    concatenation of max- and mean-pooled features used by DGCNN-style
+    classifiers and by the paper's searched architectures).
+    """
+    if mode in ("sum", "add"):
+        return scatter_add(x, batch, num_graphs)
+    if mode == "mean":
+        return scatter_mean(x, batch, num_graphs)
+    if mode == "max":
+        return scatter_max(x, batch, num_graphs)
+    if mode in ("max||mean", "maxmean"):
+        from .tensor import concat
+        return concat([scatter_max(x, batch, num_graphs),
+                       scatter_mean(x, batch, num_graphs)], axis=-1)
+    raise ValueError(f"unknown global pooling mode: {mode!r}")

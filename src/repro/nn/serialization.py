@@ -1,0 +1,40 @@
+"""Saving and loading model parameters.
+
+State dicts are plain ``{name: ndarray}`` mappings, stored with
+``numpy.savez`` so no pickling of custom classes is involved.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .modules import Module
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
+    """Write a state dict to ``path`` (``.npz``), creating parent directories."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **{key: np.asarray(value) for key, value in state.items()})
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Load a state dict previously written by :func:`save_state_dict`."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def save_module(module: Module, path: str) -> None:
+    """Serialize ``module.state_dict()`` to ``path``."""
+    save_state_dict(module.state_dict(), path)
+
+
+def load_module(module: Module, path: str, strict: bool = True) -> Module:
+    """Load parameters from ``path`` into ``module`` (in place) and return it."""
+    module.load_state_dict(load_state_dict(path), strict=strict)
+    return module

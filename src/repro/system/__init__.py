@@ -1,0 +1,19 @@
+"""Co-inference system layer: simulator, partitioning, wire format, engine."""
+
+from .simulator import (SystemConfig, SystemPerformance, CoInferenceSimulator,
+                        OpTimelineEntry, make_system, DEVICE, EDGE)
+from .partition import (PartitionResult, insert_partition, candidate_partitions,
+                        evaluate_partitions, best_partition)
+from .messages import Message, serialize_message, deserialize_message, compressed_size
+from .engine import (EdgeServer, DeviceClient, FrameResult, PipelineStats,
+                     run_co_inference)
+
+__all__ = [
+    "SystemConfig", "SystemPerformance", "CoInferenceSimulator",
+    "OpTimelineEntry", "make_system", "DEVICE", "EDGE",
+    "PartitionResult", "insert_partition", "candidate_partitions",
+    "evaluate_partitions", "best_partition",
+    "Message", "serialize_message", "deserialize_message", "compressed_size",
+    "EdgeServer", "DeviceClient", "FrameResult", "PipelineStats",
+    "run_co_inference",
+]

@@ -1,0 +1,213 @@
+"""Pipelined co-inference engine over TCP sockets.
+
+This is the deployment component of GCoDE (Sec. 3.6): the device executes its
+segment of the architecture, compresses and ships the intermediate state to
+the edge, and — instead of blocking on the reply — immediately starts the
+next frame.  Sending and receiving run on separate threads with their own
+queues, matching the paper's description.
+
+The engine is agnostic to *what* is executed: the device and edge sides are
+plain callables (``device_fn(frame) -> (arrays, meta)`` and
+``edge_fn(arrays, meta) -> (arrays, meta)``), normally produced by
+:func:`repro.core.executor.split_callables`.  In this reproduction both ends
+run on localhost, which exercises the full code path (framing, compression,
+threading, pipelining) even though the physical link is loopback.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .messages import Message, recv_message, send_message
+
+ArrayDict = Dict[str, np.ndarray]
+DeviceFn = Callable[[object], Tuple[ArrayDict, Dict]]
+EdgeFn = Callable[[ArrayDict, Dict], Tuple[ArrayDict, Dict]]
+
+
+@dataclass
+class FrameResult:
+    """Outcome of one inference frame processed through the engine."""
+
+    frame_id: int
+    arrays: ArrayDict
+    meta: Dict
+    submitted_at: float
+    completed_at: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.completed_at - self.submitted_at
+
+
+@dataclass
+class PipelineStats:
+    """Aggregate statistics of a pipelined co-inference run."""
+
+    num_frames: int
+    wall_time_s: float
+    mean_latency_s: float
+    bytes_sent: int
+    bytes_received: int
+
+    @property
+    def throughput_fps(self) -> float:
+        return self.num_frames / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+
+class EdgeServer:
+    """Edge-side runtime: accepts frames, runs ``edge_fn``, returns results."""
+
+    def __init__(self, edge_fn: EdgeFn, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.edge_fn = edge_fn
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(1)
+        self.host, self.port = self._listener.getsockname()
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+        self.frames_processed = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> "EdgeServer":
+        """Start serving in a background thread."""
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+        return self
+
+    def _serve(self) -> None:
+        try:
+            conn, _ = self._listener.accept()
+        except OSError:
+            return
+        with conn:
+            while not self._stopped.is_set():
+                message = recv_message(conn)
+                if message is None or message.kind == "stop":
+                    break
+                arrays, meta = self.edge_fn(message.arrays, message.meta)
+                self.frames_processed += 1
+                send_message(conn, Message(kind="result", frame_id=message.frame_id,
+                                           arrays=arrays, meta=meta))
+        self._listener.close()
+
+    def stop(self) -> None:
+        """Stop the server and release the listening socket."""
+        self._stopped.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+
+class DeviceClient:
+    """Device-side runtime: executes the device segment and pipelines frames.
+
+    The client owns two threads — a sender draining the outbound queue and a
+    receiver filling the result queue — so device computation of frame
+    ``t+1`` overlaps with the transfer and edge computation of frame ``t``.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._send_queue: "queue.Queue[Optional[Message]]" = queue.Queue()
+        self._results: "queue.Queue[Message]" = queue.Queue()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._sender = threading.Thread(target=self._send_loop, daemon=True)
+        self._receiver = threading.Thread(target=self._recv_loop, daemon=True)
+        self._sender.start()
+        self._receiver.start()
+
+    # ------------------------------------------------------------------
+    def _send_loop(self) -> None:
+        while True:
+            message = self._send_queue.get()
+            if message is None:
+                break
+            self.bytes_sent += send_message(self._sock, message)
+        try:
+            send_message(self._sock, Message(kind="stop"))
+        except OSError:
+            pass
+
+    def _recv_loop(self) -> None:
+        while True:
+            try:
+                message = recv_message(self._sock)
+            except OSError:
+                break
+            if message is None:
+                break
+            self.bytes_received += message.wire_bytes
+            self._results.put(message)
+
+    # ------------------------------------------------------------------
+    def run_pipeline(self, frames: Sequence[object], device_fn: DeviceFn,
+                     timeout_s: float = 60.0) -> Tuple[List[FrameResult], PipelineStats]:
+        """Process ``frames`` through the device segment, the link and the edge.
+
+        Returns per-frame results plus aggregate pipeline statistics.
+        """
+        submitted: Dict[int, float] = {}
+        start = time.perf_counter()
+        for frame_id, frame in enumerate(frames):
+            arrays, meta = device_fn(frame)
+            submitted[frame_id] = time.perf_counter()
+            self._send_queue.put(Message(kind="frame", frame_id=frame_id,
+                                         arrays=arrays, meta=meta))
+        results: List[FrameResult] = []
+        deadline = time.monotonic() + timeout_s
+        while len(results) < len(frames):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError("co-inference pipeline timed out waiting for results")
+            message = self._results.get(timeout=remaining)
+            results.append(FrameResult(
+                frame_id=message.frame_id, arrays=message.arrays, meta=message.meta,
+                submitted_at=submitted[message.frame_id],
+                completed_at=time.perf_counter()))
+        wall = time.perf_counter() - start
+        results.sort(key=lambda r: r.frame_id)
+        stats = PipelineStats(
+            num_frames=len(frames), wall_time_s=wall,
+            mean_latency_s=float(np.mean([r.latency_s for r in results])) if results else 0.0,
+            bytes_sent=self.bytes_sent, bytes_received=self.bytes_received)
+        return results, stats
+
+    def close(self) -> None:
+        """Flush the stop marker and close the connection."""
+        self._send_queue.put(None)
+        self._sender.join(timeout=5.0)
+        try:
+            self._sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+        self._receiver.join(timeout=5.0)
+        self._sock.close()
+
+
+def run_co_inference(frames: Sequence[object], device_fn: DeviceFn, edge_fn: EdgeFn,
+                     timeout_s: float = 60.0) -> Tuple[List[FrameResult], PipelineStats]:
+    """Convenience wrapper: spin up a loopback edge server, pipeline all frames.
+
+    This is the one-call entry point used by the examples and tests; the edge
+    server and device client are torn down before returning.
+    """
+    server = EdgeServer(edge_fn).start()
+    client = DeviceClient(server.host, server.port)
+    try:
+        return client.run_pipeline(frames, device_fn, timeout_s=timeout_s)
+    finally:
+        client.close()
+        server.stop()

@@ -1,0 +1,129 @@
+"""Wire format of the co-inference engine.
+
+Intermediate GNN states are exchanged between the device and the edge as
+length-prefixed, zlib-compressed messages containing named numpy arrays plus
+a small JSON metadata header — mirroring the paper's engine, which is built
+on Python sockets and compresses all transmitted data with zlib.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+#: 4-byte big-endian unsigned length prefix.
+_LENGTH_FORMAT = ">I"
+_LENGTH_SIZE = struct.calcsize(_LENGTH_FORMAT)
+
+
+@dataclass
+class Message:
+    """One unit of device↔edge communication.
+
+    Attributes
+    ----------
+    kind:
+        Message type: ``"frame"`` (intermediate state), ``"result"``
+        (classifier output), ``"stop"`` (end of stream).
+    frame_id:
+        Sequence number of the inference frame this message belongs to.
+    arrays:
+        Named numpy arrays (node features, batch vector, edge index, ...).
+    meta:
+        Small JSON-serializable metadata (e.g. which segment to execute).
+    wire_bytes:
+        Size of the compressed frame as received from the socket; filled in
+        by :func:`recv_message` (0 for locally constructed messages).
+    """
+
+    kind: str
+    frame_id: int = 0
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    meta: Dict = field(default_factory=dict)
+    wire_bytes: int = 0
+
+
+def serialize_message(message: Message, compress_level: int = 6) -> bytes:
+    """Encode a message to compressed bytes (without the length prefix)."""
+    buffer = io.BytesIO()
+    header = {
+        "kind": message.kind,
+        "frame_id": message.frame_id,
+        "meta": message.meta,
+        "arrays": list(message.arrays.keys()),
+    }
+    header_bytes = json.dumps(header).encode("utf-8")
+    buffer.write(struct.pack(_LENGTH_FORMAT, len(header_bytes)))
+    buffer.write(header_bytes)
+    for name in header["arrays"]:
+        array_buffer = io.BytesIO()
+        np.save(array_buffer, np.ascontiguousarray(message.arrays[name]),
+                allow_pickle=False)
+        payload = array_buffer.getvalue()
+        buffer.write(struct.pack(_LENGTH_FORMAT, len(payload)))
+        buffer.write(payload)
+    return zlib.compress(buffer.getvalue(), compress_level)
+
+
+def deserialize_message(blob: bytes) -> Message:
+    """Decode bytes produced by :func:`serialize_message`."""
+    raw = zlib.decompress(blob)
+    view = io.BytesIO(raw)
+    (header_len,) = struct.unpack(_LENGTH_FORMAT, view.read(_LENGTH_SIZE))
+    header = json.loads(view.read(header_len).decode("utf-8"))
+    arrays: Dict[str, np.ndarray] = {}
+    for name in header["arrays"]:
+        (size,) = struct.unpack(_LENGTH_FORMAT, view.read(_LENGTH_SIZE))
+        arrays[name] = np.load(io.BytesIO(view.read(size)), allow_pickle=False)
+    return Message(kind=header["kind"], frame_id=header["frame_id"],
+                   arrays=arrays, meta=header["meta"])
+
+
+def send_message(sock: socket.socket, message: Message) -> int:
+    """Send one framed message over a connected socket; returns bytes sent."""
+    blob = serialize_message(message)
+    sock.sendall(struct.pack(_LENGTH_FORMAT, len(blob)) + blob)
+    return len(blob) + _LENGTH_SIZE
+
+
+def _recv_exact(sock: socket.socket, size: int) -> Optional[bytes]:
+    chunks = []
+    remaining = size
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Optional[Message]:
+    """Receive one framed message; returns ``None`` when the peer closed."""
+    prefix = _recv_exact(sock, _LENGTH_SIZE)
+    if prefix is None:
+        return None
+    (length,) = struct.unpack(_LENGTH_FORMAT, prefix)
+    blob = _recv_exact(sock, length)
+    if blob is None:
+        return None
+    message = deserialize_message(blob)
+    message.wire_bytes = length + _LENGTH_SIZE
+    return message
+
+
+def compressed_size(arrays: Dict[str, np.ndarray], compress_level: int = 6) -> int:
+    """Size in bytes of a frame holding ``arrays`` after compression.
+
+    Useful for validating the simulator's compression-ratio assumption
+    against the real wire format.
+    """
+    return len(serialize_message(Message(kind="frame", arrays=dict(arrays)),
+                                 compress_level))

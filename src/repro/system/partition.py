@@ -1,0 +1,86 @@
+"""Partition-point utilities for architecture-mapping *separation* baselines.
+
+The paper contrasts GCoDE's joint architecture-mapping search with the
+conventional approach of taking a fixed architecture and picking the best
+split point afterwards (BRANCHY-GNN, "HGNAS + Partition", Fig. 4).  This
+module enumerates single-split deployments of a fixed operation sequence and
+selects the best one under the simulator — exactly that baseline strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..gnn.operations import OpSpec, OpType
+from ..hardware.workload import DataProfile
+from .simulator import CoInferenceSimulator, SystemPerformance
+
+
+@dataclass
+class PartitionResult:
+    """One evaluated partition point of a fixed architecture."""
+
+    split_index: int
+    label: str
+    ops: List[OpSpec]
+    performance: SystemPerformance
+
+
+def insert_partition(ops: Sequence[OpSpec], split_index: int) -> List[OpSpec]:
+    """Insert a single Communicate after position ``split_index`` (0-based).
+
+    ``split_index = -1`` produces an Edge-Only style deployment (communicate
+    before any computation); ``split_index = len(ops) - 1`` transmits only the
+    final classifier input.
+    """
+    ops = list(ops)
+    if not -1 <= split_index < len(ops):
+        raise ValueError(f"split index {split_index} out of range for {len(ops)} ops")
+    return (ops[:split_index + 1]
+            + [OpSpec(OpType.COMMUNICATE, "uplink")]
+            + ops[split_index + 1:])
+
+
+def candidate_partitions(ops: Sequence[OpSpec]) -> List[int]:
+    """Sensible split indices: after every operation, plus the all-edge split.
+
+    Splitting *between* a Sample and the Aggregate that consumes its graph is
+    allowed (the graph structure is simply part of the transmitted payload),
+    matching the partition candidates the paper's Fig. 4 explores.
+    """
+    return list(range(-1, len(ops)))
+
+
+def evaluate_partitions(ops: Sequence[OpSpec], profile: DataProfile,
+                        simulator: CoInferenceSimulator,
+                        classifier_hidden: int = 64) -> List[PartitionResult]:
+    """Evaluate every candidate partition point with the simulator."""
+    results: List[PartitionResult] = []
+    base_ops = [op for op in ops if op.op != OpType.COMMUNICATE]
+    for split in candidate_partitions(base_ops):
+        if split == -1:
+            label = "all-edge"
+            partitioned = [OpSpec(OpType.COMMUNICATE, "uplink")] + base_ops
+        else:
+            label = f"after-{base_ops[split].short_name()}"
+            partitioned = insert_partition(base_ops, split)
+        perf = simulator.evaluate(partitioned, profile, classifier_hidden)
+        results.append(PartitionResult(split_index=split, label=label,
+                                       ops=partitioned, performance=perf))
+    return results
+
+
+def best_partition(ops: Sequence[OpSpec], profile: DataProfile,
+                   simulator: CoInferenceSimulator,
+                   objective: str = "latency",
+                   classifier_hidden: int = 64) -> PartitionResult:
+    """Best single-split deployment under ``objective`` (latency or energy)."""
+    results = evaluate_partitions(ops, profile, simulator, classifier_hidden)
+    if objective == "latency":
+        key: Callable[[PartitionResult], float] = lambda r: r.performance.latency_ms
+    elif objective == "energy":
+        key = lambda r: r.performance.device_energy_j
+    else:
+        raise ValueError("objective must be 'latency' or 'energy'")
+    return min(results, key=key)

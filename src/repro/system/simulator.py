@@ -1,0 +1,235 @@
+"""Co-inference system simulator.
+
+Given an operation sequence (with explicit ``Communicate`` hand-offs), a data
+profile and a system configuration (device, edge, wireless link), the
+simulator produces the end-to-end inference latency, the per-side busy times,
+the uplink traffic and the on-device energy — i.e. the quantities ``P_sys``
+and ``E_dev`` of the paper's optimization objective.  It also reports the
+pipelined throughput achieved by the co-inference engine (the device starts
+the next frame while the edge processes the previous one), which is what the
+paper's "inference speed (fps)" axis in Fig. 1 measures.
+
+The simulator is purely analytical (no tensors are executed); the executable
+path lives in :mod:`repro.core.executor` and :mod:`repro.system.engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..gnn.operations import OpSpec, OpType
+from ..hardware.device import DeviceSpec
+from ..hardware.energy import EnergyBreakdown, estimate_device_energy
+from ..hardware.network import WirelessLink, get_link
+from ..hardware.workload import (DataProfile, OpWorkload, input_bytes,
+                                 trace_workloads)
+
+DEVICE = "device"
+EDGE = "edge"
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A device-edge pairing plus the wireless link between them."""
+
+    device: DeviceSpec
+    edge: DeviceSpec
+    link: WirelessLink
+
+    @property
+    def name(self) -> str:
+        return f"{self.device.name}->{self.edge.name}@{self.link.bandwidth_mbps:g}Mbps"
+
+
+@dataclass
+class OpTimelineEntry:
+    """Timing of a single operation (or transfer) in the simulated execution."""
+
+    label: str
+    side: str
+    latency_ms: float
+    bytes_transferred: int = 0
+
+
+@dataclass
+class SystemPerformance:
+    """Simulated performance of one architecture on one system configuration."""
+
+    latency_ms: float
+    device_busy_ms: float
+    edge_busy_ms: float
+    comm_ms: float
+    uploaded_bytes: float
+    downloaded_bytes: float
+    energy: EnergyBreakdown
+    timeline: List[OpTimelineEntry] = field(default_factory=list)
+
+    @property
+    def device_energy_j(self) -> float:
+        return self.energy.total_j
+
+    @property
+    def fps(self) -> float:
+        """Sequential (non-pipelined) frames per second."""
+        return 1000.0 / self.latency_ms if self.latency_ms > 0 else float("inf")
+
+    @property
+    def pipelined_fps(self) -> float:
+        """Throughput when device compute, transfer and edge compute overlap.
+
+        The co-inference engine processes frame ``t+1`` on the device while
+        frame ``t`` is in flight or on the edge, so steady-state throughput is
+        limited by the slowest pipeline stage rather than the total latency.
+        """
+        bottleneck = max(self.device_busy_ms, self.edge_busy_ms, self.comm_ms, 1e-9)
+        return 1000.0 / bottleneck
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "latency_ms": self.latency_ms,
+            "device_busy_ms": self.device_busy_ms,
+            "edge_busy_ms": self.edge_busy_ms,
+            "comm_ms": self.comm_ms,
+            "uploaded_kb": self.uploaded_bytes / 1024.0,
+            "device_energy_j": self.device_energy_j,
+            "fps": self.fps,
+            "pipelined_fps": self.pipelined_fps,
+        }
+
+
+class CoInferenceSimulator:
+    """Analytical simulator for device-edge co-inference of GNN architectures.
+
+    Parameters
+    ----------
+    config:
+        The device-edge-link system configuration.
+    runtime_overhead_ms:
+        Fixed per-segment runtime cost of the co-inference engine (thread
+        hand-off, (de)serialization) added on top of the pure operation
+        latencies.  The paper's cost-estimation baseline ignores runtime
+        overheads; setting this to a non-zero value reproduces that gap.
+    """
+
+    def __init__(self, config: SystemConfig, runtime_overhead_ms: float = 1.0) -> None:
+        self.config = config
+        self.runtime_overhead_ms = runtime_overhead_ms
+
+    # ------------------------------------------------------------------
+    def evaluate(self, ops: Sequence[OpSpec], profile: DataProfile,
+                 classifier_hidden: int = 64,
+                 initial_side: str = DEVICE) -> SystemPerformance:
+        """Simulate one inference of ``ops`` over ``profile``-shaped data.
+
+        ``initial_side`` selects where execution starts: ``"device"`` for the
+        normal co-inference / device-only flow, ``"edge"`` for an Edge-Only
+        deployment (the raw input is uploaded first).
+        """
+        if initial_side not in (DEVICE, EDGE):
+            raise ValueError("initial_side must be 'device' or 'edge'")
+        device, edge, link = self.config.device, self.config.edge, self.config.link
+        workloads = trace_workloads(ops, profile, classifier_hidden)
+
+        timeline: List[OpTimelineEntry] = []
+        device_busy = 0.0
+        edge_busy = 0.0
+        comm_ms = 0.0
+        uploaded = 0.0
+        downloaded = 0.0
+        side = initial_side
+        segments = 1
+
+        if initial_side == EDGE:
+            payload = input_bytes(profile)
+            transfer = link.transfer_time_ms(payload)
+            comm_ms += transfer
+            uploaded += payload
+            timeline.append(OpTimelineEntry("upload-input", "link", transfer, payload))
+
+        prev_output_bytes = input_bytes(profile)
+        for workload in workloads:
+            spec = workload.spec
+            if spec.op == OpType.COMMUNICATE:
+                transfer = link.transfer_time_ms(int(prev_output_bytes))
+                comm_ms += transfer
+                if side == DEVICE:
+                    uploaded += prev_output_bytes
+                else:
+                    downloaded += prev_output_bytes
+                timeline.append(OpTimelineEntry("communicate", "link", transfer,
+                                                int(prev_output_bytes)))
+                side = EDGE if side == DEVICE else DEVICE
+                segments += 1
+                continue
+            platform = device if side == DEVICE else edge
+            latency = platform.op_latency_ms(workload, classifier_hidden)
+            if side == DEVICE:
+                device_busy += latency
+            else:
+                edge_busy += latency
+            timeline.append(OpTimelineEntry(spec.short_name(), side, latency))
+            prev_output_bytes = workload.output_bytes
+
+        # If the classifier finished on the edge, the (tiny) result returns
+        # to the device so the application can act on it.
+        if side == EDGE:
+            result_bytes = workloads[-1].output_bytes
+            transfer = link.transfer_time_ms(int(result_bytes))
+            comm_ms += transfer
+            downloaded += result_bytes
+            timeline.append(OpTimelineEntry("return-result", "link", transfer,
+                                            int(result_bytes)))
+
+        overhead = self.runtime_overhead_ms * segments
+        latency_total = device_busy + edge_busy + comm_ms + overhead
+        energy = estimate_device_energy(
+            device=device, link=link,
+            device_busy_ms=device_busy,
+            device_idle_ms=edge_busy + overhead,
+            uploaded_bytes=uploaded)
+        return SystemPerformance(
+            latency_ms=latency_total,
+            device_busy_ms=device_busy,
+            edge_busy_ms=edge_busy,
+            comm_ms=comm_ms,
+            uploaded_bytes=uploaded,
+            downloaded_bytes=downloaded,
+            energy=energy,
+            timeline=timeline,
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate_device_only(self, ops: Sequence[OpSpec], profile: DataProfile,
+                             classifier_hidden: int = 64) -> SystemPerformance:
+        """Simulate the architecture with every operation on the device."""
+        stripped = [op for op in ops if op.op != OpType.COMMUNICATE]
+        return self.evaluate(stripped, profile, classifier_hidden, initial_side=DEVICE)
+
+    def evaluate_edge_only(self, ops: Sequence[OpSpec], profile: DataProfile,
+                           classifier_hidden: int = 64) -> SystemPerformance:
+        """Simulate the architecture with every operation on the edge."""
+        stripped = [op for op in ops if op.op != OpType.COMMUNICATE]
+        return self.evaluate(stripped, profile, classifier_hidden, initial_side=EDGE)
+
+    def profile_operations(self, ops: Sequence[OpSpec], profile: DataProfile,
+                           side: str = DEVICE,
+                           classifier_hidden: int = 64) -> List[Tuple[OpSpec, float, int]]:
+        """Per-operation latency and output payload on a single platform.
+
+        This is the data behind the paper's Fig. 2 (per-operation latency and
+        transfer-size profile of DGCNN on a single device).
+        """
+        platform = self.config.device if side == DEVICE else self.config.edge
+        result = []
+        for workload in trace_workloads(ops, profile, classifier_hidden):
+            if workload.spec.op == OpType.COMMUNICATE:
+                continue
+            latency = platform.op_latency_ms(workload, classifier_hidden)
+            result.append((workload.spec, latency, workload.output_bytes))
+        return result
+
+
+def make_system(device: DeviceSpec, edge: DeviceSpec, link) -> SystemConfig:
+    """Convenience constructor accepting a link object, name or bandwidth."""
+    return SystemConfig(device=device, edge=edge, link=get_link(link))

@@ -1,0 +1,82 @@
+"""Shared fixtures: tiny datasets, profiles and system configurations.
+
+Everything is deliberately small (few points, few classes, few layers) so the
+whole suite runs quickly; the benchmarks exercise the larger paper-scale
+configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import SyntheticModelNet40, SyntheticMR, stratified_split
+from repro.hardware import (DataProfile, JETSON_TX2, RASPBERRY_PI_4B, INTEL_I7,
+                            NVIDIA_1060, LINK_40MBPS, LINK_10MBPS)
+from repro.core import DesignSpace
+from repro.system import CoInferenceSimulator, SystemConfig
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_modelnet():
+    """5-class, 32-point synthetic ModelNet with a train/val/test split."""
+    dataset = SyntheticModelNet40(num_points=32, samples_per_class=6,
+                                  num_classes=5, seed=0)
+    return stratified_split(dataset.generate(), 0.6, 0.2, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_mr():
+    """Small synthetic MR split (2 classes, ~17 nodes, 64-dim features)."""
+    dataset = SyntheticMR(num_documents=40, feature_dim=64, mean_nodes=12, seed=0)
+    return stratified_split(dataset.generate(), 0.6, 0.2, seed=0)
+
+
+@pytest.fixture(scope="session")
+def modelnet_profile():
+    return DataProfile.modelnet40(num_points=32, num_classes=5)
+
+
+@pytest.fixture(scope="session")
+def mr_profile():
+    return DataProfile.mr(num_words=12, feature_dim=64)
+
+
+@pytest.fixture(scope="session")
+def paper_modelnet_profile():
+    """Full-scale ModelNet profile used for hardware-model calibration tests."""
+    return DataProfile.modelnet40()
+
+
+@pytest.fixture(scope="session")
+def tx2_i7_system():
+    return SystemConfig(device=JETSON_TX2, edge=INTEL_I7, link=LINK_40MBPS)
+
+
+@pytest.fixture(scope="session")
+def pi_1060_system():
+    return SystemConfig(device=RASPBERRY_PI_4B, edge=NVIDIA_1060, link=LINK_40MBPS)
+
+
+@pytest.fixture(scope="session")
+def tx2_i7_simulator(tx2_i7_system):
+    return CoInferenceSimulator(tx2_i7_system)
+
+
+@pytest.fixture
+def modelnet_space(modelnet_profile):
+    return DesignSpace(num_layers=6, profile=modelnet_profile,
+                       combine_widths=(16, 32, 64), k_choices=(4, 8),
+                       max_communicates=2)
+
+
+@pytest.fixture
+def mr_space(mr_profile):
+    return DesignSpace(num_layers=5, profile=mr_profile,
+                       combine_widths=(16, 32), k_choices=(4,),
+                       max_communicates=2)

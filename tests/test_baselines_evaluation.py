@@ -1,0 +1,192 @@
+"""Tests for the baseline methods and the evaluation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (BranchyConfig, HGNAS, HGNASConfig, PNAS, PNASConfig,
+                             branchy_architecture, branchy_candidates,
+                             device_latency_ms, dgcnn_architecture,
+                             hgnas_with_partition, li_optimized_architecture,
+                             pnas_architecture, pnas_with_partition,
+                             single_device_space, text_gnn_architecture)
+from repro.core import Architecture
+from repro.evaluation import (MethodResult, dominates, energy_reduction,
+                              format_breakdown, format_series, format_table,
+                              fps, hypervolume, paper_feature_table, pareto_front,
+                              speedup, format_architecture)
+from repro.gnn import OpType
+from repro.hardware import (DataProfile, JETSON_TX2, RASPBERRY_PI_4B, INTEL_I7,
+                            NVIDIA_1060, LINK_40MBPS)
+from repro.system import CoInferenceSimulator, SystemConfig
+
+
+@pytest.fixture
+def profile():
+    return DataProfile.modelnet40(num_points=128, num_classes=10)
+
+
+@pytest.fixture
+def simulator():
+    return CoInferenceSimulator(SystemConfig(RASPBERRY_PI_4B, NVIDIA_1060,
+                                             LINK_40MBPS))
+
+
+def proxy_accuracy(arch: Architecture):
+    score = 0.6 + 0.02 * sum(1 for op in arch.ops if op.op == OpType.COMBINE)
+    return min(score, 0.95), min(score, 0.95)
+
+
+class TestFixedBaselines:
+    def test_dgcnn_and_li_are_device_only(self):
+        for arch in (dgcnn_architecture(), li_optimized_architecture()):
+            assert not arch.is_co_inference
+            assert arch.ops[-1].op == OpType.GLOBAL_POOL
+
+    def test_li_is_cheaper_than_dgcnn(self, simulator, profile):
+        dgcnn = simulator.evaluate_device_only(dgcnn_architecture().ops, profile)
+        li = simulator.evaluate_device_only(li_optimized_architecture().ops, profile)
+        assert li.latency_ms < dgcnn.latency_ms
+
+    def test_text_and_pnas_architectures_valid_for_mr(self):
+        from repro.core import is_valid
+        for arch in (text_gnn_architecture(), pnas_architecture()):
+            assert is_valid(arch, requires_sample=False)
+
+
+class TestHGNAS:
+    def test_single_device_space_has_no_communicate(self, profile):
+        space = single_device_space(profile, num_layers=5)
+        assert OpType.COMMUNICATE not in space.op_choices
+        rng = np.random.default_rng(0)
+        assert all(not space.sample_valid(rng).is_co_inference for _ in range(5))
+
+    def test_search_returns_device_only_architecture(self, profile):
+        hgnas = HGNAS(profile, JETSON_TX2, proxy_accuracy,
+                      HGNASConfig(max_trials=30, num_layers=5, seed=0))
+        result = hgnas.search()
+        assert not result.architecture.is_co_inference
+        assert result.device_latency_ms > 0
+        assert result.architecture.name == "hgnas"
+
+    def test_hardware_awareness_prefers_faster_designs(self, profile):
+        fast_biased = HGNAS(profile, RASPBERRY_PI_4B, proxy_accuracy,
+                            HGNASConfig(max_trials=40, tradeoff_lambda=5.0, seed=1))
+        slow_biased = HGNAS(profile, RASPBERRY_PI_4B, proxy_accuracy,
+                            HGNASConfig(max_trials=40, tradeoff_lambda=0.0, seed=1))
+        assert fast_biased.search().device_latency_ms <= \
+            slow_biased.search().device_latency_ms
+
+    def test_partition_adds_exactly_one_communicate(self, simulator, profile):
+        hgnas = HGNAS(profile, RASPBERRY_PI_4B, proxy_accuracy,
+                      HGNASConfig(max_trials=20, num_layers=5, seed=2))
+        result = hgnas.search()
+        partitioned = hgnas_with_partition(result, simulator, profile)
+        assert partitioned.num_communicates == 1
+        assert partitioned.name == "hgnas+partition"
+
+    def test_partitioned_is_no_slower_than_device_only(self, simulator, profile):
+        hgnas = HGNAS(profile, RASPBERRY_PI_4B, proxy_accuracy,
+                      HGNASConfig(max_trials=20, num_layers=5, seed=3))
+        result = hgnas.search()
+        partitioned = hgnas_with_partition(result, simulator, profile)
+        device_only = simulator.evaluate_device_only(result.architecture.ops, profile)
+        co = simulator.evaluate(partitioned.ops, profile)
+        assert co.latency_ms <= device_only.latency_ms + simulator.runtime_overhead_ms
+
+    def test_device_latency_ignores_communicates(self, profile):
+        arch = dgcnn_architecture()
+        assert device_latency_ms(arch, JETSON_TX2, profile) > 0
+
+
+class TestBranchy:
+    def test_candidates_have_bottleneck_before_communicate(self):
+        for candidate in branchy_candidates(BranchyConfig(bottleneck_dim=16)):
+            ops = candidate.ops
+            comm_positions = [i for i, op in enumerate(ops)
+                              if op.op == OpType.COMMUNICATE]
+            assert len(comm_positions) == 1
+            before = ops[comm_positions[0] - 1]
+            assert before.op == OpType.COMBINE and before.function == 16
+
+    def test_best_candidate_selected_by_latency(self, simulator, profile):
+        best = branchy_architecture(simulator, profile)
+        latencies = [simulator.evaluate(c.ops, profile).latency_ms
+                     for c in branchy_candidates()]
+        assert simulator.evaluate(best.ops, profile).latency_ms == pytest.approx(
+            min(latencies))
+        assert best.name == "branchy"
+
+
+class TestPNAS:
+    def test_search_maximizes_accuracy_only(self):
+        profile = DataProfile.mr(num_words=12, feature_dim=32)
+        pnas = PNAS(profile, proxy_accuracy, PNASConfig(max_trials=30, seed=0))
+        arch = pnas.search()
+        assert not arch.is_co_inference
+        assert arch.name == "pnas"
+
+    def test_partition_variant(self, profile):
+        simulator = CoInferenceSimulator(SystemConfig(JETSON_TX2, INTEL_I7,
+                                                      LINK_40MBPS))
+        partitioned = pnas_with_partition(pnas_architecture(), simulator,
+                                          DataProfile.mr(num_words=12,
+                                                         feature_dim=32))
+        assert partitioned.num_communicates == 1
+
+
+class TestEvaluationHelpers:
+    def test_speedup_and_energy_reduction(self):
+        assert speedup(100.0, 25.0) == pytest.approx(4.0)
+        assert energy_reduction(2.0, 0.2) == pytest.approx(0.9)
+        assert fps(50.0) == pytest.approx(20.0)
+        with pytest.raises(ValueError):
+            speedup(100.0, 0.0)
+
+    def test_method_result_relative(self):
+        reference = MethodResult("dgcnn", "D", 0.92, 0.89, 240.0, 2.6)
+        ours = MethodResult("gcode", "Co", 0.92, 0.89, 30.0, 0.3)
+        relative = ours.relative_to(reference)
+        assert relative["speedup"] == pytest.approx(8.0)
+        assert relative["energy_reduction"] == pytest.approx(1 - 0.3 / 2.6)
+
+    def test_pareto_front_extraction(self):
+        points = [(10.0, 0.90), (20.0, 0.95), (15.0, 0.85), (5.0, 0.80),
+                  (20.0, 0.90)]
+        front = pareto_front(points)
+        assert (15.0, 0.85) not in front
+        assert (20.0, 0.90) not in front
+        assert {(5.0, 0.80), (10.0, 0.90), (20.0, 0.95)} == set(front)
+
+    def test_dominates(self):
+        assert dominates((10.0, 0.9), (20.0, 0.8))
+        assert not dominates((10.0, 0.9), (10.0, 0.9))
+
+    def test_hypervolume_increases_with_better_front(self):
+        reference = (100.0, 0.5)
+        weak = [(80.0, 0.7)]
+        strong = [(20.0, 0.9), (80.0, 0.7)]
+        assert hypervolume(strong, reference) > hypervolume(weak, reference)
+        assert hypervolume([], reference) == 0.0
+
+    def test_format_table_alignment_and_floats(self):
+        text = format_table(["a", "bb"], [[1.23456, "x"], [2.0, "yy"]],
+                            title="demo", float_format="{:.2f}")
+        assert "demo" in text and "1.23" in text
+        lines = text.splitlines()
+        assert len(lines) == 5
+        assert len(lines[1]) == len(lines[3])
+
+    def test_format_series_and_breakdown(self):
+        series = format_series("latency", [1, 2], [3.0, 4.0])
+        assert "latency" in series and "->" in series
+        breakdown = format_breakdown("ops", {"knn": 3.0, "combine": 1.0})
+        assert "75.0%" in breakdown
+        listing = format_architecture(["device | sample"], title="Fig11")
+        assert listing.startswith("Fig11")
+
+    def test_paper_feature_table_mentions_all_methods(self):
+        table = paper_feature_table()
+        for name in ("GCoDE", "HGNAS", "MaGNAS", "BRANCHY"):
+            assert name in table

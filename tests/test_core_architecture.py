@@ -1,0 +1,189 @@
+"""Tests for the architecture representation, mapping derivation and validity rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Architecture, check_validity, is_valid
+from repro.core.design_space import DesignSpace
+from repro.gnn import OpSpec, OpType
+from repro.hardware import DataProfile
+
+
+def arch(*ops) -> Architecture:
+    return Architecture(ops=tuple(ops))
+
+
+SAMPLE = OpSpec(OpType.SAMPLE, "knn", k=4)
+AGG = OpSpec(OpType.AGGREGATE, "max")
+COMBINE = OpSpec(OpType.COMBINE, 32)
+POOL = OpSpec(OpType.GLOBAL_POOL, "mean")
+COMM = OpSpec(OpType.COMMUNICATE, "uplink")
+IDENTITY = OpSpec(OpType.IDENTITY, "skip")
+
+
+class TestMapping:
+    def test_no_communicate_means_device_only(self):
+        a = arch(SAMPLE, AGG, COMBINE, POOL)
+        assert a.mapping() == ["device"] * 4
+        assert not a.is_co_inference
+        assert a.final_side() == "device"
+
+    def test_single_communicate_splits_device_edge(self):
+        a = arch(SAMPLE, AGG, COMM, COMBINE, POOL)
+        assert a.mapping() == ["device", "device", "device", "edge", "edge"]
+        assert a.final_side() == "edge"
+        assert len(a.device_ops()) == 3 and len(a.edge_ops()) == 2
+
+    def test_two_communicates_return_to_device(self):
+        a = arch(SAMPLE, COMM, AGG, COMBINE, COMM, POOL)
+        assert a.final_side() == "device"
+        assert a.num_communicates == 2
+
+    def test_partition_segments_exclude_communicates(self):
+        a = arch(SAMPLE, AGG, COMM, COMBINE, POOL)
+        segments = a.partition_segments()
+        assert [side for side, _ in segments] == ["device", "edge"]
+        assert [len(ops) for _, ops in segments] == [2, 2]
+
+    def test_leading_communicate_is_edge_only_style(self):
+        a = arch(COMM, SAMPLE, AGG, COMBINE, POOL)
+        assert a.device_ops() == [COMM]
+        assert len(a.edge_ops()) == 4
+
+
+class TestFeatureDims:
+    def test_dims_follow_operation_semantics(self):
+        a = arch(SAMPLE, AGG, COMBINE, OpSpec(OpType.GLOBAL_POOL, "max||mean"))
+        assert a.feature_dims(3) == [3, 6, 32, 64]
+        assert a.output_dim(3) == 64
+
+    def test_identity_and_communicate_keep_dims(self):
+        a = arch(IDENTITY, COMM, COMBINE)
+        assert a.feature_dims(10) == [10, 10, 32]
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        a = arch(SAMPLE, AGG, COMM, COMBINE, POOL).with_name("candidate")
+        restored = Architecture.from_dict(a.to_dict())
+        assert restored.signature() == a.signature()
+        assert restored.name == "candidate"
+
+    def test_signature_distinguishes_functions(self):
+        a = arch(OpSpec(OpType.AGGREGATE, "max"), POOL)
+        b = arch(OpSpec(OpType.AGGREGATE, "mean"), POOL)
+        assert a.signature() != b.signature()
+
+    def test_describe_lists_placements(self):
+        lines = arch(SAMPLE, COMM, POOL).describe()
+        assert len(lines) == 4  # three ops + classifier
+        assert lines[0].strip().startswith("device")
+        assert "edge" in lines[2]
+
+
+class TestValidity:
+    def test_canonical_architecture_is_valid(self):
+        assert is_valid(arch(SAMPLE, AGG, COMBINE, POOL))
+
+    def test_consecutive_communicates_invalid(self):
+        report = check_validity(arch(SAMPLE, AGG, COMM, COMM, COMBINE, POOL))
+        assert not report.valid
+        assert any("consecutive" in reason for reason in report.reasons)
+
+    def test_aggregate_after_pool_invalid(self):
+        report = check_validity(arch(SAMPLE, AGG, POOL, AGG, COMBINE))
+        assert not report.valid
+        assert any("after global pooling" in reason for reason in report.reasons)
+
+    def test_aggregate_without_structure_invalid_for_point_clouds(self):
+        assert not is_valid(arch(AGG, COMBINE, POOL), requires_sample=True)
+        assert is_valid(arch(AGG, COMBINE, POOL), requires_sample=False)
+
+    def test_missing_pool_invalid(self):
+        report = check_validity(arch(SAMPLE, AGG, COMBINE))
+        assert any("global pooling" in reason for reason in report.reasons)
+
+    def test_no_compute_invalid(self):
+        assert not is_valid(arch(SAMPLE, IDENTITY, POOL))
+
+    def test_too_many_communicates_invalid(self):
+        ops = (SAMPLE, COMM, AGG, COMM, COMBINE, COMM, IDENTITY, COMM, POOL)
+        assert not is_valid(arch(*ops), max_communicates=3)
+
+    def test_empty_architecture_invalid(self):
+        assert not is_valid(Architecture(ops=()))
+
+    def test_repeated_pool_invalid(self):
+        assert not is_valid(arch(SAMPLE, AGG, POOL, POOL, COMBINE))
+
+
+class TestDesignSpace:
+    def test_sample_valid_produces_valid_architectures(self, modelnet_space):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            candidate = modelnet_space.sample_valid(rng)
+            assert modelnet_space.is_valid(candidate)
+            assert len(candidate) == modelnet_space.num_layers
+
+    def test_mr_space_does_not_require_sample(self, mr_space):
+        assert mr_space.requires_sample is False
+
+    def test_space_size_and_choices(self, modelnet_space):
+        assert modelnet_space.num_candidate_ops() > 10
+        assert modelnet_space.size() == (modelnet_space.num_candidate_ops()
+                                         ** modelnet_space.num_layers)
+
+    def test_function_choice_lookup(self, modelnet_space):
+        assert set(modelnet_space.function_choices(OpType.AGGREGATE)) == \
+            {"add", "mean", "max"}
+        with pytest.raises(ValueError):
+            modelnet_space.function_choices("softmax")
+
+    def test_mutation_changes_exactly_sampled_slots(self, modelnet_space):
+        rng = np.random.default_rng(1)
+        parent = modelnet_space.sample_valid(rng)
+        child = modelnet_space.mutate(parent, rng)
+        differences = sum(1 for a, b in zip(parent.ops, child.ops) if a != b)
+        assert differences <= 1
+        assert len(child) == len(parent)
+
+    def test_crossover_mixes_parents(self, modelnet_space):
+        rng = np.random.default_rng(2)
+        a = modelnet_space.sample_valid(rng)
+        b = modelnet_space.sample_valid(rng)
+        child = modelnet_space.crossover(a, b, rng)
+        assert len(child) == len(a)
+        assert all(op in (a.ops[i], b.ops[i]) for i, op in enumerate(child.ops))
+
+    def test_scale_down_shrinks_a_combine(self, modelnet_space):
+        rng = np.random.default_rng(3)
+        base = Architecture(ops=(SAMPLE, AGG, OpSpec(OpType.COMBINE, 64), POOL))
+        shrunk = modelnet_space.scale_down(base, rng)
+        widths = [op.function for op in shrunk.ops if op.op == OpType.COMBINE]
+        assert widths[0] <= 64
+
+    def test_scale_down_without_combine_is_noop(self, modelnet_space):
+        rng = np.random.default_rng(4)
+        base = arch(SAMPLE, AGG, POOL)
+        assert modelnet_space.scale_down(base, rng).signature() == base.signature()
+
+    def test_describe(self, modelnet_space):
+        info = modelnet_space.describe()
+        assert info["num_layers"] == 6 and info["space_size"] > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_sampled_architectures_always_pass_their_own_validity(seed):
+    """Property: sample_valid never returns an architecture that fails validation."""
+    space = DesignSpace(num_layers=5,
+                        profile=DataProfile.modelnet40(num_points=64, num_classes=4),
+                        combine_widths=(16, 32), k_choices=(4,))
+    candidate = space.sample_valid(np.random.default_rng(seed))
+    assert space.is_valid(candidate)
+    # The mapping always assigns each op to exactly one side.
+    assert set(candidate.mapping()) <= {"device", "edge"}

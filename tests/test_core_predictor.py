@@ -1,0 +1,208 @@
+"""Tests for graph abstraction, feature building, cost estimation and the GIN predictor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (Architecture, CostEstimator, FeatureBuilder,
+                        LatencyPredictor, PredictorTrainer,
+                        abstract_architecture, error_bound_accuracy,
+                        generate_predictor_dataset, measure_architectures,
+                        ranking_accuracy, split_samples)
+from repro.core.design_space import DesignSpace
+from repro.core.predictor.gin_predictor import PredictorSample
+from repro.gnn import OpSpec, OpType
+from repro.hardware import (DataProfile, JETSON_TX2, INTEL_I7, LINK_40MBPS,
+                            build_latency_lut)
+from repro.system import CoInferenceSimulator, SystemConfig
+
+
+SAMPLE = OpSpec(OpType.SAMPLE, "knn", k=4)
+AGG = OpSpec(OpType.AGGREGATE, "max")
+COMBINE = OpSpec(OpType.COMBINE, 32)
+POOL = OpSpec(OpType.GLOBAL_POOL, "mean")
+COMM = OpSpec(OpType.COMMUNICATE, "uplink")
+
+
+@pytest.fixture
+def profile():
+    return DataProfile.modelnet40(num_points=128, num_classes=10)
+
+
+@pytest.fixture
+def space(profile):
+    return DesignSpace(num_layers=5, profile=profile, combine_widths=(16, 32, 64),
+                       k_choices=(4, 8))
+
+
+@pytest.fixture
+def simulator():
+    return CoInferenceSimulator(SystemConfig(JETSON_TX2, INTEL_I7, LINK_40MBPS))
+
+
+@pytest.fixture
+def builder(profile):
+    return FeatureBuilder(build_latency_lut(JETSON_TX2, profile),
+                          build_latency_lut(INTEL_I7, profile),
+                          LINK_40MBPS, profile, mode="enhanced")
+
+
+class TestGraphAbstraction:
+    def test_node_count_includes_bookends_and_global_node(self):
+        arch = Architecture(ops=(SAMPLE, AGG, COMBINE, POOL))
+        graph = abstract_architecture(arch)
+        # input + 4 ops + classifier + global node
+        assert graph.num_nodes == 7
+        assert graph.node_types[0] == OpType.INPUT
+        assert graph.node_types[-1] == "global"
+
+    def test_edges_contain_sequence_selfloops_and_global(self):
+        arch = Architecture(ops=(SAMPLE, POOL, COMBINE))
+        graph = abstract_architecture(arch)
+        edges = set(map(tuple, graph.edge_index.T))
+        assert (0, 1) in edges and (1, 2) in edges     # data flow
+        assert (0, 0) in edges                          # self loop
+        global_idx = graph.num_nodes - 1
+        assert (0, global_idx) in edges and (global_idx, 0) in edges
+
+    def test_disable_global_node(self):
+        arch = Architecture(ops=(SAMPLE, POOL, COMBINE))
+        graph = abstract_architecture(arch, add_global_node=False)
+        assert "global" not in graph.node_types
+
+    def test_one_hot_rows_sum_to_one(self):
+        arch = Architecture(ops=(SAMPLE, AGG, COMBINE, POOL))
+        encoding = abstract_architecture(arch).one_hot()
+        np.testing.assert_allclose(encoding.sum(axis=1), 1.0)
+
+
+class TestFeatureBuilder:
+    def test_enhanced_features_have_extra_column(self, builder, profile):
+        arch = Architecture(ops=(SAMPLE, AGG, COMM, COMBINE, POOL))
+        features, edge_index = builder.build(arch)
+        assert features.shape[1] == builder.feature_dim
+        assert features.shape[0] == len(arch.ops) + 3
+        assert edge_index.shape[0] == 2
+
+    def test_one_hot_mode_has_no_latency_column(self, builder, profile):
+        one_hot_builder = FeatureBuilder(build_latency_lut(JETSON_TX2, profile),
+                                         build_latency_lut(INTEL_I7, profile),
+                                         LINK_40MBPS, profile, mode="one-hot")
+        arch = Architecture(ops=(SAMPLE, AGG, COMBINE, POOL))
+        features, _ = one_hot_builder.build(arch)
+        assert features.shape[1] == one_hot_builder.feature_dim
+        assert one_hot_builder.feature_dim == builder.feature_dim - 1
+
+    def test_invalid_mode_rejected(self, profile):
+        with pytest.raises(ValueError):
+            FeatureBuilder(build_latency_lut(JETSON_TX2, profile),
+                           build_latency_lut(INTEL_I7, profile),
+                           LINK_40MBPS, profile, mode="embedding")
+
+    def test_mapping_changes_latency_features(self, builder):
+        """The same op mapped to device vs edge should get different latency values."""
+        on_device = Architecture(ops=(SAMPLE, AGG, COMBINE, POOL, COMM))
+        on_edge = Architecture(ops=(COMM, SAMPLE, AGG, COMBINE, POOL))
+        f_device, _ = builder.build(on_device)
+        f_edge, _ = builder.build(on_edge)
+        # Compare the latency column of the Sample node (node index 1 / 2).
+        assert not np.allclose(f_device[1, -1], f_edge[2, -1])
+
+
+class TestCostEstimator:
+    def test_estimate_splits_by_side(self, simulator, profile):
+        estimator = CostEstimator.for_system(JETSON_TX2, INTEL_I7, LINK_40MBPS,
+                                             profile)
+        arch = Architecture(ops=(SAMPLE, AGG, COMM, COMBINE, POOL))
+        estimate = estimator.estimate(arch)
+        assert estimate.device_ms > 0 and estimate.edge_ms > 0 and estimate.comm_ms > 0
+        assert estimate.total_ms == pytest.approx(
+            estimate.device_ms + estimate.edge_ms + estimate.comm_ms)
+
+    def test_estimate_underestimates_measurement_but_correlates(self, simulator,
+                                                                space, profile):
+        """The LUT estimate ignores runtime overheads yet ranks like the simulator."""
+        estimator = CostEstimator.for_system(JETSON_TX2, INTEL_I7, LINK_40MBPS,
+                                             profile)
+        rng = np.random.default_rng(0)
+        archs = [space.sample_valid(rng) for _ in range(20)]
+        estimates = np.array([estimator.estimate_latency_ms(a) for a in archs])
+        measured = np.array([simulator.evaluate(a.ops, profile).latency_ms
+                             for a in archs])
+        assert (estimates <= measured + 1e-6).all()
+        assert ranking_accuracy(estimates, measured) > 0.8
+
+    def test_device_only_architecture_has_no_comm_cost(self, profile):
+        estimator = CostEstimator.for_system(JETSON_TX2, INTEL_I7, LINK_40MBPS,
+                                             profile)
+        estimate = estimator.estimate(Architecture(ops=(SAMPLE, AGG, COMBINE, POOL)))
+        assert estimate.comm_ms == 0.0 and estimate.edge_ms == 0.0
+
+
+class TestPredictorMetrics:
+    def test_error_bound_accuracy(self):
+        predicted = np.array([100.0, 95.0, 200.0])
+        measured = np.array([100.0, 100.0, 100.0])
+        assert error_bound_accuracy(predicted, measured, 0.10) == pytest.approx(2 / 3)
+
+    def test_error_bound_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            error_bound_accuracy(np.ones(3), np.ones(4))
+
+    def test_ranking_accuracy_perfect_and_inverted(self):
+        measured = np.array([1.0, 2.0, 3.0, 4.0])
+        assert ranking_accuracy(measured, measured) == 1.0
+        assert ranking_accuracy(-measured, measured) == 0.0
+
+    def test_ranking_accuracy_skips_ties(self):
+        assert ranking_accuracy(np.array([1.0, 2.0]), np.array([5.0, 5.0])) == 0.0
+
+
+class TestPredictorTraining:
+    def test_dataset_generation_and_split(self, space, simulator, builder):
+        samples = generate_predictor_dataset(space, simulator, builder,
+                                             num_samples=30, seed=0)
+        assert len(samples) == 30
+        assert all(s.latency_ms > 0 for s in samples)
+        train, val = split_samples(samples, 0.7, seed=0)
+        assert len(train) + len(val) == 30 and len(train) > len(val)
+
+    def test_measure_architectures_with_noise_is_positive(self, space, simulator,
+                                                          profile):
+        rng = np.random.default_rng(0)
+        archs = [space.sample_valid(rng) for _ in range(5)]
+        labelled = measure_architectures(archs, simulator, profile, noise_std=0.5,
+                                         seed=1)
+        assert all(entry.latency_ms > 0 for entry in labelled)
+
+    def test_gin_predictor_learns_ranking(self, space, simulator, builder):
+        """After brief training the predictor should rank far better than chance."""
+        samples = generate_predictor_dataset(space, simulator, builder,
+                                             num_samples=60, noise_std=0.0, seed=0)
+        train, val = split_samples(samples, 0.7, seed=0)
+        predictor = LatencyPredictor(builder.feature_dim, hidden_dim=32, seed=0)
+        trainer = PredictorTrainer(predictor, lr=2e-3)
+        history = trainer.fit(train, epochs=12, seed=0)
+        assert history[-1] < history[0]
+        predictions = trainer.predict_many(val)
+        measured = np.array([s.latency_ms for s in val])
+        assert ranking_accuracy(predictions, measured) > 0.7
+
+    def test_gcn_variant_builds_and_predicts(self, builder, space, simulator):
+        samples = generate_predictor_dataset(space, simulator, builder,
+                                             num_samples=10, seed=1)
+        predictor = LatencyPredictor(builder.feature_dim, hidden_dim=16,
+                                     layer_type="gcn", seed=0)
+        trainer = PredictorTrainer(predictor)
+        trainer.fit(samples, epochs=2, seed=0)
+        assert trainer.predict(samples[0]) > 0
+
+    def test_invalid_layer_type_rejected(self, builder):
+        with pytest.raises(ValueError):
+            LatencyPredictor(builder.feature_dim, layer_type="transformer")
+
+    def test_empty_training_set_rejected(self, builder):
+        predictor = LatencyPredictor(builder.feature_dim, hidden_dim=8)
+        with pytest.raises(ValueError):
+            PredictorTrainer(predictor).fit([], epochs=1)

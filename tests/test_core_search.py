@@ -1,0 +1,267 @@
+"""Tests for the constraint-based random search, the EA baseline, zoo and dispatcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (Architecture, ArchitectureZoo, ConstraintRandomSearch,
+                        CostEstimator, CostEstimatorEvaluator, EvolutionarySearch,
+                        EvolutionarySearchConfig, RandomSearchConfig,
+                        RuntimeConditions, RuntimeDispatcher, SearchConstraints,
+                        SimulatorEvaluator, ZooEntry, FAILED_SCORE)
+from repro.core.design_space import DesignSpace
+from repro.core.search.common import ScoredArchitecture
+from repro.gnn import OpSpec, OpType
+from repro.hardware import DataProfile, JETSON_TX2, INTEL_I7, LINK_40MBPS
+from repro.system import CoInferenceSimulator, SystemConfig
+
+
+@pytest.fixture
+def profile():
+    return DataProfile.modelnet40(num_points=128, num_classes=10)
+
+
+@pytest.fixture
+def space(profile):
+    return DesignSpace(num_layers=5, profile=profile, combine_widths=(16, 32, 64),
+                       k_choices=(4, 8))
+
+
+@pytest.fixture
+def simulator():
+    return CoInferenceSimulator(SystemConfig(JETSON_TX2, INTEL_I7, LINK_40MBPS))
+
+
+@pytest.fixture
+def efficiency(simulator, profile):
+    return SimulatorEvaluator(simulator, profile)
+
+
+def proxy_accuracy(arch: Architecture):
+    """Cheap deterministic accuracy proxy: richer compute scores higher.
+
+    Using a proxy keeps the search tests fast while preserving the trade-off
+    structure the search must navigate (accuracy favours wide Combine and
+    Aggregate operations, efficiency punishes them).
+    """
+    score = 0.55
+    for op in arch.ops:
+        if op.op == OpType.AGGREGATE:
+            score += 0.05
+        if op.op == OpType.COMBINE:
+            score += 0.04 * (int(op.function) / 64.0)
+    return min(score, 0.95), min(score, 0.95) - 0.01
+
+
+class TestEfficiencyEvaluators:
+    def test_simulator_evaluator_caches(self, efficiency, space):
+        arch = space.sample_valid(np.random.default_rng(0))
+        first = efficiency.evaluate(arch)
+        second = efficiency.evaluate(arch)
+        assert first is second
+        assert first.latency_ms > 0 and first.device_energy_j > 0
+
+    def test_cost_evaluator_wraps_estimator(self, simulator, space, profile):
+        estimator = CostEstimator.for_system(JETSON_TX2, INTEL_I7, LINK_40MBPS,
+                                             profile)
+        evaluator = CostEstimatorEvaluator(estimator, simulator, profile)
+        arch = space.sample_valid(np.random.default_rng(1))
+        estimate = evaluator.evaluate(arch)
+        assert estimate.latency_ms == pytest.approx(
+            estimator.estimate_latency_ms(arch))
+
+
+class TestConstraints:
+    def test_satisfied_by(self):
+        from repro.core.performance import EfficiencyEstimate
+        constraints = SearchConstraints(latency_ms=100.0, energy_j=1.0)
+        assert constraints.satisfied_by(EfficiencyEstimate(50.0, 0.5))
+        assert not constraints.satisfied_by(EfficiencyEstimate(150.0, 0.5))
+        assert not constraints.satisfied_by(EfficiencyEstimate(50.0, 1.5))
+        assert SearchConstraints().satisfied_by(EfficiencyEstimate(1e9, 1e9))
+
+    def test_normalized_cost_uses_constraints_as_scale(self):
+        from repro.core.performance import EfficiencyEstimate
+        constraints = SearchConstraints(latency_ms=100.0, energy_j=2.0)
+        cost = constraints.normalized_cost(EfficiencyEstimate(50.0, 1.0), 1.0, 1.0)
+        assert cost == pytest.approx(0.5 + 0.5)
+
+
+class TestRandomSearch:
+    def test_search_finds_constraint_satisfying_architectures(self, space,
+                                                              efficiency):
+        constraints = SearchConstraints(latency_ms=120.0, energy_j=1.5,
+                                        tradeoff_lambda=0.1)
+        search = ConstraintRandomSearch(space, proxy_accuracy, efficiency,
+                                        constraints,
+                                        RandomSearchConfig(max_trials=80,
+                                                           tuning_trials=4,
+                                                           keep_top=5, seed=0))
+        result = search.run()
+        assert result.best is not None
+        assert result.best.latency_ms < 120.0
+        assert result.best.device_energy_j < 1.5
+        assert len(result.candidates) <= 5
+        assert result.num_trials == 80
+
+    def test_history_marks_rejected_trials(self, space, efficiency):
+        # A 4 ms latency budget is tight enough that some sampled candidates
+        # (those keeping heavy ops on the device) must be rejected.
+        constraints = SearchConstraints(latency_ms=4.0, energy_j=0.05)
+        search = ConstraintRandomSearch(space, proxy_accuracy, efficiency,
+                                        constraints,
+                                        RandomSearchConfig(max_trials=40, seed=1))
+        result = search.run()
+        assert FAILED_SCORE in result.score_history
+        assert result.num_constraint_violations > 0
+
+    def test_best_score_curve_is_monotone(self, space, efficiency):
+        search = ConstraintRandomSearch(space, proxy_accuracy, efficiency,
+                                        SearchConstraints(),
+                                        RandomSearchConfig(max_trials=30, seed=2))
+        curve = search.run().best_score_curve()
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+
+    def test_larger_lambda_prefers_faster_architectures(self, space, efficiency):
+        def run(lam):
+            search = ConstraintRandomSearch(
+                space, proxy_accuracy, efficiency,
+                SearchConstraints(tradeoff_lambda=lam),
+                RandomSearchConfig(max_trials=60, tuning_trials=0, seed=3))
+            return search.run().best.latency_ms
+        assert run(2.0) <= run(0.01)
+
+    def test_scale_down_never_worsens_kept_candidates(self, space, efficiency):
+        constraints = SearchConstraints(latency_ms=200.0, energy_j=3.0)
+        config = RandomSearchConfig(max_trials=50, tuning_trials=5, keep_top=3,
+                                    seed=4)
+        no_tuning = ConstraintRandomSearch(
+            space, proxy_accuracy, efficiency, constraints,
+            RandomSearchConfig(max_trials=50, tuning_trials=0, keep_top=3, seed=4)
+        ).run()
+        tuned = ConstraintRandomSearch(space, proxy_accuracy, efficiency,
+                                       constraints, config).run()
+        assert tuned.best.latency_ms <= no_tuning.best.latency_ms + 1e-6
+
+    def test_top_k_objectives(self, space, efficiency):
+        search = ConstraintRandomSearch(space, proxy_accuracy, efficiency,
+                                        SearchConstraints(),
+                                        RandomSearchConfig(max_trials=40, seed=5))
+        result = search.run()
+        fastest = result.top_k(1, "latency")[0]
+        assert fastest.latency_ms == min(c.latency_ms for c in result.candidates)
+        with pytest.raises(ValueError):
+            result.top_k(1, "beauty")
+
+
+class TestEvolutionarySearch:
+    def test_ea_runs_and_tracks_invalid_candidates(self, space, efficiency):
+        config = EvolutionarySearchConfig(max_trials=60, population_size=8, seed=0)
+        ea = EvolutionarySearch(space, proxy_accuracy, efficiency,
+                                SearchConstraints(), config)
+        result = ea.run()
+        assert result.num_trials == 60
+        assert result.num_invalid > 0  # uniform initial population is mostly invalid
+
+    def test_valid_initial_population_reduces_invalid_rate(self, space, efficiency):
+        def invalid_fraction(valid_init):
+            config = EvolutionarySearchConfig(max_trials=60, population_size=8,
+                                              valid_initial_population=valid_init,
+                                              seed=1)
+            ea = EvolutionarySearch(space, proxy_accuracy, efficiency,
+                                    SearchConstraints(), config)
+            result = ea.run()
+            return result.num_invalid / result.num_trials
+        assert invalid_fraction(True) <= invalid_fraction(False)
+
+    def test_random_search_outperforms_ea_in_this_space(self, space, efficiency):
+        """Reproduces the Fig. 10(a) qualitative finding at small scale."""
+        constraints = SearchConstraints(tradeoff_lambda=0.1)
+        random_best = ConstraintRandomSearch(
+            space, proxy_accuracy, efficiency, constraints,
+            RandomSearchConfig(max_trials=80, tuning_trials=0, seed=2)).run()
+        ea_best = EvolutionarySearch(
+            space, proxy_accuracy, efficiency, constraints,
+            EvolutionarySearchConfig(max_trials=80, population_size=10, seed=2)).run()
+        assert random_best.best.score >= ea_best.best.score - 0.05
+
+
+class TestZooAndDispatcher:
+    def _zoo(self):
+        def entry(name, acc, lat, energy):
+            arch = Architecture(ops=(OpSpec(OpType.SAMPLE, "knn", k=4),
+                                     OpSpec(OpType.AGGREGATE, "max"),
+                                     OpSpec(OpType.COMBINE, 32),
+                                     OpSpec(OpType.GLOBAL_POOL, "mean")), name=name)
+            return ZooEntry(name=name, architecture=arch, accuracy=acc,
+                            latency_ms=lat, device_energy_j=energy)
+        return ArchitectureZoo([entry("accurate", 0.93, 80.0, 0.8),
+                                entry("fast", 0.90, 25.0, 0.3),
+                                entry("frugal", 0.88, 40.0, 0.1)])
+
+    def test_best_by_objective(self):
+        zoo = self._zoo()
+        assert zoo.best("latency").name == "fast"
+        assert zoo.best("energy").name == "frugal"
+        assert zoo.best("accuracy").name == "accurate"
+        with pytest.raises(ValueError):
+            zoo.best("throughput")
+
+    def test_filter_by_budgets(self):
+        names = {entry.name for entry in self._zoo().filter(latency_ms=50.0)}
+        assert names == {"fast", "frugal"}
+
+    def test_save_load_roundtrip(self, tmp_path):
+        zoo = self._zoo()
+        path = str(tmp_path / "zoo.json")
+        zoo.save(path)
+        restored = ArchitectureZoo.load(path)
+        assert set(restored.names()) == set(zoo.names())
+        assert restored.get("fast").latency_ms == pytest.approx(25.0)
+
+    def test_from_search_tags_champions(self):
+        candidates = [
+            ScoredArchitecture(self._zoo().get("fast").architecture, 0.9, 0.89,
+                               25.0, 0.3, 0.8, 0),
+            ScoredArchitecture(self._zoo().get("accurate").architecture, 0.93, 0.92,
+                               80.0, 0.8, 0.85, 1),
+        ]
+        zoo = ArchitectureZoo.from_search(candidates)
+        assert len(zoo) == 2
+        tags = [tag for entry in zoo for tag in entry.tags]
+        assert "best-latency" in tags and "best-accuracy" in tags
+
+    def test_dispatcher_prefers_accuracy_within_budget(self):
+        dispatcher = RuntimeDispatcher(self._zoo())
+        assert dispatcher.select(RuntimeConditions(latency_budget_ms=100.0)).name \
+            == "accurate"
+        assert dispatcher.select(RuntimeConditions(latency_budget_ms=30.0)).name \
+            == "fast"
+        assert dispatcher.select(RuntimeConditions(energy_budget_j=0.2)).name \
+            == "frugal"
+
+    def test_dispatcher_falls_back_to_fastest(self):
+        dispatcher = RuntimeDispatcher(self._zoo())
+        assert dispatcher.select(RuntimeConditions(latency_budget_ms=1.0)).name \
+            == "fast"
+
+    def test_dispatcher_degrades_with_bandwidth_factor(self):
+        zoo = self._zoo()
+        # Make the accurate entry a co-inference architecture so the link matters.
+        accurate = zoo.get("accurate")
+        ops = list(accurate.architecture.ops)
+        ops.insert(2, OpSpec(OpType.COMMUNICATE, "uplink"))
+        accurate.architecture = Architecture(ops=tuple(ops), name="accurate")
+        dispatcher = RuntimeDispatcher(zoo)
+        good_link = dispatcher.select(RuntimeConditions(latency_budget_ms=100.0,
+                                                        bandwidth_factor=1.0))
+        bad_link = dispatcher.select(RuntimeConditions(latency_budget_ms=100.0,
+                                                       bandwidth_factor=0.5))
+        assert good_link.name == "accurate"
+        assert bad_link.name in {"fast", "frugal", "accurate"}
+        assert len(dispatcher.history) == 2
+
+    def test_empty_zoo_rejected(self):
+        with pytest.raises(ValueError):
+            RuntimeDispatcher(ArchitectureZoo())

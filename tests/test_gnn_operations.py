@@ -1,0 +1,219 @@
+"""Tests for the design-space operations, their executable semantics and layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.graph.data import Batch, GraphData
+from repro.gnn import (AggregateOp, ClassifierOp, CombineOp, CommunicateOp,
+                       EdgeConv, ExecState, GCNConv, GINConv, GlobalPoolOp,
+                       IdentityOp, OpSpec, OpType, SampleOp, build_operation)
+from repro.gnn.models import DGCNN, GINClassifier, dgcnn_opspecs, li_optimized_opspecs
+from repro.gnn.models.gin import text_gnn_opspecs, pnas_opspecs
+
+
+def make_state(num_nodes=8, dim=3, num_graphs=2, with_edges=False, seed=0):
+    rng = np.random.default_rng(seed)
+    batch = np.repeat(np.arange(num_graphs), num_nodes // num_graphs)
+    edge_index = None
+    if with_edges:
+        src = rng.integers(0, num_nodes, size=2 * num_nodes)
+        dst = rng.integers(0, num_nodes, size=2 * num_nodes)
+        edge_index = np.stack([src, dst])
+    return ExecState(x=nn.Tensor(rng.standard_normal((num_nodes, dim))),
+                     batch=batch, num_graphs=num_graphs, edge_index=edge_index)
+
+
+class TestOpSpec:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            OpSpec("convolve", "max")
+
+    def test_channels_only_for_combine(self):
+        assert OpSpec(OpType.COMBINE, 32).channels == 32
+        assert OpSpec(OpType.AGGREGATE, "max").channels is None
+
+    def test_short_names(self):
+        assert OpSpec(OpType.SAMPLE, "knn", k=5).short_name() == "sample(knn,k=5)"
+        assert OpSpec(OpType.COMBINE, 64).short_name() == "combine(64)"
+        assert OpSpec(OpType.COMMUNICATE, "uplink").short_name() == "communicate"
+
+
+class TestSampleOp:
+    def test_knn_sample_builds_edges(self):
+        state = make_state()
+        SampleOp(OpSpec(OpType.SAMPLE, "knn", k=2))(state)
+        assert state.edge_index is not None
+        assert state.edge_index.shape == (2, 16)
+
+    def test_random_sample_builds_edges(self):
+        state = make_state()
+        SampleOp(OpSpec(OpType.SAMPLE, "random", k=3), seed=1)(state)
+        assert state.edge_index.shape == (2, 24)
+
+    def test_sample_after_pool_raises(self):
+        state = make_state()
+        state.pooled = True
+        with pytest.raises(RuntimeError):
+            SampleOp(OpSpec(OpType.SAMPLE, "knn", k=2))(state)
+
+    def test_edges_stay_within_graphs(self):
+        state = make_state(num_nodes=10, num_graphs=2)
+        SampleOp(OpSpec(OpType.SAMPLE, "knn", k=2))(state)
+        src, dst = state.edge_index
+        assert np.array_equal(state.batch[src], state.batch[dst])
+
+
+class TestAggregateOp:
+    def test_doubles_feature_dim(self):
+        state = make_state(with_edges=True, dim=4)
+        AggregateOp(OpSpec(OpType.AGGREGATE, "max"))(state)
+        assert state.feature_dim == 8
+
+    def test_requires_edges(self):
+        state = make_state(with_edges=False)
+        with pytest.raises(RuntimeError):
+            AggregateOp(OpSpec(OpType.AGGREGATE, "mean"))(state)
+
+    def test_mean_aggregation_of_identical_neighbours_preserves_centre(self):
+        # All nodes identical: [x_i, x_j - x_i] = [x, 0] for every edge.
+        x = np.tile(np.array([[1.0, 2.0]]), (4, 1))
+        edge_index = np.array([[1, 2, 3, 0], [0, 1, 2, 3]])
+        state = ExecState(x=nn.Tensor(x), batch=np.zeros(4, dtype=np.int64),
+                          num_graphs=1, edge_index=edge_index)
+        AggregateOp(OpSpec(OpType.AGGREGATE, "mean"))(state)
+        np.testing.assert_allclose(state.x.data[:, :2], x)
+        np.testing.assert_allclose(state.x.data[:, 2:], 0.0)
+
+
+class TestCombineAndPool:
+    def test_combine_output_dim(self):
+        state = make_state(dim=6)
+        op = CombineOp(OpSpec(OpType.COMBINE, 16), in_dim=6,
+                       rng=np.random.default_rng(0))
+        op(state)
+        assert state.feature_dim == 16
+        assert (state.x.data >= 0).all()  # ReLU output
+
+    def test_combine_requires_positive_channels(self):
+        with pytest.raises(ValueError):
+            CombineOp(OpSpec(OpType.COMBINE, 0), in_dim=4)
+
+    def test_global_pool_collapses_nodes(self):
+        state = make_state(num_nodes=8, num_graphs=2)
+        GlobalPoolOp(OpSpec(OpType.GLOBAL_POOL, "mean"))(state)
+        assert state.num_nodes == 2 and state.pooled
+        assert state.edge_index is None
+
+    def test_double_pool_raises(self):
+        state = make_state()
+        GlobalPoolOp(OpSpec(OpType.GLOBAL_POOL, "max"))(state)
+        with pytest.raises(RuntimeError):
+            GlobalPoolOp(OpSpec(OpType.GLOBAL_POOL, "max"))(state)
+
+    def test_maxmean_pool_doubles_width(self):
+        state = make_state(dim=5)
+        GlobalPoolOp(OpSpec(OpType.GLOBAL_POOL, "max||mean"))(state)
+        assert state.feature_dim == 10
+
+    def test_identity_and_communicate_are_noops(self):
+        state = make_state()
+        before = state.x.data.copy()
+        IdentityOp(OpSpec(OpType.IDENTITY, "skip"))(state)
+        CommunicateOp(OpSpec(OpType.COMMUNICATE, "uplink"))(state)
+        np.testing.assert_allclose(state.x.data, before)
+
+
+class TestClassifier:
+    def test_classifier_output_shape(self):
+        state = make_state(num_nodes=6, dim=4, num_graphs=2)
+        GlobalPoolOp(OpSpec(OpType.GLOBAL_POOL, "mean"))(state)
+        op = ClassifierOp(OpSpec(OpType.CLASSIFIER, "mlp"), in_dim=4,
+                          num_classes=7, rng=np.random.default_rng(0))
+        op(state)
+        assert state.x.shape == (2, 7)
+
+    def test_classifier_pools_defensively_when_not_pooled(self):
+        state = make_state(num_nodes=6, dim=4, num_graphs=3)
+        op = ClassifierOp(OpSpec(OpType.CLASSIFIER, "mlp"), in_dim=4, num_classes=2)
+        op(state)
+        assert state.x.shape == (3, 2)
+
+    def test_build_operation_dispatch(self):
+        assert isinstance(build_operation(OpSpec(OpType.SAMPLE, "knn"), 3), SampleOp)
+        assert isinstance(build_operation(OpSpec(OpType.COMBINE, 8), 3), CombineOp)
+        with pytest.raises(ValueError):
+            build_operation(OpSpec(OpType.INPUT, "input"), 3)
+
+
+class TestLayers:
+    def _batch(self, num_nodes=10, dim=4, seed=0):
+        rng = np.random.default_rng(seed)
+        graphs = [GraphData(x=rng.standard_normal((num_nodes, dim)),
+                            edge_index=np.stack([rng.integers(0, num_nodes, 20),
+                                                 rng.integers(0, num_nodes, 20)]),
+                            y=0)]
+        return Batch.from_graphs(graphs)
+
+    def test_edgeconv_shape(self):
+        batch = self._batch()
+        layer = EdgeConv(4, 8, rng=np.random.default_rng(0))
+        out = layer(nn.Tensor(batch.x), batch.edge_index)
+        assert out.shape == (10, 8)
+
+    def test_edgeconv_requires_edges(self):
+        with pytest.raises(ValueError):
+            EdgeConv(3, 4)(nn.Tensor(np.ones((4, 3))), np.zeros((2, 0), dtype=np.int64))
+
+    def test_gcn_handles_isolated_nodes_via_self_loops(self):
+        layer = GCNConv(3, 5, rng=np.random.default_rng(0))
+        out = layer(nn.Tensor(np.ones((4, 3))), np.zeros((2, 0), dtype=np.int64))
+        assert out.shape == (4, 5)
+        assert np.abs(out.data).sum() > 0
+
+    def test_gin_shape_and_gradients(self):
+        batch = self._batch()
+        layer = GINConv(4, 6, rng=np.random.default_rng(0))
+        out = layer(nn.Tensor(batch.x), batch.edge_index)
+        assert out.shape == (10, 6)
+        out.sum().backward()
+        assert layer.eps.grad is not None
+
+    def test_dgcnn_forward(self):
+        rng = np.random.default_rng(0)
+        graphs = [GraphData(x=rng.standard_normal((16, 3)),
+                            pos=None, y=i % 3) for i in range(2)]
+        batch = Batch.from_graphs(graphs)
+        model = DGCNN(in_dim=3, num_classes=3, channels=(8, 8), emb_dim=16, k=4,
+                      rng=rng)
+        logits = model(batch)
+        assert logits.shape == (2, 3)
+
+    def test_gin_classifier_forward(self):
+        rng = np.random.default_rng(0)
+        graphs = [GraphData(x=rng.standard_normal((6, 5)),
+                            edge_index=np.array([[0, 1, 2], [1, 2, 3]]), y=i % 2)
+                  for i in range(3)]
+        batch = Batch.from_graphs(graphs)
+        model = GINClassifier(in_dim=5, num_classes=2, hidden_dims=(8,), rng=rng)
+        assert model(batch).shape == (3, 2)
+
+
+class TestReferenceOpSpecs:
+    def test_dgcnn_opspecs_structure(self):
+        specs = dgcnn_opspecs()
+        assert specs[0].op == OpType.SAMPLE
+        assert specs[-1].op == OpType.GLOBAL_POOL
+        assert sum(1 for s in specs if s.op == OpType.SAMPLE) == 4
+        assert sum(1 for s in specs if s.op == OpType.COMBINE) == 5
+
+    def test_li_optimized_has_single_sample(self):
+        specs = li_optimized_opspecs()
+        assert sum(1 for s in specs if s.op == OpType.SAMPLE) == 1
+
+    def test_text_and_pnas_specs_have_no_sample(self):
+        for specs in (text_gnn_opspecs(), pnas_opspecs()):
+            assert all(s.op != OpType.SAMPLE for s in specs)
+            assert specs[-1].op == OpType.GLOBAL_POOL

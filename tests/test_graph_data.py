@@ -1,0 +1,170 @@
+"""Tests for graph containers, batching, loaders, KNN and sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (Batch, DataLoader, GraphData, farthest_point_sample,
+                         knn_graph, knn_indices, pairwise_sq_distances,
+                         random_graph, random_sample, subsample_graph_nodes)
+
+
+class TestGraphData:
+    def test_basic_properties(self):
+        g = GraphData(x=np.ones((5, 3)), edge_index=np.array([[0, 1], [1, 2]]), y=2)
+        assert g.num_nodes == 5 and g.num_features == 3 and g.num_edges == 2
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError):
+            GraphData(x=np.ones(5))
+
+    def test_rejects_bad_edge_index_shape(self):
+        with pytest.raises(ValueError):
+            GraphData(x=np.ones((3, 2)), edge_index=np.array([0, 1, 2]))
+
+    def test_rejects_out_of_range_edges(self):
+        with pytest.raises(ValueError):
+            GraphData(x=np.ones((2, 2)), edge_index=np.array([[0], [5]]))
+
+    def test_pos_must_match_node_count(self):
+        with pytest.raises(ValueError):
+            GraphData(x=np.ones((3, 2)), pos=np.ones((2, 3)))
+
+    def test_copy_is_independent(self):
+        g = GraphData(x=np.ones((3, 2)), y=1)
+        clone = g.copy()
+        clone.x[0, 0] = 99.0
+        assert g.x[0, 0] == 1.0
+
+    def test_nbytes_counts_all_arrays(self):
+        g = GraphData(x=np.ones((4, 2)), edge_index=np.zeros((2, 3), dtype=np.int64),
+                      pos=np.ones((4, 3)))
+        assert g.nbytes() == g.x.nbytes + g.edge_index.nbytes + g.pos.nbytes
+
+
+class TestBatch:
+    def test_offsets_edge_indices(self):
+        g1 = GraphData(x=np.ones((3, 2)), edge_index=np.array([[0, 1], [1, 2]]), y=0)
+        g2 = GraphData(x=np.ones((2, 2)), edge_index=np.array([[0], [1]]), y=1)
+        batch = Batch.from_graphs([g1, g2])
+        assert batch.num_nodes == 5 and batch.num_graphs == 2
+        np.testing.assert_array_equal(batch.edge_index[:, -1], [3, 4])
+        np.testing.assert_array_equal(batch.batch, [0, 0, 0, 1, 1])
+        np.testing.assert_array_equal(batch.y, [0, 1])
+
+    def test_nodes_per_graph(self):
+        graphs = [GraphData(x=np.ones((n, 1)), y=0) for n in (2, 5, 3)]
+        batch = Batch.from_graphs(graphs)
+        np.testing.assert_array_equal(batch.nodes_per_graph(), [2, 5, 3])
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            Batch.from_graphs([])
+
+    def test_batch_vector_length_validation(self):
+        with pytest.raises(ValueError):
+            Batch(x=np.ones((3, 1)), edge_index=None, batch=np.zeros(2), num_graphs=1)
+
+
+class TestDataLoader:
+    def _graphs(self, count=10):
+        return [GraphData(x=np.full((2, 2), i, dtype=float), y=i % 2)
+                for i in range(count)]
+
+    def test_batches_cover_dataset(self):
+        loader = DataLoader(self._graphs(10), batch_size=3)
+        sizes = [batch.num_graphs for batch in loader]
+        assert sizes == [3, 3, 3, 1]
+        assert len(loader) == 4
+
+    def test_drop_last(self):
+        loader = DataLoader(self._graphs(10), batch_size=3, drop_last=True)
+        assert len(loader) == 3
+        assert all(batch.num_graphs == 3 for batch in loader)
+
+    def test_shuffle_is_deterministic_per_seed(self):
+        first = [b.y.tolist() for b in DataLoader(self._graphs(), 4, shuffle=True, seed=3)]
+        second = [b.y.tolist() for b in DataLoader(self._graphs(), 4, shuffle=True, seed=3)]
+        assert first == second
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(self._graphs(), batch_size=0)
+
+
+class TestKNN:
+    def test_pairwise_distances_match_numpy(self):
+        rng = np.random.default_rng(0)
+        pts = rng.standard_normal((6, 3))
+        dists = pairwise_sq_distances(pts)
+        expected = ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(-1)
+        np.testing.assert_allclose(dists, expected, atol=1e-9)
+
+    def test_knn_indices_find_true_neighbours(self):
+        pts = np.array([[0.0], [0.1], [5.0], [5.1]])
+        idx = knn_indices(pts, 1)
+        np.testing.assert_array_equal(idx.reshape(-1), [1, 0, 3, 2])
+
+    def test_knn_graph_shape_and_no_self_loops(self):
+        rng = np.random.default_rng(1)
+        pts = rng.standard_normal((20, 3))
+        edges = knn_graph(pts, 4)
+        assert edges.shape == (2, 80)
+        assert not np.any(edges[0] == edges[1])
+
+    def test_knn_graph_respects_batch_boundaries(self):
+        pts = np.vstack([np.zeros((5, 2)), np.ones((5, 2)) * 100])
+        batch = np.array([0] * 5 + [1] * 5)
+        edges = knn_graph(pts + np.random.default_rng(2).normal(0, 0.1, pts.shape),
+                          2, batch=batch)
+        # Neighbours of nodes 0-4 must also be 0-4, and similarly for 5-9.
+        for src, dst in edges.T:
+            assert (src < 5) == (dst < 5)
+
+    def test_k_larger_than_graph_repeats_neighbours(self):
+        pts = np.array([[0.0], [1.0]])
+        edges = knn_graph(pts, 5)
+        assert edges.shape == (2, 10)
+
+    def test_empty_input(self):
+        assert knn_graph(np.zeros((0, 3)), 3).shape == (2, 0)
+
+    def test_random_graph_in_degree(self):
+        edges = random_graph(10, 3, rng=np.random.default_rng(0))
+        in_degree = np.bincount(edges[1], minlength=10)
+        np.testing.assert_array_equal(in_degree, np.full(10, 3))
+
+
+class TestSampling:
+    def test_random_sample_unique_and_sorted(self):
+        idx = random_sample(50, 10, rng=np.random.default_rng(0))
+        assert len(np.unique(idx)) == 10
+        assert (np.diff(idx) > 0).all()
+
+    def test_random_sample_caps_at_population(self):
+        np.testing.assert_array_equal(random_sample(5, 10), np.arange(5))
+
+    def test_fps_spreads_points(self):
+        # Two clusters far apart: FPS with 2 samples must take one from each.
+        pts = np.vstack([np.zeros((10, 2)), np.full((10, 2), 100.0)])
+        idx = farthest_point_sample(pts, 2, rng=np.random.default_rng(0))
+        assert (idx < 10).sum() == 1 and (idx >= 10).sum() == 1
+
+    def test_subsample_ratio_validation(self):
+        with pytest.raises(ValueError):
+            subsample_graph_nodes(10, 0.0)
+        assert len(subsample_graph_nodes(10, 0.5)) == 5
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=3, max_value=30), st.integers(min_value=1, max_value=4))
+def test_knn_graph_degree_property(num_points, k):
+    """Property: every node receives exactly k incoming edges."""
+    rng = np.random.default_rng(num_points * 13 + k)
+    pts = rng.standard_normal((num_points, 3))
+    edges = knn_graph(pts, k)
+    in_degree = np.bincount(edges[1], minlength=num_points)
+    assert (in_degree == k).all()

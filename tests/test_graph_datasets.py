@@ -1,0 +1,128 @@
+"""Tests for the synthetic ModelNet40 / MR datasets and the split utility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (SyntheticModelNet40, SyntheticMR, stratified_split)
+
+
+class TestSyntheticModelNet40:
+    def test_shapes_and_labels(self):
+        dataset = SyntheticModelNet40(num_points=64, samples_per_class=3,
+                                      num_classes=6, seed=0)
+        graphs = dataset.generate()
+        assert len(graphs) == 18
+        for graph in graphs:
+            assert graph.x.shape == (64, 3)
+            assert graph.pos is not None and graph.pos.shape == (64, 3)
+            assert 0 <= graph.y < 6
+
+    def test_clouds_are_normalized_to_unit_sphere(self):
+        dataset = SyntheticModelNet40(num_points=64, samples_per_class=2,
+                                      num_classes=4, seed=1)
+        for graph in dataset.generate():
+            radii = np.linalg.norm(graph.x - graph.x.mean(axis=0), axis=1)
+            assert radii.max() <= 1.0 + 1e-6
+
+    def test_generation_is_deterministic_for_seed(self):
+        a = SyntheticModelNet40(num_points=32, samples_per_class=2,
+                                num_classes=3, seed=7).generate()
+        b = SyntheticModelNet40(num_points=32, samples_per_class=2,
+                                num_classes=3, seed=7).generate()
+        np.testing.assert_allclose(a[0].x, b[0].x)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticModelNet40(num_points=32, samples_per_class=1,
+                                num_classes=3, seed=1).generate()
+        b = SyntheticModelNet40(num_points=32, samples_per_class=1,
+                                num_classes=3, seed=2).generate()
+        assert not np.allclose(a[0].x, b[0].x)
+
+    def test_classes_are_geometrically_separable(self):
+        """Mean pairwise-distance signatures should differ across classes."""
+        dataset = SyntheticModelNet40(num_points=128, samples_per_class=4,
+                                      num_classes=4, seed=0)
+        graphs = dataset.generate()
+        signatures = {}
+        for graph in graphs:
+            spread = float(np.linalg.norm(graph.x, axis=1).std())
+            signatures.setdefault(graph.y, []).append(spread)
+        means = [np.mean(values) for values in signatures.values()]
+        assert np.std(means) > 1e-3
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticModelNet40(num_classes=1)
+        with pytest.raises(ValueError):
+            SyntheticModelNet40(num_points=4)
+
+    def test_describe_reports_metadata(self):
+        meta = SyntheticModelNet40(num_points=64, num_classes=10).describe()
+        assert meta["num_classes"] == 10 and meta["feature_dim"] == 3
+
+
+class TestSyntheticMR:
+    def test_shapes_and_labels(self):
+        dataset = SyntheticMR(num_documents=20, feature_dim=48, mean_nodes=10, seed=0)
+        graphs = dataset.generate()
+        assert len(graphs) == 20
+        labels = {graph.y for graph in graphs}
+        assert labels == {0, 1}
+        for graph in graphs:
+            assert graph.x.shape[1] == 48
+            assert graph.edge_index is not None and graph.edge_index.shape[0] == 2
+
+    def test_word_graphs_are_small(self):
+        dataset = SyntheticMR(num_documents=30, mean_nodes=17, seed=0)
+        sizes = [graph.num_nodes for graph in dataset.generate()]
+        assert 8 <= np.mean(sizes) <= 30
+
+    def test_window_edges_are_symmetric_neighbourhoods(self):
+        dataset = SyntheticMR(num_documents=4, mean_nodes=8, window=2, seed=0)
+        graph = dataset.generate()[0]
+        edge_set = {(int(s), int(t)) for s, t in graph.edge_index.T}
+        assert all((t, s) in edge_set for s, t in edge_set)
+
+    def test_classes_have_different_feature_statistics(self):
+        dataset = SyntheticMR(num_documents=60, feature_dim=64,
+                              class_separation=3.0, seed=0)
+        graphs = dataset.generate()
+        means = {0: [], 1: []}
+        for graph in graphs:
+            means[graph.y].append(graph.x.mean(axis=0))
+        centroid_distance = np.linalg.norm(np.mean(means[0], axis=0)
+                                           - np.mean(means[1], axis=0))
+        assert centroid_distance > 0.1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticMR(num_documents=1)
+        with pytest.raises(ValueError):
+            SyntheticMR(mean_nodes=2)
+
+
+class TestStratifiedSplit:
+    def test_partitions_are_disjoint_and_cover(self):
+        dataset = SyntheticMR(num_documents=40, feature_dim=16, seed=0)
+        graphs = dataset.generate()
+        split = stratified_split(graphs, 0.5, 0.25, seed=0)
+        total = sum(split.sizes())
+        assert total == len(graphs)
+        ids = [id(g) for part in (split.train, split.val, split.test) for g in part]
+        assert len(set(ids)) == total
+
+    def test_every_class_in_train(self):
+        dataset = SyntheticModelNet40(num_points=16, samples_per_class=3,
+                                      num_classes=5, seed=0)
+        split = stratified_split(dataset.generate(), 0.6, 0.2, seed=0)
+        train_classes = {g.y for g in split.train}
+        assert train_classes == set(range(5))
+
+    def test_fraction_validation(self):
+        graphs = SyntheticMR(num_documents=10, feature_dim=8, seed=0).generate()
+        with pytest.raises(ValueError):
+            stratified_split(graphs, 0.0, 0.2)
+        with pytest.raises(ValueError):
+            stratified_split(graphs, 0.8, 0.4)

@@ -1,0 +1,275 @@
+"""Tests for the hardware substrate: workloads, device models, link, LUTs, energy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gnn import OpSpec, OpType
+from repro.gnn.models import dgcnn_opspecs
+from repro.hardware import (DataProfile, DeviceSpec, EnergyBreakdown,
+                            JETSON_TX2, RASPBERRY_PI_4B, INTEL_I7, NVIDIA_1060,
+                            LINK_10MBPS, LINK_40MBPS, WirelessLink,
+                            build_latency_lut, communicate_latency_ms,
+                            estimate_device_energy, get_device, get_link,
+                            input_bytes, trace_workloads, transfer_bytes,
+                            all_devices)
+
+
+class TestDataProfile:
+    def test_modelnet_profile(self):
+        profile = DataProfile.modelnet40()
+        assert profile.num_nodes == 1024 and profile.feature_dim == 3
+        assert not profile.has_edges
+
+    def test_mr_profile_has_edges(self):
+        profile = DataProfile.mr()
+        assert profile.has_edges and profile.initial_edges > 0
+        assert profile.feature_dim == 300 and profile.num_classes == 2
+
+
+class TestTraceWorkloads:
+    def test_dimension_evolution_matches_semantics(self):
+        profile = DataProfile.modelnet40(num_points=64, num_classes=10)
+        ops = [OpSpec(OpType.SAMPLE, "knn", k=4),
+               OpSpec(OpType.AGGREGATE, "max"),
+               OpSpec(OpType.COMBINE, 32),
+               OpSpec(OpType.GLOBAL_POOL, "max||mean")]
+        workloads = trace_workloads(ops, profile)
+        assert [w.in_dim for w in workloads[:-1]] == [3, 3, 6, 32]
+        assert [w.out_dim for w in workloads[:-1]] == [3, 6, 32, 64]
+        # Classifier entry is appended last with the pooled input width.
+        assert workloads[-1].spec.op == OpType.CLASSIFIER
+        assert workloads[-1].in_dim == 64 and workloads[-1].num_nodes == 1
+
+    def test_sample_sets_edge_count(self):
+        profile = DataProfile.modelnet40(num_points=100)
+        workloads = trace_workloads([OpSpec(OpType.SAMPLE, "knn", k=5),
+                                     OpSpec(OpType.AGGREGATE, "max")], profile)
+        assert workloads[1].num_edges == 500
+
+    def test_transfer_bytes_shrink_after_pooling(self):
+        profile = DataProfile.modelnet40(num_points=128)
+        ops = [OpSpec(OpType.SAMPLE, "knn", k=4),
+               OpSpec(OpType.AGGREGATE, "max"),
+               OpSpec(OpType.COMBINE, 64),
+               OpSpec(OpType.GLOBAL_POOL, "mean"),
+               OpSpec(OpType.COMBINE, 64)]
+        workloads = trace_workloads(ops, profile)
+        before_pool = workloads[2].output_bytes
+        after_pool = workloads[3].output_bytes
+        assert after_pool < before_pool / 10
+
+    def test_mr_initial_edges_available_for_aggregate(self):
+        profile = DataProfile.mr(num_words=20)
+        workloads = trace_workloads([OpSpec(OpType.AGGREGATE, "mean")], profile)
+        assert workloads[0].num_edges == profile.initial_edges
+
+    def test_input_bytes(self):
+        profile = DataProfile.modelnet40(num_points=1024)
+        assert input_bytes(profile) == 1024 * 3 * 4
+        mr = DataProfile.mr(num_words=17)
+        assert input_bytes(mr) > 17 * 300 * 4  # features plus edge structure
+
+
+class TestDeviceModel:
+    def test_identity_is_free_and_communicate_is_overhead_only(self):
+        profile = DataProfile.modelnet40(num_points=64)
+        identity = trace_workloads([OpSpec(OpType.IDENTITY, "skip")], profile)[0]
+        assert JETSON_TX2.op_latency_ms(identity) == 0.0
+        comm = trace_workloads([OpSpec(OpType.COMMUNICATE, "uplink")], profile)[0]
+        assert JETSON_TX2.op_latency_ms(comm) == JETSON_TX2.op_overhead_ms
+
+    def test_latency_grows_with_workload(self):
+        small = DataProfile.modelnet40(num_points=128)
+        large = DataProfile.modelnet40(num_points=1024)
+        op = [OpSpec(OpType.SAMPLE, "knn", k=8)]
+        lat_small = JETSON_TX2.op_latency_ms(trace_workloads(op, small)[0])
+        lat_large = JETSON_TX2.op_latency_ms(trace_workloads(op, large)[0])
+        assert lat_large > lat_small * 4
+
+    def test_cache_aware_aggregate_rate(self):
+        """Aggregate on i7 is much slower once the table falls out of cache."""
+        small = DataProfile.mr(num_words=17, feature_dim=128)
+        large = DataProfile.modelnet40(num_points=1024)
+        # Widen the features to 128 before aggregating: the 1024-node table no
+        # longer fits the i7's modelled cache while the 17-node table does.
+        ops = [OpSpec(OpType.SAMPLE, "knn", k=20), OpSpec(OpType.COMBINE, 128),
+               OpSpec(OpType.AGGREGATE, "max")]
+        small_ops = [OpSpec(OpType.COMBINE, 128), OpSpec(OpType.AGGREGATE, "max")]
+        agg_small = INTEL_I7.op_latency_ms(trace_workloads(small_ops, small)[1])
+        agg_large = INTEL_I7.op_latency_ms(trace_workloads(ops, large)[2])
+        assert agg_large > 50 * agg_small
+
+    def test_sequence_latency_is_sum(self):
+        profile = DataProfile.modelnet40(num_points=64)
+        ops = dgcnn_opspecs(k=8)
+        workloads = trace_workloads(ops, profile)
+        total = JETSON_TX2.sequence_latency_ms(workloads)
+        assert total == pytest.approx(sum(JETSON_TX2.op_latency_ms(w)
+                                          for w in workloads))
+
+    def test_energy_helpers(self):
+        assert JETSON_TX2.compute_energy_j(1000.0) == pytest.approx(
+            JETSON_TX2.busy_power_w)
+        assert JETSON_TX2.idle_energy_j(0.0) == 0.0
+
+    def test_registry_lookup_and_aliases(self):
+        assert get_device("tx2") is JETSON_TX2
+        assert get_device("PI") is RASPBERRY_PI_4B
+        with pytest.raises(KeyError):
+            get_device("tpu")
+
+    def test_describe_contains_all_rates(self):
+        described = NVIDIA_1060.describe()
+        assert described["dense_rate"] > described["gather_rate_cold"]
+
+
+class TestCalibrationAnchors:
+    """The device models should land near the paper's measured anchors."""
+
+    @pytest.mark.parametrize("device,target_ms,tolerance", [
+        (JETSON_TX2, 242.0, 0.35),
+        (RASPBERRY_PI_4B, 1122.0, 0.35),
+        (INTEL_I7, 330.0, 0.35),
+        (NVIDIA_1060, 105.0, 0.35),
+    ])
+    def test_dgcnn_device_only_latency(self, device, target_ms, tolerance):
+        profile = DataProfile.modelnet40()
+        workloads = trace_workloads(dgcnn_opspecs(), profile, classifier_hidden=256)
+        latency = device.sequence_latency_ms(workloads, classifier_hidden=256)
+        assert abs(latency - target_ms) / target_ms < tolerance
+
+    def test_knn_dominates_on_gpus(self):
+        profile = DataProfile.modelnet40()
+        workloads = trace_workloads(dgcnn_opspecs(), profile, classifier_hidden=256)
+        for device in (JETSON_TX2, NVIDIA_1060):
+            knn = sum(device.op_latency_ms(w) for w in workloads
+                      if w.spec.op == OpType.SAMPLE)
+            total = device.sequence_latency_ms(workloads, 256)
+            assert knn / total > 0.4
+
+    def test_aggregate_dominates_on_i7_modelnet(self):
+        profile = DataProfile.modelnet40()
+        workloads = trace_workloads(dgcnn_opspecs(), profile, classifier_hidden=256)
+        agg = sum(INTEL_I7.op_latency_ms(w) for w in workloads
+                  if w.spec.op == OpType.AGGREGATE)
+        total = INTEL_I7.sequence_latency_ms(workloads, 256)
+        assert agg / total > 0.4
+
+    def test_combine_dominates_on_i7_mr(self):
+        profile = DataProfile.mr()
+        workloads = trace_workloads(dgcnn_opspecs(), profile, classifier_hidden=256)
+        by_type = {}
+        for w in workloads:
+            by_type.setdefault(w.spec.op, 0.0)
+            by_type[w.spec.op] += INTEL_I7.op_latency_ms(w, 256)
+        combine_like = by_type.get(OpType.COMBINE, 0) + by_type.get(OpType.CLASSIFIER, 0)
+        assert combine_like > by_type.get(OpType.AGGREGATE, 0)
+        assert combine_like > by_type.get(OpType.SAMPLE, 0)
+
+    def test_pi_is_slowest_everywhere(self):
+        profile = DataProfile.modelnet40()
+        workloads = trace_workloads(dgcnn_opspecs(), profile, classifier_hidden=256)
+        pi_latency = RASPBERRY_PI_4B.sequence_latency_ms(workloads, 256)
+        for device in (JETSON_TX2, INTEL_I7, NVIDIA_1060):
+            assert pi_latency > device.sequence_latency_ms(workloads, 256)
+
+
+class TestWirelessLink:
+    def test_transfer_time_scales_with_bandwidth(self):
+        payload = 100_000
+        assert (LINK_10MBPS.transfer_time_ms(payload)
+                > LINK_40MBPS.transfer_time_ms(payload) * 2)
+
+    def test_zero_payload_is_free(self):
+        assert LINK_40MBPS.transfer_time_ms(0) == 0.0
+
+    def test_compression_reduces_time(self):
+        lossless = WirelessLink(bandwidth_mbps=40, compression_ratio=1.0, rtt_ms=0.0)
+        compressed = WirelessLink(bandwidth_mbps=40, compression_ratio=0.5, rtt_ms=0.0)
+        assert compressed.transfer_time_ms(10_000) == pytest.approx(
+            lossless.transfer_time_ms(10_000) / 2)
+
+    def test_transmit_power_model_affine(self):
+        link = WirelessLink(bandwidth_mbps=40, tx_power_base_w=1.0,
+                            tx_power_per_mbps_w=0.01)
+        assert link.transmit_power_w() == pytest.approx(1.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WirelessLink(bandwidth_mbps=0)
+        with pytest.raises(ValueError):
+            WirelessLink(bandwidth_mbps=10, compression_ratio=0.0)
+
+    def test_get_link_by_name_and_number(self):
+        assert get_link("10mbps") is LINK_10MBPS
+        assert get_link(25).bandwidth_mbps == 25
+        with pytest.raises(KeyError):
+            get_link("5g")
+
+
+class TestEnergy:
+    def test_breakdown_components_sum(self):
+        breakdown = estimate_device_energy(JETSON_TX2, LINK_40MBPS,
+                                           device_busy_ms=100.0,
+                                           device_idle_ms=50.0,
+                                           uploaded_bytes=50_000)
+        assert breakdown.total_j == pytest.approx(
+            breakdown.idle_j + breakdown.run_j + breakdown.comm_j)
+        assert breakdown.run_j > breakdown.idle_j
+
+    def test_no_upload_means_no_comm_energy(self):
+        breakdown = estimate_device_energy(JETSON_TX2, LINK_40MBPS, 10.0, 0.0, 0)
+        assert breakdown.comm_j == 0.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_device_energy(JETSON_TX2, LINK_40MBPS, -1.0, 0.0, 0)
+
+
+class TestLatencyLUT:
+    def test_lut_has_entries_for_all_ops(self):
+        profile = DataProfile.modelnet40(num_points=64)
+        lut = build_latency_lut(JETSON_TX2, profile)
+        assert len(lut.entries) > 20
+        assert lut.lookup(OpSpec(OpType.COMBINE, 64), 64) > 0
+
+    def test_lookup_falls_back_for_unseen_width(self):
+        profile = DataProfile.modelnet40(num_points=64)
+        lut = build_latency_lut(JETSON_TX2, profile)
+        value = lut.lookup(OpSpec(OpType.COMBINE, 64), 48)
+        assert value > 0
+
+    def test_faster_device_has_smaller_entries(self):
+        profile = DataProfile.modelnet40(num_points=256)
+        fast = build_latency_lut(NVIDIA_1060, profile)
+        slow = build_latency_lut(RASPBERRY_PI_4B, profile)
+        spec = OpSpec(OpType.COMBINE, 128)
+        assert fast.lookup(spec, 128) < slow.lookup(spec, 128)
+
+    def test_communicate_latency_uses_link(self):
+        assert communicate_latency_ms(LINK_10MBPS, 100_000) > \
+            communicate_latency_ms(LINK_40MBPS, 100_000)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=10 ** 6))
+def test_transfer_time_monotone_in_payload(payload):
+    """Property: transfer time never decreases as the payload grows."""
+    assert LINK_40MBPS.transfer_time_ms(payload) <= \
+        LINK_40MBPS.transfer_time_ms(payload + 1024)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from(["add", "mean", "max"]),
+       st.integers(min_value=16, max_value=512))
+def test_op_latency_positive_property(reducer, num_points):
+    """Property: every modelled operation latency is strictly positive."""
+    profile = DataProfile.modelnet40(num_points=num_points)
+    ops = [OpSpec(OpType.SAMPLE, "knn", k=8), OpSpec(OpType.AGGREGATE, reducer)]
+    for device in all_devices():
+        for workload in trace_workloads(ops, profile):
+            assert device.op_latency_ms(workload) > 0

@@ -1,0 +1,145 @@
+"""Tests for loss functions and optimizers (including end-to-end convergence)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestLosses:
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = nn.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-4
+
+    def test_cross_entropy_uniform_equals_log_classes(self):
+        logits = Tensor(np.zeros((4, 8)))
+        loss = nn.cross_entropy(logits, np.array([0, 1, 2, 3]))
+        assert loss.item() == pytest.approx(np.log(8), abs=1e-9)
+
+    def test_cross_entropy_validates_shapes(self):
+        with pytest.raises(ValueError):
+            nn.cross_entropy(Tensor(np.zeros(4)), np.array([0]))
+        with pytest.raises(ValueError):
+            nn.cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+
+    def test_mse_and_mae(self):
+        pred = Tensor(np.array([1.0, 3.0]))
+        target = np.array([0.0, 1.0])
+        assert nn.mse_loss(pred, target).item() == pytest.approx(2.5)
+        assert nn.mae_loss(pred, target).item() == pytest.approx(1.5)
+
+    def test_mape_is_relative(self):
+        pred = Tensor(np.array([110.0, 220.0]))
+        target = np.array([100.0, 200.0])
+        assert nn.mape_loss(pred, target).item() == pytest.approx(0.1)
+
+    def test_accuracy_and_balanced_accuracy(self):
+        logits = Tensor(np.array([[2.0, 0.0], [2.0, 0.0], [2.0, 0.0], [0.0, 2.0]]))
+        targets = np.array([0, 0, 1, 1])
+        assert nn.accuracy(logits, targets) == pytest.approx(0.75)
+        assert nn.balanced_accuracy(logits, targets) == pytest.approx(0.75)
+
+    def test_balanced_accuracy_differs_under_imbalance(self):
+        # 9 of class 0 (all right), 1 of class 1 (wrong): OA=0.9, mAcc=0.5.
+        logits = Tensor(np.vstack([np.tile([2.0, 0.0], (10, 1))]))
+        targets = np.array([0] * 9 + [1])
+        assert nn.accuracy(logits, targets) == pytest.approx(0.9)
+        assert nn.balanced_accuracy(logits, targets) == pytest.approx(0.5)
+
+
+class TestOptimizers:
+    @staticmethod
+    def _quadratic_parameter():
+        return nn.Parameter(np.array([5.0, -3.0]))
+
+    def test_sgd_minimizes_quadratic(self):
+        param = self._quadratic_parameter()
+        opt = nn.SGD([param], lr=0.1)
+        for _ in range(200):
+            loss = (Tensor(param.data * 0) + param * param).sum()
+            loss = (param * param).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.abs(param.data).max() < 1e-3
+
+    def test_sgd_momentum_converges_faster_than_plain(self):
+        def run(momentum):
+            param = self._quadratic_parameter()
+            opt = nn.SGD([param], lr=0.02, momentum=momentum)
+            for _ in range(60):
+                loss = (param * param).sum()
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            return float(np.abs(param.data).max())
+        assert run(0.9) < run(0.0)
+
+    def test_adam_minimizes_quadratic(self):
+        param = self._quadratic_parameter()
+        opt = nn.Adam([param], lr=0.2)
+        for _ in range(300):
+            loss = (param * param).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.abs(param.data).max() < 1e-2
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = nn.Parameter(np.array([1.0]))
+        opt = nn.SGD([param], lr=0.1, weight_decay=0.5)
+        for _ in range(50):
+            opt.zero_grad()
+            (param * 0.0).sum().backward()
+            opt.step()
+        assert abs(param.data[0]) < 1.0
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            nn.Adam([], lr=0.1)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([nn.Parameter(np.ones(1))], lr=0.0)
+
+    def test_step_lr_decays(self):
+        opt = nn.SGD([nn.Parameter(np.ones(1))], lr=1.0)
+        scheduler = nn.StepLR(opt, step_size=2, gamma=0.5)
+        scheduler.step()
+        assert opt.lr == pytest.approx(1.0)
+        scheduler.step()
+        assert opt.lr == pytest.approx(0.5)
+
+
+class TestEndToEndTraining:
+    def test_mlp_learns_xor(self):
+        rng = np.random.default_rng(0)
+        x = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]] * 8)
+        y = np.array([0, 1, 1, 0] * 8)
+        model = nn.MLP([2, 16, 2], rng=rng)
+        opt = nn.Adam(model.parameters(), lr=0.05)
+        for _ in range(200):
+            logits = model(Tensor(x))
+            loss = nn.cross_entropy(logits, y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert nn.accuracy(model(Tensor(x)), y) == pytest.approx(1.0)
+
+    def test_linear_regression_recovers_weights(self):
+        rng = np.random.default_rng(1)
+        true_w = np.array([[2.0], [-1.0], [0.5]])
+        x = rng.standard_normal((128, 3))
+        y = x @ true_w
+        layer = nn.Linear(3, 1, rng=rng)
+        opt = nn.Adam(layer.parameters(), lr=0.05)
+        for _ in range(300):
+            loss = nn.mse_loss(layer(Tensor(x)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(layer.weight.data, true_w, atol=0.05)

@@ -1,0 +1,158 @@
+"""Tests for the module system: layers, parameter registration, state dicts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = nn.Linear(8, 4, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((5, 8))))
+        assert out.shape == (5, 4)
+
+    def test_no_bias_option(self):
+        layer = nn.Linear(3, 2, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 4)
+
+    def test_gradients_reach_parameters(self):
+        layer = nn.Linear(4, 3, rng=np.random.default_rng(1))
+        out = layer(Tensor(np.random.default_rng(2).standard_normal((6, 4))))
+        out.sum().backward()
+        assert layer.weight.grad is not None and layer.weight.grad.shape == (4, 3)
+        assert layer.bias.grad is not None and layer.bias.grad.shape == (3,)
+
+
+class TestMLPAndSequential:
+    def test_mlp_shapes_and_depth(self):
+        mlp = nn.MLP([6, 12, 3], rng=np.random.default_rng(0))
+        out = mlp(Tensor(np.ones((4, 6))))
+        assert out.shape == (4, 3)
+        assert mlp.out_features == 3
+
+    def test_mlp_requires_two_dims(self):
+        with pytest.raises(ValueError):
+            nn.MLP([5])
+
+    def test_sequential_iteration_and_indexing(self):
+        seq = nn.Sequential(nn.Linear(3, 3), nn.ReLU(), nn.Linear(3, 2))
+        assert len(seq) == 3
+        assert isinstance(seq[1], nn.ReLU)
+        out = seq(Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 2)
+
+    def test_mlp_dropout_only_in_training(self):
+        mlp = nn.MLP([4, 8, 2], dropout=0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((3, 4)))
+        mlp.eval()
+        a = mlp(x).data
+        b = mlp(x).data
+        np.testing.assert_allclose(a, b)
+
+
+class TestNormalization:
+    def test_batchnorm_normalizes_in_training(self):
+        bn = nn.BatchNorm1d(4)
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((200, 4)) * 5 + 3)
+        out = bn(x).data
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_batchnorm_eval_uses_running_stats(self):
+        bn = nn.BatchNorm1d(2)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            bn(Tensor(rng.standard_normal((32, 2)) + 10.0))
+        bn.eval()
+        out = bn(Tensor(np.full((4, 2), 10.0))).data
+        assert np.abs(out).max() < 1.0
+
+    def test_layernorm_normalizes_rows(self):
+        ln = nn.LayerNorm(6)
+        rng = np.random.default_rng(2)
+        out = ln(Tensor(rng.standard_normal((5, 6)) * 3 + 7)).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+
+
+class TestModuleMechanics:
+    def test_parameters_are_collected_recursively(self):
+        model = nn.Sequential(nn.Linear(3, 4), nn.Sequential(nn.Linear(4, 2)))
+        assert len(model.parameters()) == 4  # two weights + two biases
+        names = dict(model.named_parameters())
+        assert any(name.endswith("weight") for name in names)
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Dropout(0.5), nn.Linear(2, 2))
+        model.eval()
+        assert all(not module.training for module in model.modules())
+        model.train()
+        assert all(module.training for module in model.modules())
+
+    def test_num_parameters_counts_scalars(self):
+        layer = nn.Linear(3, 2)
+        assert layer.num_parameters() == 3 * 2 + 2
+
+    def test_zero_grad_clears_all(self):
+        layer = nn.Linear(3, 2)
+        layer(Tensor(np.ones((1, 3)))).sum().backward()
+        layer.zero_grad()
+        assert all(p.grad is None for p in layer.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip_restores_weights(self):
+        a = nn.MLP([4, 8, 2], rng=np.random.default_rng(0))
+        b = nn.MLP([4, 8, 2], rng=np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.random.default_rng(1).standard_normal((3, 4)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_missing_key_raises_in_strict_mode(self):
+        layer = nn.Linear(2, 2)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({}, strict=True)
+
+    def test_shape_mismatch_raises(self):
+        layer = nn.Linear(2, 2)
+        bad = {name: np.zeros((5, 5)) for name, _ in layer.named_parameters()}
+        with pytest.raises(ValueError):
+            layer.load_state_dict(bad)
+
+    def test_batchnorm_buffers_serialized(self):
+        bn = nn.BatchNorm1d(3)
+        bn(Tensor(np.random.default_rng(0).standard_normal((16, 3)) + 4))
+        state = bn.state_dict()
+        assert "running_mean" in state
+        fresh = nn.BatchNorm1d(3)
+        fresh.load_state_dict(state)
+        np.testing.assert_allclose(fresh._buffers["running_mean"],
+                                   bn._buffers["running_mean"])
+
+
+class TestSerializationToDisk:
+    def test_save_and_load_module(self, tmp_path):
+        model = nn.MLP([3, 5, 2], rng=np.random.default_rng(0))
+        path = str(tmp_path / "model.npz")
+        nn.save_module(model, path)
+        clone = nn.MLP([3, 5, 2], rng=np.random.default_rng(7))
+        nn.load_module(clone, path)
+        x = Tensor(np.random.default_rng(2).standard_normal((4, 3)))
+        np.testing.assert_allclose(model(x).data, clone(x).data)
+
+    def test_state_dict_file_roundtrip(self, tmp_path):
+        state = {"a": np.arange(5.0), "b.c": np.eye(2)}
+        path = str(tmp_path / "state.npz")
+        nn.save_state_dict(state, path)
+        loaded = nn.load_state_dict(path)
+        assert set(loaded) == {"a", "b.c"}
+        np.testing.assert_allclose(loaded["b.c"], np.eye(2))

@@ -1,0 +1,165 @@
+"""Tests for functional ops: softmax, dropout, one-hot and scatter reductions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestSoftmax:
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((5, 7))
+        out = nn.softmax(Tensor(logits)).data
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(5), atol=1e-12)
+        assert (out >= 0).all()
+
+    def test_softmax_is_shift_invariant(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        a = nn.softmax(Tensor(logits)).data
+        b = nn.softmax(Tensor(logits + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((4, 6))
+        direct = nn.log_softmax(Tensor(logits)).data
+        via_softmax = np.log(nn.softmax(Tensor(logits)).data)
+        np.testing.assert_allclose(direct, via_softmax, atol=1e-10)
+
+    def test_softmax_handles_extreme_logits(self):
+        logits = np.array([[1000.0, -1000.0, 0.0]])
+        out = nn.softmax(Tensor(logits)).data
+        assert np.isfinite(out).all()
+        assert out[0, 0] == pytest.approx(1.0)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = Tensor(np.ones((10, 10)))
+        out = nn.dropout(x, 0.5, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_training_mode_zeroes_and_rescales(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(np.ones((200, 50)))
+        out = nn.dropout(x, 0.4, training=True, rng=rng).data
+        zero_fraction = (out == 0).mean()
+        assert 0.3 < zero_fraction < 0.5
+        surviving = out[out != 0]
+        np.testing.assert_allclose(surviving, 1.0 / 0.6, atol=1e-12)
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ValueError):
+            nn.dropout(Tensor(np.ones(3)), 1.5, training=True)
+
+    def test_zero_probability_is_identity(self):
+        x = Tensor(np.arange(5.0))
+        np.testing.assert_allclose(nn.dropout(x, 0.0, training=True).data, x.data)
+
+
+class TestOneHot:
+    def test_one_hot_encoding(self):
+        out = nn.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_allclose(out, np.eye(3)[[0, 2, 1]])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            nn.one_hot(np.array([3]), 3)
+
+
+class TestScatter:
+    def test_scatter_add_matches_manual(self):
+        src = Tensor(np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]))
+        out = nn.scatter_add(src, np.array([0, 1, 0]), 2).data
+        np.testing.assert_allclose(out, [[6.0, 8.0], [3.0, 4.0]])
+
+    def test_scatter_mean_ignores_empty_segments(self):
+        src = Tensor(np.array([[2.0], [4.0]]))
+        out = nn.scatter_mean(src, np.array([0, 0]), 3).data
+        np.testing.assert_allclose(out, [[3.0], [0.0], [0.0]])
+
+    def test_scatter_max_values_and_empty_segments(self):
+        src = Tensor(np.array([[1.0, -5.0], [3.0, 2.0], [2.0, 7.0]]))
+        out = nn.scatter_max(src, np.array([1, 1, 1]), 3).data
+        np.testing.assert_allclose(out[1], [3.0, 7.0])
+        np.testing.assert_allclose(out[0], [0.0, 0.0])
+        np.testing.assert_allclose(out[2], [0.0, 0.0])
+
+    def test_scatter_add_gradient(self):
+        src = Tensor(np.ones((4, 2)), requires_grad=True)
+        nn.scatter_add(src, np.array([0, 1, 1, 0]), 2).sum().backward()
+        np.testing.assert_allclose(src.grad, np.ones((4, 2)))
+
+    def test_scatter_mean_gradient_divides_by_count(self):
+        src = Tensor(np.ones((4, 1)), requires_grad=True)
+        nn.scatter_mean(src, np.array([0, 0, 0, 1]), 2).sum().backward()
+        np.testing.assert_allclose(src.grad.reshape(-1), [1 / 3, 1 / 3, 1 / 3, 1.0])
+
+    def test_scatter_max_gradient_goes_to_argmax_only(self):
+        src = Tensor(np.array([[1.0], [5.0], [3.0]]), requires_grad=True)
+        nn.scatter_max(src, np.array([0, 0, 0]), 1).sum().backward()
+        np.testing.assert_allclose(src.grad.reshape(-1), [0.0, 1.0, 0.0])
+
+    def test_index_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            nn.scatter_add(Tensor(np.ones((3, 2))), np.array([0, 1]), 2)
+
+    def test_unknown_reduce_raises(self):
+        with pytest.raises(ValueError):
+            nn.scatter(Tensor(np.ones((2, 2))), np.array([0, 1]), 2, reduce="median")
+
+
+class TestGlobalPool:
+    def test_mean_pool_per_graph(self):
+        x = Tensor(np.array([[1.0], [3.0], [10.0]]))
+        batch = np.array([0, 0, 1])
+        out = nn.global_pool(x, batch, 2, mode="mean").data
+        np.testing.assert_allclose(out, [[2.0], [10.0]])
+
+    def test_max_concat_mean_doubles_width(self):
+        x = Tensor(np.arange(8.0).reshape(4, 2))
+        batch = np.array([0, 0, 1, 1])
+        out = nn.global_pool(x, batch, 2, mode="max||mean")
+        assert out.shape == (2, 4)
+
+    def test_sum_pool_matches_scatter_add(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((6, 3))
+        batch = np.array([0, 0, 1, 1, 2, 2])
+        out = nn.global_pool(Tensor(x), batch, 3, mode="sum").data
+        expected = np.stack([x[:2].sum(0), x[2:4].sum(0), x[4:].sum(0)])
+        np.testing.assert_allclose(out, expected)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            nn.global_pool(Tensor(np.ones((2, 2))), np.array([0, 1]), 2, mode="median")
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=5))
+def test_scatter_add_conserves_mass_property(num_rows, num_segments):
+    """Property: scatter_add preserves the column sums of its input."""
+    rng = np.random.default_rng(num_rows * 7 + num_segments)
+    src = rng.standard_normal((num_rows, 3))
+    index = rng.integers(0, num_segments, size=num_rows)
+    out = nn.scatter_add(Tensor(src), index, num_segments).data
+    np.testing.assert_allclose(out.sum(axis=0), src.sum(axis=0), atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=15))
+def test_scatter_max_upper_bounds_mean_property(num_rows):
+    """Property: per-segment max is >= per-segment mean for every feature."""
+    rng = np.random.default_rng(num_rows)
+    src = rng.standard_normal((num_rows, 4))
+    index = rng.integers(0, 3, size=num_rows)
+    maxed = nn.scatter_max(Tensor(src), index, 3).data
+    meaned = nn.scatter_mean(Tensor(src), index, 3).data
+    populated = np.isin(np.arange(3), index)
+    assert (maxed[populated] + 1e-9 >= meaned[populated]).all()

@@ -1,0 +1,236 @@
+"""Autograd correctness tests: analytic gradients vs numerical differentiation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn.tensor import Tensor, concat, stack, where, maximum
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued function of ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = fn(x.copy())
+        flat[i] = original - eps
+        lower = fn(x.copy())
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, x: np.ndarray, atol: float = 1e-5) -> None:
+    """Compare autograd gradient of ``build`` against numerical gradient."""
+    tensor = Tensor(x.copy(), requires_grad=True)
+    out = build(tensor)
+    out.backward()
+    analytic = tensor.grad
+
+    def scalar_fn(values: np.ndarray) -> float:
+        return float(build(Tensor(values)).data)
+
+    numeric = numerical_grad(scalar_fn, x.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-4)
+
+
+class TestBasicOps:
+    def test_add_backward(self):
+        check_gradient(lambda t: (t + 3.0).sum(), np.random.default_rng(0).standard_normal((3, 4)))
+
+    def test_mul_backward(self):
+        rng = np.random.default_rng(1)
+        other = rng.standard_normal((3, 4))
+        check_gradient(lambda t: (t * Tensor(other)).sum(), rng.standard_normal((3, 4)))
+
+    def test_sub_and_neg(self):
+        rng = np.random.default_rng(2)
+        check_gradient(lambda t: (5.0 - (-t)).sum(), rng.standard_normal((2, 3)))
+
+    def test_div_backward(self):
+        rng = np.random.default_rng(3)
+        denom = np.abs(rng.standard_normal((2, 3))) + 1.0
+        check_gradient(lambda t: (t / Tensor(denom)).sum(), rng.standard_normal((2, 3)))
+
+    def test_pow_backward(self):
+        rng = np.random.default_rng(4)
+        check_gradient(lambda t: (t ** 3).sum(), rng.standard_normal((3, 3)))
+
+    def test_matmul_backward(self):
+        rng = np.random.default_rng(5)
+        other = rng.standard_normal((4, 2))
+        check_gradient(lambda t: t.matmul(Tensor(other)).sum(),
+                       rng.standard_normal((3, 4)))
+
+    def test_matmul_grad_for_second_operand(self):
+        rng = np.random.default_rng(6)
+        a = Tensor(rng.standard_normal((3, 4)))
+        b = Tensor(rng.standard_normal((4, 2)), requires_grad=True)
+        (a.matmul(b)).sum().backward()
+        expected = a.data.T @ np.ones((3, 2))
+        np.testing.assert_allclose(b.grad, expected, atol=1e-10)
+
+    def test_broadcasting_add_bias(self):
+        rng = np.random.default_rng(7)
+        bias = Tensor(rng.standard_normal(4), requires_grad=True)
+        x = Tensor(rng.standard_normal((5, 4)))
+        (x + bias).sum().backward()
+        np.testing.assert_allclose(bias.grad, np.full(4, 5.0))
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("name", ["exp", "tanh", "sigmoid", "relu", "abs"])
+    def test_unary_gradients(self, name):
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal((3, 3)) + 0.1  # avoid the ReLU kink at 0
+        check_gradient(lambda t: getattr(t, name)().sum(), x)
+
+    def test_log_gradient(self):
+        rng = np.random.default_rng(9)
+        x = np.abs(rng.standard_normal((3, 3))) + 0.5
+        check_gradient(lambda t: t.log().sum(), x)
+
+    def test_leaky_relu_negative_slope(self):
+        x = Tensor(np.array([[-2.0, 3.0]]), requires_grad=True)
+        out = x.leaky_relu(0.1)
+        np.testing.assert_allclose(out.data, [[-0.2, 3.0]])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.1, 1.0]])
+
+    def test_clip_gradient_masks_out_of_range(self):
+        x = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductionsAndShape:
+    def test_sum_axis_gradient(self):
+        rng = np.random.default_rng(10)
+        check_gradient(lambda t: (t.sum(axis=0) ** 2).sum(),
+                       rng.standard_normal((4, 3)))
+
+    def test_mean_gradient(self):
+        rng = np.random.default_rng(11)
+        check_gradient(lambda t: t.mean(), rng.standard_normal((4, 5)))
+
+    def test_max_axis_gradient_flows_to_argmax(self):
+        x = Tensor(np.array([[1.0, 5.0, 2.0], [7.0, 3.0, 4.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        expected = np.array([[0.0, 1.0, 0.0], [1.0, 0.0, 0.0]])
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_min_matches_numpy(self):
+        rng = np.random.default_rng(12)
+        data = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(Tensor(data).min(axis=1).data, data.min(axis=1))
+
+    def test_reshape_transpose_roundtrip_gradient(self):
+        rng = np.random.default_rng(13)
+        check_gradient(lambda t: (t.reshape(6, 2).transpose() ** 2).sum(),
+                       rng.standard_normal((3, 4)))
+
+    def test_getitem_gradient_accumulates(self):
+        x = Tensor(np.arange(6, dtype=float).reshape(3, 2), requires_grad=True)
+        picked = x[np.array([0, 0, 2])]
+        picked.sum().backward()
+        np.testing.assert_allclose(x.grad, [[2.0, 2.0], [0.0, 0.0], [1.0, 1.0]])
+
+    def test_gather_rows_matches_indexing(self):
+        rng = np.random.default_rng(14)
+        data = rng.standard_normal((5, 3))
+        idx = np.array([4, 0, 2, 2])
+        np.testing.assert_allclose(Tensor(data).gather_rows(idx).data, data[idx])
+
+
+class TestGraphMechanics:
+    def test_backward_requires_scalar_without_grad(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward()
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 3).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(3, 5.0))
+
+    def test_no_grad_disables_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with nn.no_grad():
+            y = (x * 2).sum()
+        assert y.requires_grad is False
+        assert nn.is_grad_enabled() is True
+
+    def test_detach_stops_gradient(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x.detach() * 2).sum()
+        assert y.requires_grad is False
+
+    def test_diamond_graph_gradient(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        a = x * 3
+        b = x * 4
+        (a * b).sum().backward()  # d/dx (12 x^2) = 24 x
+        np.testing.assert_allclose(x.grad, [48.0])
+
+    def test_zero_grad_resets(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        x.sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestFreeFunctions:
+    def test_concat_gradient_split(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        concat([a, b], axis=1).sum().backward()
+        assert a.grad.shape == (2, 2) and b.grad.shape == (2, 3)
+        np.testing.assert_allclose(a.grad, 1.0)
+        np.testing.assert_allclose(b.grad, 1.0)
+
+    def test_stack_shapes(self):
+        a, b = Tensor(np.ones(3)), Tensor(np.zeros(3))
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+
+    def test_where_routes_gradient(self):
+        a = Tensor(np.ones(4), requires_grad=True)
+        b = Tensor(np.zeros(4), requires_grad=True)
+        condition = np.array([True, False, True, False])
+        where(condition, a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 0, 1, 0])
+        np.testing.assert_allclose(b.grad, [0, 1, 0, 1])
+
+    def test_maximum_matches_numpy(self):
+        rng = np.random.default_rng(15)
+        a, b = rng.standard_normal(5), rng.standard_normal(5)
+        np.testing.assert_allclose(maximum(Tensor(a), Tensor(b)).data,
+                                   np.maximum(a, b))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(min_value=-5, max_value=5), min_size=2, max_size=12))
+def test_sum_linearity_property(values):
+    """Property: grad of sum(c*x) w.r.t. x equals c everywhere."""
+    x = Tensor(np.asarray(values), requires_grad=True)
+    (x * 2.5).sum().backward()
+    np.testing.assert_allclose(x.grad, np.full(len(values), 2.5))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+def test_matmul_shape_property(n, m):
+    """Property: (n,m) @ (m,1) yields shape (n,1) and correct values."""
+    rng = np.random.default_rng(n * 10 + m)
+    a, b = rng.standard_normal((n, m)), rng.standard_normal((m, 1))
+    out = Tensor(a).matmul(Tensor(b))
+    assert out.shape == (n, 1)
+    np.testing.assert_allclose(out.data, a @ b)

@@ -1,0 +1,160 @@
+"""Tests for the co-inference simulator and the partitioning utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gnn import OpSpec, OpType
+from repro.gnn.models import dgcnn_opspecs
+from repro.hardware import (DataProfile, JETSON_TX2, INTEL_I7, NVIDIA_1060,
+                            RASPBERRY_PI_4B, LINK_10MBPS, LINK_40MBPS)
+from repro.system import (CoInferenceSimulator, SystemConfig, best_partition,
+                          candidate_partitions, evaluate_partitions,
+                          insert_partition, make_system)
+
+
+def small_ops(width=32, k=4):
+    return [OpSpec(OpType.SAMPLE, "knn", k=k),
+            OpSpec(OpType.AGGREGATE, "max"),
+            OpSpec(OpType.COMBINE, width),
+            OpSpec(OpType.GLOBAL_POOL, "mean")]
+
+
+@pytest.fixture
+def profile():
+    return DataProfile.modelnet40(num_points=128, num_classes=10)
+
+
+@pytest.fixture
+def simulator():
+    return CoInferenceSimulator(SystemConfig(JETSON_TX2, INTEL_I7, LINK_40MBPS))
+
+
+class TestSimulator:
+    def test_device_only_has_no_communication(self, simulator, profile):
+        perf = simulator.evaluate_device_only(small_ops(), profile)
+        assert perf.comm_ms == 0.0 and perf.uploaded_bytes == 0.0
+        assert perf.edge_busy_ms == 0.0
+        assert perf.latency_ms > perf.device_busy_ms  # runtime overhead added
+
+    def test_edge_only_uploads_input(self, simulator, profile):
+        perf = simulator.evaluate_edge_only(small_ops(), profile)
+        assert perf.uploaded_bytes == pytest.approx(128 * 3 * 4)
+        assert perf.device_busy_ms == 0.0 and perf.edge_busy_ms > 0
+
+    def test_co_inference_splits_busy_time(self, simulator, profile):
+        ops = small_ops()
+        ops.insert(2, OpSpec(OpType.COMMUNICATE, "uplink"))
+        perf = simulator.evaluate(ops, profile)
+        assert perf.device_busy_ms > 0 and perf.edge_busy_ms > 0
+        assert perf.comm_ms > 0 and perf.uploaded_bytes > 0
+        # Result produced on the edge returns to the device.
+        assert perf.downloaded_bytes > 0
+
+    def test_latency_is_sum_of_components(self, simulator, profile):
+        ops = small_ops()
+        ops.insert(2, OpSpec(OpType.COMMUNICATE, "uplink"))
+        perf = simulator.evaluate(ops, profile)
+        expected = (perf.device_busy_ms + perf.edge_busy_ms + perf.comm_ms
+                    + simulator.runtime_overhead_ms * 2)
+        assert perf.latency_ms == pytest.approx(expected)
+
+    def test_worse_network_slows_co_inference_only(self, profile):
+        ops = small_ops()
+        ops.insert(1, OpSpec(OpType.COMMUNICATE, "uplink"))
+        fast = CoInferenceSimulator(SystemConfig(JETSON_TX2, INTEL_I7, LINK_40MBPS))
+        slow = CoInferenceSimulator(SystemConfig(JETSON_TX2, INTEL_I7, LINK_10MBPS))
+        assert slow.evaluate(ops, profile).latency_ms > \
+            fast.evaluate(ops, profile).latency_ms
+        assert slow.evaluate_device_only(ops, profile).latency_ms == pytest.approx(
+            fast.evaluate_device_only(ops, profile).latency_ms)
+
+    def test_pipelined_fps_exceeds_sequential_for_balanced_split(self, profile):
+        ops = dgcnn_opspecs(k=8)
+        ops.insert(6, OpSpec(OpType.COMMUNICATE, "uplink"))
+        simulator = CoInferenceSimulator(SystemConfig(JETSON_TX2, NVIDIA_1060,
+                                                      LINK_40MBPS))
+        perf = simulator.evaluate(ops, profile)
+        assert perf.pipelined_fps > perf.fps
+
+    def test_energy_lower_when_offloading_from_weak_device(self, profile):
+        ops = dgcnn_opspecs(k=8)
+        simulator = CoInferenceSimulator(SystemConfig(RASPBERRY_PI_4B, NVIDIA_1060,
+                                                      LINK_40MBPS))
+        device_only = simulator.evaluate_device_only(ops, profile)
+        edge_only = simulator.evaluate_edge_only(ops, profile)
+        assert edge_only.device_energy_j < device_only.device_energy_j
+
+    def test_timeline_covers_all_operations(self, simulator, profile):
+        ops = small_ops()
+        perf = simulator.evaluate(ops, profile)
+        # ops + classifier entries (no communicates in this architecture)
+        assert len(perf.timeline) == len(ops) + 1
+
+    def test_profile_operations_excludes_communicate(self, simulator, profile):
+        ops = small_ops()
+        ops.insert(2, OpSpec(OpType.COMMUNICATE, "uplink"))
+        rows = simulator.profile_operations(ops, profile)
+        assert len(rows) == len(ops)  # communicate dropped, classifier added
+        assert all(latency > 0 for _, latency, _ in rows)
+
+    def test_invalid_initial_side_rejected(self, simulator, profile):
+        with pytest.raises(ValueError):
+            simulator.evaluate(small_ops(), profile, initial_side="cloud")
+
+    def test_summary_keys(self, simulator, profile):
+        summary = simulator.evaluate(small_ops(), profile).summary()
+        assert {"latency_ms", "device_energy_j", "fps", "pipelined_fps"} <= set(summary)
+
+    def test_make_system_accepts_bandwidth_number(self):
+        system = make_system(JETSON_TX2, INTEL_I7, 25)
+        assert system.link.bandwidth_mbps == 25
+        assert "25" in system.name
+
+
+class TestPartitioning:
+    def test_insert_partition_positions(self):
+        ops = small_ops()
+        partitioned = insert_partition(ops, 1)
+        assert partitioned[2].op == OpType.COMMUNICATE
+        assert len(partitioned) == len(ops) + 1
+        edge_first = insert_partition(ops, -1)
+        assert edge_first[0].op == OpType.COMMUNICATE
+
+    def test_insert_partition_range_check(self):
+        with pytest.raises(ValueError):
+            insert_partition(small_ops(), 10)
+
+    def test_candidate_partitions_count(self):
+        assert len(candidate_partitions(small_ops())) == len(small_ops()) + 1
+
+    def test_evaluate_partitions_returns_all(self, simulator, profile):
+        results = evaluate_partitions(small_ops(), profile, simulator)
+        assert len(results) == len(small_ops()) + 1
+        assert all(r.performance.latency_ms > 0 for r in results)
+
+    def test_best_partition_is_minimum(self, simulator, profile):
+        results = evaluate_partitions(small_ops(), profile, simulator)
+        best = best_partition(small_ops(), profile, simulator, objective="latency")
+        assert best.performance.latency_ms == pytest.approx(
+            min(r.performance.latency_ms for r in results))
+
+    def test_best_energy_partition_objective(self, simulator, profile):
+        best = best_partition(small_ops(), profile, simulator, objective="energy")
+        results = evaluate_partitions(small_ops(), profile, simulator)
+        assert best.performance.device_energy_j == pytest.approx(
+            min(r.performance.device_energy_j for r in results))
+
+    def test_unknown_objective_rejected(self, simulator, profile):
+        with pytest.raises(ValueError):
+            best_partition(small_ops(), profile, simulator, objective="area")
+
+    def test_partitioning_helps_weak_device_strong_edge(self, profile):
+        """On Pi + 1060 the best partition should beat device-only DGCNN."""
+        simulator = CoInferenceSimulator(SystemConfig(RASPBERRY_PI_4B, NVIDIA_1060,
+                                                      LINK_40MBPS))
+        ops = dgcnn_opspecs(k=8)
+        device_only = simulator.evaluate_device_only(ops, profile)
+        best = best_partition(ops, profile, simulator)
+        assert best.performance.latency_ms < device_only.latency_ms
