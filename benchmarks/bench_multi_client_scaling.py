@@ -1,0 +1,119 @@
+"""Multi-client serving scalability: aggregate throughput vs client count.
+
+Scales the number of concurrent :class:`DeviceClient` connections against a
+single :class:`EdgeServer` (1 -> 8 clients) and reports the aggregate frames
+per second the edge sustains.  The edge callable models a fixed per-frame
+service time (an accelerator request that parallelizes across streams), so a
+single pipelined client is bounded by the serial service chain while
+additional clients fill the server's worker pool: aggregate throughput must
+grow with the client count until the pool saturates.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_multi_client_scaling.py
+or via pytest:   PYTHONPATH=src python -m pytest benchmarks/bench_multi_client_scaling.py -q
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.evaluation import format_table
+from repro.system import DeviceClient, EdgeServer
+
+CLIENT_COUNTS = (1, 2, 4, 8)
+FRAMES_PER_CLIENT = 30
+#: Modelled edge service time per frame (accelerator request latency).
+SERVICE_TIME_S = 0.005
+MAX_WORKERS = 8
+
+
+def _device_fn(frame):
+    return {"x": np.asarray(frame, dtype=np.float64)}, {"scale": 2.0}
+
+
+def _edge_fn(arrays, meta):
+    time.sleep(SERVICE_TIME_S)
+    return {"y": arrays["x"] * meta["scale"]}, {"done": True}
+
+
+def _run_clients(server: EdgeServer, num_clients: int) -> float:
+    """Drive ``num_clients`` concurrent pipelines; returns aggregate fps."""
+    frames = [np.full((8, 8), i, dtype=float) for i in range(FRAMES_PER_CLIENT)]
+    failures: List[BaseException] = []
+    barrier = threading.Barrier(num_clients + 1)
+
+    def run_one(index: int) -> None:
+        client = DeviceClient(server.host, server.port,
+                              client_name=f"bench-{index}")
+        try:
+            barrier.wait(timeout=30.0)
+            results, _ = client.run_pipeline(frames, _device_fn)
+            assert len(results) == FRAMES_PER_CLIENT
+        except BaseException as exc:
+            failures.append(exc)
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=run_one, args=(i,))
+               for i in range(num_clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=30.0)
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    wall = time.perf_counter() - started
+    if failures:
+        raise RuntimeError(f"{len(failures)} client(s) failed: {failures[0]}")
+    return num_clients * FRAMES_PER_CLIENT / wall
+
+
+def run_scaling(client_counts: Sequence[int] = CLIENT_COUNTS) -> Dict[int, float]:
+    """Aggregate throughput (fps) for each client count, one shared server."""
+    throughput: Dict[int, float] = {}
+    for num_clients in client_counts:
+        server = EdgeServer(_edge_fn, max_workers=MAX_WORKERS).start()
+        try:
+            throughput[num_clients] = _run_clients(server, num_clients)
+        finally:
+            server.stop()
+    return throughput
+
+
+def scaling_table(throughput: Dict[int, float]) -> str:
+    base = throughput[min(throughput)]
+    rows = [[clients, fps, fps / base] for clients, fps in sorted(throughput.items())]
+    return format_table(["clients", "aggregate_fps", "speedup_vs_1"], rows,
+                        title="Multi-client serving scalability "
+                              f"({FRAMES_PER_CLIENT} frames/client, "
+                              f"{SERVICE_TIME_S * 1000:.0f} ms edge service, "
+                              f"{MAX_WORKERS} workers)")
+
+
+def check_scaling(throughput: Dict[int, float]) -> None:
+    """Concurrency must pay: 4 clients clearly out-serve 1 client."""
+    assert throughput[4] > 1.8 * throughput[1], (
+        f"aggregate throughput did not scale: {throughput}")
+    assert throughput[2] > throughput[1]
+
+
+def test_multi_client_scaling(benchmark):
+    throughput = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    from conftest import save_report
+    save_report("multi_client_scaling.txt", scaling_table(throughput))
+    check_scaling(throughput)
+
+
+def main() -> None:
+    throughput = run_scaling()
+    print(scaling_table(throughput))
+    check_scaling(throughput)
+    print("\nscaling check passed: 4 clients serve "
+          f"{throughput[4] / throughput[1]:.2f}x the frames/s of 1 client")
+
+
+if __name__ == "__main__":
+    main()

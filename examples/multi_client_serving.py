@@ -1,0 +1,120 @@
+"""Multi-client edge serving demo: one edge server, many devices, one zoo.
+
+Shows the serving half of GCoDE at deployment scale in miniature.  A single
+:class:`EdgeServer` holds the edge segments of every architecture in a small
+zoo and serves several :class:`DeviceClient` connections concurrently:
+
+* each client announces its own runtime conditions (tight latency budget,
+  loose budget, constrained energy) in the hello handshake,
+* the :class:`RuntimeDispatcher` picks the matching zoo entry per client, so
+  one server concurrently serves different architectures to different
+  devices, and
+* frames from all clients interleave on the edge, whose per-session and
+  aggregate statistics are reported at the end.
+
+Run with:  python examples/multi_client_serving.py
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core import (Architecture, ArchitectureZoo, RuntimeDispatcher,
+                        ZooEntry, zoo_callables)
+from repro.gnn import OpSpec, OpType
+from repro.graph import SyntheticModelNet40, stratified_split
+from repro.graph.data import Batch
+from repro.hardware import DataProfile
+from repro.system import DeviceClient, EdgeServer
+
+FRAMES_PER_CLIENT = 8
+
+
+def build_zoo() -> ArchitectureZoo:
+    """A miniature deployment zoo: accurate / balanced / frugal designs."""
+
+    def arch(name: str, k: int, width: int) -> Architecture:
+        return Architecture(ops=(
+            OpSpec(OpType.SAMPLE, "knn", k=k),
+            OpSpec(OpType.AGGREGATE, "max"),
+            OpSpec(OpType.COMMUNICATE, "uplink"),
+            OpSpec(OpType.COMBINE, width),
+            OpSpec(OpType.GLOBAL_POOL, "max||mean"),
+        ), name=name)
+
+    # Metrics are representative searched-zoo numbers (see the search
+    # benchmarks); the dispatcher only compares them against the budgets.
+    return ArchitectureZoo([
+        ZooEntry("accurate", arch("accurate", k=9, width=64), 0.95, 80.0, 0.8),
+        ZooEntry("balanced", arch("balanced", k=6, width=32), 0.92, 40.0, 0.4),
+        ZooEntry("frugal", arch("frugal", k=4, width=16), 0.88, 30.0, 0.1),
+    ])
+
+
+def main() -> None:
+    profile = DataProfile.modelnet40(num_points=128, num_classes=10)
+    dataset = SyntheticModelNet40(num_points=128, samples_per_class=4,
+                                  num_classes=10, seed=0)
+    split = stratified_split(dataset.generate(), 0.5, 0.25, seed=0)
+    held_out = split.val + split.test
+    frames = [Batch.from_graphs([graph]) for graph in held_out[:FRAMES_PER_CLIENT]]
+
+    zoo = build_zoo()
+    pairs = zoo_callables(zoo, in_dim=profile.feature_dim,
+                          num_classes=profile.num_classes, seed=0)
+    dispatcher = RuntimeDispatcher(zoo)
+    server = EdgeServer(edge_fns={name: pair[1] for name, pair in pairs.items()},
+                        selector=dispatcher.select_for_meta, max_workers=8).start()
+    print(f"edge server listening on {server.host}:{server.port} with "
+          f"{len(pairs)} zoo entries: {', '.join(sorted(pairs))}\n")
+
+    client_profiles = [
+        ("latency-critical", {"latency_budget_ms": 35.0}),
+        ("best-effort", {"latency_budget_ms": 200.0}),
+        ("battery-saver", {"latency_budget_ms": 200.0, "energy_budget_j": 0.2}),
+        ("degraded-link", {"latency_budget_ms": 60.0, "bandwidth_factor": 0.5}),
+    ]
+
+    report_lock = threading.Lock()
+
+    def run_client(name: str, conditions: dict) -> None:
+        client = DeviceClient(server.host, server.port, client_name=name,
+                              conditions=conditions)
+        try:
+            assigned = client.assigned_model
+            device_fn = pairs[assigned][0]
+            results, stats = client.run_pipeline(frames, device_fn)
+            with report_lock:
+                print(f"{name:17s} -> served by {assigned!r:11s} "
+                      f"{stats.throughput_fps:6.1f} fps, "
+                      f"mean latency {stats.mean_latency_s * 1000:6.1f} ms, "
+                      f"{len(results)} frames ok")
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=run_client, args=(name, conditions))
+               for name, conditions in client_profiles]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    stats = server.stats()
+    server.stop()
+    print(f"\nedge aggregate: {stats.frames_processed} frames over "
+          f"{stats.num_sessions} sessions, {stats.throughput_fps:.1f} fps, "
+          f"{stats.bytes_received / 1024:.1f} KiB in / "
+          f"{stats.bytes_sent / 1024:.1f} KiB out, "
+          f"mean edge service {stats.mean_service_time_s * 1000:.2f} ms, "
+          f"{stats.errors} errors")
+    print("frames by model:", dict(sorted(stats.frames_by_model.items())))
+    print("dispatch history:", dispatcher.history)
+    for session in stats.sessions:
+        print(f"  session {session.session_id} ({session.client_name}): "
+              f"{session.frames} frames, "
+              f"{session.mean_service_time_s * 1000:.2f} ms mean service, "
+              f"{session.bytes_received / 1024:.1f} KiB received")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,7 +3,8 @@
 from .architecture import (Architecture, ValidityReport, check_validity, is_valid,
                            DEVICE, EDGE)
 from .design_space import DesignSpace
-from .executor import ArchitectureModel, split_callables
+from .executor import (ArchitectureModel, split_callables, zoo_callables,
+                       zoo_edge_fns)
 from .supernet import SuperNet, AccuracyCache
 from .performance import (EfficiencyEstimate, SimulatorEvaluator,
                           CostEstimatorEvaluator, PredictorEvaluator)
@@ -18,13 +19,13 @@ from .predictor import (FeatureBuilder, LatencyPredictor, PredictorTrainer,
                         measure_architectures, LabelledArchitecture)
 from .trainer import TrainingConfig, TrainingResult, train_architecture, evaluate_model
 from .zoo import ArchitectureZoo, ZooEntry
-from .dispatcher import RuntimeDispatcher, RuntimeConditions
+from .dispatcher import RuntimeDispatcher, RuntimeConditions, conditions_from_meta
 from .gcode import GCoDE, GCoDEConfig
 
 __all__ = [
     "Architecture", "ValidityReport", "check_validity", "is_valid", "DEVICE", "EDGE",
     "DesignSpace",
-    "ArchitectureModel", "split_callables",
+    "ArchitectureModel", "split_callables", "zoo_callables", "zoo_edge_fns",
     "SuperNet", "AccuracyCache",
     "EfficiencyEstimate", "SimulatorEvaluator", "CostEstimatorEvaluator",
     "PredictorEvaluator",
@@ -38,6 +39,6 @@ __all__ = [
     "LabelledArchitecture",
     "TrainingConfig", "TrainingResult", "train_architecture", "evaluate_model",
     "ArchitectureZoo", "ZooEntry",
-    "RuntimeDispatcher", "RuntimeConditions",
+    "RuntimeDispatcher", "RuntimeConditions", "conditions_from_meta",
     "GCoDE", "GCoDEConfig",
 ]

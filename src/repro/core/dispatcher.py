@@ -6,14 +6,26 @@ dispatcher (Sec. 3.6) reacts by switching the deployed architecture to the
 zoo entry that best fits the *current* constraints: the most accurate
 architecture that still meets the latency and energy budgets, falling back to
 the fastest / most frugal entry when nothing qualifies.
+
+The dispatcher also plugs into the serving engine
+(:mod:`repro.system.engine`): a :class:`DeviceClient` announces its
+:class:`RuntimeConditions` as a plain dict in message metadata, and
+:meth:`RuntimeDispatcher.select_for_meta` — installed as the
+``EdgeServer`` ``selector`` — maps each request to the matching zoo entry.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Deque, Dict, List, Optional
 
 from .zoo import ArchitectureZoo, ZooEntry
+
+#: Decisions kept in :attr:`RuntimeDispatcher.history`; a serving process
+#: dispatches once per request, so the log must be bounded.
+HISTORY_LIMIT = 1024
 
 
 @dataclass
@@ -27,15 +39,45 @@ class RuntimeConditions:
     #: of co-inference entries are rescaled pessimistically by this factor.
     bandwidth_factor: float = 1.0
 
+    def to_dict(self) -> Dict:
+        """Plain-dict form suitable for engine message metadata."""
+        payload: Dict = {"bandwidth_factor": self.bandwidth_factor}
+        if self.latency_budget_ms is not None:
+            payload["latency_budget_ms"] = self.latency_budget_ms
+        if self.energy_budget_j is not None:
+            payload["energy_budget_j"] = self.energy_budget_j
+        return payload
+
+
+def conditions_from_meta(meta: Dict) -> RuntimeConditions:
+    """Rebuild :class:`RuntimeConditions` from engine message metadata.
+
+    The engine transports conditions as the plain dict under
+    ``meta["conditions"]`` (see :meth:`RuntimeConditions.to_dict`); missing
+    or empty metadata means unconstrained conditions.
+    """
+    payload = meta.get("conditions") or {}
+    latency = payload.get("latency_budget_ms")
+    energy = payload.get("energy_budget_j")
+    return RuntimeConditions(
+        latency_budget_ms=None if latency is None else float(latency),
+        energy_budget_j=None if energy is None else float(energy),
+        bandwidth_factor=float(payload.get("bandwidth_factor", 1.0)))
+
 
 class RuntimeDispatcher:
-    """Selects the architecture to execute for the current conditions."""
+    """Selects the architecture to execute for the current conditions.
+
+    Selection is thread-safe so one dispatcher instance can serve the
+    concurrent connection handlers of an :class:`~repro.system.engine.EdgeServer`.
+    """
 
     def __init__(self, zoo: ArchitectureZoo) -> None:
         if len(zoo) == 0:
             raise ValueError("cannot dispatch from an empty architecture zoo")
         self.zoo = zoo
-        self._history: List[str] = []
+        self._history: Deque[str] = deque(maxlen=HISTORY_LIMIT)
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _effective_latency(self, entry: ZooEntry,
@@ -50,29 +92,49 @@ class RuntimeDispatcher:
     def select(self, conditions: Optional[RuntimeConditions] = None) -> ZooEntry:
         """Pick the most accurate entry that satisfies the current budgets.
 
-        Falls back to the lowest-latency entry when no entry satisfies the
-        constraints (degraded but still-functional service).
+        When nothing qualifies the dispatcher degrades gracefully instead of
+        refusing service: if the latency budget is attainable and only the
+        energy budget disqualified everything, it falls back to the most
+        frugal (lowest device energy) of the latency-feasible entries;
+        otherwise it falls back to the fastest (lowest effective latency)
+        entry overall.
         """
         conditions = conditions or RuntimeConditions()
+        meets_latency: List[ZooEntry] = []
         feasible: List[ZooEntry] = []
         for entry in self.zoo:
             latency = self._effective_latency(entry, conditions)
             if (conditions.latency_budget_ms is not None
                     and latency > conditions.latency_budget_ms):
                 continue
+            meets_latency.append(entry)
             if (conditions.energy_budget_j is not None
                     and entry.device_energy_j > conditions.energy_budget_j):
                 continue
             feasible.append(entry)
         if feasible:
             chosen = max(feasible, key=lambda e: (e.accuracy, -e.latency_ms))
+        elif meets_latency:
+            # Only the energy budget was violated: most frugal entry that
+            # still meets the latency budget.
+            chosen = min(meets_latency, key=lambda e: e.device_energy_j)
         else:
             chosen = min(self.zoo,
                          key=lambda e: self._effective_latency(e, conditions))
-        self._history.append(chosen.name)
+        with self._lock:
+            self._history.append(chosen.name)
         return chosen
+
+    def select_for_meta(self, meta: Dict) -> str:
+        """Name of the entry for engine metadata (``EdgeServer`` selector hook)."""
+        return self.select(conditions_from_meta(meta)).name
 
     @property
     def history(self) -> List[str]:
-        """Names of the entries selected so far (most recent last)."""
-        return list(self._history)
+        """Names of the entries selected so far (most recent last).
+
+        Bounded to the latest :data:`HISTORY_LIMIT` decisions so a
+        long-running serving process does not grow it without limit.
+        """
+        with self._lock:
+            return list(self._history)

@@ -11,6 +11,7 @@ consumed by the socket co-inference engine.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -20,6 +21,7 @@ from ..graph.data import Batch
 from ..gnn.operations import (ClassifierOp, ExecState, Operation, OpSpec, OpType,
                               build_operation)
 from .architecture import Architecture
+from .zoo import ArchitectureZoo
 
 
 class ArchitectureModel(nn.Module):
@@ -140,12 +142,13 @@ def split_callables(model: ArchitectureModel
 
     def device_fn(batch: Batch) -> Tuple[ArrayDict, Dict]:
         state = model.initial_state(batch)
-        if split is None:
-            state = model.run_segment(state, 0, None, include_classifier=True)
-            arrays, meta = _state_to_arrays(state)
-            meta["finished"] = True
-            return arrays, meta
-        state = model.run_segment(state, 0, split)
+        with nn.no_grad():
+            if split is None:
+                state = model.run_segment(state, 0, None, include_classifier=True)
+                arrays, meta = _state_to_arrays(state)
+                meta["finished"] = True
+                return arrays, meta
+            state = model.run_segment(state, 0, split)
         arrays, meta = _state_to_arrays(state)
         meta["finished"] = False
         return arrays, meta
@@ -160,3 +163,54 @@ def split_callables(model: ArchitectureModel
         return {"logits": state.x.data}, {"num_graphs": state.num_graphs}
 
     return device_fn, edge_fn
+
+
+def zoo_callables(zoo: ArchitectureZoo, in_dim: int,
+                  num_classes: int, seed: int = 0
+                  ) -> Dict[str, Tuple[Callable[[Batch], Tuple[ArrayDict, Dict]],
+                                       Callable[[ArrayDict, Dict], Tuple[ArrayDict, Dict]]]]:
+    """Build ``(device_fn, edge_fn)`` pairs for every entry of a zoo.
+
+    This is the multi-model serving companion of :func:`split_callables`: the
+    returned mapping hands the edge side of every pair to one
+    :class:`~repro.system.engine.EdgeServer` (its ``edge_fns``), while each
+    device keeps the matching device segment, so a runtime dispatcher can
+    route every request to the zoo entry fitting its announced conditions.
+
+    Models are freshly initialized from ``seed``; pass entries whose
+    architectures were trained elsewhere through :func:`split_callables`
+    directly if trained weights are needed.
+
+    Both callables of an entry share one per-entry lock:
+    :class:`ArchitectureModel` is not thread-safe (its operations share one
+    random generator), so nothing may run the *same* model concurrently —
+    whether two server threads serving the same entry or, in a single-process
+    demo, one client's device segment overlapping another's edge segment.
+    Distinct entries still execute in parallel, and in a real deployment the
+    device callable runs on another machine where its lock never contends.
+    """
+    pairs: Dict[str, Tuple[Callable, Callable]] = {}
+    for entry in zoo:
+        model = ArchitectureModel(entry.architecture, in_dim=in_dim,
+                                  num_classes=num_classes, seed=seed)
+        lock = threading.Lock()
+        device_fn, edge_fn = split_callables(model)
+        pairs[entry.name] = (_serialized(device_fn, lock),
+                             _serialized(edge_fn, lock))
+    return pairs
+
+
+def _serialized(fn: Callable, lock: threading.Lock) -> Callable:
+    def locked_fn(*args):
+        with lock:
+            return fn(*args)
+
+    return locked_fn
+
+
+def zoo_edge_fns(zoo: ArchitectureZoo, in_dim: int,
+                 num_classes: int, seed: int = 0
+                 ) -> Dict[str, Callable[[ArrayDict, Dict], Tuple[ArrayDict, Dict]]]:
+    """Edge-side callables only, keyed by entry name (``EdgeServer`` ``edge_fns``)."""
+    return {name: pair[1]
+            for name, pair in zoo_callables(zoo, in_dim, num_classes, seed).items()}

@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .architecture import Architecture
 from .search.common import ScoredArchitecture
@@ -78,6 +78,14 @@ class ArchitectureZoo:
 
     def names(self) -> List[str]:
         return list(self._entries)
+
+    def items(self) -> List[Tuple[str, ZooEntry]]:
+        """``(name, entry)`` pairs, insertion-ordered (serving-table friendly)."""
+        return list(self._entries.items())
+
+    def tagged(self, tag: str) -> List[ZooEntry]:
+        """Entries carrying ``tag`` (e.g. the ``best-latency`` champion)."""
+        return [entry for entry in self if tag in entry.tags]
 
     # ------------------------------------------------------------------
     def best(self, objective: str = "latency") -> ZooEntry:

@@ -14,36 +14,42 @@ topological sort of the recorded graph and accumulates gradients.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
-_grad_enabled = True
+# Gradient recording is a per-thread mode (as in torch): the serving engine
+# runs inference under no_grad on several handler threads concurrently while
+# another thread may be training.
+_grad_state = threading.local()
+
+
+def _grad_enabled() -> bool:
+    return getattr(_grad_state, "enabled", True)
 
 
 class no_grad:
-    """Context manager that disables gradient recording.
+    """Context manager that disables gradient recording in the current thread.
 
     Mirrors ``torch.no_grad``: inside the block, newly created tensors do not
     record the computation graph even if their inputs require gradients.
     """
 
     def __enter__(self) -> "no_grad":
-        global _grad_enabled
-        self._prev = _grad_enabled
-        _grad_enabled = False
+        self._prev = _grad_enabled()
+        _grad_state.enabled = False
         return self
 
     def __exit__(self, exc_type, exc_val, exc_tb) -> None:
-        global _grad_enabled
-        _grad_enabled = self._prev
+        _grad_state.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
-    """Return ``True`` when gradient recording is currently enabled."""
-    return _grad_enabled
+    """Return ``True`` when gradient recording is enabled in this thread."""
+    return _grad_enabled()
 
 
 def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
@@ -150,7 +156,7 @@ class Tensor:
     def _make(data: np.ndarray, parents: Iterable["Tensor"],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
         parents = tuple(parents)
-        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        requires = _grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = parents

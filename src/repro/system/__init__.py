@@ -6,7 +6,7 @@ from .partition import (PartitionResult, insert_partition, candidate_partitions,
                         evaluate_partitions, best_partition)
 from .messages import Message, serialize_message, deserialize_message, compressed_size
 from .engine import (EdgeServer, DeviceClient, FrameResult, PipelineStats,
-                     run_co_inference)
+                     ServingSession, EdgeServerStats, run_co_inference)
 
 __all__ = [
     "SystemConfig", "SystemPerformance", "CoInferenceSimulator",
@@ -15,5 +15,6 @@ __all__ = [
     "evaluate_partitions", "best_partition",
     "Message", "serialize_message", "deserialize_message", "compressed_size",
     "EdgeServer", "DeviceClient", "FrameResult", "PipelineStats",
+    "ServingSession", "EdgeServerStats",
     "run_co_inference",
 ]

@@ -12,6 +12,27 @@ plain callables (``device_fn(frame) -> (arrays, meta)`` and
 :func:`repro.core.executor.split_callables`.  In this reproduction both ends
 run on localhost, which exercises the full code path (framing, compression,
 threading, pipelining) even though the physical link is loopback.
+
+Multi-client serving
+--------------------
+One :class:`EdgeServer` serves many :class:`DeviceClient` connections
+concurrently: an accept loop hands each connection to its own handler thread,
+bounded by a worker pool of ``max_workers`` slots.  Every connection is
+tracked as a :class:`ServingSession` (frames, bytes, edge service time,
+errors) and :meth:`EdgeServer.stats` aggregates the sessions into an
+:class:`EdgeServerStats` snapshot — the serving-side counterpart of the
+client's :class:`PipelineStats`.
+
+The server can also hold several edge callables at once (``edge_fns``, keyed
+by model name) and pick one per request: a frame's metadata may name the
+model directly (``meta["model"]``) or carry runtime conditions
+(``meta["conditions"]``) that an injected ``selector`` — typically
+``RuntimeDispatcher.select_for_meta`` — maps to a zoo entry.  Clients
+announce themselves with a ``"hello"`` handshake; when the hello carries
+conditions the server answers with the chosen model name so the device can
+run the matching device segment.  Edge-side failures travel back to the
+offending client as ``"error"`` messages (with the remote traceback) instead
+of killing the connection.
 """
 
 from __future__ import annotations
@@ -20,16 +41,29 @@ import queue
 import socket
 import threading
 import time
-from dataclasses import dataclass, field
+import traceback
+from collections import Counter
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .messages import Message, recv_message, send_message
+from .messages import (Message, recv_message, send_message, send_payload,
+                       serialize_message)
 
 ArrayDict = Dict[str, np.ndarray]
 DeviceFn = Callable[[object], Tuple[ArrayDict, Dict]]
 EdgeFn = Callable[[ArrayDict, Dict], Tuple[ArrayDict, Dict]]
+#: Maps frame/hello metadata to the name of the edge callable to run.
+SelectorFn = Callable[[Dict], Optional[str]]
+
+#: Model-name bucket used for frames served by the default ``edge_fn``.
+DEFAULT_MODEL = "default"
+
+#: Closed sessions retained for per-session inspection; older closed sessions
+#: are folded into aggregate counters so a long-running server that accepts
+#: one connection per request stays memory-bounded.
+SESSION_LOG_LIMIT = 1024
 
 
 @dataclass
@@ -62,52 +96,394 @@ class PipelineStats:
         return self.num_frames / self.wall_time_s if self.wall_time_s > 0 else 0.0
 
 
-class EdgeServer:
-    """Edge-side runtime: accepts frames, runs ``edge_fn``, returns results."""
+@dataclass
+class ServingSession:
+    """Edge-side record of one client connection."""
 
-    def __init__(self, edge_fn: EdgeFn, host: str = "127.0.0.1", port: int = 0) -> None:
-        self.edge_fn = edge_fn
+    session_id: int
+    peer: str
+    client_name: str = ""
+    connected_at: float = 0.0
+    closed_at: Optional[float] = None
+    frames: int = 0
+    errors: int = 0
+    bytes_received: int = 0
+    bytes_sent: int = 0
+    #: Cumulative time spent inside the edge callables for this client.
+    service_time_s: float = 0.0
+    frames_by_model: "Counter[str]" = field(default_factory=Counter)
+
+    @property
+    def active(self) -> bool:
+        return self.closed_at is None
+
+    @property
+    def duration_s(self) -> float:
+        end = self.closed_at if self.closed_at is not None else time.perf_counter()
+        return end - self.connected_at
+
+    @property
+    def mean_service_time_s(self) -> float:
+        return self.service_time_s / self.frames if self.frames else 0.0
+
+
+@dataclass
+class EdgeServerStats:
+    """Aggregate serving statistics across all sessions of an edge server."""
+
+    num_sessions: int
+    active_sessions: int
+    frames_processed: int
+    errors: int
+    bytes_received: int
+    bytes_sent: int
+    mean_service_time_s: float
+    frames_by_model: Dict[str, int]
+    wall_time_s: float
+    sessions: List[ServingSession]
+
+    @property
+    def throughput_fps(self) -> float:
+        """Aggregate frames per second since the server started."""
+        return self.frames_processed / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+
+class EdgeServer:
+    """Edge-side runtime: accepts frames, runs edge callables, returns results.
+
+    Parameters
+    ----------
+    edge_fn:
+        Default edge callable, used for frames that do not name a model.
+        Optional when ``edge_fns`` is given (the first entry then serves as
+        the default).
+    edge_fns:
+        Named edge callables for multi-model serving; a frame selects one via
+        ``meta["model"]`` or through ``selector``.
+    selector:
+        Maps frame/hello metadata to a model name (e.g.
+        ``RuntimeDispatcher.select_for_meta``).  Consulted when the metadata
+        does not name a model explicitly.
+    max_workers:
+        Upper bound on concurrently served connections; further connections
+        queue in the listen backlog until a handler slot frees up.
+    session_log_limit:
+        How many closed sessions to keep individually inspectable; older
+        closed sessions are folded into the aggregate statistics.
+    """
+
+    def __init__(self, edge_fn: Optional[EdgeFn] = None, host: str = "127.0.0.1",
+                 port: int = 0, *, edge_fns: Optional[Dict[str, EdgeFn]] = None,
+                 selector: Optional[SelectorFn] = None, max_workers: int = 8,
+                 backlog: int = 32,
+                 session_log_limit: int = SESSION_LOG_LIMIT) -> None:
+        if edge_fn is None and not edge_fns:
+            raise ValueError("EdgeServer needs an edge_fn or a non-empty edge_fns")
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if edge_fn is not None and edge_fns and DEFAULT_MODEL in edge_fns:
+            raise ValueError(
+                f"edge_fns may not use the reserved name {DEFAULT_MODEL!r} "
+                "when an explicit default edge_fn is also given — the entry "
+                "would be unreachable")
+        if edge_fn is not None:
+            self.edge_fn, self._default_name = edge_fn, DEFAULT_MODEL
+        else:
+            # No explicit default: fall back to the first named entry, and
+            # book untagged frames under its real name in the statistics.
+            self._default_name, self.edge_fn = next(iter(edge_fns.items()))
+        self.edge_fns: Dict[str, EdgeFn] = dict(edge_fns or {})
+        self.selector = selector
+        self.max_workers = max_workers
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
-        self._listener.listen(1)
+        self._listener.listen(backlog)
+        # A short accept timeout lets the accept loop poll the stop flag;
+        # closing a listening socket from another thread is not guaranteed to
+        # wake a blocked accept().
+        self._listener.settimeout(0.2)
         self.host, self.port = self._listener.getsockname()
-        self._thread: Optional[threading.Thread] = None
+        self._accept_thread: Optional[threading.Thread] = None
         self._stopped = threading.Event()
-        self.frames_processed = 0
+        self._slots = threading.BoundedSemaphore(max_workers)
+        self._lock = threading.Lock()
+        self._sessions: List[ServingSession] = []
+        self._session_log_limit = max(1, session_log_limit)
+        self._next_session_id = 0
+        # Aggregate remainder of sessions evicted from the bounded log.
+        self._retired = ServingSession(session_id=-1, peer="<retired>")
+        self._retired_count = 0
+        self._active_conns: Dict[int, socket.socket] = {}
+        self._handlers: Dict[int, threading.Thread] = {}
+        self._started_at: Optional[float] = None
+        self._stopped_at: Optional[float] = None
 
     # ------------------------------------------------------------------
     def start(self) -> "EdgeServer":
-        """Start serving in a background thread."""
-        self._thread = threading.Thread(target=self._serve, daemon=True)
-        self._thread.start()
+        """Start the accept loop in a background thread."""
+        self._started_at = time.perf_counter()
+        self._accept_thread = threading.Thread(target=self._serve, daemon=True)
+        self._accept_thread.start()
         return self
 
     def _serve(self) -> None:
+        while not self._stopped.is_set():
+            # Bounded worker pool: hold a slot *before* accepting, so excess
+            # connections genuinely wait in the kernel's listen backlog
+            # instead of being accepted and left unanswered.  The short
+            # timeouts keep shutdown from wedging on a full pool.
+            if not self._slots.acquire(timeout=0.1):
+                continue
+            handed_off = False
+            try:
+                accepted = self._accept()
+                if accepted is None:
+                    return
+                conn, addr = accepted
+                conn.settimeout(None)
+                session = ServingSession(
+                    session_id=self._next_session_id, peer="%s:%d" % addr[:2],
+                    connected_at=time.perf_counter())
+                self._next_session_id += 1
+                handler = threading.Thread(target=self._handle,
+                                           args=(conn, session), daemon=True)
+                with self._lock:
+                    self._sessions.append(session)
+                    self._active_conns[session.session_id] = conn
+                    self._handlers[session.session_id] = handler
+                handler.start()
+                handed_off = True  # the handler releases the slot on exit
+            finally:
+                if not handed_off:
+                    self._slots.release()
+
+    def _accept(self) -> Optional[Tuple[socket.socket, Tuple]]:
+        while not self._stopped.is_set():
+            try:
+                return self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                if self._stopped.is_set():
+                    return None  # listener closed by stop()
+                # Transient accept failure (fd exhaustion, aborted backlog
+                # connection): keep the loop alive — a dead accept thread
+                # would leave the server half-dead, serving existing
+                # connections while silently refusing new ones.
+                time.sleep(0.05)
+        return None
+
+    # ------------------------------------------------------------------
+    def _resolve(self, meta: Dict) -> Tuple[str, EdgeFn]:
+        """Pick the edge callable for a frame from its metadata."""
+        name = meta.get("model")
+        if (name is None and "conditions" in meta
+                and self.selector is not None and self.edge_fns):
+            # Per-frame dispatch only makes sense for frames that announce
+            # conditions; anything else goes straight to the default.
+            name = self.selector(meta)
+        if name is None or name == self._default_name:
+            return self._default_name, self.edge_fn
+        if name not in self.edge_fns:
+            raise KeyError(f"no edge model named {name!r} "
+                           f"(available: {self._model_names()})")
+        return name, self.edge_fns[name]
+
+    def _model_names(self) -> List[str]:
+        """Every name a frame's ``meta["model"]`` may resolve to."""
+        return sorted(set(self.edge_fns) | {self._default_name})
+
+    def _handle_hello(self, conn: socket.socket, session: ServingSession,
+                      message: Message) -> None:
+        ack_meta: Dict = {"server": f"{self.host}:{self.port}",
+                          "models": self._model_names(),
+                          "session_id": session.session_id}
+        dispatch_failed = False
+        if ("conditions" in message.meta and self.selector is not None
+                and self.edge_fns):
+            # The client announced its runtime conditions: dispatch once per
+            # connection and tell the device which entry to run.  A failing
+            # or misconfigured dispatch must surface in the acknowledgement,
+            # not hang the client waiting for one.
+            try:
+                name = self.selector(message.meta)
+                if name is not None and name not in self.edge_fns:
+                    raise KeyError(f"dispatcher selected unknown model {name!r} "
+                                   f"(available: {sorted(self.edge_fns)})")
+                ack_meta["model"] = name
+            except Exception as exc:
+                dispatch_failed = True
+                ack_meta["error"] = f"{type(exc).__name__}: {exc}"
+                ack_meta["traceback"] = traceback.format_exc()
+        sent = send_message(conn, Message(kind="hello", meta=ack_meta))
+        with self._lock:
+            session.client_name = str(message.meta.get("client", ""))
+            session.bytes_sent += sent
+            if dispatch_failed:
+                session.errors += 1
+
+    def _handle_frame(self, conn: socket.socket, session: ServingSession,
+                      message: Message) -> None:
         try:
-            conn, _ = self._listener.accept()
-        except OSError:
+            # Serialization of the reply stays inside the guard: an edge_fn
+            # returning non-JSON-serializable metadata must come back as an
+            # "error" message, not kill the handler.  Only the actual socket
+            # write (connection-level failure) is left to the handler loop.
+            name, edge_fn = self._resolve(message.meta)
+            started = time.perf_counter()
+            arrays, meta = edge_fn(message.arrays, message.meta)
+            elapsed = time.perf_counter() - started
+            blob = serialize_message(Message(kind="result",
+                                             frame_id=message.frame_id,
+                                             arrays=arrays, meta=meta))
+        except Exception as exc:  # propagate to the client, keep serving
+            with self._lock:
+                # Count the failure before attempting the reply, so a dead
+                # connection cannot make the error vanish from the stats.
+                session.errors += 1
+            sent = send_message(conn, Message(
+                kind="error", frame_id=message.frame_id,
+                meta={"error": f"{type(exc).__name__}: {exc}",
+                      "traceback": traceback.format_exc()}))
+            with self._lock:
+                session.bytes_sent += sent
             return
-        with conn:
-            while not self._stopped.is_set():
-                message = recv_message(conn)
-                if message is None or message.kind == "stop":
-                    break
-                arrays, meta = self.edge_fn(message.arrays, message.meta)
-                self.frames_processed += 1
-                send_message(conn, Message(kind="result", frame_id=message.frame_id,
-                                           arrays=arrays, meta=meta))
-        self._listener.close()
+        sent = send_payload(conn, blob)
+        # All session-counter mutations happen under the server lock so
+        # stats()/sessions() copies are consistent snapshots; a frame counts
+        # as served only once its result is on the wire.
+        with self._lock:
+            session.bytes_sent += sent
+            session.service_time_s += elapsed
+            session.frames += 1
+            session.frames_by_model[name] += 1
+
+    def _handle(self, conn: socket.socket, session: ServingSession) -> None:
+        try:
+            with conn:
+                while not self._stopped.is_set():
+                    try:
+                        message = recv_message(conn)
+                    except Exception:
+                        # Truncated, reset, or undecodable stream — all
+                        # unrecoverable for a length-prefixed protocol: drop
+                        # the connection but keep the server alive.
+                        with self._lock:
+                            session.errors += 1
+                        break
+                    if message is None or message.kind == "stop":
+                        break
+                    with self._lock:
+                        session.bytes_received += message.wire_bytes
+                    try:
+                        if message.kind == "hello":
+                            self._handle_hello(conn, session, message)
+                        elif message.kind == "frame":
+                            self._handle_frame(conn, session, message)
+                        # Unknown kinds are ignored: forward compatibility.
+                    except OSError:
+                        break
+        finally:
+            session.closed_at = time.perf_counter()
+            with self._lock:
+                self._active_conns.pop(session.session_id, None)
+                self._handlers.pop(session.session_id, None)
+                self._evict_old_sessions()
+            self._slots.release()
+
+    def _evict_old_sessions(self) -> None:
+        """Fold the oldest closed sessions into the aggregate (lock held)."""
+        while len(self._sessions) > self._session_log_limit:
+            evicted = next((s for s in self._sessions if not s.active), None)
+            if evicted is None:
+                break
+            self._sessions.remove(evicted)
+            self._retired_count += 1
+            retired = self._retired
+            retired.frames += evicted.frames
+            retired.errors += evicted.errors
+            retired.bytes_received += evicted.bytes_received
+            retired.bytes_sent += evicted.bytes_sent
+            retired.service_time_s += evicted.service_time_s
+            retired.frames_by_model.update(evicted.frames_by_model)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _copy_session(session: ServingSession) -> ServingSession:
+        return replace(session, frames_by_model=Counter(session.frames_by_model))
+
+    @property
+    def frames_processed(self) -> int:
+        """Total frames served across every connection so far."""
+        with self._lock:
+            return (self._retired.frames
+                    + sum(session.frames for session in self._sessions))
+
+    def sessions(self) -> List[ServingSession]:
+        """Copies of the retained sessions (most recent last).
+
+        At most ``session_log_limit`` closed sessions are retained; older
+        ones live on only in the aggregate counters of :meth:`stats`.
+        """
+        with self._lock:
+            return [self._copy_session(s) for s in self._sessions]
+
+    def stats(self) -> EdgeServerStats:
+        """Aggregate serving statistics across all sessions ever served.
+
+        The returned object is a true snapshot: the per-session entries are
+        copies, safe to iterate while serving continues.
+        """
+        with self._lock:
+            sessions = [self._copy_session(s) for s in self._sessions]
+            retired = self._retired
+            num_sessions = self._retired_count + len(sessions)
+            frames = retired.frames + sum(s.frames for s in sessions)
+            service = retired.service_time_s + sum(s.service_time_s for s in sessions)
+            errors = retired.errors + sum(s.errors for s in sessions)
+            bytes_in = retired.bytes_received + sum(s.bytes_received for s in sessions)
+            bytes_out = retired.bytes_sent + sum(s.bytes_sent for s in sessions)
+            by_model: "Counter[str]" = Counter(retired.frames_by_model)
+            for session in sessions:
+                by_model.update(session.frames_by_model)
+        # The wall clock freezes at stop() so post-shutdown snapshots keep
+        # reporting the throughput actually achieved while serving.
+        end = self._stopped_at if self._stopped_at is not None else time.perf_counter()
+        wall = end - self._started_at if self._started_at is not None else 0.0
+        return EdgeServerStats(
+            num_sessions=num_sessions,
+            active_sessions=sum(s.active for s in sessions),
+            frames_processed=frames,
+            errors=errors,
+            bytes_received=bytes_in,
+            bytes_sent=bytes_out,
+            mean_service_time_s=service / frames if frames else 0.0,
+            frames_by_model=dict(by_model),
+            wall_time_s=wall,
+            sessions=sessions)
 
     def stop(self) -> None:
-        """Stop the server and release the listening socket."""
+        """Stop accepting, close live connections and release the listener."""
+        if self._stopped_at is None:
+            self._stopped_at = time.perf_counter()
         self._stopped.set()
         try:
             self._listener.close()
         except OSError:
             pass
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
+        with self._lock:
+            live = list(self._active_conns.values())
+            handlers = list(self._handlers.values())
+        for conn in live:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for handler in handlers:
+            handler.join(timeout=5.0)
 
 
 class DeviceClient:
@@ -116,18 +492,43 @@ class DeviceClient:
     The client owns two threads — a sender draining the outbound queue and a
     receiver filling the result queue — so device computation of frame
     ``t+1`` overlaps with the transfer and edge computation of frame ``t``.
+
+    On connect the client sends a ``"hello"`` handshake carrying its name
+    and, when given, its :class:`~repro.core.dispatcher.RuntimeConditions`
+    as a plain dict; a dispatching server answers with the zoo entry chosen
+    for those conditions (see :meth:`handshake` / :attr:`assigned_model`).
     """
 
-    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0,
+                 client_name: str = "", conditions: Optional[Dict] = None,
+                 model: Optional[str] = None) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        # The timeout only guards connection establishment; receives must
+        # block indefinitely or an idle-but-healthy connection would be
+        # misreported as disconnected by the receiver loop.
+        self._sock.settimeout(None)
+        self.client_name = client_name
+        self._conditions = dict(conditions) if conditions else None
+        self._model = model
         self._send_queue: "queue.Queue[Optional[Message]]" = queue.Queue()
         self._results: "queue.Queue[Message]" = queue.Queue()
+        self._hello_meta: Optional[Dict] = None
+        self._hello_event = threading.Event()
+        self._disconnect_reason: Optional[str] = None
+        #: Connection-global frame counter: wire frame ids never repeat, so
+        #: leftovers of a run aborted by an edge error are recognizably stale
+        #: and cannot be mistaken for results of a later run_pipeline call.
+        self._next_frame_id = 0
         self.bytes_sent = 0
         self.bytes_received = 0
         self._sender = threading.Thread(target=self._send_loop, daemon=True)
         self._receiver = threading.Thread(target=self._recv_loop, daemon=True)
         self._sender.start()
         self._receiver.start()
+        hello_meta: Dict = {"client": client_name}
+        if self._conditions is not None:
+            hello_meta["conditions"] = self._conditions
+        self._send_queue.put(Message(kind="hello", meta=hello_meta))
 
     # ------------------------------------------------------------------
     def _send_loop(self) -> None:
@@ -135,7 +536,19 @@ class DeviceClient:
             message = self._send_queue.get()
             if message is None:
                 break
-            self.bytes_sent += send_message(self._sock, message)
+            try:
+                self.bytes_sent += send_message(self._sock, message)
+            except OSError:
+                # The receiver loop surfaces the lost connection to waiting
+                # callers; the sender just stops draining the queue.
+                break
+            except Exception as exc:
+                # Un-encodable outgoing metadata (e.g. non-JSON values in a
+                # frame's meta) would otherwise kill this thread silently and
+                # leave run_pipeline waiting out its entire timeout.
+                self._disconnect("failed to serialize an outgoing message: "
+                                 "%s: %s" % (type(exc).__name__, exc))
+                break
         try:
             send_message(self._sock, Message(kind="stop"))
         except OSError:
@@ -145,44 +558,137 @@ class DeviceClient:
         while True:
             try:
                 message = recv_message(self._sock)
-            except OSError:
+            except OSError as exc:
+                self._disconnect("%s: %s" % (type(exc).__name__, exc))
+                break
+            except Exception as exc:
+                # A frame that fails to decode means the stream is desynced
+                # or corrupted — unrecoverable for a length-prefixed protocol.
+                self._disconnect("malformed message from the edge server: "
+                                 "%s: %s" % (type(exc).__name__, exc))
                 break
             if message is None:
+                self._disconnect("peer closed the connection")
                 break
             self.bytes_received += message.wire_bytes
+            if message.kind == "hello":
+                self._hello_meta = message.meta
+                self._hello_event.set()
+                continue
             self._results.put(message)
+
+    def _disconnect(self, reason: str) -> None:
+        """Surface a lost connection to both handshake() and run_pipeline().
+
+        Without the sentinel and the event, either would sleep out its full
+        timeout and raise an uninformative TimeoutError.
+        """
+        self._disconnect_reason = reason
+        self._results.put(Message(kind="disconnect", meta={"error": reason}))
+        self._hello_event.set()
+
+    # ------------------------------------------------------------------
+    def handshake(self, timeout_s: float = 10.0) -> Dict:
+        """Server metadata from the hello acknowledgement (blocks until it arrives).
+
+        Raises :class:`RuntimeError` when the server reports that dispatching
+        for the announced conditions failed.
+        """
+        if not self._hello_event.wait(timeout=timeout_s):
+            raise TimeoutError("edge server did not acknowledge the hello handshake")
+        if self._hello_meta is None:
+            raise ConnectionError(
+                "connection to the edge server was lost before the hello "
+                f"acknowledgement: {self._disconnect_reason or 'unknown'}")
+        meta = dict(self._hello_meta)
+        if "error" in meta:
+            raise RuntimeError(
+                f"edge server could not dispatch for the announced conditions: "
+                f"{meta['error']}\n--- remote traceback ---\n"
+                f"{meta.get('traceback', '')}")
+        return meta
+
+    @property
+    def assigned_model(self) -> Optional[str]:
+        """Zoo entry the server's dispatcher chose for this client, if any."""
+        return self.handshake().get("model")
 
     # ------------------------------------------------------------------
     def run_pipeline(self, frames: Sequence[object], device_fn: DeviceFn,
                      timeout_s: float = 60.0) -> Tuple[List[FrameResult], PipelineStats]:
         """Process ``frames`` through the device segment, the link and the edge.
 
-        Returns per-frame results plus aggregate pipeline statistics.
+        Returns per-frame results plus aggregate pipeline statistics.  An
+        edge-side failure surfaces as a :class:`RuntimeError` carrying the
+        remote traceback.
         """
+        if self._disconnect_reason is not None:
+            raise ConnectionError(
+                "connection to the edge server was already lost: "
+                f"{self._disconnect_reason}")
+        model = self._model
+        if model is None and self._conditions is not None:
+            # The server dispatched a zoo entry for our conditions; tag the
+            # frames so per-request resolution matches the handshake.
+            model = self.handshake(timeout_s=timeout_s).get("model")
         submitted: Dict[int, float] = {}
+        base_id = self._next_frame_id
+        self._next_frame_id += len(frames)
+        # Byte counters are per-connection; report this run's traffic only.
+        sent_before, received_before = self.bytes_sent, self.bytes_received
         start = time.perf_counter()
-        for frame_id, frame in enumerate(frames):
+        for offset, frame in enumerate(frames):
+            # Latency is measured from the moment the frame enters the device
+            # segment, so device compute counts toward the frame latency.
+            submitted[base_id + offset] = time.perf_counter()
             arrays, meta = device_fn(frame)
-            submitted[frame_id] = time.perf_counter()
-            self._send_queue.put(Message(kind="frame", frame_id=frame_id,
+            meta = dict(meta)
+            if model is not None:
+                meta.setdefault("model", model)
+            elif self._conditions is not None:
+                # Only un-dispatched frames need the conditions on the wire
+                # (per-frame dispatch); a resolved model short-circuits them.
+                meta.setdefault("conditions", self._conditions)
+            self._send_queue.put(Message(kind="frame", frame_id=base_id + offset,
                                          arrays=arrays, meta=meta))
         results: List[FrameResult] = []
+        # timeout_s bounds the wait for results (as it always has; device
+        # compute above is not counted against it) and, separately, the
+        # handshake wait — each phase gets at most timeout_s, not their sum.
         deadline = time.monotonic() + timeout_s
         while len(results) < len(frames):
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise TimeoutError("co-inference pipeline timed out waiting for results")
-            message = self._results.get(timeout=remaining)
+            try:
+                message = self._results.get(timeout=remaining)
+            except queue.Empty:
+                continue  # deadline expired: the check above raises TimeoutError
+            if message.kind == "disconnect":
+                raise ConnectionError(
+                    "connection to the edge server was lost with "
+                    f"{len(frames) - len(results)} frame(s) outstanding: "
+                    f"{message.meta.get('error', 'peer closed')}")
+            if message.frame_id not in submitted:
+                continue  # stale leftover of an earlier, aborted run
+            if message.kind == "error":
+                detail = message.meta.get("error", "unknown edge failure")
+                remote_tb = message.meta.get("traceback", "")
+                raise RuntimeError(
+                    f"edge execution failed for frame "
+                    f"{message.frame_id - base_id}: {detail}\n"
+                    f"--- remote traceback ---\n{remote_tb}")
             results.append(FrameResult(
-                frame_id=message.frame_id, arrays=message.arrays, meta=message.meta,
-                submitted_at=submitted[message.frame_id],
+                frame_id=message.frame_id - base_id, arrays=message.arrays,
+                meta=message.meta, submitted_at=submitted[message.frame_id],
                 completed_at=time.perf_counter()))
         wall = time.perf_counter() - start
         results.sort(key=lambda r: r.frame_id)
         stats = PipelineStats(
             num_frames=len(frames), wall_time_s=wall,
             mean_latency_s=float(np.mean([r.latency_s for r in results])) if results else 0.0,
-            bytes_sent=self.bytes_sent, bytes_received=self.bytes_received)
+            bytes_sent=self.bytes_sent - sent_before,
+            bytes_received=self.bytes_received - received_before)
         return results, stats
 
     def close(self) -> None:
@@ -190,7 +696,10 @@ class DeviceClient:
         self._send_queue.put(None)
         self._sender.join(timeout=5.0)
         try:
-            self._sock.shutdown(socket.SHUT_WR)
+            # Both halves: SHUT_WR flushes the stop marker to the server,
+            # and shutting the read half wakes a receiver blocked in recv
+            # against an unresponsive server (the socket has no read timeout).
+            self._sock.shutdown(socket.SHUT_RDWR)
         except OSError:
             pass
         self._receiver.join(timeout=5.0)

@@ -30,8 +30,13 @@ class Message:
     Attributes
     ----------
     kind:
-        Message type: ``"frame"`` (intermediate state), ``"result"``
-        (classifier output), ``"stop"`` (end of stream).
+        Message type: ``"hello"`` (connection handshake: the client announces
+        its name and runtime conditions, the server acknowledges with the
+        available models and, when a dispatcher is attached, the entry chosen
+        for those conditions), ``"frame"`` (intermediate state), ``"result"``
+        (classifier output), ``"error"`` (edge-side execution failure,
+        carrying the remote traceback in ``meta``), ``"stop"`` (end of
+        stream).
     frame_id:
         Sequence number of the inference frame this message belongs to.
     arrays:
@@ -86,34 +91,62 @@ def deserialize_message(blob: bytes) -> Message:
                    arrays=arrays, meta=header["meta"])
 
 
-def send_message(sock: socket.socket, message: Message) -> int:
-    """Send one framed message over a connected socket; returns bytes sent."""
-    blob = serialize_message(message)
+def send_payload(sock: socket.socket, blob: bytes) -> int:
+    """Send an already-serialized message blob; returns bytes sent.
+
+    Lets callers serialize inside their own error handling (serialization
+    failures must not be conflated with connection failures) and then ship
+    the frame atomically.
+    """
     sock.sendall(struct.pack(_LENGTH_FORMAT, len(blob)) + blob)
     return len(blob) + _LENGTH_SIZE
 
 
+def send_message(sock: socket.socket, message: Message) -> int:
+    """Send one framed message over a connected socket; returns bytes sent."""
+    return send_payload(sock, serialize_message(message))
+
+
 def _recv_exact(sock: socket.socket, size: int) -> Optional[bytes]:
+    """Read exactly ``size`` bytes.
+
+    Returns ``None`` when the peer closed before sending *any* byte (a clean
+    end of stream) and raises :class:`ConnectionError` when the stream ends
+    part-way through — the two cases must stay distinguishable so a dropped
+    frame is never mistaken for an orderly shutdown.
+    """
     chunks = []
-    remaining = size
-    while remaining > 0:
-        chunk = sock.recv(remaining)
+    received = 0
+    while received < size:
+        chunk = sock.recv(size - received)
         if not chunk:
-            return None
+            if received == 0:
+                return None
+            raise ConnectionError(
+                f"connection closed mid-frame: received {received} of "
+                f"{size} expected bytes")
         chunks.append(chunk)
-        remaining -= len(chunk)
+        received += len(chunk)
     return b"".join(chunks)
 
 
 def recv_message(sock: socket.socket) -> Optional[Message]:
-    """Receive one framed message; returns ``None`` when the peer closed."""
+    """Receive one framed message.
+
+    Returns ``None`` on a clean peer close (the stream ended on a frame
+    boundary) and raises :class:`ConnectionError` when the stream is
+    truncated mid-frame — a length prefix or payload cut short by a dying
+    peer must surface as an error instead of silently dropping the frame.
+    """
     prefix = _recv_exact(sock, _LENGTH_SIZE)
     if prefix is None:
         return None
     (length,) = struct.unpack(_LENGTH_FORMAT, prefix)
     blob = _recv_exact(sock, length)
     if blob is None:
-        return None
+        raise ConnectionError(
+            f"connection closed mid-frame: length prefix announced {length} "
+            "bytes but no payload followed")
     message = deserialize_message(blob)
     message.wire_bytes = length + _LENGTH_SIZE
     return message

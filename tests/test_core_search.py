@@ -246,6 +246,30 @@ class TestZooAndDispatcher:
         assert dispatcher.select(RuntimeConditions(latency_budget_ms=1.0)).name \
             == "fast"
 
+    def test_dispatcher_falls_back_to_most_frugal_on_energy_violation(self):
+        """Only the energy budget is unattainable -> lowest-energy entry."""
+        dispatcher = RuntimeDispatcher(self._zoo())
+        chosen = dispatcher.select(RuntimeConditions(energy_budget_j=0.01))
+        assert chosen.name == "frugal"
+        # With a latency budget attached, the frugal fallback still respects it.
+        chosen = dispatcher.select(RuntimeConditions(latency_budget_ms=30.0,
+                                                     energy_budget_j=0.01))
+        assert chosen.name == "fast"  # only latency-feasible entry
+        # Both budgets unattainable -> fastest entry overall.
+        chosen = dispatcher.select(RuntimeConditions(latency_budget_ms=1.0,
+                                                     energy_budget_j=0.01))
+        assert chosen.name == "fast"
+
+    def test_dispatcher_select_for_meta_and_conditions_roundtrip(self):
+        from repro.core import conditions_from_meta
+        dispatcher = RuntimeDispatcher(self._zoo())
+        conditions = RuntimeConditions(latency_budget_ms=30.0)
+        meta = {"conditions": conditions.to_dict()}
+        assert conditions_from_meta(meta) == conditions
+        assert dispatcher.select_for_meta(meta) == "fast"
+        assert dispatcher.select_for_meta({}) == "accurate"  # unconstrained
+        assert dispatcher.history == ["fast", "accurate"]
+
     def test_dispatcher_degrades_with_bandwidth_factor(self):
         zoo = self._zoo()
         # Make the accurate entry a co-inference architecture so the link matters.

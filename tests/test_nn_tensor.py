@@ -168,6 +168,30 @@ class TestGraphMechanics:
         assert y.requires_grad is False
         assert nn.is_grad_enabled() is True
 
+    def test_no_grad_is_thread_local(self):
+        """One thread's no_grad must not disable grads in another thread."""
+        import threading
+
+        entered, release = threading.Event(), threading.Event()
+        grad_after_exit = []
+
+        def hold_no_grad():
+            with nn.no_grad():
+                entered.set()
+                release.wait(timeout=5.0)
+            grad_after_exit.append(nn.is_grad_enabled())
+
+        worker = threading.Thread(target=hold_no_grad)
+        worker.start()
+        assert entered.wait(timeout=5.0)
+        # The worker sits inside no_grad; this thread is unaffected.
+        assert nn.is_grad_enabled() is True
+        x = Tensor(np.ones(2), requires_grad=True)
+        assert (x * 2).sum().requires_grad is True
+        release.set()
+        worker.join(timeout=5.0)
+        assert grad_after_exit == [True]
+
     def test_detach_stops_gradient(self):
         x = Tensor(np.ones(3), requires_grad=True)
         y = (x.detach() * 2).sum()

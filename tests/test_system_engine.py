@@ -2,12 +2,17 @@
 
 from __future__ import annotations
 
+import socket
+import struct
+import time
+
 import numpy as np
 import pytest
 
 from repro.system import (Message, compressed_size, deserialize_message,
                           run_co_inference, serialize_message)
 from repro.system.engine import EdgeServer, DeviceClient
+from repro.system.messages import recv_message, serialize_message as _serialize
 
 
 class TestMessages:
@@ -35,6 +40,66 @@ class TestMessages:
     def test_empty_message(self):
         restored = deserialize_message(serialize_message(Message(kind="stop")))
         assert restored.kind == "stop" and restored.arrays == {}
+
+
+class TestTruncation:
+    """A mid-frame peer death must raise, never masquerade as a clean close."""
+
+    @staticmethod
+    def _frame_bytes() -> bytes:
+        blob = _serialize(Message(kind="frame", frame_id=1,
+                                  arrays={"x": np.ones((16, 16))}))
+        return struct.pack(">I", len(blob)) + blob
+
+    def test_clean_close_returns_none(self):
+        writer, reader = socket.socketpair()
+        writer.close()
+        try:
+            assert recv_message(reader) is None
+        finally:
+            reader.close()
+
+    def test_truncated_payload_raises(self):
+        writer, reader = socket.socketpair()
+        wire = self._frame_bytes()
+        writer.sendall(wire[:len(wire) // 2])
+        writer.close()
+        try:
+            with pytest.raises(ConnectionError, match="mid-frame"):
+                recv_message(reader)
+        finally:
+            reader.close()
+
+    def test_missing_payload_raises(self):
+        writer, reader = socket.socketpair()
+        writer.sendall(self._frame_bytes()[:4])  # full prefix, no payload
+        writer.close()
+        try:
+            with pytest.raises(ConnectionError, match="mid-frame"):
+                recv_message(reader)
+        finally:
+            reader.close()
+
+    def test_truncated_length_prefix_raises(self):
+        writer, reader = socket.socketpair()
+        writer.sendall(self._frame_bytes()[:2])  # half a length prefix
+        writer.close()
+        try:
+            with pytest.raises(ConnectionError, match="mid-frame"):
+                recv_message(reader)
+        finally:
+            reader.close()
+
+    def test_full_frame_still_decodes(self):
+        writer, reader = socket.socketpair()
+        writer.sendall(self._frame_bytes())
+        writer.close()
+        try:
+            message = recv_message(reader)
+            assert message is not None and message.frame_id == 1
+            assert recv_message(reader) is None  # then a clean close
+        finally:
+            reader.close()
 
 
 class TestEngine:
@@ -77,6 +142,19 @@ class TestEngine:
         results, stats = run_co_inference(frames, self._device_fn, self._edge_fn)
         assert all(r.latency_s >= 0 for r in results)
         assert stats.mean_latency_s >= 0
+
+    def test_latency_includes_device_compute(self):
+        """Frame latency must cover the device segment, not just link + edge."""
+        device_delay_s = 0.03
+
+        def slow_device_fn(frame):
+            time.sleep(device_delay_s)
+            return self._device_fn(frame)
+
+        frames = [np.ones((2, 2))] * 3
+        results, stats = run_co_inference(frames, slow_device_fn, self._edge_fn)
+        assert all(r.latency_s >= device_delay_s for r in results)
+        assert stats.mean_latency_s >= device_delay_s
 
     def test_engine_with_architecture_model(self, tiny_modelnet, modelnet_profile):
         """End-to-end: a split ArchitectureModel served through the engine."""
