@@ -8,9 +8,11 @@ zoo and serves several :class:`DeviceClient` connections concurrently:
   loose budget, constrained energy) in the hello handshake,
 * the :class:`RuntimeDispatcher` picks the matching zoo entry per client, so
   one server concurrently serves different architectures to different
-  devices, and
-* frames from all clients interleave on the edge, whose per-session and
-  aggregate statistics are reported at the end.
+  devices,
+* frames from all clients interleave on the edge, where the micro-batcher
+  coalesces concurrent requests of the same entry into single batched
+  engine calls (``max_batch_size`` / ``max_wait_ms``), and
+* per-session, aggregate and batching statistics are reported at the end.
 
 Run with:  python examples/multi_client_serving.py
 """
@@ -20,7 +22,7 @@ from __future__ import annotations
 import threading
 
 from repro.core import (Architecture, ArchitectureZoo, RuntimeDispatcher,
-                        ZooEntry, zoo_callables)
+                        ZooEntry, zoo_serving_callables)
 from repro.gnn import OpSpec, OpType
 from repro.graph import SyntheticModelNet40, stratified_split
 from repro.graph.data import Batch
@@ -60,13 +62,17 @@ def main() -> None:
     frames = [Batch.from_graphs([graph]) for graph in held_out[:FRAMES_PER_CLIENT]]
 
     zoo = build_zoo()
-    pairs = zoo_callables(zoo, in_dim=profile.feature_dim,
-                          num_classes=profile.num_classes, seed=0)
+    serving = zoo_serving_callables(zoo, in_dim=profile.feature_dim,
+                                    num_classes=profile.num_classes, seed=0)
     dispatcher = RuntimeDispatcher(zoo)
-    server = EdgeServer(edge_fns={name: pair[1] for name, pair in pairs.items()},
-                        selector=dispatcher.select_for_meta, max_workers=8).start()
+    server = EdgeServer(
+        edge_fns={name: entry.edge_fn for name, entry in serving.items()},
+        batch_fns={name: entry.batch_fn for name, entry in serving.items()},
+        max_batch_size=4, max_wait_ms=5.0,
+        selector=dispatcher.select_for_meta, max_workers=8).start()
     print(f"edge server listening on {server.host}:{server.port} with "
-          f"{len(pairs)} zoo entries: {', '.join(sorted(pairs))}\n")
+          f"{len(serving)} zoo entries: {', '.join(sorted(serving))} "
+          f"(micro-batching up to {server.max_batch_size} frames)\n")
 
     client_profiles = [
         ("latency-critical", {"latency_budget_ms": 35.0}),
@@ -82,7 +88,7 @@ def main() -> None:
                               conditions=conditions)
         try:
             assigned = client.assigned_model
-            device_fn = pairs[assigned][0]
+            device_fn = serving[assigned].device_fn
             results, stats = client.run_pipeline(frames, device_fn)
             with report_lock:
                 print(f"{name:17s} -> served by {assigned!r:11s} "
@@ -107,6 +113,10 @@ def main() -> None:
           f"{stats.bytes_sent / 1024:.1f} KiB out, "
           f"mean edge service {stats.mean_service_time_s * 1000:.2f} ms, "
           f"{stats.errors} errors")
+    print(f"micro-batching: {stats.batches_dispatched} engine calls, "
+          f"mean realized batch {stats.mean_batch_size:.2f}, "
+          f"sizes {dict(sorted(stats.batch_size_histogram.items()))}, "
+          f"mean queue delay {stats.mean_queue_delay_s * 1000:.2f} ms")
     print("frames by model:", dict(sorted(stats.frames_by_model.items())))
     print("dispatch history:", dispatcher.history)
     for session in stats.sessions:

@@ -3,8 +3,9 @@
 from .architecture import (Architecture, ValidityReport, check_validity, is_valid,
                            DEVICE, EDGE)
 from .design_space import DesignSpace
-from .executor import (ArchitectureModel, split_callables, zoo_callables,
-                       zoo_edge_fns)
+from .executor import (ArchitectureModel, ServingCallables, batched_edge_fn,
+                       collate_arrays, split_callables, split_results,
+                       zoo_callables, zoo_edge_fns, zoo_serving_callables)
 from .supernet import SuperNet, AccuracyCache
 from .performance import (EfficiencyEstimate, SimulatorEvaluator,
                           CostEstimatorEvaluator, PredictorEvaluator)
@@ -25,7 +26,9 @@ from .gcode import GCoDE, GCoDEConfig
 __all__ = [
     "Architecture", "ValidityReport", "check_validity", "is_valid", "DEVICE", "EDGE",
     "DesignSpace",
-    "ArchitectureModel", "split_callables", "zoo_callables", "zoo_edge_fns",
+    "ArchitectureModel", "ServingCallables", "batched_edge_fn", "collate_arrays",
+    "split_callables", "split_results", "zoo_callables", "zoo_edge_fns",
+    "zoo_serving_callables",
     "SuperNet", "AccuracyCache",
     "EfficiencyEstimate", "SimulatorEvaluator", "CostEstimatorEvaluator",
     "PredictorEvaluator",

@@ -7,12 +7,27 @@ their validation accuracy measured (the ``acc_val`` term of the paper's
 objective).  :func:`split_callables` additionally slices a trained model at
 its ``Communicate`` point into the device-side and edge-side callables
 consumed by the socket co-inference engine.
+
+Batched serving
+---------------
+The edge side of a split model can also execute many frames in one call:
+:func:`collate_arrays` merges the serialized states of several frames into a
+single multi-graph state (concatenated features, batch vector shifted by the
+graph offset, edge index shifted by the node offset), :func:`batched_edge_fn`
+resumes the architecture once over the merged state, and
+:func:`split_results` scatters the pooled per-graph outputs back to the
+originating frames.  This is what the engine's
+:class:`~repro.system.engine.MicroBatcher` calls to amortize one engine
+invocation across concurrent clients; the result is numerically equivalent
+to running the frames one by one (every operation reduces strictly within
+the batch vector's graph boundaries).
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -165,6 +180,180 @@ def split_callables(model: ArchitectureModel
     return device_fn, edge_fn
 
 
+# ----------------------------------------------------------------------
+# Batched edge execution (micro-batching support)
+# ----------------------------------------------------------------------
+#: One frame's serialized engine state: ``(arrays, meta)`` as produced by the
+#: device callable and consumed by the edge callable.
+FrameState = Tuple[ArrayDict, Dict]
+#: Edge callable executing many frames in one engine call.
+BatchedEdgeFn = Callable[[Sequence[FrameState]], List[FrameState]]
+
+
+def collate_arrays(requests: Sequence[FrameState]) -> Tuple[ArrayDict, Dict, List[int]]:
+    """Merge the serialized states of several frames into one multi-graph state.
+
+    Each request is an ``(arrays, meta)`` pair in the wire schema of
+    :func:`split_callables` (``x``/``batch`` plus optional ``edge_index`` /
+    ``pos`` arrays; ``num_graphs`` / ``pooled`` metadata).  Node rows are
+    concatenated, each frame's batch vector is shifted by the number of
+    graphs collated before it and its edge index by the number of node rows,
+    exactly like :meth:`~repro.graph.data.Batch.from_graphs` builds a
+    disjoint union — so one resumed engine call treats the coalesced frames
+    as independent graphs of a single batch.
+
+    Returns ``(arrays, meta, graph_counts)`` where ``graph_counts`` records
+    how many graphs each frame contributed, in order — the bookkeeping
+    :func:`split_results` needs to scatter results back per frame.
+    """
+    if not requests:
+        raise ValueError("cannot collate an empty batch of frames")
+    pooled = bool(requests[0][1].get("pooled", False))
+    has_edges = all("edge_index" in arrays for arrays, _ in requests)
+    has_pos = all("pos" in arrays for arrays, _ in requests)
+    xs: List[np.ndarray] = []
+    batches: List[np.ndarray] = []
+    edges: List[np.ndarray] = []
+    poss: List[np.ndarray] = []
+    graph_counts: List[int] = []
+    row_offset = 0
+    graph_offset = 0
+    for arrays, meta in requests:
+        if bool(meta.get("pooled", False)) != pooled:
+            raise ValueError("cannot collate pooled and unpooled frames into "
+                             "one batch")
+        x = np.asarray(arrays["x"], dtype=np.float64)
+        num_graphs = int(meta["num_graphs"])
+        xs.append(x)
+        batches.append(np.asarray(arrays["batch"], dtype=np.int64) + graph_offset)
+        if has_edges:
+            edges.append(np.asarray(arrays["edge_index"], dtype=np.int64)
+                         + row_offset)
+        if has_pos:
+            poss.append(np.asarray(arrays["pos"], dtype=np.float64))
+        graph_counts.append(num_graphs)
+        row_offset += int(x.shape[0])
+        graph_offset += num_graphs
+    collated: ArrayDict = {"x": np.concatenate(xs, axis=0),
+                           "batch": np.concatenate(batches)}
+    if has_edges:
+        collated["edge_index"] = np.concatenate(edges, axis=1)
+    if has_pos:
+        collated["pos"] = np.concatenate(poss, axis=0)
+    meta = {"num_graphs": graph_offset, "pooled": pooled}
+    return collated, meta, graph_counts
+
+
+def split_results(arrays: ArrayDict, meta: Dict,
+                  graph_counts: Sequence[int]) -> List[FrameState]:
+    """Split a batched per-graph result back into per-frame results.
+
+    Every array in ``arrays`` is expected to carry one row per graph (the
+    state after global pooling / classification) and is sliced along axis 0
+    according to ``graph_counts``.  The inverse of :func:`collate_arrays`
+    after the architecture has pooled.
+    """
+    total = int(sum(graph_counts))
+    for name, array in arrays.items():
+        if int(np.asarray(array).shape[0]) != total:
+            raise ValueError(
+                f"batched result array {name!r} has {np.asarray(array).shape[0]} "
+                f"rows but the batch holds {total} graphs")
+    results: List[FrameState] = []
+    offset = 0
+    for count in graph_counts:
+        frame_arrays = {name: np.ascontiguousarray(array[offset:offset + count])
+                        for name, array in arrays.items()}
+        results.append((frame_arrays, {"num_graphs": int(count)}))
+        offset += count
+    return results
+
+
+def batched_edge_fn(model: ArchitectureModel) -> BatchedEdgeFn:
+    """Edge-side callable executing a whole micro-batch in one engine call.
+
+    The batched counterpart of the ``edge_fn`` returned by
+    :func:`split_callables`: the per-frame states are collated into one
+    multi-graph state, the post-``Communicate`` segment and the classifier
+    run once over it, and the pooled logits are split back per frame.
+    Because every operation reduces strictly within graph boundaries (the
+    batch vector), the returned logits are numerically equivalent to calling
+    the per-frame edge function once per request.
+
+    Frames of an architecture without a ``Communicate`` (``finished`` on the
+    device) are echoed back per frame, mirroring the per-frame edge function.
+    """
+    split = model.first_communicate_index()
+
+    def batch_fn(requests: Sequence[FrameState]) -> List[FrameState]:
+        if not requests:
+            return []
+        if split is None or all(meta.get("finished") for _, meta in requests):
+            return [({"logits": arrays["x"]}, {"num_graphs": meta["num_graphs"]})
+                    for arrays, meta in requests]
+        arrays, meta, graph_counts = collate_arrays(requests)
+        state = _arrays_to_state(arrays, meta)
+        with nn.no_grad():
+            state = model.run_segment(state, split + 1, None,
+                                      include_classifier=True)
+        return split_results({"logits": state.x.data},
+                             {"num_graphs": state.num_graphs}, graph_counts)
+
+    return batch_fn
+
+
+@dataclass(frozen=True)
+class ServingCallables:
+    """The three engine callables of one zoo entry, sharing one model.
+
+    ``device_fn`` runs the pre-``Communicate`` segment on the device,
+    ``edge_fn`` resumes one frame on the edge, and ``batch_fn`` resumes a
+    whole micro-batch in one call (see :func:`batched_edge_fn`).  All three
+    are serialized through one per-entry lock because they share the same
+    (non-thread-safe) :class:`ArchitectureModel`.
+    """
+
+    device_fn: Callable[[Batch], FrameState]
+    edge_fn: Callable[[ArrayDict, Dict], FrameState]
+    batch_fn: BatchedEdgeFn
+
+
+def zoo_serving_callables(zoo: ArchitectureZoo, in_dim: int,
+                          num_classes: int, seed: int = 0
+                          ) -> Dict[str, ServingCallables]:
+    """Build :class:`ServingCallables` for every entry of a zoo.
+
+    The full-service companion of :func:`zoo_callables`: in addition to the
+    per-frame device/edge pair it exposes the batched edge callable that an
+    :class:`~repro.system.engine.EdgeServer` hands to its micro-batcher
+    (``batch_fns``), so coalesced requests of one entry resume the
+    architecture in a single engine call.
+
+    Models are freshly initialized from ``seed``; pass entries whose
+    architectures were trained elsewhere through :func:`split_callables` /
+    :func:`batched_edge_fn` directly if trained weights are needed.
+
+    All callables of an entry share one per-entry lock:
+    :class:`ArchitectureModel` is not thread-safe (its operations share one
+    random generator), so nothing may run the *same* model concurrently —
+    whether two server threads serving the same entry or, in a single-process
+    demo, one client's device segment overlapping another's edge segment.
+    Distinct entries still execute in parallel, and in a real deployment the
+    device callable runs on another machine where its lock never contends.
+    """
+    callables: Dict[str, ServingCallables] = {}
+    for entry in zoo:
+        model = ArchitectureModel(entry.architecture, in_dim=in_dim,
+                                  num_classes=num_classes, seed=seed)
+        lock = threading.Lock()
+        device_fn, edge_fn = split_callables(model)
+        callables[entry.name] = ServingCallables(
+            device_fn=_serialized(device_fn, lock),
+            edge_fn=_serialized(edge_fn, lock),
+            batch_fn=_serialized(batched_edge_fn(model), lock))
+    return callables
+
+
 def zoo_callables(zoo: ArchitectureZoo, in_dim: int,
                   num_classes: int, seed: int = 0
                   ) -> Dict[str, Tuple[Callable[[Batch], Tuple[ArrayDict, Dict]],
@@ -176,28 +365,12 @@ def zoo_callables(zoo: ArchitectureZoo, in_dim: int,
     :class:`~repro.system.engine.EdgeServer` (its ``edge_fns``), while each
     device keeps the matching device segment, so a runtime dispatcher can
     route every request to the zoo entry fitting its announced conditions.
-
-    Models are freshly initialized from ``seed``; pass entries whose
-    architectures were trained elsewhere through :func:`split_callables`
-    directly if trained weights are needed.
-
-    Both callables of an entry share one per-entry lock:
-    :class:`ArchitectureModel` is not thread-safe (its operations share one
-    random generator), so nothing may run the *same* model concurrently —
-    whether two server threads serving the same entry or, in a single-process
-    demo, one client's device segment overlapping another's edge segment.
-    Distinct entries still execute in parallel, and in a real deployment the
-    device callable runs on another machine where its lock never contends.
+    See :func:`zoo_serving_callables` for the variant that also exposes the
+    batched edge callables (micro-batching) and for the locking contract.
     """
-    pairs: Dict[str, Tuple[Callable, Callable]] = {}
-    for entry in zoo:
-        model = ArchitectureModel(entry.architecture, in_dim=in_dim,
-                                  num_classes=num_classes, seed=seed)
-        lock = threading.Lock()
-        device_fn, edge_fn = split_callables(model)
-        pairs[entry.name] = (_serialized(device_fn, lock),
-                             _serialized(edge_fn, lock))
-    return pairs
+    return {name: (serving.device_fn, serving.edge_fn)
+            for name, serving in zoo_serving_callables(
+                zoo, in_dim, num_classes, seed).items()}
 
 
 def _serialized(fn: Callable, lock: threading.Lock) -> Callable:
@@ -212,5 +385,6 @@ def zoo_edge_fns(zoo: ArchitectureZoo, in_dim: int,
                  num_classes: int, seed: int = 0
                  ) -> Dict[str, Callable[[ArrayDict, Dict], Tuple[ArrayDict, Dict]]]:
     """Edge-side callables only, keyed by entry name (``EdgeServer`` ``edge_fns``)."""
-    return {name: pair[1]
-            for name, pair in zoo_callables(zoo, in_dim, num_classes, seed).items()}
+    return {name: serving.edge_fn
+            for name, serving in zoo_serving_callables(
+                zoo, in_dim, num_classes, seed).items()}

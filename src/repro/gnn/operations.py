@@ -105,7 +105,21 @@ class OpSpec:
 
 @dataclass
 class ExecState:
-    """Mutable state threaded through the execution of an architecture."""
+    """Mutable state threaded through the execution of an architecture.
+
+    The batch-vector contract
+    -------------------------
+    ``batch`` assigns every row of ``x`` (every node) to one of the
+    ``num_graphs`` graphs of a disjoint union, and **every operation reduces
+    strictly within those boundaries**: ``Sample`` never builds an edge
+    across graphs, ``Aggregate`` only scatters along the edge index,
+    ``GlobalPool``/``Classifier`` reduce per ``batch`` segment, and the
+    row-wise ops (``Combine``, ``Identity``, ``Communicate``) ignore it.
+    This holds for *resumed* segments too — a state deserialized from the
+    wire mid-architecture, including a multi-frame micro-batch collated by
+    :func:`repro.core.executor.collate_arrays` — which is what makes batched
+    edge execution numerically equivalent to per-frame execution.
+    """
 
     x: nn.Tensor
     batch: np.ndarray

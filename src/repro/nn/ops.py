@@ -65,6 +65,44 @@ def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
 # ----------------------------------------------------------------------
 # Scatter (segment) reductions used for message-passing aggregation
 # ----------------------------------------------------------------------
+def _sorted_segment_reduce(ufunc: np.ufunc, src: np.ndarray, index: np.ndarray,
+                           num_segments: int) -> Optional[np.ndarray]:
+    """Per-segment ``ufunc`` reduction for an already-sorted ``index``.
+
+    ``ufunc.at`` visits source elements one by one in C, which made the
+    scatter reductions the hot spot of message passing.  KNN/random edge
+    lists arrive grouped by destination node, so the common case reduces
+    each segment as one contiguous block via ``ufunc.reduceat`` — the
+    feature axis stays fully vectorized.  Returns ``None`` when ``index`` is
+    unsorted (caller falls back to ``ufunc.at``); empty segments are zeroed,
+    matching the fallback's semantics.
+    """
+    if src.shape[0] == 0 or num_segments == 0:
+        return None
+    if np.any(np.diff(index) < 0):
+        return None
+    if index[0] < 0 or index[-1] >= num_segments:
+        # Out-of-range segments (e.g. a corrupt batch vector deserialized
+        # off the wire) must keep the fallback's behavior — IndexError for
+        # too-large, python-style wrapping for negative — not be silently
+        # folded into the wrong segment.
+        return None
+    starts = np.searchsorted(index, np.arange(num_segments))
+    # ``starts`` is non-decreasing, so boundaries at len(src) — segments past
+    # the last populated one — form a suffix; reduceat forbids them and they
+    # hold no elements anyway.
+    num_valid = int(np.count_nonzero(starts < src.shape[0]))
+    data = np.zeros((num_segments,) + src.shape[1:], dtype=np.float64)
+    if num_valid:
+        data[:num_valid] = ufunc.reduceat(src, starts[:num_valid], axis=0)
+    empty = np.bincount(index, minlength=num_segments) == 0
+    if empty.any():
+        # reduceat yields src[starts[i]] for an empty segment squeezed
+        # between populated ones; zero them like the element-wise fallback.
+        data[empty] = 0.0
+    return data
+
+
 def scatter_add(src: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
     """Sum rows of ``src`` into ``num_segments`` buckets given by ``index``.
 
@@ -75,8 +113,10 @@ def scatter_add(src: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
     index = np.asarray(index, dtype=np.int64)
     if index.shape[0] != src.shape[0]:
         raise ValueError("index length must match the first dimension of src")
-    data = np.zeros((num_segments,) + src.data.shape[1:], dtype=np.float64)
-    np.add.at(data, index, src.data)
+    data = _sorted_segment_reduce(np.add, src.data, index, num_segments)
+    if data is None:
+        data = np.zeros((num_segments,) + src.data.shape[1:], dtype=np.float64)
+        np.add.at(data, index, src.data)
 
     def backward(grad: np.ndarray) -> None:
         src._accumulate(grad[index])
@@ -105,14 +145,21 @@ def scatter_max(src: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
     if index.shape[0] != src.shape[0]:
         raise ValueError("index length must match the first dimension of src")
     feature_shape = src.data.shape[1:]
-    data = np.full((num_segments,) + feature_shape, -np.inf, dtype=np.float64)
-    np.maximum.at(data, index, src.data)
-    empty = ~np.isfinite(data)
-    data = np.where(empty, 0.0, data)
+    data = _sorted_segment_reduce(np.maximum, src.data, index, num_segments)
+    if data is None:
+        data = np.full((num_segments,) + feature_shape, -np.inf,
+                       dtype=np.float64)
+        np.maximum.at(data, index, src.data)
+        empty = ~np.isfinite(data)
+        data = np.where(empty, 0.0, data)
 
     # Identify, per (segment, feature), the source row realizing the maximum.
+    # This bookkeeping exists only for the backward pass; the inference path
+    # (no_grad serving, evaluation) skips it — it costs a Python loop over
+    # every source row and dominated edge-side serving profiles.
     argmax = np.full((num_segments,) + feature_shape, -1, dtype=np.int64)
-    if src.data.size:
+    needs_grad = is_grad_enabled() and src.requires_grad
+    if needs_grad and src.data.size:
         gathered = data[index]
         is_max = (src.data == gathered)
         # Iterate rows in reverse so that the *first* maximal row wins ties.

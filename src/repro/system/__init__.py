@@ -5,8 +5,9 @@ from .simulator import (SystemConfig, SystemPerformance, CoInferenceSimulator,
 from .partition import (PartitionResult, insert_partition, candidate_partitions,
                         evaluate_partitions, best_partition)
 from .messages import Message, serialize_message, deserialize_message, compressed_size
-from .engine import (EdgeServer, DeviceClient, FrameResult, PipelineStats,
-                     ServingSession, EdgeServerStats, run_co_inference)
+from .engine import (EdgeServer, DeviceClient, FrameResult, MicroBatcher,
+                     PipelineStats, ServingSession, EdgeServerStats,
+                     run_co_inference)
 
 __all__ = [
     "SystemConfig", "SystemPerformance", "CoInferenceSimulator",
@@ -14,7 +15,7 @@ __all__ = [
     "PartitionResult", "insert_partition", "candidate_partitions",
     "evaluate_partitions", "best_partition",
     "Message", "serialize_message", "deserialize_message", "compressed_size",
-    "EdgeServer", "DeviceClient", "FrameResult", "PipelineStats",
-    "ServingSession", "EdgeServerStats",
+    "EdgeServer", "DeviceClient", "FrameResult", "MicroBatcher",
+    "PipelineStats", "ServingSession", "EdgeServerStats",
     "run_co_inference",
 ]

@@ -33,12 +33,29 @@ conditions the server answers with the chosen model name so the device can
 run the matching device segment.  Edge-side failures travel back to the
 offending client as ``"error"`` messages (with the remote traceback) instead
 of killing the connection.
+
+Cross-client micro-batching
+---------------------------
+With ``max_batch_size > 1`` the server stops executing one engine call per
+frame: handler threads only *enqueue* incoming frames, and a
+:class:`MicroBatcher` coalesces whatever arrived within ``max_wait_ms`` (up
+to ``max_batch_size`` frames, strictly per zoo entry — batches never mix
+models) into a single call of the entry's batched edge callable
+(``batch_fns``, typically :func:`repro.core.executor.batched_edge_fn`).
+Results are scattered back to the waiting connections with the realized
+``batch_index`` stamped on each reply.  A failing batched call falls back to
+per-frame execution so an error isolates to the one offending frame; entries
+without a batched callable are likewise served per frame.  The batcher's
+realized batch-size distribution and queueing delay are part of
+:class:`EdgeServerStats`, whose ``mean_service_time_s`` then reports the
+*amortized* per-frame engine time.
 """
 
 from __future__ import annotations
 
 import queue
 import socket
+import sys
 import threading
 import time
 import traceback
@@ -48,12 +65,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .messages import (Message, recv_message, send_message, send_payload,
+from .messages import (_LENGTH_SIZE as PAYLOAD_PREFIX_BYTES, Message,
+                       recv_message, send_message, send_payload,
                        serialize_message)
 
 ArrayDict = Dict[str, np.ndarray]
 DeviceFn = Callable[[object], Tuple[ArrayDict, Dict]]
 EdgeFn = Callable[[ArrayDict, Dict], Tuple[ArrayDict, Dict]]
+#: Edge callable executing a whole micro-batch of frames in one engine call.
+BatchedEdgeFn = Callable[[Sequence[Tuple[ArrayDict, Dict]]],
+                         List[Tuple[ArrayDict, Dict]]]
 #: Maps frame/hello metadata to the name of the edge callable to run.
 SelectorFn = Callable[[Dict], Optional[str]]
 
@@ -75,6 +96,9 @@ class FrameResult:
     meta: Dict
     submitted_at: float
     completed_at: float
+    #: Position inside the micro-batch the edge coalesced this frame into;
+    #: ``None`` when the frame was served per frame (batching off).
+    batch_index: Optional[int] = None
 
     @property
     def latency_s(self) -> float:
@@ -112,6 +136,11 @@ class ServingSession:
     #: Cumulative time spent inside the edge callables for this client.
     service_time_s: float = 0.0
     frames_by_model: "Counter[str]" = field(default_factory=Counter)
+    #: True once the session was folded into the server's aggregate counters
+    #: (bounded session log).  Late replies from batcher threads must then
+    #: book against the aggregate instead — this object no longer feeds
+    #: statistics.
+    evicted: bool = False
 
     @property
     def active(self) -> bool:
@@ -137,15 +166,167 @@ class EdgeServerStats:
     errors: int
     bytes_received: int
     bytes_sent: int
+    #: Mean engine time booked per frame.  Under micro-batching this is the
+    #: *amortized* time — each frame of a coalesced batch is charged an equal
+    #: share of the single batched engine call.
     mean_service_time_s: float
     frames_by_model: Dict[str, int]
     wall_time_s: float
     sessions: List[ServingSession]
+    #: Micro-batching: engine calls dispatched by the batcher, the realized
+    #: batch-size distribution (size -> count), the mean realized batch size
+    #: and the mean time a frame queued before dispatch.  All zero / empty
+    #: when batching is off (``max_batch_size=1``).
+    batches_dispatched: int = 0
+    mean_batch_size: float = 0.0
+    batch_size_histogram: Dict[int, int] = field(default_factory=dict)
+    mean_queue_delay_s: float = 0.0
+    #: Frames of coalesced multi-frame batches that had to be re-executed
+    #: per frame because their batched engine call failed.  Non-zero means
+    #: the batched path is degrading; the histogram above still records the
+    #: *attempted* coalescing.
+    batch_fallback_frames: int = 0
 
     @property
     def throughput_fps(self) -> float:
         """Aggregate frames per second since the server started."""
         return self.frames_processed / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+
+@dataclass
+class _PendingRequest:
+    """One frame waiting for (batched) edge execution.
+
+    Holds everything a batcher thread needs to reply without going back
+    through the handler: the connection, its per-connection send lock (the
+    handler may concurrently write hello acknowledgements) and the session
+    record for statistics.
+    """
+
+    conn: socket.socket
+    send_lock: threading.Lock
+    session: ServingSession
+    message: Message
+    enqueued_at: float
+
+
+class MicroBatcher:
+    """Coalesces concurrent edge requests into batched engine calls.
+
+    One collector thread per zoo entry (created lazily on first traffic for
+    that entry) drains a per-entry queue: it waits at most ``max_wait_ms``
+    from the arrival of the batch's first frame — or until ``max_batch_size``
+    frames are pending — then hands the batch to ``dispatch`` in one call.
+    Per-entry queues mean a batch never mixes zoo entries, so each batched
+    engine call resumes exactly one architecture.
+
+    The batcher records the realized batch-size distribution and the
+    per-frame queueing delay; :meth:`EdgeServer.stats` folds the snapshot
+    into :class:`EdgeServerStats`.
+    """
+
+    def __init__(self, dispatch: Callable[[str, List[_PendingRequest]], bool],
+                 max_batch_size: int, max_wait_ms: float) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        self._dispatch = dispatch
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_ms / 1000.0
+        self._queues: Dict[str, "queue.Queue[_PendingRequest]"] = {}
+        self._threads: Dict[str, threading.Thread] = {}
+        self._lock = threading.Lock()
+        self._stopped = threading.Event()
+        self._batches = 0
+        self._frames = 0
+        self._size_histogram: "Counter[int]" = Counter()
+        self._queue_delay_total_s = 0.0
+        self._fallback_frames = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, name: str, request: _PendingRequest) -> bool:
+        """Enqueue a frame for entry ``name``; False when already stopped."""
+        with self._lock:
+            if self._stopped.is_set():
+                return False
+            entry_queue = self._queues.get(name)
+            if entry_queue is None:
+                entry_queue = queue.Queue()
+                self._queues[name] = entry_queue
+                collector = threading.Thread(target=self._run,
+                                             args=(name, entry_queue),
+                                             daemon=True)
+                self._threads[name] = collector
+                collector.start()
+        entry_queue.put(request)
+        return True
+
+    def _collect(self, entry_queue: "queue.Queue[_PendingRequest]",
+                 first: _PendingRequest) -> List[_PendingRequest]:
+        """Gather a batch: whatever arrives before the first frame's deadline.
+
+        The deadline is anchored at the *arrival* of the batch's first frame,
+        so a frame never waits longer than ``max_wait_ms`` in the queue even
+        when the collector was busy dispatching the previous batch — in that
+        case everything already pending is drained without further waiting.
+        """
+        batch = [first]
+        deadline = first.enqueued_at + self.max_wait_s
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining <= 0:
+                    batch.append(entry_queue.get_nowait())
+                else:
+                    batch.append(entry_queue.get(timeout=remaining))
+            except queue.Empty:
+                break
+        return batch
+
+    def _run(self, name: str, entry_queue: "queue.Queue[_PendingRequest]") -> None:
+        while not self._stopped.is_set():
+            try:
+                first = entry_queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            batch = self._collect(entry_queue, first)
+            dispatched_at = time.monotonic()
+            with self._lock:
+                self._batches += 1
+                self._frames += len(batch)
+                self._size_histogram[len(batch)] += 1
+                self._queue_delay_total_s += sum(
+                    dispatched_at - request.enqueued_at for request in batch)
+            try:
+                executed_batched = self._dispatch(name, batch)
+            except Exception:
+                # Per-request failures are replied to inside dispatch; an
+                # unexpected error here must not kill the collector thread,
+                # or the entry would silently stop being served.
+                continue
+            if not executed_batched:
+                # The coalesced batch had to be re-run per frame (its
+                # batched callable failed); without this counter a fully
+                # broken batched path would still report a healthy-looking
+                # batch-size histogram.
+                with self._lock:
+                    self._fallback_frames += len(batch)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple[int, int, Dict[int, int], float, int]:
+        """``(batches, frames, size_histogram, total_queue_delay_s, fallback_frames)``."""
+        with self._lock:
+            return (self._batches, self._frames, dict(self._size_histogram),
+                    self._queue_delay_total_s, self._fallback_frames)
+
+    def stop(self) -> None:
+        """Stop the collector threads; pending requests are abandoned."""
+        self._stopped.set()
+        with self._lock:
+            collectors = list(self._threads.values())
+        for collector in collectors:
+            collector.join(timeout=5.0)
 
 
 class EdgeServer:
@@ -164,6 +345,19 @@ class EdgeServer:
         Maps frame/hello metadata to a model name (e.g.
         ``RuntimeDispatcher.select_for_meta``).  Consulted when the metadata
         does not name a model explicitly.
+    batch_fns:
+        Batched edge callables for micro-batching, keyed like ``edge_fns``
+        (the default entry's batched callable goes under its model name —
+        ``"default"`` for an anonymous ``edge_fn``).  Typically produced by
+        :func:`repro.core.executor.zoo_serving_callables`.  Entries without a
+        batched callable are served per frame even when batching is on.
+    max_batch_size:
+        Upper bound on frames coalesced into one batched engine call.  The
+        default of 1 disables micro-batching entirely (per-frame serving,
+        no batcher threads).
+    max_wait_ms:
+        How long the batcher may hold the first frame of a batch while
+        waiting for more traffic to coalesce with.
     max_workers:
         Upper bound on concurrently served connections; further connections
         queue in the listen backlog until a handler slot frees up.
@@ -174,13 +368,17 @@ class EdgeServer:
 
     def __init__(self, edge_fn: Optional[EdgeFn] = None, host: str = "127.0.0.1",
                  port: int = 0, *, edge_fns: Optional[Dict[str, EdgeFn]] = None,
-                 selector: Optional[SelectorFn] = None, max_workers: int = 8,
-                 backlog: int = 32,
+                 selector: Optional[SelectorFn] = None,
+                 batch_fns: Optional[Dict[str, BatchedEdgeFn]] = None,
+                 max_batch_size: int = 1, max_wait_ms: float = 2.0,
+                 max_workers: int = 8, backlog: int = 32,
                  session_log_limit: int = SESSION_LOG_LIMIT) -> None:
         if edge_fn is None and not edge_fns:
             raise ValueError("EdgeServer needs an edge_fn or a non-empty edge_fns")
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
         if edge_fn is not None and edge_fns and DEFAULT_MODEL in edge_fns:
             raise ValueError(
                 f"edge_fns may not use the reserved name {DEFAULT_MODEL!r} "
@@ -194,6 +392,20 @@ class EdgeServer:
             self._default_name, self.edge_fn = next(iter(edge_fns.items()))
         self.edge_fns: Dict[str, EdgeFn] = dict(edge_fns or {})
         self.selector = selector
+        self.batch_fns: Dict[str, BatchedEdgeFn] = dict(batch_fns or {})
+        unknown = set(self.batch_fns) - set(self.edge_fns) - {self._default_name}
+        if unknown:
+            raise ValueError(
+                f"batch_fns name entries with no per-frame edge callable: "
+                f"{sorted(unknown)} — a typo here would silently fall back "
+                "to per-frame serving")
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self._batcher: Optional[MicroBatcher] = None
+        if max_batch_size > 1:
+            self._batcher = MicroBatcher(self._dispatch_batch,
+                                         max_batch_size=max_batch_size,
+                                         max_wait_ms=max_wait_ms)
         self.max_workers = max_workers
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -216,6 +428,10 @@ class EdgeServer:
         self._retired_count = 0
         self._active_conns: Dict[int, socket.socket] = {}
         self._handlers: Dict[int, threading.Thread] = {}
+        #: Per-connection write locks: with micro-batching on, a batcher
+        #: thread replies to frames while the handler thread may still write
+        #: hello acknowledgements on the same socket.
+        self._send_locks: Dict[int, threading.Lock] = {}
         self._started_at: Optional[float] = None
         self._stopped_at: Optional[float] = None
 
@@ -252,6 +468,7 @@ class EdgeServer:
                     self._sessions.append(session)
                     self._active_conns[session.session_id] = conn
                     self._handlers[session.session_id] = handler
+                    self._send_locks[session.session_id] = threading.Lock()
                 handler.start()
                 handed_off = True  # the handler releases the slot on exit
             finally:
@@ -316,48 +533,180 @@ class EdgeServer:
                 dispatch_failed = True
                 ack_meta["error"] = f"{type(exc).__name__}: {exc}"
                 ack_meta["traceback"] = traceback.format_exc()
-        sent = send_message(conn, Message(kind="hello", meta=ack_meta))
+        with self._send_lock_for(session):
+            sent = send_message(conn, Message(kind="hello", meta=ack_meta))
         with self._lock:
             session.client_name = str(message.meta.get("client", ""))
             session.bytes_sent += sent
             if dispatch_failed:
                 session.errors += 1
 
+    def _send_lock_for(self, session: ServingSession) -> threading.Lock:
+        with self._lock:
+            lock = self._send_locks.get(session.session_id)
+        # A request may be replied to after its handler cleaned up (a batch
+        # drained post-disconnect); the write then fails with OSError anyway,
+        # a throwaway lock just keeps the reply path uniform.
+        return lock if lock is not None else threading.Lock()
+
     def _handle_frame(self, conn: socket.socket, session: ServingSession,
                       message: Message) -> None:
+        request = _PendingRequest(conn=conn,
+                                  send_lock=self._send_lock_for(session),
+                                  session=session, message=message,
+                                  enqueued_at=time.monotonic())
         try:
-            # Serialization of the reply stays inside the guard: an edge_fn
-            # returning non-JSON-serializable metadata must come back as an
-            # "error" message, not kill the handler.  Only the actual socket
-            # write (connection-level failure) is left to the handler loop.
             name, edge_fn = self._resolve(message.meta)
+        except Exception:  # unknown model / selector failure: per-frame error
+            self._reply_error(request)
+            return
+        if self._batcher is not None and name in self.batch_fns:
+            # Entries without a batched callable stay on the direct path
+            # below: funnelling them through a per-entry collector thread
+            # would serialize their (possibly thread-safe) edge callables
+            # and add up to max_wait_ms of queueing with nothing to batch.
+            if self._batcher.submit(name, request):
+                return
+            # Batcher already stopped: the server is shutting down and this
+            # connection is about to be torn down; drop the frame.
+            return
+        try:
             started = time.perf_counter()
             arrays, meta = edge_fn(message.arrays, message.meta)
             elapsed = time.perf_counter() - started
-            blob = serialize_message(Message(kind="result",
-                                             frame_id=message.frame_id,
-                                             arrays=arrays, meta=meta))
-        except Exception as exc:  # propagate to the client, keep serving
-            with self._lock:
-                # Count the failure before attempting the reply, so a dead
-                # connection cannot make the error vanish from the stats.
-                session.errors += 1
-            sent = send_message(conn, Message(
-                kind="error", frame_id=message.frame_id,
-                meta={"error": f"{type(exc).__name__}: {exc}",
-                      "traceback": traceback.format_exc()}))
-            with self._lock:
-                session.bytes_sent += sent
+        except Exception:  # propagate to the client, keep serving
+            self._reply_error(request)
             return
-        sent = send_payload(conn, blob)
+        self._reply_result(request, name, arrays, meta, elapsed)
+
+    def _dispatch_batch(self, name: str, requests: List[_PendingRequest]) -> bool:
+        """Execute one micro-batch for zoo entry ``name`` and reply per frame.
+
+        Called by the :class:`MicroBatcher` collector threads.  When the
+        entry has a batched callable and more than one frame coalesced, the
+        whole batch runs in a single engine call and each frame is charged an
+        equal share of the elapsed time; otherwise — including when the
+        batched call fails — frames run per frame, so an error isolates to
+        the one request that caused it instead of failing the whole batch.
+
+        Returns ``False`` when a multi-frame batch had to fall back to
+        per-frame execution (its batched call failed), so the batcher can
+        expose the degradation in its statistics.
+        """
+        batch_fn = self.batch_fns.get(name)
+        if batch_fn is not None and len(requests) > 1:
+            started = time.perf_counter()
+            try:
+                results = list(batch_fn([(request.message.arrays,
+                                          request.message.meta)
+                                         for request in requests]))
+                if len(results) != len(requests):
+                    raise RuntimeError(
+                        f"batched edge callable for {name!r} returned "
+                        f"{len(results)} results for {len(requests)} requests")
+                # Unpack every element *before* the first reply goes out: a
+                # malformed result discovered mid-loop would strand the rest
+                # of the batch with no reply at all (their clients would sit
+                # out the full pipeline timeout instead of getting the
+                # per-frame error the fallback below produces).
+                results = [(arrays, meta) for arrays, meta in results]
+            except Exception:
+                pass  # fall through to the per-frame fallback below
+            else:
+                share = (time.perf_counter() - started) / len(requests)
+                for index, (request, (arrays, meta)) in enumerate(
+                        zip(requests, results)):
+                    self._reply_result(request, name, arrays, meta, share,
+                                       batch_index=index)
+                return True
+        edge_fn = (self.edge_fn if name == self._default_name
+                   else self.edge_fns[name])
+        for index, request in enumerate(requests):
+            try:
+                started = time.perf_counter()
+                arrays, meta = edge_fn(request.message.arrays,
+                                       request.message.meta)
+                elapsed = time.perf_counter() - started
+            except Exception:
+                self._reply_error(request, batch_index=index)
+            else:
+                self._reply_result(request, name, arrays, meta, elapsed,
+                                   batch_index=index)
+        # Per-frame execution was the intended path only for single-frame
+        # batches and entries without a batched callable; a multi-frame
+        # batch landing here means its batched call failed.
+        return not (batch_fn is not None and len(requests) > 1)
+
+    def _reply_result(self, request: _PendingRequest, name: str,
+                      arrays: ArrayDict, meta: Dict, service_time_s: float,
+                      batch_index: Optional[int] = None) -> None:
+        try:
+            # Serialization stays guarded: an edge callable returning
+            # non-JSON-serializable metadata must come back as an "error"
+            # message, not kill the replying thread.
+            blob = serialize_message(Message(kind="result",
+                                             frame_id=request.message.frame_id,
+                                             arrays=arrays, meta=meta,
+                                             batch_index=batch_index))
+        except Exception:
+            self._reply_error(request, batch_index=batch_index)
+            return
         # All session-counter mutations happen under the server lock so
-        # stats()/sessions() copies are consistent snapshots; a frame counts
-        # as served only once its result is on the wire.
+        # stats()/sessions() copies are consistent snapshots.  The frame is
+        # booked *before* the socket write (and rolled back should the write
+        # fail): the moment a client holds the result, the server's counters
+        # must already include it — counting after the write let a stats()
+        # call race ahead of the last increment.
         with self._lock:
-            session.bytes_sent += sent
-            session.service_time_s += elapsed
+            session = self._stats_target(request)
+            session.bytes_sent += len(blob) + PAYLOAD_PREFIX_BYTES
+            session.service_time_s += service_time_s
             session.frames += 1
             session.frames_by_model[name] += 1
+        try:
+            with request.send_lock:
+                send_payload(request.conn, blob)
+        except OSError:
+            # The client vanished between execution and reply; its handler
+            # (or stop()) tears the connection down.  Un-book the frame that
+            # never made it onto the wire (re-resolving the target: the
+            # session — booked counts included — may have been folded into
+            # the aggregate in between).
+            with self._lock:
+                session = self._stats_target(request)
+                session.bytes_sent -= len(blob) + PAYLOAD_PREFIX_BYTES
+                session.service_time_s -= service_time_s
+                session.frames -= 1
+                session.frames_by_model[name] -= 1
+                session.errors += 1
+
+    def _stats_target(self, request: _PendingRequest) -> ServingSession:
+        """Where this request's counters live now (server lock held).
+
+        Batcher threads may reply after the bounded session log evicted the
+        request's session; its counts then live in the retired aggregate.
+        """
+        return self._retired if request.session.evicted else request.session
+
+    def _reply_error(self, request: _PendingRequest,
+                     batch_index: Optional[int] = None) -> None:
+        """Reply with the currently handled exception (callers sit in except)."""
+        exc = sys.exc_info()[1]
+        with self._lock:
+            # Count the failure before attempting the reply, so a dead
+            # connection cannot make the error vanish from the stats.
+            self._stats_target(request).errors += 1
+        try:
+            with request.send_lock:
+                sent = send_message(request.conn, Message(
+                    kind="error", frame_id=request.message.frame_id,
+                    meta={"error": f"{type(exc).__name__}: {exc}",
+                          "traceback": traceback.format_exc()},
+                    batch_index=batch_index))
+        except OSError:
+            return
+        with self._lock:
+            self._stats_target(request).bytes_sent += sent
 
     def _handle(self, conn: socket.socket, session: ServingSession) -> None:
         try:
@@ -389,24 +738,29 @@ class EdgeServer:
             with self._lock:
                 self._active_conns.pop(session.session_id, None)
                 self._handlers.pop(session.session_id, None)
+                self._send_locks.pop(session.session_id, None)
                 self._evict_old_sessions()
             self._slots.release()
 
     def _evict_old_sessions(self) -> None:
         """Fold the oldest closed sessions into the aggregate (lock held)."""
         while len(self._sessions) > self._session_log_limit:
-            evicted = next((s for s in self._sessions if not s.active), None)
-            if evicted is None:
+            session = next((s for s in self._sessions if not s.active), None)
+            if session is None:
                 break
-            self._sessions.remove(evicted)
+            self._sessions.remove(session)
             self._retired_count += 1
             retired = self._retired
-            retired.frames += evicted.frames
-            retired.errors += evicted.errors
-            retired.bytes_received += evicted.bytes_received
-            retired.bytes_sent += evicted.bytes_sent
-            retired.service_time_s += evicted.service_time_s
-            retired.frames_by_model.update(evicted.frames_by_model)
+            retired.frames += session.frames
+            retired.errors += session.errors
+            retired.bytes_received += session.bytes_received
+            retired.bytes_sent += session.bytes_sent
+            retired.service_time_s += session.service_time_s
+            retired.frames_by_model.update(session.frames_by_model)
+            # In-flight batcher replies for this session must hit the
+            # aggregate from now on, or their frames would vanish from (or,
+            # on a rollback, be double-subtracted out of) the statistics.
+            session.evicted = True
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -451,6 +805,9 @@ class EdgeServer:
         # reporting the throughput actually achieved while serving.
         end = self._stopped_at if self._stopped_at is not None else time.perf_counter()
         wall = end - self._started_at if self._started_at is not None else 0.0
+        batches, batched_frames, size_histogram, delay_total, fallback = (
+            self._batcher.snapshot() if self._batcher is not None
+            else (0, 0, {}, 0.0, 0))
         return EdgeServerStats(
             num_sessions=num_sessions,
             active_sessions=sum(s.active for s in sessions),
@@ -461,7 +818,12 @@ class EdgeServer:
             mean_service_time_s=service / frames if frames else 0.0,
             frames_by_model=dict(by_model),
             wall_time_s=wall,
-            sessions=sessions)
+            sessions=sessions,
+            batches_dispatched=batches,
+            mean_batch_size=batched_frames / batches if batches else 0.0,
+            batch_size_histogram=size_histogram,
+            mean_queue_delay_s=delay_total / batched_frames if batched_frames else 0.0,
+            batch_fallback_frames=fallback)
 
     def stop(self) -> None:
         """Stop accepting, close live connections and release the listener."""
@@ -482,6 +844,8 @@ class EdgeServer:
                 pass
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
+        if self._batcher is not None:
+            self._batcher.stop()
         for handler in handlers:
             handler.join(timeout=5.0)
 
@@ -681,7 +1045,8 @@ class DeviceClient:
             results.append(FrameResult(
                 frame_id=message.frame_id - base_id, arrays=message.arrays,
                 meta=message.meta, submitted_at=submitted[message.frame_id],
-                completed_at=time.perf_counter()))
+                completed_at=time.perf_counter(),
+                batch_index=message.batch_index))
         wall = time.perf_counter() - start
         results.sort(key=lambda r: r.frame_id)
         stats = PipelineStats(

@@ -43,6 +43,12 @@ class Message:
         Named numpy arrays (node features, batch vector, edge index, ...).
     meta:
         Small JSON-serializable metadata (e.g. which segment to execute).
+    batch_index:
+        Position of this frame inside the micro-batch the edge coalesced it
+        into (``None`` for per-frame serving).  Carried on ``"result"`` and
+        ``"error"`` replies so a failure isolates to the one offending frame
+        of a batch instead of discrediting the whole batch, and so clients
+        can observe the realized coalescing.
     wire_bytes:
         Size of the compressed frame as received from the socket; filled in
         by :func:`recv_message` (0 for locally constructed messages).
@@ -52,6 +58,7 @@ class Message:
     frame_id: int = 0
     arrays: Dict[str, np.ndarray] = field(default_factory=dict)
     meta: Dict = field(default_factory=dict)
+    batch_index: Optional[int] = None
     wire_bytes: int = 0
 
 
@@ -64,6 +71,8 @@ def serialize_message(message: Message, compress_level: int = 6) -> bytes:
         "meta": message.meta,
         "arrays": list(message.arrays.keys()),
     }
+    if message.batch_index is not None:
+        header["batch_index"] = int(message.batch_index)
     header_bytes = json.dumps(header).encode("utf-8")
     buffer.write(struct.pack(_LENGTH_FORMAT, len(header_bytes)))
     buffer.write(header_bytes)
@@ -88,7 +97,8 @@ def deserialize_message(blob: bytes) -> Message:
         (size,) = struct.unpack(_LENGTH_FORMAT, view.read(_LENGTH_SIZE))
         arrays[name] = np.load(io.BytesIO(view.read(size)), allow_pickle=False)
     return Message(kind=header["kind"], frame_id=header["frame_id"],
-                   arrays=arrays, meta=header["meta"])
+                   arrays=arrays, meta=header["meta"],
+                   batch_index=header.get("batch_index"))
 
 
 def send_payload(sock: socket.socket, blob: bytes) -> int:

@@ -124,6 +124,30 @@ class TestKNN:
         for src, dst in edges.T:
             assert (src < 5) == (dst < 5)
 
+    def test_knn_indices_match_full_sort(self):
+        """The argpartition fast path selects the same neighbours as argsort."""
+        rng = np.random.default_rng(7)
+        pts = rng.standard_normal((40, 3))
+        for k in (1, 5, 9):
+            idx = knn_indices(pts, k)
+            dists = pairwise_sq_distances(pts)
+            np.fill_diagonal(dists, np.inf)
+            expected = np.argsort(dists, axis=1)[:, :k]
+            np.testing.assert_array_equal(idx, expected)
+
+    def test_knn_indices_ordered_nearest_first(self):
+        rng = np.random.default_rng(8)
+        pts = rng.standard_normal((25, 2))
+        idx = knn_indices(pts, 6)
+        dists = pairwise_sq_distances(pts)
+        picked = np.take_along_axis(dists, idx, axis=1)
+        assert (np.diff(picked, axis=1) >= 0).all()
+
+    def test_knn_indices_include_self_when_not_excluded(self):
+        pts = np.array([[0.0], [1.0], [2.0]])
+        idx = knn_indices(pts, 1, exclude_self=False)
+        np.testing.assert_array_equal(idx.reshape(-1), [0, 1, 2])
+
     def test_k_larger_than_graph_repeats_neighbours(self):
         pts = np.array([[0.0], [1.0]])
         edges = knn_graph(pts, 5)

@@ -84,6 +84,25 @@ class TestScatter:
         out = nn.scatter_mean(src, np.array([0, 0]), 3).data
         np.testing.assert_allclose(out, [[3.0], [0.0], [0.0]])
 
+    def test_scatter_sorted_fast_path_matches_unsorted(self):
+        """Sorted (reduceat) and unsorted (ufunc.at) paths must agree."""
+        rng = np.random.default_rng(0)
+        src = rng.normal(size=(40, 3))
+        index = np.sort(rng.integers(0, 12, size=40))
+        perm = rng.permutation(40)
+        for reduce in ("add", "mean", "max"):
+            sorted_out = nn.scatter(Tensor(src), index, 12, reduce=reduce).data
+            shuffled = nn.scatter(Tensor(src[perm]), index[perm], 12,
+                                  reduce=reduce).data
+            np.testing.assert_allclose(sorted_out, shuffled, atol=1e-12)
+
+    def test_scatter_out_of_range_sorted_index_still_raises(self):
+        """The reduceat fast path must not fold invalid segments silently."""
+        src = Tensor(np.ones((4, 2)))
+        for fn in (nn.scatter_add, nn.scatter_max):
+            with pytest.raises(IndexError):
+                fn(src, np.array([0, 1, 2, 3]), 3)
+
     def test_scatter_max_values_and_empty_segments(self):
         src = Tensor(np.array([[1.0, -5.0], [3.0, 2.0], [2.0, 7.0]]))
         out = nn.scatter_max(src, np.array([1, 1, 1]), 3).data

@@ -1,0 +1,551 @@
+"""Tests for cross-client dynamic micro-batching on the edge server.
+
+Covers the batched edge path end to end: state collation / result splitting
+(:mod:`repro.core.executor`), numerical equivalence of batched and per-frame
+execution across every aggregator and pooling function, and the serving-side
+:class:`~repro.system.engine.MicroBatcher` (per-entry coalescing, the
+``max_wait_ms`` deadline flush, partial-batch error isolation, and the
+realized batch statistics).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (Architecture, ArchitectureModel, ArchitectureZoo,
+                        ZooEntry, batched_edge_fn, collate_arrays,
+                        split_callables, split_results, zoo_serving_callables)
+from repro.gnn import OpSpec, OpType
+from repro.graph import SyntheticModelNet40
+from repro.graph.data import Batch
+from repro.system import DeviceClient, EdgeServer
+from repro.system.messages import Message, deserialize_message, serialize_message
+
+
+def _co_inference_arch(aggregate: str = "max", pool: str = "max||mean",
+                       sample: str = "knn") -> Architecture:
+    return Architecture(ops=(
+        OpSpec(OpType.SAMPLE, sample, k=4),
+        OpSpec(OpType.AGGREGATE, "add"),
+        OpSpec(OpType.COMMUNICATE, "uplink"),
+        OpSpec(OpType.SAMPLE, sample, k=4),
+        OpSpec(OpType.AGGREGATE, aggregate),
+        OpSpec(OpType.COMBINE, 32),
+        OpSpec(OpType.GLOBAL_POOL, pool),
+    ))
+
+
+def _frames(num_frames: int, num_points: int = 24,
+            graphs_per_frame: int = 1) -> list:
+    graphs = SyntheticModelNet40(num_points=num_points, samples_per_class=4,
+                                 num_classes=5, seed=3).generate()
+    assert len(graphs) >= num_frames * graphs_per_frame
+    return [Batch.from_graphs(graphs[i * graphs_per_frame:
+                                     (i + 1) * graphs_per_frame])
+            for i in range(num_frames)]
+
+
+class TestCollateSplit:
+    def test_collate_offsets_batch_and_edge_index(self):
+        requests = [
+            ({"x": np.ones((3, 2)), "batch": np.zeros(3, dtype=np.int64),
+              "edge_index": np.array([[0, 1], [1, 2]])},
+             {"num_graphs": 1, "pooled": False}),
+            ({"x": np.full((2, 2), 2.0), "batch": np.zeros(2, dtype=np.int64),
+              "edge_index": np.array([[0], [1]])},
+             {"num_graphs": 1, "pooled": False}),
+        ]
+        arrays, meta, graph_counts = collate_arrays(requests)
+        assert graph_counts == [1, 1]
+        assert meta == {"num_graphs": 2, "pooled": False}
+        assert arrays["x"].shape == (5, 2)
+        np.testing.assert_array_equal(arrays["batch"], [0, 0, 0, 1, 1])
+        # The second frame's edges point at its own (shifted) nodes.
+        np.testing.assert_array_equal(arrays["edge_index"],
+                                      [[0, 1, 3], [1, 2, 4]])
+
+    def test_collate_respects_multi_graph_frames(self):
+        requests = [
+            ({"x": np.ones((4, 2)), "batch": np.array([0, 0, 1, 1])},
+             {"num_graphs": 2, "pooled": False}),
+            ({"x": np.ones((2, 2)), "batch": np.array([0, 1])},
+             {"num_graphs": 2, "pooled": False}),
+        ]
+        arrays, meta, graph_counts = collate_arrays(requests)
+        assert graph_counts == [2, 2]
+        assert meta["num_graphs"] == 4
+        np.testing.assert_array_equal(arrays["batch"], [0, 0, 1, 1, 2, 3])
+
+    def test_collate_rejects_pooled_unpooled_mix(self):
+        requests = [
+            ({"x": np.ones((2, 2)), "batch": np.array([0, 1])},
+             {"num_graphs": 2, "pooled": True}),
+            ({"x": np.ones((2, 2)), "batch": np.array([0, 0])},
+             {"num_graphs": 1, "pooled": False}),
+        ]
+        with pytest.raises(ValueError, match="pooled"):
+            collate_arrays(requests)
+
+    def test_collate_rejects_empty_batch(self):
+        with pytest.raises(ValueError):
+            collate_arrays([])
+
+    def test_split_results_inverts_collation(self):
+        logits = np.arange(12.0).reshape(6, 2)
+        results = split_results({"logits": logits}, {"num_graphs": 6}, [1, 2, 3])
+        assert [meta["num_graphs"] for _, meta in results] == [1, 2, 3]
+        np.testing.assert_array_equal(results[0][0]["logits"], logits[:1])
+        np.testing.assert_array_equal(results[1][0]["logits"], logits[1:3])
+        np.testing.assert_array_equal(results[2][0]["logits"], logits[3:])
+
+    def test_split_results_rejects_row_mismatch(self):
+        with pytest.raises(ValueError, match="rows"):
+            split_results({"logits": np.ones((4, 2))}, {"num_graphs": 4}, [1, 2])
+
+
+class TestBatchedEquivalence:
+    """Batched execution must match per-frame execution numerically."""
+
+    @pytest.mark.parametrize("aggregate", ["add", "mean", "max"])
+    def test_equivalent_across_aggregators(self, aggregate):
+        self._assert_equivalent(_co_inference_arch(aggregate=aggregate))
+
+    @pytest.mark.parametrize("pool", ["sum", "mean", "max", "max||mean"])
+    def test_equivalent_across_pool_functions(self, pool):
+        self._assert_equivalent(_co_inference_arch(pool=pool))
+
+    def test_equivalent_for_multi_graph_frames(self):
+        self._assert_equivalent(_co_inference_arch(), graphs_per_frame=2)
+
+    def test_device_only_architecture_is_echoed_per_frame(self):
+        arch = Architecture(ops=(
+            OpSpec(OpType.SAMPLE, "knn", k=4),
+            OpSpec(OpType.AGGREGATE, "max"),
+            OpSpec(OpType.COMBINE, 16),
+            OpSpec(OpType.GLOBAL_POOL, "mean"),
+        ))
+        model = ArchitectureModel(arch, in_dim=3, num_classes=5, seed=0)
+        device_fn, _ = split_callables(model)
+        batch_fn = batched_edge_fn(model)
+        states = [device_fn(frame) for frame in _frames(3)]
+        results = batch_fn(states)
+        for (arrays, meta), (out_arrays, out_meta) in zip(states, results):
+            assert meta["finished"]
+            np.testing.assert_array_equal(out_arrays["logits"], arrays["x"])
+            assert out_meta["num_graphs"] == meta["num_graphs"]
+
+    @staticmethod
+    def _assert_equivalent(arch: Architecture, graphs_per_frame: int = 1,
+                           num_frames: int = 5) -> None:
+        model = ArchitectureModel(arch, in_dim=3, num_classes=5, seed=0)
+        device_fn, edge_fn = split_callables(model)
+        batch_fn = batched_edge_fn(model)
+        states = [device_fn(frame)
+                  for frame in _frames(num_frames,
+                                       graphs_per_frame=graphs_per_frame)]
+        sequential = [edge_fn(dict(arrays), dict(meta))
+                      for arrays, meta in states]
+        batched = batch_fn(states)
+        assert len(batched) == len(sequential)
+        for (seq_arrays, seq_meta), (bat_arrays, bat_meta) in zip(sequential,
+                                                                  batched):
+            assert seq_meta["num_graphs"] == bat_meta["num_graphs"]
+            # Equivalent up to one BLAS ulp: a 1-row frame goes through a
+            # different matmul kernel (gemv) than its row inside a batch.
+            np.testing.assert_allclose(bat_arrays["logits"],
+                                       seq_arrays["logits"],
+                                       rtol=1e-12, atol=1e-12)
+
+
+def _device_fn(frame):
+    return {"x": np.asarray(frame, dtype=np.float64)}, {"scale": 2.0}
+
+
+def _edge_fn(arrays, meta):
+    return {"y": arrays["x"] * meta["scale"]}, {}
+
+
+def _batch_edge_fn(requests):
+    return [_edge_fn(arrays, meta) for arrays, meta in requests]
+
+
+class TestMicroBatchingServing:
+    def test_coalesces_concurrent_clients_and_reports_stats(self):
+        sizes = []
+        release = threading.Event()
+
+        def gated_batch_fn(requests):
+            sizes.append(len(requests))
+            if len(sizes) == 1:
+                # Hold the first dispatch so the remaining traffic piles up
+                # in the entry queue and must coalesce into larger batches.
+                release.wait(timeout=10.0)
+            return _batch_edge_fn(requests)
+
+        num_clients, frames_per_client = 4, 6
+        server = EdgeServer(_edge_fn, batch_fns={"default": gated_batch_fn},
+                            max_batch_size=8, max_wait_ms=20.0,
+                            max_workers=num_clients).start()
+        outputs = {}
+        errors = []
+
+        def run_client(index):
+            client = DeviceClient(server.host, server.port)
+            try:
+                frames = [np.full((3, 3), index * 100 + i, dtype=float)
+                          for i in range(frames_per_client)]
+                results, _ = client.run_pipeline(frames, _device_fn,
+                                                 timeout_s=30.0)
+                outputs[index] = (frames, results)
+            except Exception as exc:
+                errors.append((index, exc))
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=run_client, args=(i,))
+                   for i in range(num_clients)]
+        for thread in threads:
+            thread.start()
+        # Release the gate only once the first dispatch is underway AND at
+        # least two further frames verifiably sit in the entry queue, so the
+        # next dispatch deterministically sees a multi-frame batch (a fixed
+        # sleep here was flaky when client startup was slow).
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            with server._batcher._lock:
+                entry_queue = server._batcher._queues.get("default")
+            if sizes and entry_queue is not None and entry_queue.qsize() >= 2:
+                break
+            time.sleep(0.01)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        stats = server.stats()
+        server.stop()
+        assert not errors, f"client failures: {errors}"
+        # Every client got exactly its own frames back, scaled.
+        for index, (frames, results) in outputs.items():
+            assert len(results) == frames_per_client
+            for frame, result in zip(frames, results):
+                np.testing.assert_array_equal(result.arrays["y"], frame * 2.0)
+                assert result.batch_index is not None  # served via the batcher
+        total = num_clients * frames_per_client
+        assert sum(sizes) == total
+        assert max(sizes) > 1, f"no coalescing happened: {sizes}"
+        assert stats.frames_processed == total
+        assert stats.batches_dispatched == len(sizes)
+        assert stats.mean_batch_size == pytest.approx(total / len(sizes))
+        assert sum(size * count for size, count
+                   in stats.batch_size_histogram.items()) == total
+        assert stats.mean_queue_delay_s >= 0.0
+        assert stats.batch_fallback_frames == 0  # every batched call succeeded
+
+    def test_single_frame_flushed_by_deadline(self):
+        """A lone frame must be released after max_wait_ms, not held forever."""
+        server = EdgeServer(_edge_fn, batch_fns={"default": _batch_edge_fn},
+                            max_batch_size=8, max_wait_ms=40.0).start()
+        client = DeviceClient(server.host, server.port)
+        try:
+            started = time.perf_counter()
+            results, _ = client.run_pipeline([np.ones((2, 2))], _device_fn,
+                                             timeout_s=10.0)
+            elapsed = time.perf_counter() - started
+            np.testing.assert_array_equal(results[0].arrays["y"],
+                                          np.ones((2, 2)) * 2.0)
+            # Well under the pipeline timeout: the deadline flush fired.
+            assert elapsed < 5.0
+        finally:
+            client.close()
+            server.stop()
+        stats = server.stats()
+        assert stats.batch_size_histogram == {1: 1}
+        assert stats.batches_dispatched == 1
+
+    def test_mixed_entry_queues_never_cross_batch(self):
+        seen = {"a": [], "b": []}
+
+        def make_batch_fn(name):
+            def batch_fn(requests):
+                seen[name].append([meta["tag"] for _, meta in requests])
+                return [({"y": arrays["x"]}, {}) for arrays, _ in requests]
+            return batch_fn
+
+        def tagged_device_fn(tag):
+            def device_fn(frame):
+                return {"x": np.asarray(frame, dtype=np.float64)}, {"tag": tag}
+            return device_fn
+
+        echo = lambda arrays, meta: ({"y": arrays["x"]}, {})
+        server = EdgeServer(edge_fns={"a": echo, "b": echo},
+                            batch_fns={"a": make_batch_fn("a"),
+                                       "b": make_batch_fn("b")},
+                            max_batch_size=8, max_wait_ms=50.0).start()
+        errors = []
+
+        def run_client(model):
+            client = DeviceClient(server.host, server.port, model=model)
+            try:
+                client.run_pipeline([np.ones((2, 2))] * 4,
+                                    tagged_device_fn(model), timeout_s=30.0)
+            except Exception as exc:
+                errors.append(exc)
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=run_client, args=(model,))
+                   for model in ("a", "b", "a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        server.stop()
+        assert not errors
+        # Per-entry queues: every batch is pure, whatever the coalescing was.
+        assert sum(len(batch) for batch in seen["a"]) == 8
+        assert sum(len(batch) for batch in seen["b"]) == 8
+        for name in ("a", "b"):
+            for batch in seen[name]:
+                assert set(batch) == {name}
+
+    def test_partial_batch_error_isolates_to_offending_frame(self):
+        def flaky_edge_fn(arrays, meta):
+            if meta.get("explode"):
+                raise ValueError("synthetic batched failure")
+            return _edge_fn(arrays, meta)
+
+        def flaky_batch_fn(requests):
+            # A batch containing the poisoned frame fails as a whole; the
+            # server must fall back to per-frame execution and only fail the
+            # offending frame.
+            return [flaky_edge_fn(arrays, meta) for arrays, meta in requests]
+
+        server = EdgeServer(flaky_edge_fn,
+                            batch_fns={"default": flaky_batch_fn},
+                            max_batch_size=8, max_wait_ms=100.0).start()
+        good_results = {}
+        bad_failure = []
+
+        def good_client():
+            client = DeviceClient(server.host, server.port)
+            try:
+                frames = [np.full((2, 2), v, dtype=float) for v in (1.0, 2.0)]
+                results, _ = client.run_pipeline(frames, _device_fn,
+                                                 timeout_s=30.0)
+                good_results["frames"] = (frames, results)
+            finally:
+                client.close()
+
+        def bad_client():
+            client = DeviceClient(server.host, server.port)
+
+            def exploding_device_fn(frame):
+                arrays, meta = _device_fn(frame)
+                meta["explode"] = True
+                return arrays, meta
+
+            try:
+                with pytest.raises(RuntimeError) as excinfo:
+                    client.run_pipeline([np.ones((2, 2))], exploding_device_fn,
+                                        timeout_s=30.0)
+                bad_failure.append(str(excinfo.value))
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=good_client),
+                   threading.Thread(target=bad_client)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        server.stop()
+        # The good client's frames all succeeded despite sharing batches
+        # with the poisoned frame.
+        frames, results = good_results["frames"]
+        assert len(results) == 2
+        for frame, result in zip(frames, results):
+            np.testing.assert_array_equal(result.arrays["y"], frame * 2.0)
+        assert bad_failure and "synthetic batched failure" in bad_failure[0]
+        stats = server.stats()
+        assert stats.errors == 1
+        assert stats.frames_processed == 2
+        # The failed batched call is visible as per-frame fallback frames
+        # whenever the poisoned frame actually coalesced with company.
+        if any(size > 1 for size in stats.batch_size_histogram):
+            assert stats.batch_fallback_frames >= 1
+
+    def test_malformed_batch_results_fall_back_per_frame(self):
+        """Right-length but malformed results must not strand the batch tail."""
+        def malformed_batch_fn(requests):
+            # Correct length, but elements are not (arrays, meta) pairs.
+            return [None for _ in requests]
+
+        server = EdgeServer(_edge_fn,
+                            batch_fns={"default": malformed_batch_fn},
+                            max_batch_size=8, max_wait_ms=100.0).start()
+        outputs = {}
+        errors = []
+
+        def run_client(index):
+            client = DeviceClient(server.host, server.port)
+            try:
+                frames = [np.full((2, 2), index + 1, dtype=float)] * 2
+                results, _ = client.run_pipeline(frames, _device_fn,
+                                                 timeout_s=15.0)
+                outputs[index] = (frames, results)
+            except Exception as exc:
+                errors.append((index, exc))
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=run_client, args=(i,))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        server.stop()
+        # Every frame was answered via the per-frame fallback — nobody
+        # timed out waiting for a reply that never came.
+        assert not errors, f"client failures: {errors}"
+        for frames, results in outputs.values():
+            for frame, result in zip(frames, results):
+                np.testing.assert_array_equal(result.arrays["y"], frame * 2.0)
+        stats = server.stats()
+        assert stats.frames_processed == 4
+        if any(size > 1 for size in stats.batch_size_histogram):
+            assert stats.batch_fallback_frames >= 2
+
+    def test_batched_serving_matches_local_forward(self):
+        """Logits served through the micro-batcher equal a local forward."""
+        def arch(name):
+            return Architecture(ops=(
+                OpSpec(OpType.SAMPLE, "knn", k=4),
+                OpSpec(OpType.AGGREGATE, "max"),
+                OpSpec(OpType.COMMUNICATE, "uplink"),
+                OpSpec(OpType.COMBINE, 16),
+                OpSpec(OpType.GLOBAL_POOL, "max||mean"),
+            ), name=name)
+
+        zoo = ArchitectureZoo([ZooEntry("served", arch("served"),
+                                        0.9, 50.0, 0.5)])
+        serving = zoo_serving_callables(zoo, in_dim=3, num_classes=5, seed=0)
+        server = EdgeServer(
+            edge_fns={"served": serving["served"].edge_fn},
+            batch_fns={"served": serving["served"].batch_fn},
+            max_batch_size=4, max_wait_ms=30.0).start()
+        frames = _frames(4)
+        reference = ArchitectureModel(arch("served"), in_dim=3, num_classes=5,
+                                      seed=0)
+        expected = [reference(frame).data for frame in frames]
+        outputs = {}
+        errors = []
+
+        def run_client(index):
+            client = DeviceClient(server.host, server.port, model="served")
+            try:
+                results, _ = client.run_pipeline(
+                    frames, serving["served"].device_fn, timeout_s=30.0)
+                outputs[index] = results
+            except Exception as exc:
+                errors.append((index, exc))
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=run_client, args=(i,))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        server.stop()
+        assert not errors, f"client failures: {errors}"
+        for results in outputs.values():
+            assert len(results) == len(frames)
+            for result, local in zip(results, expected):
+                np.testing.assert_allclose(result.arrays["logits"], local,
+                                           rtol=1e-12, atol=1e-12)
+
+    def test_rejects_batch_fn_without_edge_fn(self):
+        with pytest.raises(ValueError, match="batch_fns"):
+            EdgeServer(_edge_fn, batch_fns={"typo": _batch_edge_fn},
+                       max_batch_size=4)
+        with pytest.raises(ValueError, match="max_batch_size"):
+            EdgeServer(_edge_fn, max_batch_size=0)
+
+    def test_entries_without_batch_fn_bypass_the_batcher(self):
+        """No batched callable -> direct concurrent per-frame path, no queueing."""
+        server = EdgeServer(_edge_fn, max_batch_size=8, max_wait_ms=200.0).start()
+        client = DeviceClient(server.host, server.port)
+        try:
+            results, _ = client.run_pipeline([np.ones((2, 2))] * 3, _device_fn,
+                                             timeout_s=10.0)
+            # Served directly by the handler thread, not via the batcher.
+            assert all(result.batch_index is None for result in results)
+        finally:
+            client.close()
+            server.stop()
+        stats = server.stats()
+        assert stats.frames_processed == 3
+        assert stats.batches_dispatched == 0
+
+    def test_reply_after_session_eviction_books_into_aggregate(self):
+        """Late batcher replies must not mutate an already-evicted session."""
+        import socket as _socket
+
+        from repro.system.engine import ServingSession, _PendingRequest
+        from repro.system.messages import Message as _Message
+
+        server = EdgeServer(_edge_fn, batch_fns={"default": _batch_edge_fn},
+                            max_batch_size=2)
+        left, right = _socket.socketpair()
+        try:
+            session = ServingSession(session_id=99, peer="test")
+            session.evicted = True  # folded into the aggregate already
+            request = _PendingRequest(
+                conn=left, send_lock=threading.Lock(), session=session,
+                message=_Message(kind="frame", frame_id=0,
+                                 arrays={"x": np.ones((1, 1))}, meta={}),
+                enqueued_at=0.0)
+            server._reply_result(request, "default", {"y": np.ones((1, 1))},
+                                 {}, 0.01)
+            # The evicted session object stays untouched; the frame lands in
+            # the retained aggregate and is visible in the totals.
+            assert session.frames == 0
+            assert server._retired.frames == 1
+            assert server.frames_processed == 1
+        finally:
+            left.close()
+            right.close()
+            server.stop()
+
+    def test_batching_off_by_default_serves_without_batch_index(self):
+        server = EdgeServer(_edge_fn).start()
+        client = DeviceClient(server.host, server.port)
+        try:
+            results, _ = client.run_pipeline([np.ones((2, 2))], _device_fn,
+                                             timeout_s=10.0)
+            assert results[0].batch_index is None
+        finally:
+            client.close()
+            server.stop()
+        stats = server.stats()
+        assert stats.batches_dispatched == 0
+        assert stats.batch_size_histogram == {}
+
+
+class TestBatchIndexWireFormat:
+    def test_batch_index_roundtrips(self):
+        message = Message(kind="result", frame_id=3,
+                          arrays={"y": np.ones((2, 2))}, meta={"ok": True},
+                          batch_index=5)
+        decoded = deserialize_message(serialize_message(message))
+        assert decoded.batch_index == 5
+        assert decoded.frame_id == 3
+
+    def test_batch_index_defaults_to_none(self):
+        decoded = deserialize_message(serialize_message(Message(kind="frame")))
+        assert decoded.batch_index is None

@@ -1,0 +1,100 @@
+"""Docs and examples health check (run by the CI docs job).
+
+Two independent checks, both purely static/import-level so the whole run
+takes seconds:
+
+1. **Example import smoke** — every ``examples/*.py`` must import cleanly
+   (their ``main()`` is guarded by ``__main__``, so importing exercises the
+   module's API surface — stale imports, renamed symbols, syntax errors —
+   without running a multi-minute workflow).
+2. **Intra-repo link check** — every relative markdown link in ``README.md``
+   and ``docs/*.md`` must resolve to an existing file or directory.
+   External links (``http``, ``https``, ``mailto``) and pure in-page anchors
+   are skipped.
+
+Exit code is non-zero when anything fails, printing one line per problem.
+
+Run with:  PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links: [text](target); images share the same syntax.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def check_example_imports() -> list:
+    """Import every example module; returns a list of error strings."""
+    errors = []
+    examples_dir = REPO_ROOT / "examples"
+    sys.path.insert(0, str(examples_dir))
+    try:
+        for path in sorted(examples_dir.glob("*.py")):
+            module = path.stem
+            try:
+                importlib.import_module(module)
+            except Exception as exc:
+                errors.append(f"examples/{path.name}: import failed: "
+                              f"{type(exc).__name__}: {exc}")
+            else:
+                print(f"ok  import examples/{path.name}")
+    finally:
+        sys.path.remove(str(examples_dir))
+    return errors
+
+
+def iter_markdown_files():
+    yield REPO_ROOT / "README.md"
+    docs = REPO_ROOT / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.glob("*.md"))
+
+
+def check_markdown_links() -> list:
+    """Resolve every relative link; returns a list of error strings."""
+    errors = []
+    for md_file in iter_markdown_files():
+        if not md_file.exists():
+            errors.append(f"{md_file.relative_to(REPO_ROOT)}: file missing")
+            continue
+        text = md_file.read_text(encoding="utf-8")
+        checked = 0
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            # Strip an in-page anchor from a file link (docs/x.md#section).
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = (md_file.parent / target_path).resolve()
+            if not resolved.exists():
+                errors.append(f"{md_file.relative_to(REPO_ROOT)}: broken link "
+                              f"-> {target}")
+            checked += 1
+        print(f"ok  {md_file.relative_to(REPO_ROOT)}: {checked} intra-repo "
+              "link(s) checked")
+    return errors
+
+
+def main() -> int:
+    errors = check_example_imports() + check_markdown_links()
+    if errors:
+        print(f"\n{len(errors)} problem(s):", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print("\ndocs check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
