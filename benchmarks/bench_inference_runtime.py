@@ -1,0 +1,223 @@
+"""Inference-runtime benchmark: compiled plans vs eager autograd execution.
+
+Measures the edge-side serving hot path — the code the
+:class:`~repro.system.engine.EdgeServer` runs once per frame (or per
+micro-batch) — for a representative searched entry (two EdgeConv blocks, the
+shape of the paper's searched architectures and of DGCNN) and for a minimal
+single-block entry, in both the eager autograd runtime and the compiled
+plan runtime (:mod:`repro.runtime`).  Wall time is the median of
+``ROUNDS`` timed repetitions; numerical equivalence of the two runtimes is
+asserted on every configuration.
+
+Unlike the paper-figure benchmarks this one starts the BENCH trajectory:
+results are written machine-readably to
+``benchmarks/results/inference_runtime.json`` so CI can track the
+compiled-vs-eager speedup over time.  The CI perf-smoke job runs this file
+with a loose regression threshold (``MIN_HEADLINE_SPEEDUP``); the measured
+numbers on an idle machine are substantially higher.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_inference_runtime.py
+or via pytest:   PYTHONPATH=src python -m pytest benchmarks/bench_inference_runtime.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.core import (Architecture, ArchitectureModel, batched_edge_fn,
+                        split_callables)
+from repro.gnn import OpSpec, OpType
+from repro.graph import SyntheticModelNet40
+from repro.graph.data import Batch
+from repro.system import compressed_size, WIRE_FORMAT_RAW, WIRE_FORMAT_ZLIB
+
+#: Cloud size / neighbourhood of the serving scenario (matches the
+#: micro-batching benchmark so the two BENCH trajectories are comparable).
+NUM_POINTS = 64
+KNN_K = 16
+COMBINE_WIDTH = 64
+BATCH_FRAMES = 8
+#: Timed repetitions; the median is reported.
+ROUNDS = 3
+#: Frames per timed repetition.
+FRAMES_PER_ROUND = 200
+#: CI regression threshold on the headline (representative entry,
+#: single-frame) speedup.  Loose on purpose: CI machines are noisy and the
+#: point is to catch the compiled path degrading to eager-level cost, not to
+#: re-certify the exact speedup.
+MIN_HEADLINE_SPEEDUP = 1.8
+#: Equivalence bound between the two runtimes (float64).
+EQUIVALENCE_ATOL = 1e-9
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results",
+                            "inference_runtime.json")
+
+#: Benchmark entries: the representative two-block entry is the headline
+#: (searched GCoDE architectures and DGCNN stack several aggregate/combine
+#: blocks); the single-block entry bounds the speedup from below (its edge
+#: segment is dominated by one kNN construction both runtimes share).
+ENTRIES = {
+    "edge-2block": Architecture(ops=(
+        OpSpec(OpType.COMMUNICATE, "uplink"),
+        OpSpec(OpType.SAMPLE, "knn", k=KNN_K),
+        OpSpec(OpType.AGGREGATE, "max"),
+        OpSpec(OpType.COMBINE, COMBINE_WIDTH),
+        OpSpec(OpType.AGGREGATE, "max"),
+        OpSpec(OpType.COMBINE, COMBINE_WIDTH),
+        OpSpec(OpType.GLOBAL_POOL, "max||mean"),
+    ), name="edge-2block"),
+    "edge-1block": Architecture(ops=(
+        OpSpec(OpType.COMMUNICATE, "uplink"),
+        OpSpec(OpType.SAMPLE, "knn", k=KNN_K),
+        OpSpec(OpType.AGGREGATE, "max"),
+        OpSpec(OpType.COMBINE, COMBINE_WIDTH),
+        OpSpec(OpType.GLOBAL_POOL, "max||mean"),
+    ), name="edge-1block"),
+}
+HEADLINE = "edge-2block"
+
+
+def _median_ms_per_frame(fn: Callable[[], None], frames_per_call: int) -> float:
+    """Median over ROUNDS of the mean per-frame wall time of ``fn``."""
+    fn()  # warm caches, arenas and BLAS before timing
+    samples = []
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        for _ in range(FRAMES_PER_ROUND // frames_per_call):
+            fn()
+        elapsed = time.perf_counter() - started
+        samples.append(elapsed / FRAMES_PER_ROUND * 1e3)
+    return sorted(samples)[len(samples) // 2]
+
+
+def bench_entry(name: str, architecture: Architecture) -> Dict:
+    """Eager-vs-compiled timings for one zoo entry, single-frame and batched."""
+    model = ArchitectureModel(architecture, in_dim=3, num_classes=10, seed=0)
+    graphs = SyntheticModelNet40(num_points=NUM_POINTS, samples_per_class=1,
+                                 num_classes=10, seed=0).generate()
+    frame = Batch.from_graphs([graphs[0]])
+
+    eager_device, eager_edge = split_callables(model, runtime="eager")
+    _, compiled_edge = split_callables(model, runtime="compiled")
+    arrays, meta = eager_device(frame)
+
+    eager_logits = eager_edge(dict(arrays), dict(meta))[0]["logits"]
+    compiled_logits = compiled_edge(dict(arrays), dict(meta))[0]["logits"]
+    equivalence = float(np.max(np.abs(eager_logits - compiled_logits)))
+    assert equivalence < EQUIVALENCE_ATOL, (
+        f"{name}: compiled logits diverge from eager by {equivalence:.2e}")
+
+    single_eager_ms = _median_ms_per_frame(
+        lambda: eager_edge(arrays, meta), 1)
+    single_compiled_ms = _median_ms_per_frame(
+        lambda: compiled_edge(arrays, meta), 1)
+
+    requests = [eager_device(Batch.from_graphs([graphs[i % len(graphs)]]))
+                for i in range(BATCH_FRAMES)]
+    eager_batch = batched_edge_fn(model, runtime="eager")
+    compiled_batch = batched_edge_fn(model, runtime="compiled")
+    for (eager_arrays, _), (compiled_arrays, _) in zip(
+            eager_batch(requests), compiled_batch(requests)):
+        batch_diff = float(np.max(np.abs(eager_arrays["logits"]
+                                         - compiled_arrays["logits"])))
+        assert batch_diff < EQUIVALENCE_ATOL, (
+            f"{name}: batched compiled logits diverge by {batch_diff:.2e}")
+    batched_eager_ms = _median_ms_per_frame(
+        lambda: eager_batch(requests), BATCH_FRAMES)
+    batched_compiled_ms = _median_ms_per_frame(
+        lambda: compiled_batch(requests), BATCH_FRAMES)
+
+    return {
+        "single_frame": {
+            "eager_ms": round(single_eager_ms, 4),
+            "compiled_ms": round(single_compiled_ms, 4),
+            "speedup": round(single_eager_ms / single_compiled_ms, 2),
+        },
+        "batched": {
+            "batch_frames": BATCH_FRAMES,
+            "eager_ms_per_frame": round(batched_eager_ms, 4),
+            "compiled_ms_per_frame": round(batched_compiled_ms, 4),
+            "speedup": round(batched_eager_ms / batched_compiled_ms, 2),
+        },
+        "equivalence_max_abs_diff": equivalence,
+        "wire_bytes": {
+            "zlib": compressed_size(arrays, wire_format=WIRE_FORMAT_ZLIB),
+            "raw": compressed_size(arrays, wire_format=WIRE_FORMAT_RAW),
+        },
+    }
+
+
+def run_benchmark() -> Dict:
+    results = {
+        "config": {
+            "num_points": NUM_POINTS, "knn_k": KNN_K,
+            "combine_width": COMBINE_WIDTH, "rounds": ROUNDS,
+            "frames_per_round": FRAMES_PER_ROUND,
+            "headline_entry": HEADLINE,
+            "min_headline_speedup": MIN_HEADLINE_SPEEDUP,
+        },
+        "entries": {name: bench_entry(name, architecture)
+                    for name, architecture in ENTRIES.items()},
+    }
+    return results
+
+
+def check_speedup(results: Dict) -> None:
+    """Compiled plans must pay on the representative entry, both modes."""
+    headline = results["entries"][HEADLINE]
+    single = headline["single_frame"]["speedup"]
+    batched = headline["batched"]["speedup"]
+    assert single >= MIN_HEADLINE_SPEEDUP, (
+        f"single-frame compiled speedup regressed: {single:.2f}x < "
+        f"{MIN_HEADLINE_SPEEDUP}x")
+    assert batched >= 1.0, (
+        f"batched compiled path slower than eager: {batched:.2f}x")
+
+
+def save_results(results: Dict) -> str:
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    return RESULTS_PATH
+
+
+def format_summary(results: Dict) -> str:
+    lines = ["inference runtime: compiled plans vs eager autograd "
+             f"({NUM_POINTS}-point clouds, k={KNN_K}, median of {ROUNDS})"]
+    for name, entry in results["entries"].items():
+        single, batched = entry["single_frame"], entry["batched"]
+        lines.append(
+            f"  {name:12s} single-frame {single['eager_ms']:.3f} -> "
+            f"{single['compiled_ms']:.3f} ms ({single['speedup']:.2f}x)   "
+            f"batched/frame {batched['eager_ms_per_frame']:.3f} -> "
+            f"{batched['compiled_ms_per_frame']:.3f} ms "
+            f"({batched['speedup']:.2f}x)")
+    return "\n".join(lines)
+
+
+def test_inference_runtime(benchmark):
+    results = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    save_results(results)
+    print(format_summary(results))
+    check_speedup(results)
+
+
+def main() -> None:
+    results = run_benchmark()
+    path = save_results(results)
+    print(format_summary(results))
+    check_speedup(results)
+    print(f"\nresults written to {path}")
+    headline = results["entries"][HEADLINE]["single_frame"]["speedup"]
+    print(f"perf-smoke passed: {headline:.2f}x single-frame edge inference "
+          f"on {HEADLINE} (threshold {MIN_HEADLINE_SPEEDUP}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,9 @@ Subpackages
 ``repro.gnn``
     GNN operations (the co-inference design-space vocabulary), layers and
     reference models (DGCNN, GIN).
+``repro.runtime``
+    Compiled inference plans: autograd-free kernels, buffer arenas,
+    edge-list canonicalization (the serving hot path).
 ``repro.hardware``
     Device latency/energy models, wireless link model, latency LUTs.
 ``repro.system``
@@ -29,4 +32,4 @@ Subpackages
 __version__ = "1.0.0"
 
 __all__ = ["nn", "graph", "gnn", "hardware", "system", "core", "baselines",
-           "evaluation", "__version__"]
+           "evaluation", "runtime", "__version__"]

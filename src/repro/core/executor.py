@@ -8,6 +8,20 @@ objective).  :func:`split_callables` additionally slices a trained model at
 its ``Communicate`` point into the device-side and edge-side callables
 consumed by the socket co-inference engine.
 
+Compiled serving runtime
+------------------------
+The engine callables built here default to the compiled inference runtime
+(:mod:`repro.runtime`): :func:`split_callables`, :func:`batched_edge_fn` and
+:func:`zoo_serving_callables` compile the model once into an autograd-free
+:class:`~repro.runtime.plan.InferencePlan` — fused linear+bias+activation
+kernels, EdgeConv specialized per reducer, destination-sorted edge lists,
+and a per-entry buffer arena reusing output buffers across frames — and run
+plans instead of eager segments (``runtime="eager"`` restores the old path;
+``runtime="auto"`` falls back to eager only when the model contains a
+construct plans do not support).  Training, search and the simulator keep
+eager autograd execution; compiled results match eager within float64
+round-off (see ``tests/test_runtime_plans.py``).
+
 Batched serving
 ---------------
 The edge side of a split model can also execute many frames in one call:
@@ -35,6 +49,7 @@ from .. import nn
 from ..graph.data import Batch
 from ..gnn.operations import (ClassifierOp, ExecState, Operation, OpSpec, OpType,
                               build_operation)
+from ..runtime import InferencePlan, PlanCompileError, compile_plan
 from .architecture import Architecture
 from .zoo import ArchitectureZoo
 
@@ -141,7 +156,58 @@ def _arrays_to_state(arrays: ArrayDict, meta: Dict) -> ExecState:
     )
 
 
-def split_callables(model: ArchitectureModel
+#: How serving callables execute the model.  ``"compiled"`` requires the
+#: compiled runtime (raises :class:`~repro.runtime.plan.PlanCompileError` on
+#: unsupported models), ``"eager"`` forces the autograd path under
+#: ``no_grad``, and ``"auto"`` — the default — compiles when possible and
+#: silently falls back to eager otherwise.  The fallback only exists for the
+#: default ``float64`` dtype: eager execution cannot honor any other dtype,
+#: so ``"auto"`` with e.g. ``float32`` re-raises the compile error instead
+#: of silently changing the requested precision.
+RUNTIMES = ("auto", "compiled", "eager")
+
+
+def _resolve_plan(model: ArchitectureModel, runtime: str, dtype,
+                  segments: Sequence[str]) -> Optional[InferencePlan]:
+    """Compile ``model`` according to the ``runtime`` knob (None = eager).
+
+    ``segments`` limits compilation to the plan segments the caller will
+    run, so e.g. a batched edge callable never builds device/full step
+    lists it cannot execute.
+    """
+    if runtime not in RUNTIMES:
+        raise ValueError(f"unknown runtime {runtime!r} (expected one of "
+                         f"{RUNTIMES})")
+    dtype = np.dtype(np.float64 if dtype is None else dtype)
+    if runtime == "eager":
+        if dtype != np.float64:
+            raise ValueError(
+                "the eager runtime computes in float64 only; use "
+                "runtime='compiled' for a different compute dtype")
+        return None
+    try:
+        return compile_plan(model, dtype=dtype, segments=segments)
+    except PlanCompileError:
+        if runtime == "compiled":
+            raise
+        if dtype != np.float64:
+            raise  # no eager fallback can honor a non-float64 dtype
+        return None
+
+
+def _run_to_arrays(run) -> Tuple[ArrayDict, Dict]:
+    """Wire-schema arrays/meta of a compiled run (twin of ``_state_to_arrays``)."""
+    arrays: ArrayDict = {"x": run.x, "batch": run.batch}
+    if run.edge_index is not None:
+        arrays["edge_index"] = run.edge_index
+    if run.pos is not None:
+        arrays["pos"] = run.pos
+    meta = {"num_graphs": run.num_graphs, "pooled": run.pooled}
+    return arrays, meta
+
+
+def split_callables(model: ArchitectureModel, runtime: str = "auto",
+                    dtype=None
                     ) -> Tuple[Callable[[Batch], Tuple[ArrayDict, Dict]],
                                Callable[[ArrayDict, Dict], Tuple[ArrayDict, Dict]]]:
     """Split a trained model into engine callables at its Communicate point.
@@ -152,7 +218,48 @@ def split_callables(model: ArchitectureModel
     returns the logits.  Architectures without a Communicate run everything
     on the device and the edge function merely echoes the logits back, so the
     same engine code path covers Device-Only deployments.
+
+    By default both callables execute a compiled
+    :class:`~repro.runtime.plan.InferencePlan` instead of the eager autograd
+    segments (see ``runtime``), resolving weights at call time so later
+    ``load_state_dict`` calls are honored.  ``dtype`` selects the compiled
+    compute/wire dtype (default ``float64``); with ``float32`` the device
+    callable emits float32 arrays, halving the bytes every frame puts on the
+    wire at ~1e-4 relative logit error (pinned by the equivalence tests).
+    A non-``float64`` dtype requires the compiled runtime: ``runtime="auto"``
+    then propagates a :class:`~repro.runtime.plan.PlanCompileError` rather
+    than silently falling back to float64 eager execution.
     """
+    plan = _resolve_plan(model, runtime, dtype, segments=("device", "edge"))
+    if plan is None:
+        return _split_callables_eager(model)
+    split = plan.split
+    edge_segment = plan.edge  # aliases the full architecture when split=None
+
+    def device_fn(batch: Batch) -> Tuple[ArrayDict, Dict]:
+        run = plan.device.execute_out(batch.x, batch.batch, batch.num_graphs,
+                                      edge_index=batch.edge_index,
+                                      pos=batch.pos)
+        arrays, meta = _run_to_arrays(run)
+        meta["finished"] = split is None
+        return arrays, meta
+
+    def edge_fn(arrays: ArrayDict, meta: Dict) -> Tuple[ArrayDict, Dict]:
+        if meta.get("finished"):
+            return {"logits": arrays["x"]}, {"num_graphs": meta["num_graphs"]}
+        run = edge_segment.execute_out(
+            arrays["x"], arrays["batch"], int(meta["num_graphs"]),
+            edge_index=arrays.get("edge_index"), pos=arrays.get("pos"),
+            pooled=bool(meta.get("pooled", False)))
+        return {"logits": run.x}, {"num_graphs": run.num_graphs}
+
+    return device_fn, edge_fn
+
+
+def _split_callables_eager(model: ArchitectureModel
+                           ) -> Tuple[Callable[[Batch], Tuple[ArrayDict, Dict]],
+                                      Callable[[ArrayDict, Dict], Tuple[ArrayDict, Dict]]]:
+    """Eager (autograd under ``no_grad``) engine callables."""
     split = model.first_communicate_index()
 
     def device_fn(batch: Batch) -> Tuple[ArrayDict, Dict]:
@@ -190,7 +297,8 @@ FrameState = Tuple[ArrayDict, Dict]
 BatchedEdgeFn = Callable[[Sequence[FrameState]], List[FrameState]]
 
 
-def collate_arrays(requests: Sequence[FrameState]) -> Tuple[ArrayDict, Dict, List[int]]:
+def collate_arrays(requests: Sequence[FrameState],
+                   dtype=np.float64) -> Tuple[ArrayDict, Dict, List[int]]:
     """Merge the serialized states of several frames into one multi-graph state.
 
     Each request is an ``(arrays, meta)`` pair in the wire schema of
@@ -205,7 +313,11 @@ def collate_arrays(requests: Sequence[FrameState]) -> Tuple[ArrayDict, Dict, Lis
     Returns ``(arrays, meta, graph_counts)`` where ``graph_counts`` records
     how many graphs each frame contributed, in order — the bookkeeping
     :func:`split_results` needs to scatter results back per frame.
+    ``dtype`` is the float dtype the collated ``x``/``pos`` arrays are cast
+    to (the compiled runtime collates in its compute dtype so a float32
+    micro-batch is never round-tripped through float64).
     """
+    dtype = np.dtype(dtype)
     if not requests:
         raise ValueError("cannot collate an empty batch of frames")
     pooled = bool(requests[0][1].get("pooled", False))
@@ -222,7 +334,7 @@ def collate_arrays(requests: Sequence[FrameState]) -> Tuple[ArrayDict, Dict, Lis
         if bool(meta.get("pooled", False)) != pooled:
             raise ValueError("cannot collate pooled and unpooled frames into "
                              "one batch")
-        x = np.asarray(arrays["x"], dtype=np.float64)
+        x = np.asarray(arrays["x"], dtype=dtype)
         num_graphs = int(meta["num_graphs"])
         xs.append(x)
         batches.append(np.asarray(arrays["batch"], dtype=np.int64) + graph_offset)
@@ -230,7 +342,7 @@ def collate_arrays(requests: Sequence[FrameState]) -> Tuple[ArrayDict, Dict, Lis
             edges.append(np.asarray(arrays["edge_index"], dtype=np.int64)
                          + row_offset)
         if has_pos:
-            poss.append(np.asarray(arrays["pos"], dtype=np.float64))
+            poss.append(np.asarray(arrays["pos"], dtype=dtype))
         graph_counts.append(num_graphs)
         row_offset += int(x.shape[0])
         graph_offset += num_graphs
@@ -269,7 +381,8 @@ def split_results(arrays: ArrayDict, meta: Dict,
     return results
 
 
-def batched_edge_fn(model: ArchitectureModel) -> BatchedEdgeFn:
+def batched_edge_fn(model: ArchitectureModel, runtime: str = "auto",
+                    dtype=None) -> BatchedEdgeFn:
     """Edge-side callable executing a whole micro-batch in one engine call.
 
     The batched counterpart of the ``edge_fn`` returned by
@@ -280,10 +393,15 @@ def batched_edge_fn(model: ArchitectureModel) -> BatchedEdgeFn:
     batch vector), the returned logits are numerically equivalent to calling
     the per-frame edge function once per request.
 
+    ``runtime``/``dtype`` mirror :func:`split_callables`: by default the
+    micro-batch resumes through the compiled plan (whose buffer arena then
+    holds batch-shaped buffers, reused across steady-state batches).
+
     Frames of an architecture without a ``Communicate`` (``finished`` on the
     device) are echoed back per frame, mirroring the per-frame edge function.
     """
     split = model.first_communicate_index()
+    plan = _resolve_plan(model, runtime, dtype, segments=("edge",))
 
     def batch_fn(requests: Sequence[FrameState]) -> List[FrameState]:
         if not requests:
@@ -291,6 +409,15 @@ def batched_edge_fn(model: ArchitectureModel) -> BatchedEdgeFn:
         if split is None or all(meta.get("finished") for _, meta in requests):
             return [({"logits": arrays["x"]}, {"num_graphs": meta["num_graphs"]})
                     for arrays, meta in requests]
+        if plan is not None:
+            arrays, meta, graph_counts = collate_arrays(requests,
+                                                        dtype=plan.dtype)
+            run = plan.edge.execute_out(
+                arrays["x"], arrays["batch"], int(meta["num_graphs"]),
+                edge_index=arrays.get("edge_index"), pos=arrays.get("pos"),
+                pooled=bool(meta.get("pooled", False)))
+            return split_results({"logits": run.x},
+                                 {"num_graphs": run.num_graphs}, graph_counts)
         arrays, meta, graph_counts = collate_arrays(requests)
         state = _arrays_to_state(arrays, meta)
         with nn.no_grad():
@@ -319,7 +446,8 @@ class ServingCallables:
 
 
 def zoo_serving_callables(zoo: ArchitectureZoo, in_dim: int,
-                          num_classes: int, seed: int = 0
+                          num_classes: int, seed: int = 0,
+                          runtime: str = "auto", dtype=None
                           ) -> Dict[str, ServingCallables]:
     """Build :class:`ServingCallables` for every entry of a zoo.
 
@@ -328,6 +456,13 @@ def zoo_serving_callables(zoo: ArchitectureZoo, in_dim: int,
     :class:`~repro.system.engine.EdgeServer` hands to its micro-batcher
     (``batch_fns``), so coalesced requests of one entry resume the
     architecture in a single engine call.
+
+    ``runtime``/``dtype`` mirror :func:`split_callables` and apply to every
+    entry.  Each entry compiles two independent plans — per-frame and
+    batched — so the per-frame arena keeps stable single-frame buffer shapes
+    while the batched arena tracks the realized micro-batch shapes; both
+    live for the lifetime of the serving table, which is how the edge server
+    keeps per-entry arenas across requests.
 
     Models are freshly initialized from ``seed``; pass entries whose
     architectures were trained elsewhere through :func:`split_callables` /
@@ -346,16 +481,19 @@ def zoo_serving_callables(zoo: ArchitectureZoo, in_dim: int,
         model = ArchitectureModel(entry.architecture, in_dim=in_dim,
                                   num_classes=num_classes, seed=seed)
         lock = threading.Lock()
-        device_fn, edge_fn = split_callables(model)
+        device_fn, edge_fn = split_callables(model, runtime=runtime,
+                                             dtype=dtype)
         callables[entry.name] = ServingCallables(
             device_fn=_serialized(device_fn, lock),
             edge_fn=_serialized(edge_fn, lock),
-            batch_fn=_serialized(batched_edge_fn(model), lock))
+            batch_fn=_serialized(batched_edge_fn(model, runtime=runtime,
+                                                 dtype=dtype), lock))
     return callables
 
 
 def zoo_callables(zoo: ArchitectureZoo, in_dim: int,
-                  num_classes: int, seed: int = 0
+                  num_classes: int, seed: int = 0,
+                  runtime: str = "auto", dtype=None
                   ) -> Dict[str, Tuple[Callable[[Batch], Tuple[ArrayDict, Dict]],
                                        Callable[[ArrayDict, Dict], Tuple[ArrayDict, Dict]]]]:
     """Build ``(device_fn, edge_fn)`` pairs for every entry of a zoo.
@@ -370,7 +508,8 @@ def zoo_callables(zoo: ArchitectureZoo, in_dim: int,
     """
     return {name: (serving.device_fn, serving.edge_fn)
             for name, serving in zoo_serving_callables(
-                zoo, in_dim, num_classes, seed).items()}
+                zoo, in_dim, num_classes, seed, runtime=runtime,
+                dtype=dtype).items()}
 
 
 def _serialized(fn: Callable, lock: threading.Lock) -> Callable:
@@ -382,9 +521,11 @@ def _serialized(fn: Callable, lock: threading.Lock) -> Callable:
 
 
 def zoo_edge_fns(zoo: ArchitectureZoo, in_dim: int,
-                 num_classes: int, seed: int = 0
+                 num_classes: int, seed: int = 0,
+                 runtime: str = "auto", dtype=None
                  ) -> Dict[str, Callable[[ArrayDict, Dict], Tuple[ArrayDict, Dict]]]:
     """Edge-side callables only, keyed by entry name (``EdgeServer`` ``edge_fns``)."""
     return {name: serving.edge_fn
             for name, serving in zoo_serving_callables(
-                zoo, in_dim, num_classes, seed).items()}
+                zoo, in_dim, num_classes, seed, runtime=runtime,
+                dtype=dtype).items()}

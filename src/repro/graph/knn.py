@@ -100,6 +100,24 @@ def knn_graph(points: np.ndarray, k: int,
     return np.stack([np.concatenate(sources), np.concatenate(targets)], axis=0)
 
 
+def grouped_knn_distances(grouped: np.ndarray) -> np.ndarray:
+    """Self-excluded squared distances for a ``(G, n, D)`` group of graphs.
+
+    Shared by the eager batched builder below and the compiled runtime's
+    selection-only kNN (:func:`repro.runtime.kernels.knn_edges_uniform`):
+    the two *must* rank distances bit-for-bit identically — the compiled
+    runtime's equivalence guarantee is that it selects the same neighbour
+    sets as eager execution, and any formula drift would silently flip
+    near-tied selections.  Keep this the single definition.
+    """
+    sq_norms = (grouped ** 2).sum(axis=2)
+    dists = (sq_norms[:, :, None] + sq_norms[:, None, :]
+             - 2.0 * grouped @ grouped.transpose(0, 2, 1))
+    diagonal = np.arange(grouped.shape[1])
+    dists[:, diagonal, diagonal] = np.inf  # exclude self-edges
+    return dists
+
+
 def _knn_graph_equal_sizes(points: np.ndarray, k: int,
                            batch: np.ndarray) -> Optional[np.ndarray]:
     """Vectorized batched KNN when every graph has the same node count.
@@ -121,11 +139,7 @@ def _knn_graph_equal_sizes(points: np.ndarray, k: int,
         return None
     num_graphs = counts.shape[0]
     grouped = points.reshape(num_graphs, per_graph, -1)
-    sq_norms = (grouped ** 2).sum(axis=2)
-    dists = (sq_norms[:, :, None] + sq_norms[:, None, :]
-             - 2.0 * grouped @ grouped.transpose(0, 2, 1))
-    diagonal = np.arange(per_graph)
-    dists[:, diagonal, diagonal] = np.inf  # exclude self-edges
+    dists = grouped_knn_distances(grouped)
     effective_k = min(k, max(per_graph - 1, 1))
     if effective_k >= per_graph:
         local = np.argsort(dists, axis=2)[:, :, :effective_k]

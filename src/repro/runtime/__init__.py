@@ -1,0 +1,26 @@
+"""Compiled inference runtime: autograd-free plans with buffer arenas.
+
+The serving hot path of the co-inference engine does not need autograd —
+every frame runs under ``no_grad`` — yet eager execution still pays for the
+full :class:`~repro.nn.tensor.Tensor` machinery (graph-construction closures,
+per-op allocations, per-scatter bookkeeping).  This package compiles an
+:class:`~repro.core.executor.ArchitectureModel` once into a flat list of
+raw-ndarray kernels (:func:`compile_plan`), reuses pre-allocated output
+buffers across frames (:class:`BufferArena`) and canonicalizes edge lists so
+scatters always hit the ``reduceat`` fast path.
+
+See ``docs/architecture.md`` ("Runtime & plan compilation") for what fuses,
+when the arena engages, and the dtype caveats.
+"""
+
+from .arena import BufferArena
+from .kernels import SegmentInfo, canonical_edge_order
+from .plan import (InferencePlan, PlanCompileError, PlanRun, PlanSegment,
+                   SEGMENTS, compile_plan)
+
+__all__ = [
+    "BufferArena",
+    "SegmentInfo", "canonical_edge_order",
+    "InferencePlan", "PlanCompileError", "PlanRun", "PlanSegment",
+    "SEGMENTS", "compile_plan",
+]

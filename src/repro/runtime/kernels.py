@@ -1,0 +1,338 @@
+"""Raw-ndarray kernels of the compiled inference runtime.
+
+These functions implement exactly the arithmetic of the eager operations in
+:mod:`repro.nn.ops` / :mod:`repro.gnn.operations`, but on plain numpy arrays
+with caller-provided ``out=`` buffers — no :class:`~repro.nn.tensor.Tensor`
+wrappers, no backward closures, no per-op allocations.  Where the eager path
+re-derives bookkeeping on every call (is the scatter index sorted? where do
+its segments start? which segments are empty?), the compiled plan derives it
+once per edge list as a :class:`SegmentInfo` and reuses it for every scatter
+over that topology.
+
+Numerical contract: for ``float64`` inputs the kernels reproduce the eager
+results exactly whenever the eager path takes its ``reduceat`` fast path
+(destination-sorted indices), and within summation-reordering tolerance
+(~1e-15 relative) otherwise — the plan canonicalizes unsorted edge lists to
+destination order, which the eager fallback (`np.add.at`) does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..graph.knn import grouped_knn_distances
+
+
+# ----------------------------------------------------------------------
+# Segment bookkeeping
+# ----------------------------------------------------------------------
+@dataclass
+class SegmentInfo:
+    """Pre-derived scatter bookkeeping for one index vector.
+
+    ``is_sorted`` means the index is non-decreasing and in
+    ``[0, num_segments)`` — the ``reduceat`` fast-path precondition.  For a
+    sorted index, ``starts`` holds the first source row of every segment,
+    ``num_valid`` the number of segments starting before the end of the
+    source (the sorted suffix of out-of-data segments is empty by
+    construction), and ``counts`` the per-segment element counts.  For an
+    unsorted index only ``is_sorted=False`` is meaningful and the reduction
+    kernels fall back to element-wise ``ufunc.at``, mirroring eager.
+    """
+
+    is_sorted: bool
+    num_segments: int
+    starts: Optional[np.ndarray] = None
+    num_valid: int = 0
+    counts: Optional[np.ndarray] = None
+    has_empty: bool = False
+    #: Set when the index is sorted and every segment holds exactly this many
+    #: rows: the segments then form a perfect ``(num_segments, k)`` grid and
+    #: reductions can reshape instead of ``reduceat`` (which is markedly
+    #: slower for min/max and prevents the fused EdgeConv shortcut).
+    uniform_k: Optional[int] = None
+
+    @classmethod
+    def from_index(cls, index: np.ndarray, num_segments: int) -> "SegmentInfo":
+        """Derive the bookkeeping for ``index`` (one scan, reused thereafter)."""
+        index = np.asarray(index, dtype=np.int64)
+        if index.shape[0] == 0 or num_segments == 0:
+            return cls(is_sorted=False, num_segments=num_segments)
+        if (np.any(np.diff(index) < 0) or index[0] < 0
+                or index[-1] >= num_segments):
+            return cls(is_sorted=False, num_segments=num_segments)
+        return cls._sorted_info(index, num_segments)
+
+    @classmethod
+    def _sorted_info(cls, index: np.ndarray, num_segments: int) -> "SegmentInfo":
+        starts = np.searchsorted(index, np.arange(num_segments))
+        num_valid = int(np.count_nonzero(starts < index.shape[0]))
+        counts = np.bincount(index, minlength=num_segments)
+        low, high = int(counts.min()), int(counts.max())
+        return cls(is_sorted=True, num_segments=num_segments, starts=starts,
+                   num_valid=num_valid, counts=counts, has_empty=low == 0,
+                   uniform_k=low if (low == high and low > 0) else None)
+
+    @classmethod
+    def single_segment(cls, num_rows: int) -> "SegmentInfo":
+        """Bookkeeping for pooling a single graph (every row in segment 0)."""
+        return cls(is_sorted=True, num_segments=1,
+                   starts=np.zeros(1, dtype=np.int64), num_valid=1,
+                   counts=np.array([num_rows], dtype=np.int64),
+                   has_empty=num_rows == 0,
+                   uniform_k=num_rows if num_rows else None)
+
+    @classmethod
+    def from_sorted_index(cls, index: np.ndarray,
+                          num_segments: int) -> "SegmentInfo":
+        """Like :meth:`from_index` for an index the caller knows is sorted.
+
+        Skips the O(E) sortedness scan; range violations still demote to the
+        unsorted fallback so a corrupt index keeps eager error semantics.
+        """
+        if index.shape[0] == 0 or num_segments == 0:
+            return cls(is_sorted=False, num_segments=num_segments)
+        if index[0] < 0 or index[-1] >= num_segments:
+            return cls(is_sorted=False, num_segments=num_segments)
+        return cls._sorted_info(index, num_segments)
+
+    @classmethod
+    def uniform(cls, num_segments: int, k: int) -> "SegmentInfo":
+        """Bookkeeping for a k-regular index: exactly ``k`` rows per segment.
+
+        This is the static shape of every generated topology
+        (:func:`~repro.graph.knn.knn_graph` / ``random_graph`` emit exactly
+        ``k`` incoming edges per node, destination-sorted when the batch
+        vector is sorted), so the plan can skip the sortedness scan, the
+        ``searchsorted`` and the ``bincount`` entirely.
+        """
+        starts = np.arange(num_segments, dtype=np.int64) * k
+        counts = np.full(num_segments, k, dtype=np.int64)
+        return cls(is_sorted=True, num_segments=num_segments, starts=starts,
+                   num_valid=num_segments, counts=counts, has_empty=False,
+                   uniform_k=k)
+
+
+def canonical_edge_order(edge_index: np.ndarray,
+                         num_nodes: int) -> "tuple[np.ndarray, SegmentInfo]":
+    """Destination-sort an edge list so scatters always hit the fast path.
+
+    Returns the (possibly re-ordered) edge index together with its
+    :class:`SegmentInfo`.  Already-sorted edge lists — everything produced by
+    :func:`~repro.graph.knn.knn_graph` on a sorted batch vector, and wire
+    states collated from such frames — pass through untouched; anything else
+    is stably sorted by destination once, after which every scatter over the
+    topology reduces via ``reduceat`` instead of element-wise ``ufunc.at``.
+    """
+    info = SegmentInfo.from_index(edge_index[1], num_nodes)
+    if info.is_sorted:
+        return edge_index, info
+    order = np.argsort(edge_index[1], kind="stable")
+    edge_index = np.ascontiguousarray(edge_index[:, order])
+    return edge_index, SegmentInfo.from_index(edge_index[1], num_nodes)
+
+
+# ----------------------------------------------------------------------
+# Segment reductions
+# ----------------------------------------------------------------------
+def segment_sum(src: np.ndarray, index: np.ndarray, info: SegmentInfo,
+                out: np.ndarray) -> np.ndarray:
+    """Per-segment sum of rows of ``src`` into ``out`` (fully overwritten)."""
+    if info.is_sorted:
+        if info.num_valid:
+            np.add.reduceat(src, info.starts[:info.num_valid], axis=0,
+                            out=out[:info.num_valid])
+        if info.num_valid < info.num_segments:
+            out[info.num_valid:] = 0.0
+        if info.has_empty:
+            # reduceat yields src[starts[i]] for an empty segment squeezed
+            # between populated ones; zero them like the eager fallback.
+            out[info.counts == 0] = 0.0
+        return out
+    out[:] = 0.0
+    if src.shape[0]:
+        np.add.at(out, index, src)
+    return out
+
+
+def segment_mean(src: np.ndarray, index: np.ndarray, info: SegmentInfo,
+                 out: np.ndarray) -> np.ndarray:
+    """Per-segment mean; empty segments produce zeros (eager semantics)."""
+    segment_sum(src, index, info, out)
+    if info.counts is not None:
+        counts = info.counts
+    else:
+        counts = np.bincount(np.asarray(index, dtype=np.int64),
+                             minlength=info.num_segments)
+    divisor = np.maximum(counts, 1).astype(out.dtype)
+    out /= divisor.reshape((-1,) + (1,) * (out.ndim - 1))
+    return out
+
+
+def segment_max(src: np.ndarray, index: np.ndarray, info: SegmentInfo,
+                out: np.ndarray) -> np.ndarray:
+    """Per-segment maximum; empty segments produce zeros (eager semantics)."""
+    if info.is_sorted:
+        if info.num_valid:
+            np.maximum.reduceat(src, info.starts[:info.num_valid], axis=0,
+                                out=out[:info.num_valid])
+        if info.num_valid < info.num_segments:
+            out[info.num_valid:] = 0.0
+        if info.has_empty:
+            out[info.counts == 0] = 0.0
+        return out
+    out[:] = -np.inf
+    if src.shape[0]:
+        np.maximum.at(out, index, src)
+    np.copyto(out, 0.0, where=~np.isfinite(out))
+    return out
+
+
+def segment_reduce(src: np.ndarray, index: np.ndarray, info: SegmentInfo,
+                   reduce: str, out: np.ndarray) -> np.ndarray:
+    """Dispatch to the sum/mean/max segment kernels (eager ``scatter`` names)."""
+    if reduce in ("add", "sum"):
+        return segment_sum(src, index, info, out)
+    if reduce == "mean":
+        return segment_mean(src, index, info, out)
+    if reduce == "max":
+        return segment_max(src, index, info, out)
+    raise ValueError(f"unknown scatter reduction: {reduce!r}")
+
+
+def uniform_segment_reduce(grouped: np.ndarray, reduce: str,
+                           out: np.ndarray) -> np.ndarray:
+    """Reduce a ``(num_segments, k, F)`` grid along ``k`` into ``out``.
+
+    The reshape form of a sorted k-regular segment reduction: numpy's axis
+    reductions are substantially faster than ``reduceat`` (especially for
+    max) and produce the same values — exactly for ``max``, within summation
+    reordering (~1e-15 relative) for ``add``/``mean``.
+    """
+    if reduce in ("add", "sum"):
+        grouped.sum(axis=1, out=out)
+    elif reduce == "mean":
+        grouped.mean(axis=1, out=out)
+    elif reduce == "max":
+        grouped.max(axis=1, out=out)
+    else:
+        raise ValueError(f"unknown scatter reduction: {reduce!r}")
+    return out
+
+
+def edgeconv_uniform(x: np.ndarray, src: np.ndarray, k: int, reduce: str,
+                     scratch: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Fused EdgeConv over a k-regular destination-sorted topology.
+
+    The aggregated message is ``reduce_j [x_i, x_j - x_i]`` over each node's
+    ``k`` neighbours.  When every node has exactly ``k`` incoming edges in
+    destination order, the centre half reduces in closed form — ``max``/
+    ``mean`` of ``k`` copies of ``x_i`` is ``x_i`` and ``add`` is ``k·x_i``
+    — so only the neighbour-difference half needs a gather (into ``scratch``,
+    shape ``(N, k, F)``) and a grid reduction.  This removes the destination
+    gather and the ``(E, 2F)`` message materialization of the generic path
+    entirely; it is the steady-state serving kernel for every sampled
+    topology.
+    """
+    num_nodes, features = x.shape
+    np.take(x, src, axis=0, out=scratch.reshape(num_nodes * k, features))
+    scratch -= x[:, None, :]
+    centres = out[:, :features]
+    if reduce in ("add", "sum"):
+        np.multiply(x, float(k), out=centres)
+    else:  # max / mean of k copies of x_i is x_i itself
+        np.copyto(centres, x)
+    uniform_segment_reduce(scratch, reduce, out[:, features:])
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fused per-node kernels
+# ----------------------------------------------------------------------
+def edge_messages(x: np.ndarray, src: np.ndarray, dst: np.ndarray,
+                  out: np.ndarray) -> np.ndarray:
+    """DGCNN edge-conv messages ``[x_dst, x_src - x_dst]`` into ``out``.
+
+    ``out`` has shape ``(E, 2F)``; both halves are written in place — the
+    gathers land directly in their target columns and the difference is
+    computed in the right half without any temporary.
+    """
+    features = x.shape[1]
+    centres = out[:, :features]
+    neighbours = out[:, features:]
+    np.take(x, dst, axis=0, out=centres)
+    np.take(x, src, axis=0, out=neighbours)
+    neighbours -= centres
+    return out
+
+
+def fused_linear(x: np.ndarray, weight: np.ndarray,
+                 bias: Optional[np.ndarray], out: np.ndarray,
+                 activation: Optional[str] = None,
+                 negative_slope: float = 0.2) -> np.ndarray:
+    """``activation(x @ weight + bias)`` in one step, all in ``out``.
+
+    The eager path builds three tensors (matmul, bias add, relu) with three
+    backward closures and up to three allocations; here the matmul writes
+    straight into the arena buffer and bias/activation are applied in place.
+    """
+    np.matmul(x, weight, out=out)
+    if bias is not None:
+        out += bias
+    if activation == "relu":
+        np.maximum(out, 0.0, out=out)
+    elif activation == "leaky_relu":
+        np.multiply(out, np.where(out > 0, 1.0, negative_slope), out=out)
+    elif activation is not None:
+        raise ValueError(f"unknown fused activation {activation!r}")
+    return out
+
+
+def relu_(x: np.ndarray) -> np.ndarray:
+    """In-place ReLU (used for activations that could not be fused)."""
+    return np.maximum(x, 0.0, out=x)
+
+
+# ----------------------------------------------------------------------
+# Lean kNN for the serving fast path
+# ----------------------------------------------------------------------
+def knn_edges_uniform(points: np.ndarray, k: int, num_graphs: int,
+                      per_graph: int) -> Optional[np.ndarray]:
+    """kNN edge list for a batch of equally sized graphs, selection-only.
+
+    The runtime twin of :func:`repro.graph.knn.knn_graph`'s vectorized path,
+    minus the work inference does not need: the squared distances are
+    computed with the *identical* formula (so the selected neighbour set is
+    bit-for-bit the same as eager's — ``argpartition`` is deterministic), but
+    the selected ``k`` neighbours are **not** re-sorted nearest-first.
+    Neighbour order within a destination segment only affects floating-point
+    summation order of ``add``/``mean`` aggregation (~1e-15 relative), never
+    the neighbour set, and dropping the per-row sort removes the two
+    ``take_along_axis`` passes that dominated graph construction on small
+    clouds.
+
+    Requires ``per_graph > k`` (the fixed-``k`` tiling of tiny graphs stays
+    on the eager builder); returns ``None`` to signal the caller to fall
+    back.  Destinations are ``repeat(arange(N), k)`` — destination-sorted and
+    k-regular by construction.
+    """
+    if per_graph <= k:
+        return None
+    if points.dtype != np.float64:
+        # Distances are always ranked in float64, exactly like the eager
+        # builder: a float32 plan must select the same neighbour sets as
+        # eager execution, or near-tied distances would flip the topology
+        # and the divergence would no longer be bounded by arithmetic
+        # precision.
+        points = points.astype(np.float64)
+    grouped = points.reshape(num_graphs, per_graph, -1)
+    dists = grouped_knn_distances(grouped)
+    local = np.argpartition(dists, k - 1, axis=2)[:, :, :k]
+    num_nodes = num_graphs * per_graph
+    offsets = (np.arange(num_graphs, dtype=np.int64) * per_graph)[:, None, None]
+    neighbours = (local + offsets).reshape(-1)
+    centres = np.repeat(np.arange(num_nodes, dtype=np.int64), k)
+    return np.stack([neighbours, centres], axis=0)

@@ -1,0 +1,640 @@
+"""Compiled inference plans: autograd-free execution of an architecture.
+
+:func:`compile_plan` walks an :class:`~repro.core.executor.ArchitectureModel`
+once and emits, per execution segment, a flat list of raw-ndarray kernel
+steps that bypass the :class:`~repro.nn.tensor.Tensor` machinery entirely:
+
+* ``Combine`` and every classifier layer become a single fused
+  linear+bias+activation kernel writing into an arena buffer;
+* ``Aggregate`` becomes gather → message build → segment ``reduceat``,
+  specialized per reducer, with the scatter bookkeeping
+  (:class:`~repro.runtime.kernels.SegmentInfo`) derived once per topology
+  instead of once per scatter;
+* ``Sample`` keeps calling the exact same :func:`~repro.graph.knn.knn_graph`
+  / ``random_graph`` builders as eager execution, but kNN topologies are
+  cached *within a frame*: consecutive kNN samples over unchanged positions
+  (or unchanged features) reuse the edge list instead of recomputing it;
+* ``Identity`` and ``Communicate`` are dropped at plan time;
+* edge lists arriving off the wire are canonicalized — destination-sorted
+  once — so every scatter hits the ``reduceat`` fast path.
+
+Plans are for **inference only** (the serving hot path); training, search
+and the simulator keep the eager autograd path.  Weights are resolved from
+the underlying modules at call time, so a plan stays valid across
+``load_state_dict`` — only the architecture is frozen at compile time.
+
+Concurrency: buffer arenas are **per thread** (a segment executed from two
+threads uses two independent arena instances), so concurrent executions of
+one plan produce correct, un-aliased results — the same contract eager
+callables had.  Note the memory consequence: arena footprint scales with
+the number of threads that ever executed the segment, not with the number
+of plans.  The serving layer additionally wraps each zoo entry's callables
+in a per-entry lock (see
+:func:`repro.core.executor.zoo_serving_callables`) for the same reason the
+eager path did: models are shared and ``Sample(random)`` draws from one
+shared generator.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..gnn.operations import (AggregateOp, ClassifierOp, CombineOp,
+                              CommunicateOp, GlobalPoolOp, IdentityOp,
+                              Operation, SampleOp)
+from ..graph.knn import knn_graph, random_graph
+from ..nn.modules import (Dropout, Identity, LeakyReLU, Linear, MLP, ReLU,
+                          Sequential)
+from .arena import BufferArena
+from .kernels import (SegmentInfo, canonical_edge_order, edge_messages,
+                      edgeconv_uniform, fused_linear, knn_edges_uniform,
+                      relu_, segment_max, segment_mean, segment_reduce,
+                      segment_sum, uniform_segment_reduce)
+
+
+class PlanCompileError(NotImplementedError):
+    """The model contains a construct the compiled runtime does not support.
+
+    Callers requesting ``runtime="auto"`` fall back to eager execution on
+    this error; ``runtime="compiled"`` propagates it.
+    """
+
+
+# ----------------------------------------------------------------------
+# Run-time state threaded through a plan execution
+# ----------------------------------------------------------------------
+class PlanRun:
+    """Mutable state of one plan execution (the raw twin of ``ExecState``)."""
+
+    __slots__ = ("x", "batch", "num_graphs", "edge_index", "pos", "pooled",
+                 "edge_info", "batch_sorted", "topo_cache", "arena",
+                 "x_in_arena")
+
+    def __init__(self, x: np.ndarray, batch: np.ndarray, num_graphs: int,
+                 edge_index: Optional[np.ndarray], pos: Optional[np.ndarray],
+                 pooled: bool, arena: BufferArena) -> None:
+        self.x = x
+        self.batch = batch
+        self.num_graphs = num_graphs
+        self.edge_index = edge_index
+        self.pos = pos
+        self.pooled = pooled
+        #: SegmentInfo of the current edge list's destinations, or None when
+        #: not yet derived (wire edges are canonicalized lazily on first use).
+        self.edge_info: Optional[SegmentInfo] = None
+        self.batch_sorted = bool(batch.shape[0] == 0
+                                 or not np.any(np.diff(batch) < 0))
+        #: Per-frame kNN topology cache (plan-time keys; see _SampleStep).
+        self.topo_cache: dict = {}
+        self.arena = arena
+        #: True when ``x`` currently aliases an arena buffer — anything
+        #: leaving the plan must then be copied out (cross-frame aliasing).
+        self.x_in_arena = False
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.x.shape[0])
+
+
+def _ensure_edge_info(run: PlanRun) -> None:
+    """Canonicalize the current edge list (destination-sort) once per frame."""
+    if run.edge_info is None:
+        run.edge_index, run.edge_info = canonical_edge_order(
+            run.edge_index, run.num_nodes)
+
+
+# ----------------------------------------------------------------------
+# Plan steps
+# ----------------------------------------------------------------------
+class _ParamRef:
+    """Call-time view of one parameter, cast to the plan dtype.
+
+    The source array is re-read on every call (so ``load_state_dict`` after
+    compilation is picked up); the cast is cached and invalidated by
+    identity, so the steady state costs one attribute read and one ``is``
+    check per call.
+    """
+
+    __slots__ = ("_param", "_dtype", "_src", "_cast")
+
+    def __init__(self, param, dtype: np.dtype) -> None:
+        self._param = param
+        self._dtype = dtype
+        self._src: Optional[np.ndarray] = None
+        self._cast: Optional[np.ndarray] = None
+
+    def get(self) -> Optional[np.ndarray]:
+        if self._param is None:
+            return None
+        data = self._param.data
+        if data.dtype == self._dtype:
+            return data
+        if data is not self._src:
+            cast = data.astype(self._dtype)
+            # Publish the cast before the source marker: a concurrent reader
+            # that sees the new ``_src`` must also see its matching cast.
+            self._cast = cast
+            self._src = data
+            return cast
+        return self._cast
+
+
+class _LinearStep:
+    """Fused ``activation(x @ W + b)`` (Combine ops and classifier layers)."""
+
+    __slots__ = ("weight", "bias", "out_features", "activation", "slope",
+                 "slot")
+
+    def __init__(self, linear: Linear, dtype: np.dtype, slot: object,
+                 activation: Optional[str] = None,
+                 negative_slope: float = 0.2) -> None:
+        self.weight = _ParamRef(linear.weight, dtype)
+        self.bias = _ParamRef(linear.bias, dtype)
+        self.out_features = linear.out_features
+        self.activation = activation
+        self.slope = negative_slope
+        self.slot = slot
+
+    def __call__(self, run: PlanRun) -> None:
+        out = run.arena.take(self.slot, (run.x.shape[0], self.out_features),
+                             run.x.dtype)
+        fused_linear(run.x, self.weight.get(), self.bias.get(), out,
+                     activation=self.activation, negative_slope=self.slope)
+        run.x = out
+        run.x_in_arena = True
+
+
+class _ReluStep:
+    """Standalone in-place ReLU (an activation that had no linear to fuse into)."""
+
+    __slots__ = ("slot",)
+
+    def __init__(self, slot: object) -> None:
+        self.slot = slot
+
+    def __call__(self, run: PlanRun) -> None:
+        if run.x_in_arena:
+            relu_(run.x)
+            return
+        out = run.arena.take(self.slot, run.x.shape, run.x.dtype)
+        np.maximum(run.x, 0.0, out=out)
+        run.x = out
+        run.x_in_arena = True
+
+
+class _SampleStep:
+    """(Re)build the graph topology, with per-frame kNN caching.
+
+    The cache key is assigned at plan time from the feature *version* — a
+    counter bumped by every step that rewrites ``x`` — so two kNN samples
+    whose reference data provably did not change between them (positions are
+    immutable within a segment; features unchanged when only identity-like
+    steps sit in between) share one topology per frame.  Random sampling is
+    never cached: eager execution redraws on every call, and the compiled
+    step draws from the *same* generator object as the eager op — so every
+    plan compiled from one model (per-frame, batched, full) and the eager
+    model itself consume one shared stream, exactly like eager serving did.
+    """
+
+    __slots__ = ("function", "k", "x_version", "_rng")
+
+    def __init__(self, op: SampleOp, x_version: int) -> None:
+        self.function = op.spec.function
+        self.k = int(op.spec.k)
+        self.x_version = x_version
+        self._rng = op._rng if self.function == "random" else None
+
+    def __call__(self, run: PlanRun) -> None:
+        if run.pooled:
+            raise RuntimeError("cannot sample a graph after global pooling")
+        if self.function == "knn":
+            key = (("knn", self.k, "pos") if run.pos is not None
+                   else ("knn", self.k, "x", self.x_version))
+            cached = run.topo_cache.get(key)
+            if cached is not None:
+                run.edge_index, run.edge_info = cached
+                return
+            reference = run.pos if run.pos is not None else run.x
+            edge_index = self._build_knn(reference, run)
+            if edge_index is not None:
+                # Fast path: k-regular, destination-sorted by construction.
+                run.edge_index = edge_index
+                run.edge_info = SegmentInfo.uniform(run.num_nodes, self.k)
+                run.topo_cache[key] = (run.edge_index, run.edge_info)
+                return
+            edge_index = knn_graph(reference, self.k, batch=run.batch)
+        elif self.function == "random":
+            edge_index = random_graph(run.num_nodes, self.k, rng=self._rng,
+                                      batch=run.batch)
+        else:
+            raise ValueError(f"unknown sample function {self.function!r}")
+        run.edge_index = edge_index
+        if run.batch_sorted:
+            # Generated topologies are k-regular and, over a sorted batch
+            # vector, destination-sorted by construction: the bookkeeping is
+            # known statically, no scan needed.
+            run.edge_info = SegmentInfo.uniform(run.num_nodes, self.k)
+        else:
+            run.edge_info = None
+            _ensure_edge_info(run)
+        if self.function == "knn":
+            run.topo_cache[key] = (run.edge_index, run.edge_info)
+
+    def _build_knn(self, reference: np.ndarray,
+                   run: PlanRun) -> Optional[np.ndarray]:
+        """Selection-only kNN when the batch is sorted with equal graph sizes.
+
+        Returns ``None`` when the precondition does not hold (unsorted batch,
+        ragged graph sizes, or graphs too small for a strict top-``k``); the
+        caller then delegates to the eager :func:`~repro.graph.knn.knn_graph`
+        builder, which covers every case.
+        """
+        if not run.batch_sorted:
+            return None
+        num_nodes, num_graphs = run.num_nodes, run.num_graphs
+        if num_graphs <= 0 or num_nodes % num_graphs:
+            return None
+        per_graph = num_nodes // num_graphs
+        if num_graphs > 1:
+            counts = np.bincount(run.batch, minlength=num_graphs)
+            if counts.min() != per_graph or counts.max() != per_graph:
+                return None
+        return knn_edges_uniform(reference, self.k, num_graphs, per_graph)
+
+
+class _AggregateStep:
+    """Edge convolution: gather → ``[x_i, x_j - x_i]`` → segment reduce."""
+
+    __slots__ = ("reduce", "msg_slot", "out_slot")
+
+    def __init__(self, reduce: str, msg_slot: object, out_slot: object) -> None:
+        if reduce not in ("add", "sum", "mean", "max"):
+            raise PlanCompileError(f"unsupported aggregate reducer {reduce!r}")
+        self.reduce = reduce
+        self.msg_slot = msg_slot
+        self.out_slot = out_slot
+
+    def __call__(self, run: PlanRun) -> None:
+        if run.edge_index is None or run.edge_index.size == 0:
+            raise RuntimeError("aggregate requires an existing graph structure")
+        if run.pooled:
+            raise RuntimeError("cannot aggregate after global pooling")
+        _ensure_edge_info(run)
+        src, dst = run.edge_index[0], run.edge_index[1]
+        num_edges, features = src.shape[0], run.x.shape[1]
+        out = run.arena.take(self.out_slot, (run.num_nodes, 2 * features),
+                             run.x.dtype)
+        k = run.edge_info.uniform_k
+        if k is not None:
+            scratch = run.arena.take(self.msg_slot,
+                                     (run.num_nodes, k, features),
+                                     run.x.dtype)
+            edgeconv_uniform(run.x, src, k, self.reduce, scratch, out)
+        else:
+            messages = run.arena.take(self.msg_slot,
+                                      (num_edges, 2 * features), run.x.dtype)
+            edge_messages(run.x, src, dst, messages)
+            segment_reduce(messages, dst, run.edge_info, self.reduce, out)
+        run.x = out
+        run.x_in_arena = True
+
+
+class _GlobalPoolStep:
+    """Pool node features per graph (sum / mean / max / max||mean)."""
+
+    __slots__ = ("mode", "slot", "scratch_slot")
+
+    def __init__(self, mode: str, slot: object, scratch_slot: object) -> None:
+        if mode not in ("sum", "add", "mean", "max", "max||mean", "maxmean"):
+            raise PlanCompileError(f"unsupported global pooling mode {mode!r}")
+        self.mode = mode
+        self.slot = slot
+        self.scratch_slot = scratch_slot
+
+    def __call__(self, run: PlanRun) -> None:
+        if run.pooled:
+            raise RuntimeError("graph is already pooled")
+        _pool_into(run, self.mode, self.slot, self.scratch_slot)
+
+
+def _pool_into(run: PlanRun, mode: str, slot: object,
+               scratch_slot: object) -> None:
+    """Shared pooling kernel (GlobalPool step and classifier defensive pool)."""
+    num_graphs, features = run.num_graphs, run.x.shape[1]
+    if (num_graphs == 1 and run.batch_sorted and run.batch.shape[0]
+            and run.batch[0] == 0 and run.batch[-1] == 0):
+        info = SegmentInfo.single_segment(run.num_nodes)
+    elif run.batch_sorted:
+        info = SegmentInfo.from_sorted_index(run.batch, num_graphs)
+    else:
+        info = SegmentInfo.from_index(run.batch, num_graphs)
+    per_graph = info.uniform_k
+    grouped = (run.x.reshape(num_graphs, per_graph, features)
+               if per_graph is not None else None)
+    if mode in ("max||mean", "maxmean"):
+        out = run.arena.take(slot, (num_graphs, 2 * features), run.x.dtype)
+        if grouped is not None:
+            uniform_segment_reduce(grouped, "max", out[:, :features])
+            uniform_segment_reduce(grouped, "mean", out[:, features:])
+        else:
+            scratch = run.arena.take(scratch_slot, (num_graphs, features),
+                                     run.x.dtype)
+            segment_max(run.x, run.batch, info, scratch)
+            out[:, :features] = scratch
+            segment_mean(run.x, run.batch, info, scratch)
+            out[:, features:] = scratch
+    else:
+        out = run.arena.take(slot, (num_graphs, features), run.x.dtype)
+        if grouped is not None:
+            uniform_segment_reduce(grouped, "sum" if mode == "add" else mode,
+                                   out)
+        elif mode in ("sum", "add"):
+            segment_sum(run.x, run.batch, info, out)
+        elif mode == "mean":
+            segment_mean(run.x, run.batch, info, out)
+        else:
+            segment_max(run.x, run.batch, info, out)
+    run.x = out
+    run.x_in_arena = True
+    run.batch = np.arange(num_graphs, dtype=np.int64)
+    run.batch_sorted = True
+    run.edge_index = None
+    run.edge_info = None
+    run.pos = None
+    run.pooled = True
+
+
+class _EnsurePooledStep:
+    """Defensive mean-pool before the classifier, mirroring eager semantics."""
+
+    __slots__ = ("slot", "scratch_slot")
+
+    def __init__(self, slot: object, scratch_slot: object) -> None:
+        self.slot = slot
+        self.scratch_slot = scratch_slot
+
+    def __call__(self, run: PlanRun) -> None:
+        if not run.pooled:
+            _pool_into(run, "mean", self.slot, self.scratch_slot)
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+class PlanSegment:
+    """A compiled, contiguous run of operations with per-thread buffer arenas."""
+
+    def __init__(self, steps: List[Callable[[PlanRun], None]],
+                 dtype: np.dtype) -> None:
+        self.steps = steps
+        self.dtype = dtype
+        self._arenas = threading.local()
+
+    @property
+    def arena(self) -> BufferArena:
+        """The calling thread's buffer arena (created lazily per thread).
+
+        Thread-local arenas make concurrent executions of the same segment
+        safe without a lock: two server handler threads each reuse their own
+        buffers instead of corrupting each other's in-flight frames.
+        """
+        arena = getattr(self._arenas, "arena", None)
+        if arena is None:
+            arena = BufferArena()
+            self._arenas.arena = arena
+        return arena
+
+    def execute(self, x: np.ndarray, batch: np.ndarray, num_graphs: int,
+                edge_index: Optional[np.ndarray] = None,
+                pos: Optional[np.ndarray] = None,
+                pooled: bool = False) -> PlanRun:
+        """Run every step over the given state; returns the final run state.
+
+        The returned state's ``x`` may alias an arena buffer (checked via
+        ``x_in_arena``); use :meth:`execute_out` when the result must survive
+        the next call.
+        """
+        x = np.asarray(x)
+        if x.dtype != self.dtype:
+            x = x.astype(self.dtype)
+        batch = np.asarray(batch, dtype=np.int64)
+        if pos is not None:
+            pos = np.asarray(pos)
+            if pos.dtype != self.dtype:
+                pos = pos.astype(self.dtype)
+        if edge_index is not None:
+            edge_index = np.asarray(edge_index, dtype=np.int64)
+        run = PlanRun(x, batch, int(num_graphs), edge_index, pos, bool(pooled),
+                      self.arena)
+        for step in self.steps:
+            step(run)
+        return run
+
+    def execute_out(self, x: np.ndarray, batch: np.ndarray, num_graphs: int,
+                    edge_index: Optional[np.ndarray] = None,
+                    pos: Optional[np.ndarray] = None,
+                    pooled: bool = False) -> PlanRun:
+        """:meth:`execute`, with the output detached from the arena.
+
+        The final ``x`` is copied out when (and only when) it aliases an
+        arena buffer, so results handed to callers can never be overwritten
+        by the next frame — the no-cross-frame-aliasing guarantee the serving
+        engine relies on.
+        """
+        run = self.execute(x, batch, num_graphs, edge_index=edge_index,
+                           pos=pos, pooled=pooled)
+        if run.x_in_arena:
+            run.x = run.x.copy()
+            run.x_in_arena = False
+        return run
+
+
+def _compile_mlp(mlp: MLP, dtype: np.dtype, slot_prefix: str
+                 ) -> List[Callable[[PlanRun], None]]:
+    """Compile an eval-mode MLP into fused linear steps.
+
+    Supports the layer vocabulary that appears in architecture models
+    (Linear / ReLU / LeakyReLU / Identity / Dropout in eval mode or with
+    ``p=0``).  Anything that would make eager execution non-deterministic or
+    stateful — an *active* Dropout (``p>0`` and ``training=True``),
+    BatchNorm, LayerNorm — is not compiled; callers fall back to eager
+    execution, which keeps the two runtimes observably equivalent.
+    """
+    steps: List[Callable[[PlanRun], None]] = []
+    pending: Optional[Linear] = None
+    index = 0
+
+    def flush(activation: Optional[str] = None, slope: float = 0.2) -> None:
+        nonlocal pending, index
+        if pending is not None:
+            steps.append(_LinearStep(pending, dtype,
+                                     (slot_prefix, index, "linear"),
+                                     activation=activation,
+                                     negative_slope=slope))
+            pending = None
+        elif activation == "relu":
+            steps.append(_ReluStep((slot_prefix, index, "relu")))
+        elif activation is not None:
+            raise PlanCompileError(
+                "cannot compile a standalone non-ReLU activation")
+        index += 1
+
+    for layer in mlp.net:
+        if isinstance(layer, Linear):
+            flush()
+            pending = layer
+        elif isinstance(layer, ReLU):
+            flush(activation="relu")
+        elif isinstance(layer, LeakyReLU):
+            if pending is None:
+                raise PlanCompileError(
+                    "cannot compile a standalone LeakyReLU activation")
+            flush(activation="leaky_relu", slope=layer.negative_slope)
+        elif isinstance(layer, Dropout):
+            if layer.p > 0 and layer.training:
+                # Eager execution would apply random masks per frame here;
+                # compiling it away would silently diverge from eager.
+                raise PlanCompileError(
+                    "cannot compile an active Dropout layer (p>0 in "
+                    "training mode) — call model.eval() first")
+            continue
+        elif isinstance(layer, Identity):
+            continue  # no-op
+        else:
+            raise PlanCompileError(
+                f"cannot compile classifier layer {type(layer).__name__}")
+    flush()
+    return steps
+
+
+def _compile_operation(operation: Operation, index: int, x_version: int,
+                       dtype: np.dtype
+                       ) -> "tuple[List[Callable[[PlanRun], None]], int]":
+    """Compile one architecture operation; returns (steps, new x_version)."""
+    if isinstance(operation, (IdentityOp, CommunicateOp)):
+        return [], x_version  # canonicalized away: no runtime cost at all
+    if isinstance(operation, SampleOp):
+        return [_SampleStep(operation, x_version)], x_version
+    if isinstance(operation, AggregateOp):
+        reduce = str(operation.spec.function)
+        return [_AggregateStep(reduce, (index, "msgs"), (index, "out"))], \
+            x_version + 1
+    if isinstance(operation, CombineOp):
+        return [_LinearStep(operation.linear, dtype, (index, "linear"),
+                            activation="relu")], x_version + 1
+    if isinstance(operation, GlobalPoolOp):
+        mode = str(operation.spec.function)
+        return [_GlobalPoolStep(mode, (index, "pool"), (index, "scratch"))], \
+            x_version + 1
+    if isinstance(operation, ClassifierOp):
+        steps: List[Callable[[PlanRun], None]] = [
+            _EnsurePooledStep((index, "defensive-pool"),
+                              (index, "defensive-scratch"))]
+        steps.extend(_compile_mlp(operation.mlp, dtype, f"classifier{index}"))
+        return steps, x_version + 1
+    raise PlanCompileError(
+        f"cannot compile operation {type(operation).__name__}")
+
+
+def _compile_segment(model, start: int, end: Optional[int],
+                     include_classifier: bool, dtype: np.dtype) -> PlanSegment:
+    operations = model._operations
+    end = len(operations) if end is None else end
+    steps: List[Callable[[PlanRun], None]] = []
+    x_version = 0
+    for index in range(start, end):
+        op_steps, x_version = _compile_operation(operations[index], index,
+                                                 x_version, dtype)
+        steps.extend(op_steps)
+    if include_classifier:
+        op_steps, x_version = _compile_operation(model.classifier,
+                                                 len(operations), x_version,
+                                                 dtype)
+        steps.extend(op_steps)
+    return PlanSegment(steps, dtype)
+
+
+#: All compilable plan segments (the default for :func:`compile_plan`).
+SEGMENTS = ("full", "device", "edge")
+
+
+class InferencePlan:
+    """Compiled form of one :class:`~repro.core.executor.ArchitectureModel`.
+
+    Up to three independently-compiled segments (each with per-thread buffer
+    arenas); ``segments`` selects which are built, so serving callables that
+    only ever resume the edge side don't carry dead device/full step lists:
+
+    ``full``
+        Every operation plus the classifier — direct inference.
+    ``device``
+        Operations before the first ``Communicate`` (``None`` split: the
+        whole architecture including the classifier, matching eager
+        ``split_callables`` semantics for Device-Only deployments).
+    ``edge``
+        Operations after the first ``Communicate`` plus the classifier — the
+        serving hot path the edge server executes per frame or per
+        micro-batch.  (``None`` split: aliases ``full``, mirroring the eager
+        edge callable which re-runs the whole architecture for unfinished
+        frames.)
+    """
+
+    def __init__(self, model, dtype=np.float64,
+                 segments: Sequence[str] = SEGMENTS) -> None:
+        if not segments:
+            raise ValueError(
+                f"segments must name at least one of {SEGMENTS}")
+        unknown = set(segments) - set(SEGMENTS)
+        if unknown:
+            raise ValueError(f"unknown plan segments {sorted(unknown)} "
+                             f"(expected a subset of {SEGMENTS})")
+        self.model = model
+        self.dtype = np.dtype(dtype)
+        if not np.issubdtype(self.dtype, np.floating):
+            raise ValueError(f"plan dtype must be floating, got {self.dtype}")
+        self.split = model.first_communicate_index()
+        self.full = self.device = self.edge = None
+        if self.split is None:
+            # Everything aliases the full architecture: device runs it all,
+            # and an (unfinished) frame on the edge re-runs it all too.
+            self.full = self.device = self.edge = _compile_segment(
+                model, 0, None, True, self.dtype)
+            return
+        if "full" in segments:
+            self.full = _compile_segment(model, 0, None, True, self.dtype)
+        if "device" in segments:
+            self.device = _compile_segment(model, 0, self.split, False,
+                                           self.dtype)
+        if "edge" in segments:
+            self.edge = _compile_segment(model, self.split + 1, None, True,
+                                         self.dtype)
+
+    # ------------------------------------------------------------------
+    def forward(self, batch) -> np.ndarray:
+        """Full autograd-free forward pass; returns per-graph logits."""
+        if self.full is None:
+            raise RuntimeError(
+                "this plan was compiled without its 'full' segment")
+        run = self.full.execute_out(batch.x, batch.batch, batch.num_graphs,
+                                    edge_index=batch.edge_index,
+                                    pos=batch.pos)
+        return run.x
+
+    __call__ = forward
+
+
+def compile_plan(model, dtype=np.float64,
+                 segments: Sequence[str] = SEGMENTS) -> InferencePlan:
+    """Compile ``model`` into an :class:`InferencePlan`.
+
+    ``segments`` restricts compilation to the execution segments the caller
+    will actually run (compile errors are only raised for operations inside
+    the requested segments).  Raises :class:`PlanCompileError` when a
+    requested segment contains a construct the compiled runtime does not
+    support (callers requesting ``runtime="auto"`` then fall back to eager
+    execution).
+    """
+    return InferencePlan(model, dtype=dtype, segments=segments)

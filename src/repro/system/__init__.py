@@ -4,7 +4,9 @@ from .simulator import (SystemConfig, SystemPerformance, CoInferenceSimulator,
                         OpTimelineEntry, make_system, DEVICE, EDGE)
 from .partition import (PartitionResult, insert_partition, candidate_partitions,
                         evaluate_partitions, best_partition)
-from .messages import Message, serialize_message, deserialize_message, compressed_size
+from .messages import (Message, serialize_message, deserialize_message,
+                       compressed_size, WIRE_FORMAT_RAW, WIRE_FORMAT_ZLIB,
+                       WIRE_FORMATS)
 from .engine import (EdgeServer, DeviceClient, FrameResult, MicroBatcher,
                      PipelineStats, ServingSession, EdgeServerStats,
                      run_co_inference)
@@ -15,6 +17,7 @@ __all__ = [
     "PartitionResult", "insert_partition", "candidate_partitions",
     "evaluate_partitions", "best_partition",
     "Message", "serialize_message", "deserialize_message", "compressed_size",
+    "WIRE_FORMAT_RAW", "WIRE_FORMAT_ZLIB", "WIRE_FORMATS",
     "EdgeServer", "DeviceClient", "FrameResult", "MicroBatcher",
     "PipelineStats", "ServingSession", "EdgeServerStats",
     "run_co_inference",

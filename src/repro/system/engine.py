@@ -9,9 +9,18 @@ queues, matching the paper's description.
 The engine is agnostic to *what* is executed: the device and edge sides are
 plain callables (``device_fn(frame) -> (arrays, meta)`` and
 ``edge_fn(arrays, meta) -> (arrays, meta)``), normally produced by
-:func:`repro.core.executor.split_callables`.  In this reproduction both ends
-run on localhost, which exercises the full code path (framing, compression,
-threading, pipelining) even though the physical link is loopback.
+:func:`repro.core.executor.split_callables` — which by default hands back
+compiled inference plans (:mod:`repro.runtime`) whose per-entry buffer
+arenas persist across requests for the lifetime of the serving table.  In
+this reproduction both ends run on localhost, which exercises the full code
+path (framing, compression, threading, pipelining) even though the physical
+link is loopback.
+
+Two wire-level knobs live on :class:`DeviceClient`: ``wire_format`` switches
+a connection from the default zlib-compressed framing to the zero-copy raw
+framing (the server always replies in the framing a request arrived in),
+and ``wire_dtype`` down-casts outgoing float arrays (e.g. to ``float32``,
+halving frame bytes).  See ``docs/serving.md`` for the trade-offs.
 
 Multi-client serving
 --------------------
@@ -66,8 +75,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .messages import (_LENGTH_SIZE as PAYLOAD_PREFIX_BYTES, Message,
-                       recv_message, send_message, send_payload,
-                       serialize_message)
+                       WIRE_FORMAT_ZLIB, WIRE_FORMATS, recv_message,
+                       send_message, send_payload, serialize_message)
 
 ArrayDict = Dict[str, np.ndarray]
 DeviceFn = Callable[[object], Tuple[ArrayDict, Dict]]
@@ -534,7 +543,10 @@ class EdgeServer:
                 ack_meta["error"] = f"{type(exc).__name__}: {exc}"
                 ack_meta["traceback"] = traceback.format_exc()
         with self._send_lock_for(session):
-            sent = send_message(conn, Message(kind="hello", meta=ack_meta))
+            # Reply in the framing the hello arrived in: a raw-framing client
+            # gets raw replies, a zlib client zlib ones, from one listener.
+            sent = send_message(conn, Message(kind="hello", meta=ack_meta,
+                                              wire_format=message.wire_format))
         with self._lock:
             session.client_name = str(message.meta.get("client", ""))
             session.bytes_sent += sent
@@ -644,10 +656,10 @@ class EdgeServer:
             # Serialization stays guarded: an edge callable returning
             # non-JSON-serializable metadata must come back as an "error"
             # message, not kill the replying thread.
-            blob = serialize_message(Message(kind="result",
-                                             frame_id=request.message.frame_id,
-                                             arrays=arrays, meta=meta,
-                                             batch_index=batch_index))
+            blob = serialize_message(Message(
+                kind="result", frame_id=request.message.frame_id,
+                arrays=arrays, meta=meta, batch_index=batch_index,
+                wire_format=request.message.wire_format))
         except Exception:
             self._reply_error(request, batch_index=batch_index)
             return
@@ -702,7 +714,8 @@ class EdgeServer:
                     kind="error", frame_id=request.message.frame_id,
                     meta={"error": f"{type(exc).__name__}: {exc}",
                           "traceback": traceback.format_exc()},
-                    batch_index=batch_index))
+                    batch_index=batch_index,
+                    wire_format=request.message.wire_format))
         except OSError:
             return
         with self._lock:
@@ -861,11 +874,34 @@ class DeviceClient:
     and, when given, its :class:`~repro.core.dispatcher.RuntimeConditions`
     as a plain dict; a dispatching server answers with the zoo entry chosen
     for those conditions (see :meth:`handshake` / :attr:`assigned_model`).
+
+    Wire knobs
+    ----------
+    ``wire_format`` selects the framing every outgoing message uses:
+    ``"zlib"`` (default, paper-faithful compressed frames) or ``"raw"``
+    (zero-copy framing — no compression pass, arrays reconstructed by the
+    peer directly over the received bytes).  The server replies in whatever
+    framing a request arrived in, so the knob is purely client-side.
+    ``wire_dtype`` (e.g. ``np.float32``) down-casts outgoing float arrays
+    before they are framed, halving frame sizes at reduced precision; when
+    the device callable already emits that dtype (a compiled plan with
+    ``dtype=np.float32``) the cast is a no-op.
     """
 
     def __init__(self, host: str, port: int, timeout_s: float = 30.0,
                  client_name: str = "", conditions: Optional[Dict] = None,
-                 model: Optional[str] = None) -> None:
+                 model: Optional[str] = None,
+                 wire_format: str = WIRE_FORMAT_ZLIB,
+                 wire_dtype=None) -> None:
+        if wire_format not in WIRE_FORMATS:
+            raise ValueError(f"unknown wire format {wire_format!r} "
+                             f"(expected one of {WIRE_FORMATS})")
+        self.wire_format = wire_format
+        self._wire_dtype = None if wire_dtype is None else np.dtype(wire_dtype)
+        if (self._wire_dtype is not None
+                and not np.issubdtype(self._wire_dtype, np.floating)):
+            raise ValueError(
+                f"wire_dtype must be a floating dtype, got {self._wire_dtype}")
         self._sock = socket.create_connection((host, port), timeout=timeout_s)
         # The timeout only guards connection establishment; receives must
         # block indefinitely or an idle-but-healthy connection would be
@@ -892,7 +928,8 @@ class DeviceClient:
         hello_meta: Dict = {"client": client_name}
         if self._conditions is not None:
             hello_meta["conditions"] = self._conditions
-        self._send_queue.put(Message(kind="hello", meta=hello_meta))
+        self._send_queue.put(Message(kind="hello", meta=hello_meta,
+                                     wire_format=self.wire_format))
 
     # ------------------------------------------------------------------
     def _send_loop(self) -> None:
@@ -914,7 +951,8 @@ class DeviceClient:
                                  "%s: %s" % (type(exc).__name__, exc))
                 break
         try:
-            send_message(self._sock, Message(kind="stop"))
+            send_message(self._sock, Message(kind="stop",
+                                             wire_format=self.wire_format))
         except OSError:
             pass
 
@@ -977,6 +1015,21 @@ class DeviceClient:
         """Zoo entry the server's dispatcher chose for this client, if any."""
         return self.handshake().get("model")
 
+    def _cast_for_wire(self, arrays: ArrayDict) -> ArrayDict:
+        """Down-cast float arrays to ``wire_dtype`` before framing.
+
+        Integer arrays (batch vectors, edge indices) keep their dtype; float
+        arrays already in the target dtype pass through untouched.
+        """
+        cast: ArrayDict = {}
+        for name, array in arrays.items():
+            array = np.asarray(array)
+            if (np.issubdtype(array.dtype, np.floating)
+                    and array.dtype != self._wire_dtype):
+                array = array.astype(self._wire_dtype)
+            cast[name] = array
+        return cast
+
     # ------------------------------------------------------------------
     def run_pipeline(self, frames: Sequence[object], device_fn: DeviceFn,
                      timeout_s: float = 60.0) -> Tuple[List[FrameResult], PipelineStats]:
@@ -1006,6 +1059,8 @@ class DeviceClient:
             # segment, so device compute counts toward the frame latency.
             submitted[base_id + offset] = time.perf_counter()
             arrays, meta = device_fn(frame)
+            if self._wire_dtype is not None:
+                arrays = self._cast_for_wire(arrays)
             meta = dict(meta)
             if model is not None:
                 meta.setdefault("model", model)
@@ -1014,7 +1069,8 @@ class DeviceClient:
                 # (per-frame dispatch); a resolved model short-circuits them.
                 meta.setdefault("conditions", self._conditions)
             self._send_queue.put(Message(kind="frame", frame_id=base_id + offset,
-                                         arrays=arrays, meta=meta))
+                                         arrays=arrays, meta=meta,
+                                         wire_format=self.wire_format))
         results: List[FrameResult] = []
         # timeout_s bounds the wait for results (as it always has; device
         # compute above is not counted against it) and, separately, the

@@ -1,9 +1,30 @@
 """Wire format of the co-inference engine.
 
 Intermediate GNN states are exchanged between the device and the edge as
-length-prefixed, zlib-compressed messages containing named numpy arrays plus
-a small JSON metadata header — mirroring the paper's engine, which is built
-on Python sockets and compresses all transmitted data with zlib.
+length-prefixed messages containing named numpy arrays plus a small JSON
+metadata header.  Two framings share the wire:
+
+``"zlib"`` (default)
+    The paper-faithful format: the header and ``np.save``-encoded arrays are
+    zlib-compressed as one blob, mirroring the paper's engine, which is
+    built on Python sockets and compresses all transmitted data with zlib.
+
+``"raw"``
+    A zero-copy-receive framing for serving deployments where link
+    bandwidth is not the bottleneck: a 2-byte magic/version, the JSON
+    header (now carrying each array's dtype and shape) and the arrays' raw
+    C-contiguous bytes (``ndarray.tobytes``).  The send side does one plain
+    memory copy per array (``tobytes``) but no compression or ``np.save``
+    encoding pass; the receive side reconstructs every array with
+    ``np.frombuffer`` directly over the received payload — zero per-array
+    copies on receive.
+
+The two formats are distinguished by their first byte (zlib streams always
+begin with ``0x78``; raw frames begin with the reserved magic ``0xAB``
+followed by a version byte), so :func:`deserialize_message` — and therefore
+every receiver — handles both transparently.  The raw format is versioned
+for wire compatibility: bumping the layout bumps the version byte, and an
+unknown version raises instead of desyncing the stream.
 """
 
 from __future__ import annotations
@@ -21,6 +42,18 @@ import numpy as np
 #: 4-byte big-endian unsigned length prefix.
 _LENGTH_FORMAT = ">I"
 _LENGTH_SIZE = struct.calcsize(_LENGTH_FORMAT)
+
+#: Wire framing identifiers (``Message.wire_format`` / ``serialize_message``).
+WIRE_FORMAT_ZLIB = "zlib"
+WIRE_FORMAT_RAW = "raw"
+WIRE_FORMATS = (WIRE_FORMAT_ZLIB, WIRE_FORMAT_RAW)
+
+#: First byte of a raw frame.  zlib streams produced by ``zlib.compress``
+#: always start with ``0x78`` (deflate, 32K window), so this magic makes the
+#: two framings self-describing on receive.
+_RAW_MAGIC = 0xAB
+#: Current raw-format layout version.
+_RAW_VERSION = 1
 
 
 @dataclass
@@ -49,8 +82,13 @@ class Message:
         ``"error"`` replies so a failure isolates to the one offending frame
         of a batch instead of discrediting the whole batch, and so clients
         can observe the realized coalescing.
+    wire_format:
+        Framing this message was received in (or should be sent in when no
+        explicit format is passed to :func:`serialize_message`): ``"zlib"``
+        or ``"raw"``.  Servers reply in the format a request arrived in, so
+        one listener serves clients of either framing.
     wire_bytes:
-        Size of the compressed frame as received from the socket; filled in
+        Size of the encoded frame as received from the socket; filled in
         by :func:`recv_message` (0 for locally constructed messages).
     """
 
@@ -59,20 +97,43 @@ class Message:
     arrays: Dict[str, np.ndarray] = field(default_factory=dict)
     meta: Dict = field(default_factory=dict)
     batch_index: Optional[int] = None
+    wire_format: str = WIRE_FORMAT_ZLIB
     wire_bytes: int = 0
 
 
-def serialize_message(message: Message, compress_level: int = 6) -> bytes:
-    """Encode a message to compressed bytes (without the length prefix)."""
-    buffer = io.BytesIO()
+def _header_dict(message: Message) -> Dict:
     header = {
         "kind": message.kind,
         "frame_id": message.frame_id,
         "meta": message.meta,
-        "arrays": list(message.arrays.keys()),
     }
     if message.batch_index is not None:
         header["batch_index"] = int(message.batch_index)
+    return header
+
+
+def serialize_message(message: Message, compress_level: int = 6,
+                      wire_format: Optional[str] = None) -> bytes:
+    """Encode a message to wire bytes (without the length prefix).
+
+    ``wire_format`` selects the framing; when ``None`` the message's own
+    ``wire_format`` attribute decides, so replies naturally mirror the
+    framing their request arrived in.  ``compress_level`` only applies to
+    the zlib framing.
+    """
+    wire_format = message.wire_format if wire_format is None else wire_format
+    if wire_format == WIRE_FORMAT_ZLIB:
+        return _serialize_zlib(message, compress_level)
+    if wire_format == WIRE_FORMAT_RAW:
+        return _serialize_raw(message)
+    raise ValueError(f"unknown wire format {wire_format!r} "
+                     f"(expected one of {WIRE_FORMATS})")
+
+
+def _serialize_zlib(message: Message, compress_level: int) -> bytes:
+    buffer = io.BytesIO()
+    header = _header_dict(message)
+    header["arrays"] = list(message.arrays.keys())
     header_bytes = json.dumps(header).encode("utf-8")
     buffer.write(struct.pack(_LENGTH_FORMAT, len(header_bytes)))
     buffer.write(header_bytes)
@@ -86,8 +147,36 @@ def serialize_message(message: Message, compress_level: int = 6) -> bytes:
     return zlib.compress(buffer.getvalue(), compress_level)
 
 
+def _serialize_raw(message: Message) -> bytes:
+    header = _header_dict(message)
+    chunks = []
+    specs = []
+    for name, array in message.arrays.items():
+        array = np.ascontiguousarray(array)
+        specs.append([name, array.dtype.str, list(array.shape)])
+        # A memoryview, not tobytes(): join below then performs the single
+        # unavoidable copy of each payload straight into the frame.
+        chunks.append(memoryview(array))
+    header["arrays"] = specs
+    header_bytes = json.dumps(header).encode("utf-8")
+    return b"".join([bytes((_RAW_MAGIC, _RAW_VERSION)),
+                     struct.pack(_LENGTH_FORMAT, len(header_bytes)),
+                     header_bytes] + chunks)
+
+
 def deserialize_message(blob: bytes) -> Message:
-    """Decode bytes produced by :func:`serialize_message`."""
+    """Decode bytes produced by :func:`serialize_message` (either framing).
+
+    The framing is detected from the first byte, so one receive path serves
+    zlib and raw peers alike; the decoded message records which framing it
+    arrived in (``wire_format``).
+    """
+    if blob[:1] == bytes((_RAW_MAGIC,)):
+        return _deserialize_raw(blob)
+    return _deserialize_zlib(blob)
+
+
+def _deserialize_zlib(blob: bytes) -> Message:
     raw = zlib.decompress(blob)
     view = io.BytesIO(raw)
     (header_len,) = struct.unpack(_LENGTH_FORMAT, view.read(_LENGTH_SIZE))
@@ -98,7 +187,32 @@ def deserialize_message(blob: bytes) -> Message:
         arrays[name] = np.load(io.BytesIO(view.read(size)), allow_pickle=False)
     return Message(kind=header["kind"], frame_id=header["frame_id"],
                    arrays=arrays, meta=header["meta"],
-                   batch_index=header.get("batch_index"))
+                   batch_index=header.get("batch_index"),
+                   wire_format=WIRE_FORMAT_ZLIB)
+
+
+def _deserialize_raw(blob: bytes) -> Message:
+    version = blob[1]
+    if version != _RAW_VERSION:
+        raise ValueError(f"unsupported raw wire-format version {version} "
+                         f"(this build speaks version {_RAW_VERSION})")
+    offset = 2
+    (header_len,) = struct.unpack_from(_LENGTH_FORMAT, blob, offset)
+    offset += _LENGTH_SIZE
+    header = json.loads(blob[offset:offset + header_len].decode("utf-8"))
+    offset += header_len
+    arrays: Dict[str, np.ndarray] = {}
+    for name, dtype_str, shape in header["arrays"]:
+        dtype = np.dtype(dtype_str)
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        # Zero-copy: the array is a read-only view over the received bytes.
+        arrays[name] = np.frombuffer(blob, dtype=dtype, count=count,
+                                     offset=offset).reshape(shape)
+        offset += count * dtype.itemsize
+    return Message(kind=header["kind"], frame_id=header["frame_id"],
+                   arrays=arrays, meta=header["meta"],
+                   batch_index=header.get("batch_index"),
+                   wire_format=WIRE_FORMAT_RAW)
 
 
 def send_payload(sock: socket.socket, blob: bytes) -> int:
@@ -112,9 +226,11 @@ def send_payload(sock: socket.socket, blob: bytes) -> int:
     return len(blob) + _LENGTH_SIZE
 
 
-def send_message(sock: socket.socket, message: Message) -> int:
+def send_message(sock: socket.socket, message: Message,
+                 wire_format: Optional[str] = None) -> int:
     """Send one framed message over a connected socket; returns bytes sent."""
-    return send_payload(sock, serialize_message(message))
+    return send_payload(sock, serialize_message(message,
+                                                wire_format=wire_format))
 
 
 def _recv_exact(sock: socket.socket, size: int) -> Optional[bytes]:
@@ -162,11 +278,15 @@ def recv_message(sock: socket.socket) -> Optional[Message]:
     return message
 
 
-def compressed_size(arrays: Dict[str, np.ndarray], compress_level: int = 6) -> int:
-    """Size in bytes of a frame holding ``arrays`` after compression.
+def compressed_size(arrays: Dict[str, np.ndarray], compress_level: int = 6,
+                    wire_format: str = WIRE_FORMAT_ZLIB) -> int:
+    """Size in bytes of a frame holding ``arrays`` in the given framing.
 
+    Deliberately *not* an independent estimate: the size is measured by
+    running the one true serializer (:func:`serialize_message`), so it can
+    never drift from what actually goes on the wire — for either framing.
     Useful for validating the simulator's compression-ratio assumption
-    against the real wire format.
+    against the real wire format and for sizing raw-framing deployments.
     """
     return len(serialize_message(Message(kind="frame", arrays=dict(arrays)),
-                                 compress_level))
+                                 compress_level, wire_format=wire_format))

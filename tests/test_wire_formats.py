@@ -1,0 +1,205 @@
+"""Wire framing: zero-copy raw format, auto-detection, size accounting.
+
+The engine speaks two self-describing framings — zlib (paper-faithful,
+compressed) and raw (zero-copy) — distinguished by their first byte.  These
+tests pin the round-trip fidelity of both, the versioning of the raw
+layout, the single-serializer size accounting (``compressed_size`` can
+never drift from the real wire), and the end-to-end behavior of mixed-
+framing clients against one server.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Architecture, ArchitectureModel, split_callables
+from repro.gnn import OpSpec, OpType
+from repro.graph import SyntheticModelNet40
+from repro.graph.data import Batch
+from repro.system import (DeviceClient, EdgeServer, Message,
+                          WIRE_FORMAT_RAW, WIRE_FORMAT_ZLIB, WIRE_FORMATS,
+                          compressed_size, deserialize_message,
+                          serialize_message)
+from repro.system.messages import _RAW_MAGIC, _RAW_VERSION
+
+
+def _sample_message(**overrides) -> Message:
+    rng = np.random.default_rng(0)
+    fields = dict(
+        kind="frame", frame_id=7,
+        arrays={
+            "x": rng.standard_normal((12, 5)),
+            "x32": rng.standard_normal((3, 4)).astype(np.float32),
+            "batch": np.zeros(12, dtype=np.int64),
+            "edge_index": rng.integers(0, 12, size=(2, 30)),
+            "empty": np.zeros((0, 8)),
+        },
+        meta={"num_graphs": 1, "pooled": False, "nested": {"a": [1, 2]}},
+        batch_index=2)
+    fields.update(overrides)
+    return Message(**fields)
+
+
+class TestRawFormat:
+    def test_roundtrip_preserves_arrays_and_metadata(self):
+        message = _sample_message()
+        blob = serialize_message(message, wire_format=WIRE_FORMAT_RAW)
+        decoded = deserialize_message(blob)
+        assert decoded.kind == message.kind
+        assert decoded.frame_id == message.frame_id
+        assert decoded.meta == message.meta
+        assert decoded.batch_index == message.batch_index
+        assert decoded.wire_format == WIRE_FORMAT_RAW
+        assert set(decoded.arrays) == set(message.arrays)
+        for name, original in message.arrays.items():
+            received = decoded.arrays[name]
+            assert received.dtype == original.dtype  # dtype survives the wire
+            assert received.shape == original.shape
+            np.testing.assert_array_equal(received, original)
+
+    def test_raw_arrays_are_zero_copy_views(self):
+        """Decoded arrays view the received blob: no per-array copy."""
+        blob = serialize_message(_sample_message(),
+                                 wire_format=WIRE_FORMAT_RAW)
+        decoded = deserialize_message(blob)
+        for array in decoded.arrays.values():
+            assert not array.flags.writeable  # view over immutable bytes
+            assert array.base is not None
+
+    def test_formats_are_auto_detected(self):
+        message = _sample_message()
+        for wire_format in WIRE_FORMATS:
+            blob = serialize_message(message, wire_format=wire_format)
+            decoded = deserialize_message(blob)
+            assert decoded.wire_format == wire_format
+            np.testing.assert_array_equal(decoded.arrays["x"],
+                                          message.arrays["x"])
+
+    def test_message_wire_format_attribute_drives_serialization(self):
+        """With no explicit format, the message's own attribute decides —
+        this is how server replies mirror their request's framing."""
+        message = _sample_message(wire_format=WIRE_FORMAT_RAW)
+        blob = serialize_message(message)
+        assert blob[0] == _RAW_MAGIC
+        assert deserialize_message(blob).wire_format == WIRE_FORMAT_RAW
+
+    def test_unknown_raw_version_raises(self):
+        blob = serialize_message(_sample_message(),
+                                 wire_format=WIRE_FORMAT_RAW)
+        tampered = bytes([blob[0], _RAW_VERSION + 1]) + blob[2:]
+        with pytest.raises(ValueError, match="version"):
+            deserialize_message(tampered)
+
+    def test_unknown_wire_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown wire format"):
+            serialize_message(_sample_message(), wire_format="gzip")
+
+    def test_non_contiguous_arrays_serialize_correctly(self):
+        strided = np.arange(24, dtype=np.float64).reshape(6, 4)[:, ::2]
+        blob = serialize_message(Message(kind="frame",
+                                         arrays={"x": strided}),
+                                 wire_format=WIRE_FORMAT_RAW)
+        np.testing.assert_array_equal(deserialize_message(blob).arrays["x"],
+                                      strided)
+
+
+class TestSizeAccounting:
+    def test_compressed_size_matches_actual_wire_bytes(self):
+        """The size estimate is produced by the one true serializer."""
+        arrays = _sample_message().arrays
+        for wire_format in WIRE_FORMATS:
+            expected = len(serialize_message(Message(kind="frame",
+                                                     arrays=dict(arrays)),
+                                             wire_format=wire_format))
+            assert compressed_size(arrays,
+                                   wire_format=wire_format) == expected
+
+    def test_compressed_size_tracks_compression_level(self):
+        arrays = {"x": np.zeros((64, 64))}
+        fast = compressed_size(arrays, compress_level=1)
+        best = compressed_size(arrays, compress_level=9)
+        assert best <= fast
+
+    def test_raw_size_is_payload_plus_header(self):
+        array = np.zeros((16, 8))
+        size = compressed_size({"x": array}, wire_format=WIRE_FORMAT_RAW)
+        assert size > array.nbytes  # header on top of the raw payload
+        assert size < array.nbytes + 256  # ... and nothing else
+
+
+class TestEngineWireFormats:
+    @pytest.fixture()
+    def serving(self):
+        arch = Architecture(ops=(
+            OpSpec(OpType.SAMPLE, "knn", k=4),
+            OpSpec(OpType.AGGREGATE, "max"),
+            OpSpec(OpType.COMBINE, 16),
+            OpSpec(OpType.COMMUNICATE, "uplink"),
+            OpSpec(OpType.AGGREGATE, "mean"),
+            OpSpec(OpType.GLOBAL_POOL, "max||mean"),
+        ), name="wire-test")
+        model = ArchitectureModel(arch, in_dim=3, num_classes=5, seed=0)
+        device_fn, edge_fn = split_callables(model)
+        graphs = SyntheticModelNet40(num_points=24, samples_per_class=1,
+                                     num_classes=4, seed=0).generate()
+        frames = [Batch.from_graphs([graph]) for graph in graphs[:4]]
+        server = EdgeServer(edge_fn).start()
+        yield server, device_fn, frames
+        server.stop()
+
+    def test_raw_client_matches_zlib_client(self, serving):
+        server, device_fn, frames = serving
+        zlib_client = DeviceClient(server.host, server.port)
+        raw_client = DeviceClient(server.host, server.port,
+                                  wire_format=WIRE_FORMAT_RAW)
+        try:
+            zlib_results, _ = zlib_client.run_pipeline(frames, device_fn)
+            raw_results, _ = raw_client.run_pipeline(frames, device_fn)
+        finally:
+            zlib_client.close()
+            raw_client.close()
+        for a, b in zip(zlib_results, raw_results):
+            np.testing.assert_array_equal(a.arrays["logits"],
+                                          b.arrays["logits"])
+
+    def test_wire_dtype_halves_traffic_within_tolerance(self, serving):
+        server, device_fn, frames = serving
+        full = DeviceClient(server.host, server.port,
+                            wire_format=WIRE_FORMAT_RAW)
+        half = DeviceClient(server.host, server.port,
+                            wire_format=WIRE_FORMAT_RAW,
+                            wire_dtype=np.float32)
+        try:
+            full_results, full_stats = full.run_pipeline(frames, device_fn)
+            half_results, half_stats = half.run_pipeline(frames, device_fn)
+        finally:
+            full.close()
+            half.close()
+        assert half_stats.bytes_sent < full_stats.bytes_sent
+        for a, b in zip(full_results, half_results):
+            np.testing.assert_allclose(a.arrays["logits"],
+                                       b.arrays["logits"], atol=1e-3, rtol=0)
+
+    def test_error_replies_arrive_on_raw_connections(self, serving):
+        server, device_fn, frames = serving
+        client = DeviceClient(server.host, server.port,
+                              wire_format=WIRE_FORMAT_RAW)
+        try:
+            def broken_device_fn(frame):
+                arrays, meta = device_fn(frame)
+                bad = dict(arrays)
+                bad["x"] = np.asarray(arrays["x"])[:, :1]  # wrong feature dim
+                return bad, meta
+            with pytest.raises(RuntimeError, match="edge execution failed"):
+                client.run_pipeline(frames[:1], broken_device_fn,
+                                    timeout_s=20.0)
+        finally:
+            client.close()
+
+    def test_invalid_client_knobs_rejected(self, serving):
+        server, _, _ = serving
+        with pytest.raises(ValueError, match="wire format"):
+            DeviceClient(server.host, server.port, wire_format="gzip")
+        with pytest.raises(ValueError, match="floating"):
+            DeviceClient(server.host, server.port, wire_dtype=np.int32)
