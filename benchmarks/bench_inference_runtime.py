@@ -29,8 +29,8 @@ from typing import Callable, Dict, List
 
 import numpy as np
 
-from repro.core import (Architecture, ArchitectureModel, batched_edge_fn,
-                        split_callables)
+from repro.core import Architecture, ArchitectureModel
+from repro.serving import RuntimeConfig, build_callables
 from repro.gnn import OpSpec, OpType
 from repro.graph import SyntheticModelNet40
 from repro.graph.data import Batch
@@ -102,8 +102,10 @@ def bench_entry(name: str, architecture: Architecture) -> Dict:
                                  num_classes=10, seed=0).generate()
     frame = Batch.from_graphs([graphs[0]])
 
-    eager_device, eager_edge = split_callables(model, runtime="eager")
-    _, compiled_edge = split_callables(model, runtime="compiled")
+    eager = build_callables(model, RuntimeConfig(runtime="eager"))
+    compiled = build_callables(model, RuntimeConfig(runtime="compiled"))
+    eager_device, eager_edge = eager.device_fn, eager.edge_fn
+    compiled_edge = compiled.edge_fn
     arrays, meta = eager_device(frame)
 
     eager_logits = eager_edge(dict(arrays), dict(meta))[0]["logits"]
@@ -119,8 +121,8 @@ def bench_entry(name: str, architecture: Architecture) -> Dict:
 
     requests = [eager_device(Batch.from_graphs([graphs[i % len(graphs)]]))
                 for i in range(BATCH_FRAMES)]
-    eager_batch = batched_edge_fn(model, runtime="eager")
-    compiled_batch = batched_edge_fn(model, runtime="compiled")
+    eager_batch = eager.batch_fn
+    compiled_batch = compiled.batch_fn
     for (eager_arrays, _), (compiled_arrays, _) in zip(
             eager_batch(requests), compiled_batch(requests)):
         batch_diff = float(np.max(np.abs(eager_arrays["logits"]

@@ -27,7 +27,8 @@ import time
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core import (Architecture, ArchitectureZoo, ServingCallables,
-                        ZooEntry, zoo_serving_callables)
+                        ZooEntry)
+from repro.serving import build_zoo_callables
 from repro.evaluation import format_table
 from repro.gnn import OpSpec, OpType
 from repro.graph import SyntheticModelNet40
@@ -67,7 +68,7 @@ def build_serving() -> Tuple[ServingCallables, List[Batch]]:
         OpSpec(OpType.GLOBAL_POOL, "max||mean"),
     ), name=ENTRY)
     zoo = ArchitectureZoo([ZooEntry(ENTRY, arch, 0.9, 50.0, 0.5)])
-    serving = zoo_serving_callables(zoo, in_dim=3, num_classes=10, seed=0)[ENTRY]
+    serving = build_zoo_callables(zoo, in_dim=3, num_classes=10, seed=0)[ENTRY]
     graphs = SyntheticModelNet40(num_points=NUM_POINTS, samples_per_class=2,
                                  num_classes=10, seed=0).generate()
     frames = [Batch.from_graphs([graph]) for graph in graphs[:20]]

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import time
 
-from repro.core import Architecture, ArchitectureModel, split_callables
+from repro.core import Architecture, ArchitectureModel
+from repro.serving import build_callables
 from repro.gnn import OpSpec, OpType
 from repro.graph import SyntheticModelNet40, stratified_split
 from repro.graph.data import Batch
@@ -50,7 +51,8 @@ def main() -> None:
     held_out = split.val + split.test
     frames = [Batch.from_graphs([graph]) for graph in held_out[:12]]
     model = build_split_model(profile)
-    device_fn, edge_fn = split_callables(model)
+    serving = build_callables(model)
+    device_fn, edge_fn = serving.device_fn, serving.edge_fn
 
     # ------------------------------------------------- sequential execution
     start = time.perf_counter()

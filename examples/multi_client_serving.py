@@ -1,17 +1,21 @@
 """Multi-client edge serving demo: one edge server, many devices, one zoo.
 
-Shows the serving half of GCoDE at deployment scale in miniature.  A single
-:class:`EdgeServer` holds the edge segments of every architecture in a small
-zoo and serves several :class:`DeviceClient` connections concurrently:
+Shows the serving half of GCoDE at deployment scale in miniature, built
+entirely through the :mod:`repro.serving` facade:
 
+* :func:`repro.serving.serve` publishes a small zoo to a
+  :class:`~repro.serving.ModelRepository` and starts a lifecycle-managed
+  :class:`~repro.serving.ServingApp` (edge server + micro-batcher +
+  dispatcher) in one call,
 * each client announces its own runtime conditions (tight latency budget,
-  loose budget, constrained energy) in the hello handshake,
-* the :class:`RuntimeDispatcher` picks the matching zoo entry per client, so
-  one server concurrently serves different architectures to different
-  devices,
+  loose budget, constrained energy) in the hello handshake and the
+  dispatcher picks the matching zoo entry per client, so one server
+  concurrently serves different architectures to different devices,
+* ``app.client(...)`` returns repository-bound clients whose ``run()``
+  executes the device segment of the dispatched entry automatically,
 * frames from all clients interleave on the edge, where the micro-batcher
   coalesces concurrent requests of the same entry into single batched
-  engine calls (``max_batch_size`` / ``max_wait_ms``), and
+  engine calls (``BatchingConfig``), and
 * per-session, aggregate and batching statistics are reported at the end.
 
 Run with:  python examples/multi_client_serving.py
@@ -21,13 +25,12 @@ from __future__ import annotations
 
 import threading
 
-from repro.core import (Architecture, ArchitectureZoo, RuntimeDispatcher,
-                        ZooEntry, zoo_serving_callables)
+from repro.core import Architecture, ArchitectureZoo, ZooEntry
 from repro.gnn import OpSpec, OpType
 from repro.graph import SyntheticModelNet40, stratified_split
 from repro.graph.data import Batch
 from repro.hardware import DataProfile
-from repro.system import DeviceClient, EdgeServer
+from repro.serving import BatchingConfig, ServingConfig, serve
 
 FRAMES_PER_CLIENT = 8
 
@@ -61,18 +64,10 @@ def main() -> None:
     held_out = split.val + split.test
     frames = [Batch.from_graphs([graph]) for graph in held_out[:FRAMES_PER_CLIENT]]
 
-    zoo = build_zoo()
-    serving = zoo_serving_callables(zoo, in_dim=profile.feature_dim,
-                                    num_classes=profile.num_classes, seed=0)
-    dispatcher = RuntimeDispatcher(zoo)
-    server = EdgeServer(
-        edge_fns={name: entry.edge_fn for name, entry in serving.items()},
-        batch_fns={name: entry.batch_fn for name, entry in serving.items()},
-        max_batch_size=4, max_wait_ms=5.0,
-        selector=dispatcher.select_for_meta, max_workers=8).start()
-    print(f"edge server listening on {server.host}:{server.port} with "
-          f"{len(serving)} zoo entries: {', '.join(sorted(serving))} "
-          f"(micro-batching up to {server.max_batch_size} frames)\n")
+    config = ServingConfig(
+        batching=BatchingConfig(max_batch_size=4, max_wait_ms=5.0))
+    app = serve(build_zoo(), config, in_dim=profile.feature_dim,
+                num_classes=profile.num_classes)
 
     client_profiles = [
         ("latency-critical", {"latency_budget_ms": 35.0}),
@@ -84,29 +79,29 @@ def main() -> None:
     report_lock = threading.Lock()
 
     def run_client(name: str, conditions: dict) -> None:
-        client = DeviceClient(server.host, server.port, client_name=name,
-                              conditions=conditions)
-        try:
+        with app.client(name=name, conditions=conditions) as client:
             assigned = client.assigned_model
-            device_fn = serving[assigned].device_fn
-            results, stats = client.run_pipeline(frames, device_fn)
+            results, stats = client.run(frames)
             with report_lock:
                 print(f"{name:17s} -> served by {assigned!r:11s} "
                       f"{stats.throughput_fps:6.1f} fps, "
                       f"mean latency {stats.mean_latency_s * 1000:6.1f} ms, "
                       f"{len(results)} frames ok")
-        finally:
-            client.close()
 
-    threads = [threading.Thread(target=run_client, args=(name, conditions))
-               for name, conditions in client_profiles]
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
+    with app:
+        print(f"edge server listening on {app.host}:{app.port} with "
+              f"{len(app.repository.names())} zoo entries: "
+              f"{', '.join(sorted(app.repository.names()))} "
+              f"(micro-batching up to {config.batching.max_batch_size} frames)\n")
+        threads = [threading.Thread(target=run_client, args=(name, conditions))
+                   for name, conditions in client_profiles]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = app.stats()
+        dispatch_history = app.repository.snapshot().dispatcher.history
 
-    stats = server.stats()
-    server.stop()
     print(f"\nedge aggregate: {stats.frames_processed} frames over "
           f"{stats.num_sessions} sessions, {stats.throughput_fps:.1f} fps, "
           f"{stats.bytes_received / 1024:.1f} KiB in / "
@@ -118,7 +113,7 @@ def main() -> None:
           f"sizes {dict(sorted(stats.batch_size_histogram.items()))}, "
           f"mean queue delay {stats.mean_queue_delay_s * 1000:.2f} ms")
     print("frames by model:", dict(sorted(stats.frames_by_model.items())))
-    print("dispatch history:", dispatcher.history)
+    print("dispatch history:", dispatch_history)
     for session in stats.sessions:
         print(f"  session {session.session_id} ({session.client_name}): "
               f"{session.frames} frames, "

@@ -20,6 +20,9 @@ Subpackages
     Device latency/energy models, wireless link model, latency LUTs.
 ``repro.system``
     Co-inference simulator, partitioning baselines, socket engine.
+``repro.serving``
+    Public serving facade: frozen configs, versioned model repository
+    with hot zoo reload, lifecycle-managed server/client, ``serve()``.
 ``repro.core``
     GCoDE itself: design space, supernet, constraint-based search,
     performance predictors, architecture zoo, runtime dispatcher.

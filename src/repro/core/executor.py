@@ -12,7 +12,9 @@ Compiled serving runtime
 ------------------------
 The engine callables built here default to the compiled inference runtime
 (:mod:`repro.runtime`): :func:`split_callables`, :func:`batched_edge_fn` and
-:func:`zoo_serving_callables` compile the model once into an autograd-free
+the :mod:`repro.serving` facade builders (every public constructor routes
+through the internal :func:`_build_callables`) compile the model once into
+an autograd-free
 :class:`~repro.runtime.plan.InferencePlan` — fused linear+bias+activation
 kernels, EdgeConv specialized per reducer, destination-sorted edge lists,
 and a per-entry buffer arena reusing output buffers across frames — and run
@@ -40,6 +42,7 @@ the batch vector's graph boundaries).
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -167,18 +170,32 @@ def _arrays_to_state(arrays: ArrayDict, meta: Dict) -> ExecState:
 RUNTIMES = ("auto", "compiled", "eager")
 
 
-def _resolve_plan(model: ArchitectureModel, runtime: str, dtype,
-                  segments: Sequence[str]) -> Optional[InferencePlan]:
-    """Compile ``model`` according to the ``runtime`` knob (None = eager).
+def _as_runtime_config(runtime: str, dtype) -> "RuntimeConfig":
+    """Wrap the legacy ``runtime=``/``dtype=`` knob pair into a config.
 
-    ``segments`` limits compilation to the plan segments the caller will
-    run, so e.g. a batched edge callable never builds device/full step
-    lists it cannot execute.
+    The import is deferred: :mod:`repro.serving.config` imports this module
+    for the :data:`RUNTIMES` vocabulary, so a module-level import here would
+    be circular.
     """
+    from ..serving.config import RuntimeConfig
+    return RuntimeConfig(runtime=runtime,
+                         dtype=None if dtype is None else np.dtype(dtype).name)
+
+
+def _resolve_plan(model: ArchitectureModel, config,
+                  segments: Sequence[str]) -> Optional[InferencePlan]:
+    """Compile ``model`` according to ``config`` (None = run eagerly).
+
+    ``config`` is a :class:`repro.serving.RuntimeConfig`; ``segments``
+    limits compilation to the plan segments the caller will run, so e.g. a
+    batched edge callable never builds device/full step lists it cannot
+    execute.
+    """
+    runtime = config.runtime
     if runtime not in RUNTIMES:
         raise ValueError(f"unknown runtime {runtime!r} (expected one of "
                          f"{RUNTIMES})")
-    dtype = np.dtype(np.float64 if dtype is None else dtype)
+    dtype = np.dtype(np.float64 if config.dtype is None else config.dtype)
     if runtime == "eager":
         if dtype != np.float64:
             raise ValueError(
@@ -230,9 +247,15 @@ def split_callables(model: ArchitectureModel, runtime: str = "auto",
     then propagates a :class:`~repro.runtime.plan.PlanCompileError` rather
     than silently falling back to float64 eager execution.
     """
-    plan = _resolve_plan(model, runtime, dtype, segments=("device", "edge"))
-    if plan is None:
-        return _split_callables_eager(model)
+    serving = _build_callables(model, _as_runtime_config(runtime, dtype),
+                               batched=False)
+    return serving.device_fn, serving.edge_fn
+
+
+def _split_callables_plan(model: ArchitectureModel, plan: InferencePlan
+                          ) -> Tuple[Callable[[Batch], Tuple[ArrayDict, Dict]],
+                                     Callable[[ArrayDict, Dict], Tuple[ArrayDict, Dict]]]:
+    """Compiled-plan engine callables (twin of :func:`_split_callables_eager`)."""
     split = plan.split
     edge_segment = plan.edge  # aliases the full architecture when split=None
 
@@ -400,8 +423,15 @@ def batched_edge_fn(model: ArchitectureModel, runtime: str = "auto",
     Frames of an architecture without a ``Communicate`` (``finished`` on the
     device) are echoed back per frame, mirroring the per-frame edge function.
     """
+    serving = _build_callables(model, _as_runtime_config(runtime, dtype),
+                               split=False)
+    return serving.batch_fn
+
+
+def _batched_edge_fn_impl(model: ArchitectureModel,
+                          plan: Optional[InferencePlan]) -> BatchedEdgeFn:
+    """Batched edge callable over a resolved plan (``None`` = eager)."""
     split = model.first_communicate_index()
-    plan = _resolve_plan(model, runtime, dtype, segments=("edge",))
 
     def batch_fn(requests: Sequence[FrameState]) -> List[FrameState]:
         if not requests:
@@ -435,81 +465,48 @@ class ServingCallables:
 
     ``device_fn`` runs the pre-``Communicate`` segment on the device,
     ``edge_fn`` resumes one frame on the edge, and ``batch_fn`` resumes a
-    whole micro-batch in one call (see :func:`batched_edge_fn`).  All three
-    are serialized through one per-entry lock because they share the same
-    (non-thread-safe) :class:`ArchitectureModel`.
+    whole micro-batch in one call (see :func:`batched_edge_fn`).  When built
+    for a zoo, all three are serialized through one per-entry lock because
+    they share the same (non-thread-safe) :class:`ArchitectureModel`; a
+    field is ``None`` when its callable was not requested from the builder.
     """
 
-    device_fn: Callable[[Batch], FrameState]
-    edge_fn: Callable[[ArrayDict, Dict], FrameState]
-    batch_fn: BatchedEdgeFn
+    device_fn: Optional[Callable[[Batch], FrameState]] = None
+    edge_fn: Optional[Callable[[ArrayDict, Dict], FrameState]] = None
+    batch_fn: Optional[BatchedEdgeFn] = None
 
 
-def zoo_serving_callables(zoo: ArchitectureZoo, in_dim: int,
-                          num_classes: int, seed: int = 0,
-                          runtime: str = "auto", dtype=None
-                          ) -> Dict[str, ServingCallables]:
-    """Build :class:`ServingCallables` for every entry of a zoo.
+def _build_callables(model: ArchitectureModel, config, *,
+                     lock: Optional[threading.Lock] = None,
+                     split: bool = True, batched: bool = True
+                     ) -> ServingCallables:
+    """The one internal builder every serving constructor routes through.
 
-    The full-service companion of :func:`zoo_callables`: in addition to the
-    per-frame device/edge pair it exposes the batched edge callable that an
-    :class:`~repro.system.engine.EdgeServer` hands to its micro-batcher
-    (``batch_fns``), so coalesced requests of one entry resume the
-    architecture in a single engine call.
-
-    ``runtime``/``dtype`` mirror :func:`split_callables` and apply to every
-    entry.  Each entry compiles two independent plans — per-frame and
-    batched — so the per-frame arena keeps stable single-frame buffer shapes
-    while the batched arena tracks the realized micro-batch shapes; both
-    live for the lifetime of the serving table, which is how the edge server
-    keeps per-entry arenas across requests.
-
-    Models are freshly initialized from ``seed``; pass entries whose
-    architectures were trained elsewhere through :func:`split_callables` /
-    :func:`batched_edge_fn` directly if trained weights are needed.
-
-    All callables of an entry share one per-entry lock:
+    ``config`` is a :class:`repro.serving.RuntimeConfig`; this is the single
+    place its ``runtime``/``dtype``/``segments`` knobs are resolved into
+    engine callables, so no public builder re-threads them.  ``split`` /
+    ``batched`` select which callables to build (each compiles its own plan
+    with its own arena: the per-frame arena keeps stable single-frame buffer
+    shapes while the batched arena tracks the realized micro-batch shapes).
+    When ``lock`` is given, every built callable is serialized through it —
     :class:`ArchitectureModel` is not thread-safe (its operations share one
-    random generator), so nothing may run the *same* model concurrently —
-    whether two server threads serving the same entry or, in a single-process
-    demo, one client's device segment overlapping another's edge segment.
-    Distinct entries still execute in parallel, and in a real deployment the
-    device callable runs on another machine where its lock never contends.
+    random generator), so nothing may run the *same* model concurrently.
     """
-    callables: Dict[str, ServingCallables] = {}
-    for entry in zoo:
-        model = ArchitectureModel(entry.architecture, in_dim=in_dim,
-                                  num_classes=num_classes, seed=seed)
-        lock = threading.Lock()
-        device_fn, edge_fn = split_callables(model, runtime=runtime,
-                                             dtype=dtype)
-        callables[entry.name] = ServingCallables(
-            device_fn=_serialized(device_fn, lock),
-            edge_fn=_serialized(edge_fn, lock),
-            batch_fn=_serialized(batched_edge_fn(model, runtime=runtime,
-                                                 dtype=dtype), lock))
-    return callables
-
-
-def zoo_callables(zoo: ArchitectureZoo, in_dim: int,
-                  num_classes: int, seed: int = 0,
-                  runtime: str = "auto", dtype=None
-                  ) -> Dict[str, Tuple[Callable[[Batch], Tuple[ArrayDict, Dict]],
-                                       Callable[[ArrayDict, Dict], Tuple[ArrayDict, Dict]]]]:
-    """Build ``(device_fn, edge_fn)`` pairs for every entry of a zoo.
-
-    This is the multi-model serving companion of :func:`split_callables`: the
-    returned mapping hands the edge side of every pair to one
-    :class:`~repro.system.engine.EdgeServer` (its ``edge_fns``), while each
-    device keeps the matching device segment, so a runtime dispatcher can
-    route every request to the zoo entry fitting its announced conditions.
-    See :func:`zoo_serving_callables` for the variant that also exposes the
-    batched edge callables (micro-batching) and for the locking contract.
-    """
-    return {name: (serving.device_fn, serving.edge_fn)
-            for name, serving in zoo_serving_callables(
-                zoo, in_dim, num_classes, seed, runtime=runtime,
-                dtype=dtype).items()}
+    device_fn = edge_fn = batch_fn = None
+    if split:
+        segments = config.segments or ("device", "edge")
+        plan = _resolve_plan(model, config, segments=segments)
+        device_fn, edge_fn = (_split_callables_eager(model) if plan is None
+                              else _split_callables_plan(model, plan))
+    if batched:
+        batch_fn = _batched_edge_fn_impl(
+            model, _resolve_plan(model, config, segments=("edge",)))
+    if lock is not None:
+        device_fn = _serialized(device_fn, lock) if device_fn else None
+        edge_fn = _serialized(edge_fn, lock) if edge_fn else None
+        batch_fn = _serialized(batch_fn, lock) if batch_fn else None
+    return ServingCallables(device_fn=device_fn, edge_fn=edge_fn,
+                            batch_fn=batch_fn)
 
 
 def _serialized(fn: Callable, lock: threading.Lock) -> Callable:
@@ -520,12 +517,74 @@ def _serialized(fn: Callable, lock: threading.Lock) -> Callable:
     return locked_fn
 
 
+# ----------------------------------------------------------------------
+# Deprecated zoo builders (use the repro.serving facade)
+# ----------------------------------------------------------------------
+class ZooBuilderDeprecationWarning(DeprecationWarning):
+    """Warning category of the deprecated ``zoo_*`` builder shims.
+
+    A dedicated subclass so CI can escalate exactly these warnings to
+    errors (``-W error::repro.core.executor.ZooBuilderDeprecationWarning``)
+    without breaking on unrelated third-party deprecations.
+    """
+
+
+def _deprecated_zoo_builder(name: str) -> None:
+    warnings.warn(
+        f"{name} is deprecated; build serving callables through the "
+        "repro.serving facade instead (build_zoo_callables, ModelRepository "
+        "or serve)", ZooBuilderDeprecationWarning, stacklevel=3)
+
+
+def zoo_serving_callables(zoo: ArchitectureZoo, in_dim: int,
+                          num_classes: int, seed: int = 0,
+                          runtime: str = "auto", dtype=None
+                          ) -> Dict[str, ServingCallables]:
+    """Deprecated: use :func:`repro.serving.build_zoo_callables`.
+
+    Thin shim kept for one release so existing callers keep working: emits a
+    :class:`DeprecationWarning` and delegates to the facade builder, which
+    returns the identical per-entry :class:`ServingCallables` (same locking
+    contract, same two-plan compilation).
+    """
+    _deprecated_zoo_builder("zoo_serving_callables")
+    from ..serving import build_zoo_callables
+    return build_zoo_callables(zoo, in_dim=in_dim, num_classes=num_classes,
+                               config=_as_runtime_config(runtime, dtype),
+                               seed=seed)
+
+
+def zoo_callables(zoo: ArchitectureZoo, in_dim: int,
+                  num_classes: int, seed: int = 0,
+                  runtime: str = "auto", dtype=None
+                  ) -> Dict[str, Tuple[Callable[[Batch], Tuple[ArrayDict, Dict]],
+                                       Callable[[ArrayDict, Dict], Tuple[ArrayDict, Dict]]]]:
+    """Deprecated: use :func:`repro.serving.build_zoo_callables`.
+
+    Emits a :class:`DeprecationWarning` and delegates to the facade; the
+    returned mapping still holds the ``(device_fn, edge_fn)`` pair of every
+    zoo entry.
+    """
+    _deprecated_zoo_builder("zoo_callables")
+    from ..serving import build_zoo_callables
+    return {name: (serving.device_fn, serving.edge_fn)
+            for name, serving in build_zoo_callables(
+                zoo, in_dim=in_dim, num_classes=num_classes,
+                config=_as_runtime_config(runtime, dtype), seed=seed).items()}
+
+
 def zoo_edge_fns(zoo: ArchitectureZoo, in_dim: int,
                  num_classes: int, seed: int = 0,
                  runtime: str = "auto", dtype=None
                  ) -> Dict[str, Callable[[ArrayDict, Dict], Tuple[ArrayDict, Dict]]]:
-    """Edge-side callables only, keyed by entry name (``EdgeServer`` ``edge_fns``)."""
+    """Deprecated: use :func:`repro.serving.build_zoo_callables`.
+
+    Emits a :class:`DeprecationWarning` and delegates to the facade; the
+    returned mapping still holds the edge-side callable of every zoo entry.
+    """
+    _deprecated_zoo_builder("zoo_edge_fns")
+    from ..serving import build_zoo_callables
     return {name: serving.edge_fn
-            for name, serving in zoo_serving_callables(
-                zoo, in_dim, num_classes, seed, runtime=runtime,
-                dtype=dtype).items()}
+            for name, serving in build_zoo_callables(
+                zoo, in_dim=in_dim, num_classes=num_classes,
+                config=_as_runtime_config(runtime, dtype), seed=seed).items()}

@@ -1,0 +1,65 @@
+"""`repro.serving` — the public facade of the co-inference serving stack.
+
+This package is the one supported entry point for deploying searched
+architectures: config-driven builders, a versioned model repository with
+hot zoo reload, and lifecycle-managed server/client wrappers.
+
+Quickstart::
+
+    from repro.serving import BatchingConfig, ServingConfig, serve
+
+    app = serve(zoo, ServingConfig(batching=BatchingConfig(max_batch_size=8)),
+                in_dim=3, num_classes=10)
+    with app:
+        with app.client(conditions={"latency_budget_ms": 50.0}) as client:
+            results, stats = client.run(frames)
+
+        # later, while the app is live and serving traffic:
+        app.repository.publish(new_zoo)   # hot reload, no dropped frames
+
+Layer map
+---------
+* :mod:`repro.serving.config` — frozen, validated, ``to_dict``/``from_dict``
+  round-trippable configuration (:class:`RuntimeConfig`,
+  :class:`BatchingConfig`, :class:`ServerConfig`, :class:`ClientConfig`,
+  composed by :class:`ServingConfig`).
+* :mod:`repro.serving.builders` — :func:`build_callables` /
+  :func:`build_zoo_callables`, the config-driven replacements for the
+  deprecated ``zoo_*`` free functions.
+* :mod:`repro.serving.repository` — :class:`ModelRepository` /
+  :class:`ServingSnapshot`: zoo → callables → compiled plans behind a
+  versioned, atomically swappable snapshot (hot reload with in-flight
+  frames answered from exactly one snapshot).
+* :mod:`repro.serving.app` — :class:`ServingApp`, :class:`Client`,
+  :func:`serve`: explicit start/stop/closed lifecycle, context managers.
+
+The engine primitives (:class:`~repro.system.engine.EdgeServer`,
+:class:`~repro.system.engine.DeviceClient`) stay available in
+:mod:`repro.system` for callers that need the raw sockets; everything above
+them should come through this facade.  ``__all__`` below is a stable
+contract guarded by ``tools/check_public_api.py`` in CI.
+"""
+
+from ..core.executor import ServingCallables
+from .app import Client, ServingApp, serve
+from .builders import build_callables, build_zoo_callables
+from .config import (BatchingConfig, ClientConfig, RuntimeConfig,
+                     ServerConfig, ServingConfig)
+from .repository import SNAPSHOT_META_KEY, ModelRepository, ServingSnapshot
+
+__all__ = [
+    "BatchingConfig",
+    "Client",
+    "ClientConfig",
+    "ModelRepository",
+    "RuntimeConfig",
+    "SNAPSHOT_META_KEY",
+    "ServerConfig",
+    "ServingApp",
+    "ServingCallables",
+    "ServingConfig",
+    "ServingSnapshot",
+    "build_callables",
+    "build_zoo_callables",
+    "serve",
+]

@@ -1,0 +1,338 @@
+"""Lifecycle-managed serving application and client.
+
+:class:`ServingApp` wraps the socket :class:`~repro.system.engine.EdgeServer`
+(and its micro-batcher and dispatcher wiring) behind an explicit
+``start → running → closed`` lifecycle; :class:`Client` does the same for
+:class:`~repro.system.engine.DeviceClient`.  Both are context managers, so
+the common shape of a deployment is::
+
+    from repro.serving import BatchingConfig, ServingConfig, serve
+
+    app = serve(zoo, ServingConfig(batching=BatchingConfig(max_batch_size=8)),
+                in_dim=3, num_classes=10)
+    with app:
+        with app.client(conditions={"latency_budget_ms": 50.0}) as client:
+            results, stats = client.run(frames)
+    # sockets, worker pool and batcher threads are all torn down here
+
+The app serves through its :class:`~repro.serving.repository.ModelRepository`
+routers, so ``app.repository.publish(new_zoo)`` hot-reloads the serving
+table under live traffic (see :mod:`repro.serving.repository`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.zoo import ArchitectureZoo
+from ..system.engine import (DeviceClient, DeviceFn, EdgeServer,
+                             EdgeServerStats, FrameResult, PipelineStats,
+                             ServingSession)
+from .config import ClientConfig, RuntimeConfig, ServingConfig
+from .repository import ModelRepository
+
+
+def _as_serving_config(config: Union[ServingConfig, Mapping, None]
+                       ) -> ServingConfig:
+    if config is None:
+        return ServingConfig()
+    if isinstance(config, ServingConfig):
+        return config
+    if isinstance(config, Mapping):
+        return ServingConfig.from_dict(config)
+    raise ValueError(f"config must be a ServingConfig or a mapping, got "
+                     f"{type(config).__name__}")
+
+
+class ServingApp:
+    """A lifecycle-managed edge serving deployment.
+
+    Wraps an :class:`~repro.system.engine.EdgeServer` built from a
+    :class:`~repro.serving.config.ServingConfig` and wired to a
+    :class:`~repro.serving.repository.ModelRepository`: the server's edge
+    and batched callables are the repository's snapshot routers and its
+    selector dispatches with the current snapshot's zoo metrics, so a
+    ``repository.publish(new_zoo)`` hot-swaps what a *running* app serves.
+
+    Lifecycle: ``start()`` (idempotent via context manager entry) brings
+    the socket up; ``stop()`` tears everything down and marks the app
+    closed — a closed app cannot be restarted (build a new one; the
+    repository and its snapshots are reusable).
+    """
+
+    def __init__(self, repository: ModelRepository,
+                 config: Union[ServingConfig, Mapping, None] = None) -> None:
+        self.repository = repository
+        self.config = _as_serving_config(config)
+        self._server: Optional[EdgeServer] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """True between a successful :meth:`start` and :meth:`stop`."""
+        return self._server is not None and not self._closed
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`stop` ran; a closed app cannot be restarted."""
+        return self._closed
+
+    @property
+    def host(self) -> str:
+        return self._require_server().host
+
+    @property
+    def port(self) -> int:
+        return self._require_server().port
+
+    @property
+    def server(self) -> EdgeServer:
+        """The underlying edge server (escape hatch; running apps only)."""
+        return self._require_server()
+
+    def _require_server(self) -> EdgeServer:
+        if self._server is None or self._closed:
+            raise RuntimeError(
+                "ServingApp is not running (call start() or use it as a "
+                "context manager)" if not self._closed else
+                "ServingApp is closed; build a new app to serve again")
+        return self._server
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServingApp":
+        """Bind the socket, start the accept loop, subscribe to reloads."""
+        if self._closed:
+            raise RuntimeError("ServingApp is closed and cannot be "
+                               "restarted; build a new app")
+        if self._server is not None:
+            raise RuntimeError("ServingApp is already running")
+        # Raises cleanly when nothing was published yet — a server with an
+        # empty table could never answer a frame.
+        self.repository.snapshot()
+        server_config, batching = self.config.server, self.config.batching
+        self._server = EdgeServer(
+            edge_fns=self.repository.edge_fns(),
+            batch_fns=self.repository.batch_fns(),
+            selector=self.repository.select_for_meta,
+            host=server_config.host, port=server_config.port,
+            max_workers=server_config.max_workers,
+            backlog=server_config.backlog,
+            session_log_limit=server_config.session_log_limit,
+            max_batch_size=batching.max_batch_size,
+            max_wait_ms=batching.max_wait_ms).start()
+        self.repository.subscribe(self._on_publish)
+        # A publish may have landed between reading the routers above and
+        # the subscribe — it would have notified nobody.  Re-install once
+        # now that we are subscribed, so the server's name table can never
+        # miss a publish (the routers themselves always follow the
+        # repository, so this only refreshes the names/selector).
+        self._on_publish(self.repository.snapshot())
+        return self
+
+    def _on_publish(self, snapshot) -> None:
+        """Install the new snapshot's entry names on the live server.
+
+        The routers already follow the repository, so in-flight frames are
+        correct without this; the reinstall refreshes the *name table*:
+        hello acknowledgements list the new entries, and the table keeps
+        covering every retained snapshot's names so in-flight frames pinned
+        to an entry the new zoo dropped still reach their snapshot (fresh
+        frames naming a dropped entry fail cleanly at the router).
+        """
+        server = self._server
+        if server is None or self._closed:
+            return
+        server.install_table(edge_fns=self.repository.edge_fns(),
+                             batch_fns=self.repository.batch_fns(),
+                             selector=self.repository.select_for_meta)
+
+    def stop(self) -> None:
+        """Stop serving and close the app (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.repository.unsubscribe(self._on_publish)
+        if self._server is not None:
+            self._server.stop()
+
+    def __enter__(self) -> "ServingApp":
+        if self._server is None and not self._closed:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> EdgeServerStats:
+        """Aggregate serving statistics snapshot (see ``EdgeServer.stats``)."""
+        return self._require_server().stats()
+
+    def sessions(self) -> List[ServingSession]:
+        return self._require_server().sessions()
+
+    def client(self, *, name: str = "", conditions: Optional[Dict] = None,
+               model: Optional[str] = None,
+               config: Optional[ClientConfig] = None) -> "Client":
+        """A :class:`Client` bound to this app (and its repository).
+
+        Because the client knows the repository, ``client.run(frames)``
+        can build the device callable for the dispatched entry itself —
+        no manual ``device_fn`` bookkeeping in the common loopback case.
+        """
+        return Client(self.host, self.port, config=config, name=name,
+                      conditions=conditions, model=model,
+                      repository=self.repository)
+
+
+class Client:
+    """Lifecycle-managed device-side client.
+
+    Wraps :class:`~repro.system.engine.DeviceClient` with a
+    :class:`~repro.serving.config.ClientConfig` (wire framing/dtype and the
+    connect/handshake/pipeline timeouts) and an explicit lifecycle:
+    ``start()`` connects, ``stop()`` closes, both implied by ``with``.
+
+    When built via :meth:`ServingApp.client` the client carries the app's
+    repository, so :meth:`run` without an explicit ``device_fn`` executes
+    the device segment of the server-dispatched entry (stamped with the
+    producing snapshot version for hot-reload correctness).
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 config: Optional[ClientConfig] = None, name: str = "",
+                 conditions: Optional[Dict] = None,
+                 model: Optional[str] = None,
+                 repository: Optional[ModelRepository] = None) -> None:
+        self.host = host
+        self.port = port
+        self.config = config or ClientConfig()
+        self.name = name
+        self._conditions = dict(conditions) if conditions else None
+        self._model = model
+        self._repository = repository
+        self._client: Optional[DeviceClient] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def connected(self) -> bool:
+        return self._client is not None and not self._closed
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _require_client(self) -> DeviceClient:
+        if self._client is None or self._closed:
+            raise RuntimeError(
+                "Client is not connected (call start() or use it as a "
+                "context manager)" if not self._closed else
+                "Client is closed; build a new client to reconnect")
+        return self._client
+
+    def start(self) -> "Client":
+        """Connect and send the hello handshake."""
+        if self._closed:
+            raise RuntimeError("Client is closed and cannot be reconnected; "
+                               "build a new client")
+        if self._client is not None:
+            raise RuntimeError("Client is already connected")
+        self._client = DeviceClient(
+            self.host, self.port, timeout_s=self.config.connect_timeout_s,
+            client_name=self.name, conditions=self._conditions,
+            model=self._model, wire_format=self.config.wire_format,
+            wire_dtype=self.config.numpy_wire_dtype)
+        return self
+
+    def stop(self) -> None:
+        """Flush the stop marker and close the connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._client is not None:
+            self._client.close()
+
+    def __enter__(self) -> "Client":
+        if self._client is None and not self._closed:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def handshake(self) -> Dict:
+        """Server metadata from the hello acknowledgement."""
+        return self._require_client().handshake(
+            timeout_s=self.config.handshake_timeout_s)
+
+    @property
+    def assigned_model(self) -> Optional[str]:
+        """Zoo entry the server's dispatcher chose for this client, if any."""
+        return self.handshake().get("model")
+
+    def _resolve_device_fn(self) -> DeviceFn:
+        if self._repository is None:
+            raise ValueError(
+                "run() without device_fn needs a repository-bound client "
+                "(build it via ServingApp.client) — pass device_fn "
+                "explicitly otherwise")
+        name = self._model or self.assigned_model
+        if name is None:
+            raise ValueError(
+                "run() cannot pick a device segment: the client announced "
+                "no model and the server dispatched none — pass model=, "
+                "conditions=, or an explicit device_fn")
+        return self._repository.device_fn(name)
+
+    def run(self, frames: Sequence[object],
+            device_fn: Optional[DeviceFn] = None
+            ) -> Tuple[List[FrameResult], PipelineStats]:
+        """Pipeline ``frames`` through device segment, link and edge.
+
+        Without ``device_fn``, a repository-bound client runs the device
+        segment of its dispatched (or explicitly named) entry.
+        """
+        if device_fn is None:
+            device_fn = self._resolve_device_fn()
+        return self._require_client().run_pipeline(
+            frames, device_fn, timeout_s=self.config.pipeline_timeout_s)
+
+
+def serve(zoo: ArchitectureZoo,
+          config: Union[ServingConfig, Mapping, None] = None, *,
+          in_dim: int, num_classes: int, seed: int = 0,
+          repository: Optional[ModelRepository] = None) -> ServingApp:
+    """One-liner: publish ``zoo`` and start serving it.
+
+    Builds a :class:`~repro.serving.repository.ModelRepository` (honoring
+    ``config.runtime``), publishes ``zoo`` as snapshot v1, and returns a
+    *started* :class:`ServingApp` — use it as a context manager (or call
+    ``stop()``) to tear the server down.  Pass an existing ``repository``
+    to serve one repository from several apps or to pre-publish snapshots.
+    """
+    config = _as_serving_config(config)
+    if repository is None:
+        repository = ModelRepository(in_dim=in_dim, num_classes=num_classes,
+                                     runtime=config.runtime, seed=seed)
+    else:
+        # An existing repository builds snapshots with ITS runtime/seed; a
+        # caller explicitly requesting something different must hear that
+        # the request cannot be honored rather than silently serving other
+        # plans/weights.
+        if (config.runtime != RuntimeConfig()
+                and config.runtime != repository.runtime):
+            raise ValueError(
+                f"config.runtime {config.runtime} conflicts with the "
+                f"provided repository's runtime {repository.runtime}; "
+                "snapshots are built with the repository's config")
+        if seed != 0 and seed != repository.seed:
+            raise ValueError(
+                f"seed={seed} conflicts with the provided repository's "
+                f"seed={repository.seed}; models are built with the "
+                "repository's seed")
+    if repository.version == 0 or zoo is not repository.snapshot().zoo:
+        repository.publish(zoo)
+    return ServingApp(repository, config).start()

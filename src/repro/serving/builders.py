@@ -1,0 +1,66 @@
+"""Config-driven builders turning models and zoos into engine callables.
+
+These are the facade's replacements for the deprecated ``zoo_*`` free
+functions of :mod:`repro.core.executor`: instead of re-threading loose
+``runtime=``/``dtype=`` keywords through every constructor, callers hand a
+single :class:`~repro.serving.config.RuntimeConfig` to
+
+* :func:`build_callables` — one trained/initialized model into a
+  :class:`~repro.core.executor.ServingCallables`, and
+* :func:`build_zoo_callables` — every entry of an
+  :class:`~repro.core.zoo.ArchitectureZoo` into per-entry callables sharing
+  one per-entry lock.
+
+Both route through the single internal
+:func:`repro.core.executor._build_callables` helper, so the runtime knobs
+are resolved in exactly one place.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from ..core.executor import (ArchitectureModel, ServingCallables,
+                             _build_callables)
+from ..core.zoo import ArchitectureZoo
+from .config import RuntimeConfig
+
+
+def build_callables(model: ArchitectureModel,
+                    config: Optional[RuntimeConfig] = None, *,
+                    lock: Optional[threading.Lock] = None
+                    ) -> ServingCallables:
+    """Build all three engine callables for one model.
+
+    The model keeps its weights (use this for entries trained elsewhere —
+    plans resolve parameters at call time, so a later ``load_state_dict``
+    is honored).  Pass ``lock`` to serialize the callables when they may be
+    invoked concurrently; :class:`~repro.core.executor.ArchitectureModel`
+    is not thread-safe.
+    """
+    config = config or RuntimeConfig()
+    return _build_callables(model, config, lock=lock)
+
+
+def build_zoo_callables(zoo: ArchitectureZoo, *, in_dim: int,
+                        num_classes: int,
+                        config: Optional[RuntimeConfig] = None,
+                        seed: int = 0) -> Dict[str, ServingCallables]:
+    """Build :class:`~repro.core.executor.ServingCallables` for every zoo entry.
+
+    Each entry gets a freshly initialized model (from ``seed``) and two
+    independently compiled plans — per-frame and batched — whose buffer
+    arenas live as long as the returned callables, which is how an edge
+    server keeps per-entry arenas across requests.  All callables of one
+    entry share a per-entry lock (shared model, not thread-safe); distinct
+    entries still execute in parallel.
+    """
+    config = config or RuntimeConfig()
+    callables: Dict[str, ServingCallables] = {}
+    for entry in zoo:
+        model = ArchitectureModel(entry.architecture, in_dim=in_dim,
+                                  num_classes=num_classes, seed=seed)
+        callables[entry.name] = build_callables(model, config,
+                                                lock=threading.Lock())
+    return callables

@@ -1,0 +1,288 @@
+"""Frozen configuration objects of the serving facade.
+
+Every knob the serving stack exposes lives in one of four small frozen
+dataclasses instead of being threaded as loose keyword arguments through
+every constructor:
+
+:class:`RuntimeConfig`
+    How zoo entries execute — eager autograd vs compiled plans, the compute
+    /wire dtype, and which plan segments to compile.
+:class:`BatchingConfig`
+    The micro-batcher (frames per batched engine call, coalescing window).
+:class:`ServerConfig`
+    The :class:`~repro.system.engine.EdgeServer` socket/worker knobs.
+:class:`ClientConfig`
+    The :class:`~repro.system.engine.DeviceClient` wire framing/dtype and
+    the three timeouts (connect / handshake / pipeline).
+
+:class:`ServingConfig` composes the server-side three into the single value
+:func:`repro.serving.serve` takes.  All configs validate in ``__post_init__``
+(construction never yields a half-usable config) and round-trip through
+``to_dict`` / ``from_dict`` so they can live in JSON files or ride along in
+wire metadata; ``from_dict`` rejects unknown keys so a typo in a config file
+fails loudly instead of silently running with defaults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple, Type
+
+import numpy as np
+
+from ..core.executor import RUNTIMES
+from ..runtime import SEGMENTS
+from ..system.messages import WIRE_FORMAT_ZLIB, WIRE_FORMATS
+
+
+def _canonical_dtype(value: Any, *, knob: str) -> str:
+    """Normalize a user-supplied dtype (name, np.dtype, type) to its name."""
+    try:
+        dtype = np.dtype(value)
+    except Exception:
+        raise ValueError(f"{knob} {value!r} is not a valid numpy dtype")
+    if not np.issubdtype(dtype, np.floating):
+        raise ValueError(f"{knob} must be a floating dtype, got {dtype}")
+    return dtype.name
+
+
+def _check_int(value: Any, *, knob: str, minimum: int) -> int:
+    """Validate an integral knob (bools and non-integral floats rejected)."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValueError(f"{knob} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ValueError(f"{knob} must be at least {minimum}, got {value}")
+    return int(value)
+
+
+def _check_number(value: Any, *, knob: str, minimum: float,
+                  inclusive: bool = True) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.floating,
+                                                         np.integer)):
+        raise ValueError(f"{knob} must be a number, got {value!r}")
+    value = float(value)
+    if not math.isfinite(value):
+        # NaN compares False against everything, so without this check it
+        # would sail through the bound below and surface as a confusing
+        # socket/threading failure far from the config that caused it.
+        raise ValueError(f"{knob} must be finite, got {value!r}")
+    if value < minimum or (not inclusive and value == minimum):
+        bound = "at least" if inclusive else "greater than"
+        raise ValueError(f"{knob} must be {bound} {minimum}, got {value}")
+    return value
+
+
+class _Config:
+    """Shared ``to_dict`` / ``from_dict`` for the frozen config dataclasses."""
+
+    #: Field name -> nested config class, for composing configs.
+    _nested: Dict[str, Type["_Config"]] = {}
+
+    def to_dict(self) -> Dict:
+        """Plain-JSON form (nested configs become nested dicts)."""
+        payload: Dict = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, _Config):
+                value = value.to_dict()
+            elif isinstance(value, tuple):
+                value = list(value)
+            payload[f.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "_Config":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`ValueError` — a misspelled knob in a
+        config file must fail loudly, not silently fall back to defaults.
+        """
+        if not isinstance(payload, Mapping):
+            raise ValueError(f"{cls.__name__}.from_dict expects a mapping, "
+                             f"got {type(payload).__name__}")
+        names = [f.name for f in dataclasses.fields(cls)]
+        unknown = set(payload) - set(names)
+        if unknown:
+            raise ValueError(f"unknown {cls.__name__} field(s) "
+                             f"{sorted(unknown)} (expected a subset of "
+                             f"{names})")
+        kwargs: Dict = {}
+        for name in names:
+            if name not in payload:
+                continue
+            value = payload[name]
+            nested = cls._nested.get(name)
+            if nested is not None and isinstance(value, Mapping):
+                value = nested.from_dict(value)
+            kwargs[name] = value
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class RuntimeConfig(_Config):
+    """How serving callables execute a zoo entry's model.
+
+    Parameters
+    ----------
+    runtime:
+        ``"auto"`` (compile, fall back to eager on unsupported constructs),
+        ``"compiled"`` (require plans) or ``"eager"`` (autograd under
+        ``no_grad``).
+    dtype:
+        Compiled compute **and** wire dtype; ``None`` means ``float64``.
+        Accepts a dtype name, ``np.dtype`` or scalar type; stored as the
+        canonical name so configs stay JSON-serializable.
+    segments:
+        Plan segments compiled for the per-frame callables; ``None`` means
+        ``("device", "edge")`` — batched callables always compile just
+        ``("edge",)`` with their own arena.
+    """
+
+    runtime: str = "auto"
+    dtype: Optional[str] = None
+    segments: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.runtime not in RUNTIMES:
+            raise ValueError(f"unknown runtime {self.runtime!r} "
+                             f"(expected one of {RUNTIMES})")
+        if self.dtype is not None:
+            object.__setattr__(self, "dtype",
+                               _canonical_dtype(self.dtype, knob="dtype"))
+        if self.runtime == "eager" and self.dtype not in (None, "float64"):
+            raise ValueError(
+                "the eager runtime computes in float64 only; use "
+                "runtime='compiled' for a different compute dtype")
+        if self.segments is not None:
+            segments = tuple(self.segments)
+            if not segments:
+                raise ValueError("segments may not be empty (use None for "
+                                 "the default)")
+            unknown = set(segments) - set(SEGMENTS)
+            if unknown:
+                raise ValueError(f"unknown plan segment(s) {sorted(unknown)} "
+                                 f"(expected a subset of {SEGMENTS})")
+            object.__setattr__(self, "segments", segments)
+
+    @property
+    def numpy_dtype(self) -> Optional[np.dtype]:
+        """The dtype as ``np.dtype`` (``None`` = builder default, float64)."""
+        return None if self.dtype is None else np.dtype(self.dtype)
+
+
+@dataclass(frozen=True)
+class BatchingConfig(_Config):
+    """Cross-client micro-batching knobs of the edge server.
+
+    ``max_batch_size=1`` (the default) disables micro-batching entirely —
+    no batcher threads, exact per-frame serving.  ``max_wait_ms`` bounds how
+    long the first frame of a batch waits for company.
+    """
+
+    max_batch_size: int = 1
+    max_wait_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "max_batch_size",
+                           _check_int(self.max_batch_size,
+                                      knob="max_batch_size", minimum=1))
+        object.__setattr__(self, "max_wait_ms",
+                           _check_number(self.max_wait_ms, knob="max_wait_ms",
+                                         minimum=0.0))
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_batch_size > 1
+
+
+@dataclass(frozen=True)
+class ServerConfig(_Config):
+    """Socket and worker-pool knobs of the :class:`~repro.system.engine.EdgeServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_workers: int = 8
+    backlog: int = 32
+    session_log_limit: int = 1024
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.host, str) or not self.host:
+            raise ValueError(f"host must be a non-empty string, got {self.host!r}")
+        port = _check_int(self.port, knob="port", minimum=0)
+        if port > 65535:
+            raise ValueError(f"port must be at most 65535, got {port}")
+        object.__setattr__(self, "port", port)
+        object.__setattr__(self, "max_workers",
+                           _check_int(self.max_workers, knob="max_workers",
+                                      minimum=1))
+        object.__setattr__(self, "backlog",
+                           _check_int(self.backlog, knob="backlog", minimum=1))
+        object.__setattr__(self, "session_log_limit",
+                           _check_int(self.session_log_limit,
+                                      knob="session_log_limit", minimum=1))
+
+
+@dataclass(frozen=True)
+class ClientConfig(_Config):
+    """Wire framing/dtype and timeouts of a :class:`repro.serving.Client`.
+
+    ``wire_format`` picks the framing every outgoing message uses (the
+    server mirrors it per request); ``wire_dtype`` down-casts outgoing float
+    arrays (e.g. ``"float32"`` halves frame bytes).  The three timeouts
+    bound connection establishment, the hello handshake, and each
+    ``run()``'s wait for results, respectively.
+    """
+
+    wire_format: str = WIRE_FORMAT_ZLIB
+    wire_dtype: Optional[str] = None
+    connect_timeout_s: float = 30.0
+    handshake_timeout_s: float = 10.0
+    pipeline_timeout_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.wire_format not in WIRE_FORMATS:
+            raise ValueError(f"unknown wire format {self.wire_format!r} "
+                             f"(expected one of {WIRE_FORMATS})")
+        if self.wire_dtype is not None:
+            object.__setattr__(self, "wire_dtype",
+                               _canonical_dtype(self.wire_dtype,
+                                                knob="wire_dtype"))
+        for knob in ("connect_timeout_s", "handshake_timeout_s",
+                     "pipeline_timeout_s"):
+            object.__setattr__(self, knob,
+                               _check_number(getattr(self, knob), knob=knob,
+                                             minimum=0.0, inclusive=False))
+
+    @property
+    def numpy_wire_dtype(self) -> Optional[np.dtype]:
+        return None if self.wire_dtype is None else np.dtype(self.wire_dtype)
+
+
+@dataclass(frozen=True)
+class ServingConfig(_Config):
+    """Everything a server-side deployment needs, in one value.
+
+    Composes the runtime, batching and server configs; this is the single
+    ``config`` argument of :func:`repro.serving.serve` and
+    :class:`repro.serving.ServingApp`.  Plain dicts are accepted for any
+    sub-config (handy for file-borne configs).
+    """
+
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    batching: BatchingConfig = field(default_factory=BatchingConfig)
+    server: ServerConfig = field(default_factory=ServerConfig)
+
+    _nested = {"runtime": RuntimeConfig, "batching": BatchingConfig,
+               "server": ServerConfig}
+
+    def __post_init__(self) -> None:
+        for name, cls in self._nested.items():
+            value = getattr(self, name)
+            if isinstance(value, Mapping):
+                value = cls.from_dict(value)
+                object.__setattr__(self, name, value)
+            if not isinstance(value, cls):
+                raise ValueError(f"{name} must be a {cls.__name__} (or a "
+                                 f"mapping), got {type(value).__name__}")

@@ -8,8 +8,8 @@ from .messages import (Message, serialize_message, deserialize_message,
                        compressed_size, WIRE_FORMAT_RAW, WIRE_FORMAT_ZLIB,
                        WIRE_FORMATS)
 from .engine import (EdgeServer, DeviceClient, FrameResult, MicroBatcher,
-                     PipelineStats, ServingSession, EdgeServerStats,
-                     run_co_inference)
+                     PipelineStats, ServingSession, ServingTable,
+                     EdgeServerStats, run_co_inference)
 
 __all__ = [
     "SystemConfig", "SystemPerformance", "CoInferenceSimulator",
@@ -19,6 +19,6 @@ __all__ = [
     "Message", "serialize_message", "deserialize_message", "compressed_size",
     "WIRE_FORMAT_RAW", "WIRE_FORMAT_ZLIB", "WIRE_FORMATS",
     "EdgeServer", "DeviceClient", "FrameResult", "MicroBatcher",
-    "PipelineStats", "ServingSession", "EdgeServerStats",
+    "PipelineStats", "ServingSession", "ServingTable", "EdgeServerStats",
     "run_co_inference",
 ]

@@ -70,7 +70,8 @@ import time
 import traceback
 from collections import Counter
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from types import MappingProxyType
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -94,6 +95,61 @@ DEFAULT_MODEL = "default"
 #: are folded into aggregate counters so a long-running server that accepts
 #: one connection per request stays memory-bounded.
 SESSION_LOG_LIMIT = 1024
+
+
+@dataclass(frozen=True)
+class ServingTable:
+    """Immutable model-routing state of an :class:`EdgeServer`.
+
+    Everything a frame's resolution touches — the default callable, the
+    named edge/batched callables and the selector — lives in one frozen
+    value that each request reads exactly once.  Hot reload
+    (:meth:`EdgeServer.install_table`) swaps the whole table atomically, so
+    no frame can ever observe a half-updated routing state.
+    """
+
+    default_name: str
+    default_fn: EdgeFn
+    edge_fns: Dict[str, EdgeFn]
+    batch_fns: Dict[str, BatchedEdgeFn]
+    selector: Optional[SelectorFn]
+
+    def model_names(self) -> List[str]:
+        """Every name a frame's ``meta["model"]`` may resolve to."""
+        return sorted(set(self.edge_fns) | {self.default_name})
+
+
+def _make_serving_table(edge_fn: Optional[EdgeFn],
+                        edge_fns: Optional[Dict[str, EdgeFn]],
+                        selector: Optional[SelectorFn],
+                        batch_fns: Optional[Dict[str, BatchedEdgeFn]]
+                        ) -> ServingTable:
+    """Validate and freeze one serving table (construction and hot reload)."""
+    if edge_fn is None and not edge_fns:
+        raise ValueError("a serving table needs an edge_fn or a non-empty "
+                         "edge_fns")
+    if edge_fn is not None and edge_fns and DEFAULT_MODEL in edge_fns:
+        raise ValueError(
+            f"edge_fns may not use the reserved name {DEFAULT_MODEL!r} "
+            "when an explicit default edge_fn is also given — the entry "
+            "would be unreachable")
+    if edge_fn is not None:
+        default_name, default_fn = DEFAULT_MODEL, edge_fn
+    else:
+        # No explicit default: fall back to the first named entry, and
+        # book untagged frames under its real name in the statistics.
+        default_name, default_fn = next(iter(edge_fns.items()))
+    edge_fns = dict(edge_fns or {})
+    batch_fns = dict(batch_fns or {})
+    unknown = set(batch_fns) - set(edge_fns) - {default_name}
+    if unknown:
+        raise ValueError(
+            f"batch_fns name entries with no per-frame edge callable: "
+            f"{sorted(unknown)} — a typo here would silently fall back "
+            "to per-frame serving")
+    return ServingTable(default_name=default_name, default_fn=default_fn,
+                        edge_fns=edge_fns, batch_fns=batch_fns,
+                        selector=selector)
 
 
 @dataclass
@@ -382,32 +438,14 @@ class EdgeServer:
                  max_batch_size: int = 1, max_wait_ms: float = 2.0,
                  max_workers: int = 8, backlog: int = 32,
                  session_log_limit: int = SESSION_LOG_LIMIT) -> None:
-        if edge_fn is None and not edge_fns:
-            raise ValueError("EdgeServer needs an edge_fn or a non-empty edge_fns")
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
-        if edge_fn is not None and edge_fns and DEFAULT_MODEL in edge_fns:
-            raise ValueError(
-                f"edge_fns may not use the reserved name {DEFAULT_MODEL!r} "
-                "when an explicit default edge_fn is also given — the entry "
-                "would be unreachable")
-        if edge_fn is not None:
-            self.edge_fn, self._default_name = edge_fn, DEFAULT_MODEL
-        else:
-            # No explicit default: fall back to the first named entry, and
-            # book untagged frames under its real name in the statistics.
-            self._default_name, self.edge_fn = next(iter(edge_fns.items()))
-        self.edge_fns: Dict[str, EdgeFn] = dict(edge_fns or {})
-        self.selector = selector
-        self.batch_fns: Dict[str, BatchedEdgeFn] = dict(batch_fns or {})
-        unknown = set(self.batch_fns) - set(self.edge_fns) - {self._default_name}
-        if unknown:
-            raise ValueError(
-                f"batch_fns name entries with no per-frame edge callable: "
-                f"{sorted(unknown)} — a typo here would silently fall back "
-                "to per-frame serving")
+        # All model routing lives in one immutable table; requests read it
+        # exactly once, and install_table() swaps it atomically (hot reload).
+        self._table = _make_serving_table(edge_fn, edge_fns, selector,
+                                          batch_fns)
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
         self._batcher: Optional[MicroBatcher] = None
@@ -443,6 +481,61 @@ class EdgeServer:
         self._send_locks: Dict[int, threading.Lock] = {}
         self._started_at: Optional[float] = None
         self._stopped_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Serving table: read-mostly routing state, hot-swappable.
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> ServingTable:
+        """The currently installed serving table (immutable snapshot)."""
+        return self._table
+
+    @property
+    def edge_fn(self) -> EdgeFn:
+        """Default edge callable of the current table."""
+        return self._table.default_fn
+
+    @property
+    def edge_fns(self) -> Mapping[str, EdgeFn]:
+        """Named edge callables of the current table (read-only view).
+
+        A read-only mapping, not a mutable dict: writing to it (the
+        pre-facade way of registering a model at runtime) would silently
+        edit a throwaway copy — use :meth:`install_table` instead.
+        """
+        return MappingProxyType(self._table.edge_fns)
+
+    @property
+    def batch_fns(self) -> Mapping[str, BatchedEdgeFn]:
+        """Named batched callables of the current table (read-only view)."""
+        return MappingProxyType(self._table.batch_fns)
+
+    @property
+    def selector(self) -> Optional[SelectorFn]:
+        return self._table.selector
+
+    @property
+    def _default_name(self) -> str:
+        return self._table.default_name
+
+    def install_table(self, edge_fn: Optional[EdgeFn] = None, *,
+                      edge_fns: Optional[Dict[str, EdgeFn]] = None,
+                      selector: Optional[SelectorFn] = None,
+                      batch_fns: Optional[Dict[str, BatchedEdgeFn]] = None
+                      ) -> None:
+        """Atomically replace the serving table (hot reload).
+
+        The new table is validated exactly like the constructor arguments;
+        on a validation error the old table stays installed untouched.  The
+        swap is a single reference assignment, and every request reads the
+        table exactly once, so a frame is always served — resolution,
+        execution and statistics booking — by *one* table: either wholly the
+        old one or wholly the new one, never a mixture.  Frames already
+        queued in the micro-batcher resolve their callable at dispatch time,
+        i.e. from the table installed when their batch executes.
+        """
+        self._table = _make_serving_table(edge_fn, edge_fns, selector,
+                                          batch_fns)
 
     # ------------------------------------------------------------------
     def start(self) -> "EdgeServer":
@@ -501,42 +594,45 @@ class EdgeServer:
         return None
 
     # ------------------------------------------------------------------
-    def _resolve(self, meta: Dict) -> Tuple[str, EdgeFn]:
-        """Pick the edge callable for a frame from its metadata."""
+    @staticmethod
+    def _resolve(meta: Dict, table: ServingTable) -> Tuple[str, EdgeFn]:
+        """Pick the edge callable for a frame from its metadata.
+
+        ``table`` is the one serving-table snapshot the whole frame uses —
+        callers read ``self._table`` once and pass it down, so a concurrent
+        :meth:`install_table` can never hand a frame a half-swapped view.
+        """
         name = meta.get("model")
         if (name is None and "conditions" in meta
-                and self.selector is not None and self.edge_fns):
+                and table.selector is not None and table.edge_fns):
             # Per-frame dispatch only makes sense for frames that announce
             # conditions; anything else goes straight to the default.
-            name = self.selector(meta)
-        if name is None or name == self._default_name:
-            return self._default_name, self.edge_fn
-        if name not in self.edge_fns:
+            name = table.selector(meta)
+        if name is None or name == table.default_name:
+            return table.default_name, table.default_fn
+        if name not in table.edge_fns:
             raise KeyError(f"no edge model named {name!r} "
-                           f"(available: {self._model_names()})")
-        return name, self.edge_fns[name]
-
-    def _model_names(self) -> List[str]:
-        """Every name a frame's ``meta["model"]`` may resolve to."""
-        return sorted(set(self.edge_fns) | {self._default_name})
+                           f"(available: {table.model_names()})")
+        return name, table.edge_fns[name]
 
     def _handle_hello(self, conn: socket.socket, session: ServingSession,
                       message: Message) -> None:
+        table = self._table
         ack_meta: Dict = {"server": f"{self.host}:{self.port}",
-                          "models": self._model_names(),
+                          "models": table.model_names(),
                           "session_id": session.session_id}
         dispatch_failed = False
-        if ("conditions" in message.meta and self.selector is not None
-                and self.edge_fns):
+        if ("conditions" in message.meta and table.selector is not None
+                and table.edge_fns):
             # The client announced its runtime conditions: dispatch once per
             # connection and tell the device which entry to run.  A failing
             # or misconfigured dispatch must surface in the acknowledgement,
             # not hang the client waiting for one.
             try:
-                name = self.selector(message.meta)
-                if name is not None and name not in self.edge_fns:
+                name = table.selector(message.meta)
+                if name is not None and name not in table.edge_fns:
                     raise KeyError(f"dispatcher selected unknown model {name!r} "
-                                   f"(available: {sorted(self.edge_fns)})")
+                                   f"(available: {sorted(table.edge_fns)})")
                 ack_meta["model"] = name
             except Exception as exc:
                 dispatch_failed = True
@@ -567,12 +663,13 @@ class EdgeServer:
                                   send_lock=self._send_lock_for(session),
                                   session=session, message=message,
                                   enqueued_at=time.monotonic())
+        table = self._table
         try:
-            name, edge_fn = self._resolve(message.meta)
+            name, edge_fn = self._resolve(message.meta, table)
         except Exception:  # unknown model / selector failure: per-frame error
             self._reply_error(request)
             return
-        if self._batcher is not None and name in self.batch_fns:
+        if self._batcher is not None and name in table.batch_fns:
             # Entries without a batched callable stay on the direct path
             # below: funnelling them through a per-entry collector thread
             # would serialize their (possibly thread-safe) edge callables
@@ -604,8 +701,13 @@ class EdgeServer:
         Returns ``False`` when a multi-frame batch had to fall back to
         per-frame execution (its batched call failed), so the batcher can
         expose the degradation in its statistics.
+
+        The serving table is read once for the whole batch, so every frame
+        of the batch is served by exactly one table even when
+        :meth:`install_table` swaps it concurrently.
         """
-        batch_fn = self.batch_fns.get(name)
+        table = self._table
+        batch_fn = table.batch_fns.get(name)
         if batch_fn is not None and len(requests) > 1:
             started = time.perf_counter()
             try:
@@ -631,8 +733,19 @@ class EdgeServer:
                     self._reply_result(request, name, arrays, meta, share,
                                        batch_index=index)
                 return True
-        edge_fn = (self.edge_fn if name == self._default_name
-                   else self.edge_fns[name])
+        edge_fn = (table.default_fn if name == table.default_name
+                   else table.edge_fns.get(name))
+        if edge_fn is None:
+            # The entry vanished between enqueue and dispatch (a hot reload
+            # shrank the table); each frame gets a clean per-frame error
+            # instead of the whole batch dying unanswered.
+            for index, request in enumerate(requests):
+                try:
+                    raise KeyError(f"no edge model named {name!r} "
+                                   f"(available: {table.model_names()})")
+                except KeyError:
+                    self._reply_error(request, batch_index=index)
+            return True
         for index, request in enumerate(requests):
             try:
                 started = time.perf_counter()

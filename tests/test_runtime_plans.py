@@ -15,8 +15,8 @@ import pytest
 
 from repro import nn
 from repro.core import (Architecture, ArchitectureModel, ArchitectureZoo,
-                        ZooEntry, batched_edge_fn, split_callables,
-                        zoo_serving_callables)
+                        ZooEntry, batched_edge_fn, split_callables)
+from repro.serving import RuntimeConfig, build_zoo_callables
 from repro.gnn import OpSpec, OpType
 from repro.graph import SyntheticModelNet40, SyntheticMR
 from repro.graph.data import Batch
@@ -80,10 +80,10 @@ class TestCompiledEagerEquivalence:
     def test_every_zoo_entry_single_frame(self):
         """Compiled device+edge callables match eager ones for all entries."""
         zoo = _zoo()
-        compiled = zoo_serving_callables(zoo, in_dim=3, num_classes=5, seed=0,
-                                         runtime="compiled")
-        eager = zoo_serving_callables(zoo, in_dim=3, num_classes=5, seed=0,
-                                      runtime="eager")
+        compiled = build_zoo_callables(zoo, in_dim=3, num_classes=5, seed=0,
+                                       config=RuntimeConfig(runtime="compiled"))
+        eager = build_zoo_callables(zoo, in_dim=3, num_classes=5, seed=0,
+                                    config=RuntimeConfig(runtime="eager"))
         for frame in _point_cloud_frames():
             for name in zoo.names():
                 arrays_c, meta_c = compiled[name].device_fn(frame)

@@ -18,7 +18,8 @@ import pytest
 
 from repro.core import (Architecture, ArchitectureModel, ArchitectureZoo,
                         ZooEntry, batched_edge_fn, collate_arrays,
-                        split_callables, split_results, zoo_serving_callables)
+                        split_callables, split_results)
+from repro.serving import build_zoo_callables
 from repro.gnn import OpSpec, OpType
 from repro.graph import SyntheticModelNet40
 from repro.graph.data import Batch
@@ -432,7 +433,7 @@ class TestMicroBatchingServing:
 
         zoo = ArchitectureZoo([ZooEntry("served", arch("served"),
                                         0.9, 50.0, 0.5)])
-        serving = zoo_serving_callables(zoo, in_dim=3, num_classes=5, seed=0)
+        serving = build_zoo_callables(zoo, in_dim=3, num_classes=5, seed=0)
         server = EdgeServer(
             edge_fns={"served": serving["served"].edge_fn},
             batch_fns={"served": serving["served"].batch_fn},

@@ -14,7 +14,8 @@ import numpy as np
 import pytest
 
 from repro.core import (Architecture, ArchitectureZoo, RuntimeDispatcher,
-                        ZooEntry, zoo_callables)
+                        ZooEntry)
+from repro.serving import build_zoo_callables
 from repro.gnn import OpSpec, OpType
 from repro.system import DeviceClient, EdgeServer
 
@@ -529,8 +530,11 @@ class TestDispatchedServing:
         from repro.graph.data import Batch
 
         zoo = self._zoo()
-        pairs = zoo_callables(zoo, in_dim=modelnet_profile.feature_dim,
-                              num_classes=modelnet_profile.num_classes, seed=0)
+        pairs = {name: (serving.device_fn, serving.edge_fn)
+                 for name, serving in build_zoo_callables(
+                     zoo, in_dim=modelnet_profile.feature_dim,
+                     num_classes=modelnet_profile.num_classes,
+                     seed=0).items()}
         assert set(pairs) == {"accurate", "fast"}
         dispatcher = RuntimeDispatcher(zoo)
         server = EdgeServer(edge_fns={name: pair[1] for name, pair in pairs.items()},

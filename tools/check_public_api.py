@@ -1,0 +1,71 @@
+"""Public-API surface check (run by the CI public-api job).
+
+``repro.serving`` is the stable public entry point of the serving stack, so
+its surface must never change by accident: this tool compares the package's
+``__all__`` (sorted) against the committed snapshot ``tools/public_api.txt``
+and fails on any drift — an added, removed or renamed name.  Intentional
+surface changes are made by editing the snapshot in the same commit:
+
+    PYTHONPATH=src python tools/check_public_api.py --update
+
+The check also verifies every exported name actually resolves on the
+package, so a stale ``__all__`` entry cannot hide behind the snapshot.
+
+Run with:  PYTHONPATH=src python tools/check_public_api.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+SNAPSHOT = Path(__file__).resolve().parent / "public_api.txt"
+HEADER = ("# Snapshot of repro.serving.__all__ (sorted).  CI fails when the\n"
+          "# live surface drifts from this file; regenerate intentionally\n"
+          "# with:  PYTHONPATH=src python tools/check_public_api.py --update\n")
+
+
+def live_surface() -> list:
+    import repro.serving
+    names = sorted(repro.serving.__all__)
+    missing = [name for name in names
+               if getattr(repro.serving, name, None) is None]
+    if missing:
+        raise SystemExit(f"__all__ names that do not resolve on "
+                         f"repro.serving: {missing}")
+    return names
+
+
+def main() -> int:
+    names = live_surface()
+    if "--update" in sys.argv[1:]:
+        SNAPSHOT.write_text(HEADER + "".join(f"{name}\n" for name in names),
+                            encoding="utf-8")
+        print(f"wrote {SNAPSHOT.relative_to(SNAPSHOT.parent.parent)} "
+              f"({len(names)} names)")
+        return 0
+    if not SNAPSHOT.exists():
+        print(f"missing snapshot {SNAPSHOT}; run with --update to create it",
+              file=sys.stderr)
+        return 1
+    recorded = [line.strip() for line in
+                SNAPSHOT.read_text(encoding="utf-8").splitlines()
+                if line.strip() and not line.startswith("#")]
+    if recorded == names:
+        print(f"public API unchanged ({len(names)} names)")
+        return 0
+    added = sorted(set(names) - set(recorded))
+    removed = sorted(set(recorded) - set(names))
+    print("repro.serving public API drifted from tools/public_api.txt:",
+          file=sys.stderr)
+    for name in added:
+        print(f"  + {name} (new export not in the snapshot)", file=sys.stderr)
+    for name in removed:
+        print(f"  - {name} (snapshot name no longer exported)", file=sys.stderr)
+    print("if intentional, regenerate with: PYTHONPATH=src python "
+          "tools/check_public_api.py --update", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
