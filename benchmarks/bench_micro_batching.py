@@ -151,14 +151,40 @@ def sweep_table(results: Dict[int, Tuple[float, EdgeServerStats]]) -> str:
     for size, (fps, stats) in sorted(results.items()):
         rows.append([size, fps, fps / base_fps, stats.mean_batch_size,
                      stats.mean_service_time_s * 1000.0,
-                     stats.mean_queue_delay_s * 1000.0])
+                     stats.mean_queue_delay_s * 1000.0,
+                     stats.queue_depth_peak])
     return format_table(
         ["max_batch", "aggregate_fps", "speedup_vs_1", "realized_batch",
-         "amortized_service_ms", "queue_delay_ms"], rows,
+         "amortized_service_ms", "queue_delay_ms", "queue_depth_peak"], rows,
         title="Cross-client micro-batching, steady-state aggregate throughput "
               f"({NUM_CLIENTS} clients, {FRAMES_PER_CLIENT} frames/client, "
               f"{NUM_POINTS}-point clouds, k={KNN_K}, "
               f"max_wait={MAX_WAIT_MS:.0f} ms)")
+
+
+def sweep_json(results: Dict[int, Tuple[float, EdgeServerStats]]) -> Dict:
+    """Machine-readable twin of :func:`sweep_table`."""
+    base_fps = results[min(results)][0]
+    return {
+        "bench": "micro_batching",
+        "clients": NUM_CLIENTS,
+        "frames_per_client": FRAMES_PER_CLIENT,
+        "num_points": NUM_POINTS,
+        "knn_k": KNN_K,
+        "max_wait_ms": MAX_WAIT_MS,
+        "batch_sizes": {
+            str(size): {
+                "aggregate_fps": fps,
+                "speedup_vs_1": fps / base_fps,
+                "realized_batch": stats.mean_batch_size,
+                "amortized_service_ms": stats.mean_service_time_s * 1000.0,
+                "queue_delay_ms": stats.mean_queue_delay_s * 1000.0,
+                "queue_depth_peak": stats.queue_depth_peak,
+                "batch_fallback_frames": stats.batch_fallback_frames,
+            }
+            for size, (fps, stats) in sorted(results.items())
+        },
+    }
 
 
 def check_speedup(results: Dict[int, Tuple[float, EdgeServerStats]]) -> None:
@@ -176,8 +202,9 @@ def check_speedup(results: Dict[int, Tuple[float, EdgeServerStats]]) -> None:
 
 def test_micro_batching(benchmark):
     results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    from conftest import save_report
+    from conftest import save_json, save_report
     save_report("micro_batching.txt", sweep_table(results))
+    save_json("micro_batching.json", sweep_json(results))
     check_speedup(results)
 
 
@@ -185,9 +212,10 @@ def main() -> None:
     import os
     import sys
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-    from conftest import save_report
+    from conftest import save_json, save_report
     results = run_sweep()
     save_report("micro_batching.txt", sweep_table(results))
+    save_json("micro_batching.json", sweep_json(results))
     check_speedup(results)
     best = max(results)
     print(f"\nmicro-batching check passed: max_batch={best} serves "

@@ -93,6 +93,20 @@ def scaling_table(throughput: Dict[int, float]) -> str:
                               f"{MAX_WORKERS} workers)")
 
 
+def scaling_json(throughput: Dict[int, float]) -> Dict:
+    """Machine-readable twin of :func:`scaling_table`."""
+    base = throughput[min(throughput)]
+    return {
+        "bench": "multi_client_scaling",
+        "frames_per_client": FRAMES_PER_CLIENT,
+        "service_time_ms": SERVICE_TIME_S * 1000.0,
+        "max_workers": MAX_WORKERS,
+        "clients": {str(clients): {"aggregate_fps": fps,
+                                   "speedup_vs_1": fps / base}
+                    for clients, fps in sorted(throughput.items())},
+    }
+
+
 def check_scaling(throughput: Dict[int, float]) -> None:
     """Concurrency must pay: 4 clients clearly out-serve 1 client."""
     assert throughput[4] > 1.8 * throughput[1], (
@@ -102,14 +116,20 @@ def check_scaling(throughput: Dict[int, float]) -> None:
 
 def test_multi_client_scaling(benchmark):
     throughput = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
-    from conftest import save_report
+    from conftest import save_json, save_report
     save_report("multi_client_scaling.txt", scaling_table(throughput))
+    save_json("multi_client_scaling.json", scaling_json(throughput))
     check_scaling(throughput)
 
 
 def main() -> None:
+    import os
+    import sys
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from conftest import save_json, save_report
     throughput = run_scaling()
-    print(scaling_table(throughput))
+    save_report("multi_client_scaling.txt", scaling_table(throughput))
+    save_json("multi_client_scaling.json", scaling_json(throughput))
     check_scaling(throughput)
     print("\nscaling check passed: 4 clients serve "
           f"{throughput[4] / throughput[1]:.2f}x the frames/s of 1 client")

@@ -1,0 +1,244 @@
+"""Process-parallel shard scaling: aggregate edge throughput vs shard count.
+
+Drives 8 concurrent clients against one :class:`~repro.serving.ServingApp`
+and sweeps ``ShardingConfig.num_shards`` (1 = the in-process baseline — no
+worker processes at all).  In-process serving executes every engine call
+under one GIL, so aggregate throughput is pinned near one core no matter how
+many clients connect; each shard is a worker process with its own compiled
+plans and buffer arenas, so N shards put N cores to work while the parent's
+socket threads merely route frames over the shared-memory rings.
+
+The workload is the edge-heavy entry of ``bench_micro_batching`` scaled up
+(128-point clouds, k=16, width-128 combine) so per-frame engine time
+dominates the ring transport cost, and clients speak the raw wire framing so
+the parent spends no time in zlib.  Shard-served results are numerically
+equivalent to in-process serving (pinned by ``tests/test_serving_shards.py``).
+
+Thresholds (loose, CI-safe): >= 1.5x aggregate throughput at 2 shards on a
+>= 2-core machine, additionally >= 2.5x at 4 shards on a >= 8-core machine.
+Single-core runners skip gracefully (the JSON result records the skip).
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_shard_scaling.py
+or via pytest:   PYTHONPATH=src python -m pytest benchmarks/bench_shard_scaling.py -q
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core import Architecture, ArchitectureZoo, ZooEntry
+from repro.evaluation import format_table
+from repro.gnn import OpSpec, OpType
+from repro.graph import SyntheticModelNet40
+from repro.graph.data import Batch
+from repro.serving import (ClientConfig, ServingConfig, ShardingConfig, serve,
+                           sharding_supported)
+from repro.system import EdgeServerStats
+
+NUM_CLIENTS = 8
+FRAMES_PER_CLIENT = 60
+#: Shard counts to sweep; 1 is the in-process baseline and counts above the
+#: machine's core count are dropped (they could only time-slice).
+SHARD_COUNTS = (1, 2, 4)
+#: Steady-state window (fractions of total frames served) timed from the
+#: server's own frame counter, excluding startup and drain transients.
+WINDOW = (0.15, 0.75)
+#: Heavier per-frame edge work than the batching bench: the point of the
+#: sweep is compute scaling, so engine time must dominate transport time.
+NUM_POINTS = 128
+KNN_K = 16
+COMBINE_WIDTH = 128
+ENTRY = "edge-heavy"
+
+#: Loose CI thresholds, keyed by the cores the runner must have.
+THRESHOLD_2_SHARDS = 1.5
+THRESHOLD_4_SHARDS = 2.5
+
+
+def build_zoo() -> ArchitectureZoo:
+    """One edge-heavy entry (Communicate first: the edge does all the work)."""
+    arch = Architecture(ops=(
+        OpSpec(OpType.COMMUNICATE, "uplink"),
+        OpSpec(OpType.SAMPLE, "knn", k=KNN_K),
+        OpSpec(OpType.AGGREGATE, "max"),
+        OpSpec(OpType.COMBINE, COMBINE_WIDTH),
+        OpSpec(OpType.GLOBAL_POOL, "max||mean"),
+    ), name=ENTRY)
+    return ArchitectureZoo([ZooEntry(ENTRY, arch, 0.9, 50.0, 0.5)])
+
+
+def build_frames() -> List[Batch]:
+    graphs = SyntheticModelNet40(num_points=NUM_POINTS, samples_per_class=2,
+                                 num_classes=10, seed=0).generate()
+    return [Batch.from_graphs([graph]) for graph in graphs[:20]]
+
+
+def run_once(zoo: ArchitectureZoo, frames: List[Batch],
+             num_shards: int) -> Tuple[float, EdgeServerStats]:
+    """Steady-state aggregate fps of NUM_CLIENTS pipelines for one config."""
+    config = ServingConfig(
+        sharding=ShardingConfig(num_shards=num_shards),
+        server={"max_workers": NUM_CLIENTS})
+    client_config = ClientConfig(wire_format="raw", pipeline_timeout_s=300.0)
+    failures: List[BaseException] = []
+    with serve(zoo, config, in_dim=3, num_classes=10) as app:
+        def run_client(index: int) -> None:
+            try:
+                with app.client(model=ENTRY, name=f"bench-{index}",
+                                config=client_config) as client:
+                    sequence = [frames[i % len(frames)]
+                                for i in range(FRAMES_PER_CLIENT)]
+                    results, _ = client.run(sequence)
+                    assert len(results) == FRAMES_PER_CLIENT
+            except BaseException as exc:
+                failures.append(exc)
+
+        threads = [threading.Thread(target=run_client, args=(i,))
+                   for i in range(NUM_CLIENTS)]
+        for thread in threads:
+            thread.start()
+        total = NUM_CLIENTS * FRAMES_PER_CLIENT
+        low_mark, high_mark = (int(total * fraction) for fraction in WINDOW)
+        low_at = high_at = None
+        deadline = time.monotonic() + 600.0
+        while high_at is None and time.monotonic() < deadline:
+            served = app.server.frames_processed
+            now = time.perf_counter()
+            if low_at is None and served >= low_mark:
+                low_at = now
+            if served >= high_mark:
+                high_at = now
+            time.sleep(0.002)
+        for thread in threads:
+            thread.join(timeout=600.0)
+        stats = app.stats()
+    if failures:
+        raise RuntimeError(f"{len(failures)} client(s) failed: {failures[0]}")
+    if low_at is None or high_at is None:
+        raise RuntimeError("steady-state window never completed")
+    return (high_mark - low_mark) / (high_at - low_at), stats
+
+
+def shard_counts() -> List[int]:
+    cores = os.cpu_count() or 1
+    return [count for count in SHARD_COUNTS if count == 1 or count <= cores]
+
+
+def run_sweep(counts: Sequence[int] = None
+              ) -> Dict[int, Tuple[float, EdgeServerStats]]:
+    counts = list(counts) if counts is not None else shard_counts()
+    zoo, frames = build_zoo(), build_frames()
+    run_once(zoo, frames, 1)  # warm up allocators/BLAS before timing
+    results: Dict[int, Tuple[float, EdgeServerStats]] = {}
+    for count in counts:
+        results[count] = run_once(zoo, frames, count)
+    return results
+
+
+def sweep_table(results: Dict[int, Tuple[float, EdgeServerStats]]) -> str:
+    base_fps = results[min(results)][0]
+    rows = []
+    for count, (fps, stats) in sorted(results.items()):
+        shard_frames = [shard.frames for shard in stats.shards]
+        rows.append([count, fps, fps / base_fps,
+                     "-".join(str(n) for n in shard_frames) or "in-proc"])
+    return format_table(
+        ["shards", "aggregate_fps", "speedup_vs_inproc", "frames_per_shard"],
+        rows,
+        title="Process-parallel shard scaling, steady-state aggregate "
+              f"throughput ({NUM_CLIENTS} clients, {FRAMES_PER_CLIENT} "
+              f"frames/client, {NUM_POINTS}-point clouds, k={KNN_K}, "
+              f"{os.cpu_count()} cores)")
+
+
+def sweep_json(results: Dict[int, Tuple[float, EdgeServerStats]],
+               skipped: bool = False) -> Dict:
+    payload: Dict = {
+        "bench": "shard_scaling",
+        "cpu_count": os.cpu_count(),
+        "clients": NUM_CLIENTS,
+        "frames_per_client": FRAMES_PER_CLIENT,
+        "num_points": NUM_POINTS,
+        "knn_k": KNN_K,
+        "skipped": skipped,
+        "shards": {},
+    }
+    if results:
+        base_fps = results[min(results)][0]
+        for count, (fps, stats) in sorted(results.items()):
+            payload["shards"][str(count)] = {
+                "aggregate_fps": fps,
+                "speedup_vs_inproc": fps / base_fps,
+                "frames_per_shard": [shard.frames for shard in stats.shards],
+                "shard_service_time_s": [shard.service_time_s
+                                         for shard in stats.shards],
+            }
+    return payload
+
+
+def check_speedup(results: Dict[int, Tuple[float, EdgeServerStats]]) -> None:
+    """Sharding must pay on multi-core machines (loose CI thresholds)."""
+    cores = os.cpu_count() or 1
+    base = results[1][0]
+    for count, (fps, stats) in results.items():
+        if count > 1:
+            # Every shard actually served traffic and none crashed.
+            assert len(stats.shards) == count
+            assert all(shard.frames > 0 for shard in stats.shards), (
+                f"idle shard at num_shards={count}: "
+                f"{[s.frames for s in stats.shards]}")
+    if cores >= 2 and 2 in results:
+        assert results[2][0] >= THRESHOLD_2_SHARDS * base, (
+            f"2-shard speedup below {THRESHOLD_2_SHARDS}x: "
+            f"{results[2][0]:.1f} vs {base:.1f} fps on {cores} cores")
+    if cores >= 8 and 4 in results:
+        assert results[4][0] >= THRESHOLD_4_SHARDS * base, (
+            f"4-shard speedup below {THRESHOLD_4_SHARDS}x: "
+            f"{results[4][0]:.1f} vs {base:.1f} fps on {cores} cores")
+
+
+def _skip_reason() -> str:
+    if not sharding_supported("shm"):
+        return "platform lacks multiprocessing.shared_memory"
+    if (os.cpu_count() or 1) < 2:
+        return f"single-core machine ({os.cpu_count()} cpu)"
+    return ""
+
+
+def test_shard_scaling(benchmark):
+    import pytest
+    from conftest import save_json, save_report
+    reason = _skip_reason()
+    if reason:
+        save_json("shard_scaling.json", sweep_json({}, skipped=True))
+        pytest.skip(f"shard scaling bench skipped: {reason}")
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    save_report("shard_scaling.txt", sweep_table(results))
+    save_json("shard_scaling.json", sweep_json(results))
+    check_speedup(results)
+
+
+def main() -> None:
+    import sys
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from conftest import save_json, save_report
+    reason = _skip_reason()
+    if reason:
+        save_json("shard_scaling.json", sweep_json({}, skipped=True))
+        print(f"shard scaling bench skipped: {reason}")
+        return
+    results = run_sweep()
+    save_report("shard_scaling.txt", sweep_table(results))
+    save_json("shard_scaling.json", sweep_json(results))
+    check_speedup(results)
+    best = max(results)
+    print(f"\nshard scaling check passed: {best} shards serve "
+          f"{results[best][0] / results[1][0]:.2f}x the frames/s of "
+          "in-process serving")
+
+
+if __name__ == "__main__":
+    main()

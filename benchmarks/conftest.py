@@ -14,6 +14,7 @@ efficiency.
 
 from __future__ import annotations
 
+import json
 import os
 
 import numpy as np
@@ -53,6 +54,21 @@ def save_report(name: str, text: str) -> str:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
     print("\n" + text)
+    return path
+
+
+def save_json(name: str, payload: dict) -> str:
+    """Write a machine-readable result to benchmarks/results (BENCH trajectory).
+
+    The serving benchmarks keep their human-readable txt tables *and* write
+    these JSON twins so CI and trend tooling can diff runs without parsing
+    tables.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return path
 
 

@@ -469,11 +469,31 @@ class ServingCallables:
     for a zoo, all three are serialized through one per-entry lock because
     they share the same (non-thread-safe) :class:`ArchitectureModel`; a
     field is ``None`` when its callable was not requested from the builder.
+
+    ``plans`` holds the compiled :class:`~repro.runtime.plan.InferencePlan`
+    objects behind the callables (empty for eager callables) so owners can
+    observe and release their buffer arenas — see :meth:`release_buffers`.
     """
 
     device_fn: Optional[Callable[[Batch], FrameState]] = None
     edge_fn: Optional[Callable[[ArrayDict, Dict], FrameState]] = None
     batch_fn: Optional[BatchedEdgeFn] = None
+    plans: Tuple[InferencePlan, ...] = ()
+
+    def release_buffers(self) -> int:
+        """Release the pooled arena buffers of every compiled plan.
+
+        Returns the number of bytes freed.  The teardown hook for serving
+        tables: per-thread arenas accumulate one buffer set per thread that
+        ever executed a plan, and nothing else frees them before the plan
+        itself dies — a retired snapshot must release explicitly.  The
+        callables stay usable afterwards (buffers reallocate on demand).
+        """
+        return sum(plan.release_buffers() for plan in self.plans)
+
+    def arena_nbytes(self) -> int:
+        """Bytes currently pooled by this entry's plans across all threads."""
+        return sum(plan.arena_nbytes() for plan in self.plans)
 
 
 def _build_callables(model: ArchitectureModel, config, *,
@@ -493,20 +513,25 @@ def _build_callables(model: ArchitectureModel, config, *,
     random generator), so nothing may run the *same* model concurrently.
     """
     device_fn = edge_fn = batch_fn = None
+    plans: List[InferencePlan] = []
     if split:
         segments = config.segments or ("device", "edge")
         plan = _resolve_plan(model, config, segments=segments)
+        if plan is not None:
+            plans.append(plan)
         device_fn, edge_fn = (_split_callables_eager(model) if plan is None
                               else _split_callables_plan(model, plan))
     if batched:
-        batch_fn = _batched_edge_fn_impl(
-            model, _resolve_plan(model, config, segments=("edge",)))
+        batch_plan = _resolve_plan(model, config, segments=("edge",))
+        if batch_plan is not None:
+            plans.append(batch_plan)
+        batch_fn = _batched_edge_fn_impl(model, batch_plan)
     if lock is not None:
         device_fn = _serialized(device_fn, lock) if device_fn else None
         edge_fn = _serialized(edge_fn, lock) if edge_fn else None
         batch_fn = _serialized(batch_fn, lock) if batch_fn else None
     return ServingCallables(device_fn=device_fn, edge_fn=edge_fn,
-                            batch_fn=batch_fn)
+                            batch_fn=batch_fn, plans=tuple(plans))
 
 
 def _serialized(fn: Callable, lock: threading.Lock) -> Callable:

@@ -38,6 +38,7 @@ shared generator.
 from __future__ import annotations
 
 import threading
+import weakref
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -392,6 +393,12 @@ class PlanSegment:
         self.steps = steps
         self.dtype = dtype
         self._arenas = threading.local()
+        # Weak registry of every arena ever handed out, so the segment can
+        # enumerate and release them without keeping dead threads' arenas
+        # alive: the thread-local slot holds the only strong reference, and
+        # a thread exiting drops it — the registry must not resurrect it.
+        self._arena_registry: List["weakref.ref[BufferArena]"] = []
+        self._registry_lock = threading.Lock()
 
     @property
     def arena(self) -> BufferArena:
@@ -405,7 +412,41 @@ class PlanSegment:
         if arena is None:
             arena = BufferArena()
             self._arenas.arena = arena
+            with self._registry_lock:
+                self._arena_registry = [ref for ref in self._arena_registry
+                                        if ref() is not None]
+                self._arena_registry.append(weakref.ref(arena))
         return arena
+
+    def arenas(self) -> List[BufferArena]:
+        """Every live arena of this segment (one per thread that executed it).
+
+        Arenas of threads that already exited are garbage-collected with the
+        thread (the registry holds only weak references) and do not appear.
+        """
+        with self._registry_lock:
+            live = [ref() for ref in self._arena_registry]
+            self._arena_registry = [
+                ref for ref, arena in zip(self._arena_registry, live)
+                if arena is not None]
+        return [arena for arena in live if arena is not None]
+
+    def release_buffers(self) -> int:
+        """Drop every pooled buffer of every live arena; returns bytes freed.
+
+        The explicit teardown hook for long-lived plans: without it, the
+        buffers of every thread that ever executed this segment stay pooled
+        for as long as the plan (and the thread) lives — e.g. a retired
+        serving snapshot would keep batch-shaped buffers of every batcher
+        thread alive.  Releasing is safe while a frame is still executing:
+        the frame's in-flight buffers stay alive through its own references,
+        and the next ``take`` simply reallocates.
+        """
+        freed = 0
+        for arena in self.arenas():
+            freed += arena.nbytes()
+            arena.clear()
+        return freed
 
     def execute(self, x: np.ndarray, batch: np.ndarray, num_graphs: int,
                 edge_index: Optional[np.ndarray] = None,
@@ -611,6 +652,31 @@ class InferencePlan:
         if "edge" in segments:
             self.edge = _compile_segment(model, self.split + 1, None, True,
                                          self.dtype)
+
+    # ------------------------------------------------------------------
+    def segments(self) -> List[PlanSegment]:
+        """The distinct compiled segments of this plan (aliases deduplicated)."""
+        unique: List[PlanSegment] = []
+        for segment in (self.full, self.device, self.edge):
+            if segment is not None and all(segment is not seen
+                                           for seen in unique):
+                unique.append(segment)
+        return unique
+
+    def release_buffers(self) -> int:
+        """Release every segment's pooled arena buffers; returns bytes freed.
+
+        Wired into serving-snapshot teardown: a plan retired from the
+        serving table frees its steady-state buffers immediately instead of
+        holding them until the last executing thread dies.  The plan stays
+        usable — the next execution just reallocates its buffers.
+        """
+        return sum(segment.release_buffers() for segment in self.segments())
+
+    def arena_nbytes(self) -> int:
+        """Total bytes currently pooled across all segments and threads."""
+        return sum(arena.nbytes() for segment in self.segments()
+                   for arena in segment.arenas())
 
     # ------------------------------------------------------------------
     def forward(self, batch) -> np.ndarray:

@@ -1,0 +1,651 @@
+"""Shard worker runtime: shared-memory frame transport + worker process main.
+
+This module is the process-side half of the process-parallel serving tier
+(see :mod:`repro.serving.sharding` for the in-server pool that drives it).
+A *shard* is a worker process holding its own
+:class:`~repro.serving.repository.ModelRepository` — its own models,
+compiled plans and buffer arenas — so N shards execute N frames truly in
+parallel on N cores, instead of time-slicing one GIL.
+
+Transport
+---------
+Frames cross the process boundary as whole :class:`~repro.system.messages.
+Message` envelopes in the versioned **raw** wire framing (the same layout the
+socket wire speaks): a JSON header plus each array's C-contiguous bytes.
+Nothing is pickled and nothing is re-encoded — moving a frame into a shard
+costs the raw-framing header plus straight memcpys of the array payloads.
+
+Two transports carry the framed bytes:
+
+``"shm"`` (default)
+    A pair of preallocated single-producer/single-consumer ring buffers in
+    ``multiprocessing.shared_memory`` per shard (request ring + response
+    ring).  Each message is written as ``[u32 length][raw frame]``; the ring
+    head is published once per *complete* message, so the consumer always
+    observes whole envelopes.  Layout::
+
+        [ head u32 | pad | tail u32 | pad | ... data (capacity bytes) ... ]
+           (head/tail are modulo-2^32 byte counters; the data region is
+            addressed modulo the capacity, messages may wrap)
+
+    The ring is deliberately lock-free: only the producer stores ``head``
+    and only the consumer stores ``tail`` (each a single aligned 4-byte
+    write), and waiting sides poll with a short spin-then-sleep loop.  No
+    cross-process lock or condition means a worker killed at *any* point —
+    even mid-wait — can never deadlock the parent; ``multiprocessing``'s
+    ``Condition.notify`` by contrast blocks until woken waiters acknowledge
+    and wedges forever when a waiter was SIGKILLed.
+
+    Ordering caveat: publishing the head after the payload memcpy relies on
+    store ordering the producer's CPU provides — guaranteed on x86/x86-64
+    (TSO) but not architecturally on weakly-ordered ISAs (pure Python has
+    no release fence to offer).  In CPython practice the interpreter's own
+    synchronization between the stores makes reordering unobserved, and a
+    torn read would surface loudly as an undecodable envelope (the shard is
+    then treated as crashed, never as silently wrong data).  Deployments on
+    weakly-ordered hardware that want an architectural guarantee should use
+    ``transport="pipe"``, which inherits the kernel's pipe semantics.
+
+``"pipe"``
+    The same length-framed envelopes over ``multiprocessing.Pipe`` — the
+    portability fallback for platforms without POSIX shared memory, and a
+    useful A/B for the ring transport.
+
+Crash behavior: the parent-side pool detects a dead worker (reader timeout +
+liveness poll) and fails that shard's in-flight requests with
+:class:`ShardCrashedError` — a :class:`ConnectionError` — so a crashed shard
+produces clean per-frame errors instead of hung clients.  A worker likewise
+exits when its parent disappears.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+try:  # Not every platform ships POSIX shared memory (notably some BSDs
+    # and restricted containers); the serving layer then falls back to
+    # in-process serving (or the pipe transport when asked for explicitly).
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platform-dependent
+    _shared_memory = None
+
+#: 4-byte big-endian length prefix in front of every ring/pipe message.
+_FRAME_PREFIX = ">I"
+_FRAME_PREFIX_BYTES = struct.calcsize(_FRAME_PREFIX)
+#: Ring header: head (offset 0) and tail (offset 8) u32 byte counters,
+#: each padded to 8 bytes so the two writers never share a cache line word.
+_RING_HEADER = 16
+#: Counters wrap modulo 2^32; capacities stay far below that.
+_COUNTER_MASK = 0xFFFFFFFF
+#: How long a waiting side spins before it starts sleeping (seconds).
+_SPIN_S = 100e-6
+#: Sleep quantum once spinning gave up — bounds idle CPU burn while keeping
+#: worst-case added latency well under typical frame service times.
+_POLL_S = 500e-6
+
+#: Transport identifiers accepted by ``ShardingConfig.transport``.
+SHARD_TRANSPORT_SHM = "shm"
+SHARD_TRANSPORT_PIPE = "pipe"
+SHARD_TRANSPORTS = (SHARD_TRANSPORT_SHM, SHARD_TRANSPORT_PIPE)
+
+
+def shm_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` exists on this platform."""
+    return _shared_memory is not None
+
+
+def transport_available(transport: str) -> bool:
+    """Whether ``transport`` can be used on this platform."""
+    if transport == SHARD_TRANSPORT_SHM:
+        return shm_available()
+    return transport == SHARD_TRANSPORT_PIPE
+
+
+class ShardCrashedError(ConnectionError):
+    """A shard worker process died (or became unreachable) mid-request."""
+
+
+@dataclass
+class ShardStats:
+    """Parent-side view of one shard's serving counters.
+
+    Folded into :class:`~repro.system.engine.EdgeServerStats` by a sharded
+    server so operators see per-core utilization and crashed shards in the
+    same snapshot as the socket-level statistics.
+    """
+
+    shard_id: int
+    pid: Optional[int]
+    alive: bool
+    frames: int
+    batches: int
+    errors: int
+    #: Engine time the shard reported for its executed frames (excludes
+    #: transport; the server's ``mean_service_time_s`` includes it).
+    service_time_s: float
+    bytes_to_shard: int
+    bytes_from_shard: int
+    #: Snapshot version the shard last acknowledged.
+    snapshot_version: int
+
+
+# ----------------------------------------------------------------------
+# Shared-memory ring transport
+# ----------------------------------------------------------------------
+class _RingHandle:
+    """Picklable attachment info for one ring (crosses via Process args)."""
+
+    __slots__ = ("name", "capacity")
+
+    def __init__(self, name: str, capacity: int) -> None:
+        self.name = name
+        self.capacity = capacity
+
+
+class ShmRing:
+    """Single-producer/single-consumer byte ring over shared memory.
+
+    Exactly one process writes (``send_bytes``) and exactly one reads
+    (``recv_bytes``); multi-threaded producers must serialize externally
+    (the pool holds a per-shard send lock).  Head and tail are modulo-2^32
+    byte counters in the block header; only the producer ever stores the
+    head and only the consumer the tail — each a single aligned 4-byte
+    write — and the head is published once per *complete* message, so a
+    reader never observes a partial envelope.  Waiting is spin-then-sleep
+    polling: with no cross-process lock anywhere, a peer killed at any
+    point can never wedge this side (see the module docstring).
+    """
+
+    def __init__(self, shm, capacity: int, owner: bool) -> None:
+        self._shm = shm
+        self._buf = shm.buf
+        self.capacity = capacity
+        self._owner = owner
+        self._closed = False
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def create(cls, capacity: int) -> "ShmRing":
+        if _shared_memory is None:  # pragma: no cover - platform-dependent
+            raise RuntimeError("multiprocessing.shared_memory is not "
+                               "available on this platform")
+        # Power-of-two capacity keeps ``position % capacity`` continuous
+        # across the u32 counter wraparound (2^32 is a multiple of the
+        # capacity, so the mapping never jumps).
+        capacity = 1 << max(int(capacity) - 1, 1).bit_length()
+        shm = _shared_memory.SharedMemory(create=True,
+                                          size=_RING_HEADER + capacity)
+        shm.buf[:_RING_HEADER] = b"\x00" * _RING_HEADER
+        return cls(shm, capacity, owner=True)
+
+    def handle(self) -> _RingHandle:
+        return _RingHandle(self._shm.name, self.capacity)
+
+    @classmethod
+    def attach(cls, handle: _RingHandle) -> "ShmRing":
+        # Attaching re-registers the segment with the resource tracker the
+        # worker inherits from the parent; that tracker is shared and its
+        # cache is a set, so the parent's single unlink() still retires the
+        # segment exactly once — no extra bookkeeping needed here.
+        shm = _shared_memory.SharedMemory(name=handle.name)
+        return cls(shm, handle.capacity, owner=False)
+
+    # -- counters ------------------------------------------------------
+    def _head(self) -> int:
+        return struct.unpack_from("<I", self._buf, 0)[0]
+
+    def _tail(self) -> int:
+        return struct.unpack_from("<I", self._buf, 8)[0]
+
+    def _set_head(self, value: int) -> None:
+        struct.pack_into("<I", self._buf, 0, value & _COUNTER_MASK)
+
+    def _set_tail(self, value: int) -> None:
+        struct.pack_into("<I", self._buf, 8, value & _COUNTER_MASK)
+
+    def _used(self) -> int:
+        return (self._head() - self._tail()) & _COUNTER_MASK
+
+    # -- data region ---------------------------------------------------
+    def _copy_in(self, data, position: int) -> None:
+        offset = position % self.capacity
+        first = min(len(data), self.capacity - offset)
+        start = _RING_HEADER + offset
+        self._buf[start:start + first] = data[:first]
+        if first < len(data):
+            rest = len(data) - first
+            self._buf[_RING_HEADER:_RING_HEADER + rest] = data[first:]
+
+    def _copy_out(self, position: int, size: int) -> bytes:
+        offset = position % self.capacity
+        first = min(size, self.capacity - offset)
+        start = _RING_HEADER + offset
+        chunk = bytes(self._buf[start:start + first])
+        if first < size:
+            rest = size - first
+            chunk += bytes(self._buf[_RING_HEADER:_RING_HEADER + rest])
+        return chunk
+
+    # -- blocking send / recv ------------------------------------------
+    @staticmethod
+    def _wait(predicate, deadline: float) -> bool:
+        """Spin briefly, then sleep-poll ``predicate`` until the deadline."""
+        spin_until = time.monotonic() + _SPIN_S
+        while True:
+            if predicate():
+                return True
+            now = time.monotonic()
+            if now >= deadline:
+                return False
+            if now >= spin_until:
+                time.sleep(min(_POLL_S, max(deadline - now, 0.0)))
+
+    def send_bytes(self, blob: bytes, timeout: float = 30.0) -> int:
+        """Append one length-prefixed message; returns bytes written.
+
+        Raises :class:`ValueError` when the message can never fit (larger
+        than the whole ring) and :class:`TimeoutError` when the consumer
+        did not free enough space within ``timeout`` — the caller maps
+        that onto shard-crash handling.
+        """
+        needed = _FRAME_PREFIX_BYTES + len(blob)
+        if needed > self.capacity:
+            raise ValueError(
+                f"message of {len(blob)} bytes cannot fit the "
+                f"{self.capacity}-byte shard ring — raise "
+                "ShardingConfig.ring_bytes for frames this large")
+        deadline = time.monotonic() + timeout
+        if not self._wait(lambda: self.capacity - self._used() >= needed,
+                          deadline):
+            raise TimeoutError(
+                f"shard ring full for {timeout:.1f}s (consumer stalled "
+                "or dead)")
+        head = self._head()
+        self._copy_in(struct.pack(_FRAME_PREFIX, len(blob)), head)
+        self._copy_in(blob, head + _FRAME_PREFIX_BYTES)
+        # Publishing the head is the commit point: a single aligned 4-byte
+        # store, issued only after the payload is fully in place.
+        self._set_head(head + needed)
+        return needed
+
+    def recv_bytes(self, timeout: float = 0.2) -> Optional[bytes]:
+        """Pop one message, or ``None`` when nothing arrived in ``timeout``.
+
+        Returning ``None`` (instead of raising) lets the caller interleave
+        liveness checks of the peer process with the wait.
+        """
+        deadline = time.monotonic() + timeout
+        if not self._wait(lambda: self._used() >= _FRAME_PREFIX_BYTES,
+                          deadline):
+            return None
+        tail = self._tail()
+        (length,) = struct.unpack(
+            _FRAME_PREFIX, self._copy_out(tail, _FRAME_PREFIX_BYTES))
+        # The producer publishes the head once per whole message, so the
+        # payload is guaranteed present the moment the prefix is.
+        blob = self._copy_out(tail + _FRAME_PREFIX_BYTES, length)
+        self._set_tail(tail + _FRAME_PREFIX_BYTES + length)
+        return blob
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._buf = None
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - teardown race
+            # BufferError: a reader thread still holds a view for a few
+            # more microseconds; the mapping is reclaimed at process exit.
+            pass
+
+    def unlink(self) -> None:
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+
+
+# ----------------------------------------------------------------------
+# Channel: one shard's bidirectional transport endpoint
+# ----------------------------------------------------------------------
+class ShardChannel:
+    """One side of a shard's request/response transport.
+
+    The parent sends requests and receives responses; the worker side is
+    constructed with the directions swapped (see :func:`attach_channel`),
+    so both ends expose the same ``send_bytes``/``recv_bytes`` surface.
+    """
+
+    def __init__(self, send_ring, recv_ring, *, owner: bool) -> None:
+        self._send = send_ring
+        self._recv = recv_ring
+        self._owner = owner
+
+    @property
+    def max_message_bytes(self) -> Optional[int]:
+        """Largest message this channel can carry (``None`` = unbounded).
+
+        Callers shipping multi-envelope sequences (batches) must check
+        every envelope against this *before* sending the first one — a
+        mid-sequence size failure would leave the peer waiting for
+        envelopes that never come.
+        """
+        capacity = getattr(self._send, "capacity", None)
+        return None if capacity is None else capacity - _FRAME_PREFIX_BYTES
+
+    def send_bytes(self, blob: bytes, timeout: float = 30.0) -> int:
+        return self._send.send_bytes(blob, timeout=timeout)
+
+    def recv_bytes(self, timeout: float = 0.2) -> Optional[bytes]:
+        return self._recv.recv_bytes(timeout=timeout)
+
+    def close(self) -> None:
+        self._send.close()
+        self._recv.close()
+
+    def unlink(self) -> None:
+        self._send.unlink()
+        self._recv.unlink()
+
+
+class _PipeEndpoint:
+    """Length-delimited messages over one half of a ``multiprocessing.Pipe``.
+
+    Limitation vs the ring transport: ``Connection.send_bytes`` offers no
+    write timeout, so when the OS pipe buffer is full (a live worker that
+    stopped draining) a send blocks until the kernel frees space — the
+    ``timeout`` parameter only bounds failures the OS reports (a closed
+    peer raises immediately).  The shm ring transport honors the timeout
+    exactly; the pipe transport is the portability fallback.
+    """
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+
+    def send_bytes(self, blob: bytes, timeout: float = 30.0) -> int:
+        try:
+            self._conn.send_bytes(blob)
+        except (BrokenPipeError, OSError) as exc:
+            raise TimeoutError(f"shard pipe closed: {exc}") from exc
+        return len(blob) + _FRAME_PREFIX_BYTES
+
+    def recv_bytes(self, timeout: float = 0.2) -> Optional[bytes]:
+        try:
+            if not self._conn.poll(timeout):
+                return None
+            return self._conn.recv_bytes()
+        except (EOFError, BrokenPipeError, OSError):
+            # Treated exactly like a silent ring: the caller's liveness
+            # poll turns a dead peer into ShardCrashedError.
+            return None
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - teardown race
+            pass
+
+    def unlink(self) -> None:  # pipes have no backing object to unlink
+        pass
+
+
+def create_channel(ctx, transport: str, capacity: int
+                   ) -> Tuple[ShardChannel, Tuple]:
+    """Build a parent-side channel plus the picklable worker-side spec.
+
+    The spec travels to the worker through ``Process`` args (the only
+    context in which multiprocessing synchronization primitives pickle)
+    and is turned back into a channel by :func:`attach_channel`.
+    """
+    if transport == SHARD_TRANSPORT_SHM:
+        request = ShmRing.create(capacity)
+        response = ShmRing.create(capacity)
+        parent = ShardChannel(request, response, owner=True)
+        spec = (SHARD_TRANSPORT_SHM, request.handle(), response.handle())
+        return parent, spec
+    if transport == SHARD_TRANSPORT_PIPE:
+        request_rx, request_tx = ctx.Pipe(duplex=False)
+        response_rx, response_tx = ctx.Pipe(duplex=False)
+        parent = ShardChannel(_PipeEndpoint(request_tx),
+                              _PipeEndpoint(response_rx), owner=True)
+        spec = (SHARD_TRANSPORT_PIPE, request_rx, response_tx)
+        return parent, spec
+    raise ValueError(f"unknown shard transport {transport!r} "
+                     f"(expected one of {SHARD_TRANSPORTS})")
+
+
+def attach_channel(spec: Tuple) -> ShardChannel:
+    """Worker-side channel from a :func:`create_channel` spec."""
+    kind = spec[0]
+    if kind == SHARD_TRANSPORT_SHM:
+        _, request_handle, response_handle = spec
+        return ShardChannel(ShmRing.attach(response_handle),
+                            ShmRing.attach(request_handle), owner=False)
+    if kind == SHARD_TRANSPORT_PIPE:
+        _, request_rx, response_tx = spec
+        return ShardChannel(_PipeEndpoint(response_tx),
+                            _PipeEndpoint(request_rx), owner=False)
+    raise ValueError(f"unknown shard channel spec {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Zoo payloads (JSON across the process boundary — no pickled live objects)
+# ----------------------------------------------------------------------
+def zoo_to_payload(zoo) -> Dict:
+    """JSON form of an :class:`~repro.core.zoo.ArchitectureZoo`."""
+    return {"entries": [entry.to_dict() for entry in zoo]}
+
+
+def zoo_from_payload(payload: Dict):
+    from ..core.zoo import ArchitectureZoo, ZooEntry
+    return ArchitectureZoo([ZooEntry.from_dict(entry)
+                            for entry in payload["entries"]])
+
+
+# ----------------------------------------------------------------------
+# Worker process main
+# ----------------------------------------------------------------------
+def _parent_alive() -> bool:
+    import multiprocessing
+    parent = multiprocessing.parent_process()
+    return parent is None or parent.is_alive()
+
+
+def _shard_main(shard_id: int, spec: Tuple, bootstrap: Dict) -> None:
+    """Entry point of one shard worker process (spawn-safe, module-level).
+
+    ``bootstrap`` carries everything needed to rebuild the serving state
+    from scratch — zoo payload, snapshot version, model dimensions, runtime
+    config and seed — so the worker's models are bit-identical twins of the
+    parent's (same seed, same builder) and shard execution is numerically
+    equivalent to in-process serving.
+    """
+    # Deferred imports: this module must stay importable without dragging
+    # the serving facade in (repro.serving imports repro.runtime).
+    from ..serving.config import RuntimeConfig
+    from ..serving.repository import SNAPSHOT_META_KEY, ModelRepository
+    from ..system.messages import (Message, SHARD_KIND_BATCH,
+                                   SHARD_KIND_PUBLISH, SHARD_KIND_PUBLISHED,
+                                   SHARD_KIND_READY, WIRE_FORMAT_RAW,
+                                   deserialize_message, serialize_message)
+
+    channel = attach_channel(spec)
+
+    def reply(message: Message) -> None:
+        channel.send_bytes(serialize_message(message,
+                                             wire_format=WIRE_FORMAT_RAW))
+
+    def reply_error(corr: int, exc: BaseException,
+                    batch_index: Optional[int] = None) -> None:
+        import traceback
+        try:
+            reply(Message(kind="error", frame_id=corr,
+                          meta={"error": f"{type(exc).__name__}: {exc}",
+                                "traceback": traceback.format_exc()},
+                          batch_index=batch_index))
+        except Exception:  # parent gone: nothing left to tell
+            pass
+
+    try:
+        repository = ModelRepository(
+            in_dim=int(bootstrap["in_dim"]),
+            num_classes=int(bootstrap["num_classes"]),
+            runtime=RuntimeConfig.from_dict(bootstrap["runtime"]),
+            seed=int(bootstrap["seed"]),
+            retain=int(bootstrap["retain"]))
+        repository.publish(zoo_from_payload(bootstrap["zoo"]),
+                           version=int(bootstrap["version"]))
+    except Exception as exc:
+        reply_error(0, exc)
+        channel.close()
+        return
+    try:
+        reply(Message(kind=SHARD_KIND_READY,
+                      meta={"pid": os.getpid(), "shard_id": shard_id,
+                            "version": repository.version}))
+    except Exception:  # parent died during our bootstrap: nothing to serve
+        channel.close()
+        return
+
+    def read_envelope(timeout: float) -> Optional[Message]:
+        blob = channel.recv_bytes(timeout=timeout)
+        return None if blob is None else deserialize_message(blob)
+
+    def check_pin(frame_meta) -> None:
+        """Fail loudly on a pin this shard cannot honor yet.
+
+        A frame pinned to a version *newer* than anything this shard holds
+        means snapshot replication lagged behind the parent swap (a startup
+        race the app guards against); the repository's normal fallback
+        would silently answer it from an older snapshot — numerically
+        wrong.  An error envelope is the honest outcome.
+        """
+        pinned = (frame_meta.get(SNAPSHOT_META_KEY)
+                  if isinstance(frame_meta, dict) else None)
+        if pinned is not None and int(pinned) > repository.version:
+            raise RuntimeError(
+                f"frame pinned to snapshot v{pinned} but this shard only "
+                f"holds up to v{repository.version} — snapshot replication "
+                "lagged behind the parent swap")
+
+    def handle_frame(message: Message) -> None:
+        corr = message.frame_id
+        try:
+            entry = message.meta["entry"]
+            frame_meta = message.meta["frame"]
+            check_pin(frame_meta)
+            started = time.perf_counter()
+            arrays, out_meta = repository.edge_router(entry)(
+                dict(message.arrays), frame_meta)
+            elapsed = time.perf_counter() - started
+        except Exception as exc:
+            reply_error(corr, exc)
+            return
+        try:
+            reply(Message(kind="result", frame_id=corr, arrays=arrays,
+                          meta={"frame": out_meta,
+                                "service_time_s": elapsed}))
+        except Exception as exc:
+            # A result that cannot be shipped (larger than the response
+            # ring, parent stalled) must degrade to one per-frame error,
+            # not kill the whole worker.
+            reply_error(corr, exc)
+
+    def handle_batch(header: Message) -> Optional[Message]:
+        """Collect and execute one batch; returns a stray envelope, if any.
+
+        The pool writes the header and its frames back-to-back under one
+        send lock, so they are contiguous on the ring.  Defensively, an
+        envelope that is not one of this batch's frames (a desynced parent
+        after a mid-sequence transport failure) aborts the batch — the
+        parent already failed it on its side — and is handed back to the
+        main loop for normal processing instead of being swallowed.
+        """
+        corr = header.frame_id
+        count = int(header.meta["count"])
+        entry = header.meta["entry"]
+        requests = []
+        deadline = time.monotonic() + 30.0
+        while len(requests) < count:
+            message = read_envelope(timeout=0.2)
+            if message is not None:
+                if message.kind != "frame" or message.frame_id != corr:
+                    reply_error(corr, RuntimeError(
+                        f"batch {corr} truncated: expected frame "
+                        f"{len(requests)}/{count}, got a "
+                        f"{message.kind!r} envelope"))
+                    return message
+                requests.append((dict(message.arrays),
+                                 message.meta["frame"]))
+            elif time.monotonic() > deadline or not _parent_alive():
+                return None  # truncated batch from a dead parent: drop it
+        try:
+            for _, frame_meta in requests:
+                check_pin(frame_meta)
+            started = time.perf_counter()
+            results = repository.batch_router(entry)(requests)
+            elapsed = time.perf_counter() - started
+        except Exception as exc:
+            # One error for the whole batch: the parent's batched router
+            # raises, and the engine re-runs the frames per frame so the
+            # failure isolates to the offending request (the same fallback
+            # contract in-process batched serving has).
+            reply_error(corr, exc)
+            return None
+        share = elapsed / max(len(results), 1)
+        for index, (arrays, out_meta) in enumerate(results):
+            try:
+                reply(Message(kind="result", frame_id=corr, arrays=arrays,
+                              meta={"frame": out_meta,
+                                    "service_time_s": share},
+                              batch_index=index))
+            except Exception as exc:
+                # Per-index degradation, same rationale as handle_frame.
+                reply_error(corr, exc, batch_index=index)
+        return None
+
+    def handle_publish(message: Message) -> None:
+        corr = message.frame_id
+        version = int(message.meta["version"])
+        try:
+            if version > repository.version:
+                repository.publish(zoo_from_payload(message.meta["zoo"]),
+                                   version=version)
+            # A re-broadcast of an installed (or older) version is an
+            # idempotent no-op: startup re-syncs can never regress state.
+            reply(Message(kind=SHARD_KIND_PUBLISHED, frame_id=corr,
+                          meta={"version": repository.version}))
+        except Exception as exc:
+            reply_error(corr, exc)
+
+    stray: Optional[Message] = None
+    while True:
+        if stray is not None:
+            message, stray = stray, None
+        else:
+            try:
+                message = read_envelope(timeout=0.5)
+            except Exception as exc:  # undecodable envelope: broken protocol
+                reply_error(0, exc)
+                break
+            if message is None:
+                if not _parent_alive():
+                    break  # orphaned worker: exit instead of spinning
+                continue
+        if message.kind == "stop":
+            break
+        if message.kind == "frame":
+            handle_frame(message)
+        elif message.kind == SHARD_KIND_BATCH:
+            stray = handle_batch(message)
+        elif message.kind == SHARD_KIND_PUBLISH:
+            handle_publish(message)
+        # Unknown kinds are ignored: forward compatibility.
+    channel.close()

@@ -32,6 +32,10 @@ Layer map
   frames answered from exactly one snapshot).
 * :mod:`repro.serving.app` — :class:`ServingApp`, :class:`Client`,
   :func:`serve`: explicit start/stop/closed lifecycle, context managers.
+* :mod:`repro.serving.sharding` — :class:`ShardPool`: process-parallel
+  serving shards (multi-core scaling) behind a
+  :class:`ShardingConfig`-enabled app; frames cross to worker processes
+  over shared-memory rings carrying the raw wire framing.
 
 The engine primitives (:class:`~repro.system.engine.EdgeServer`,
 :class:`~repro.system.engine.DeviceClient`) stay available in
@@ -41,11 +45,13 @@ contract guarded by ``tools/check_public_api.py`` in CI.
 """
 
 from ..core.executor import ServingCallables
+from ..runtime.shard import ShardCrashedError, ShardStats
 from .app import Client, ServingApp, serve
 from .builders import build_callables, build_zoo_callables
 from .config import (BatchingConfig, ClientConfig, RuntimeConfig,
-                     ServerConfig, ServingConfig)
+                     ServerConfig, ServingConfig, ShardingConfig)
 from .repository import SNAPSHOT_META_KEY, ModelRepository, ServingSnapshot
+from .sharding import ShardPool, sharding_supported
 
 __all__ = [
     "BatchingConfig",
@@ -59,7 +65,12 @@ __all__ = [
     "ServingCallables",
     "ServingConfig",
     "ServingSnapshot",
+    "ShardCrashedError",
+    "ShardPool",
+    "ShardStats",
+    "ShardingConfig",
     "build_callables",
     "build_zoo_callables",
     "serve",
+    "sharding_supported",
 ]

@@ -22,6 +22,7 @@ table under live traffic (see :mod:`repro.serving.repository`).
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.zoo import ArchitectureZoo
@@ -30,6 +31,7 @@ from ..system.engine import (DeviceClient, DeviceFn, EdgeServer,
                              ServingSession)
 from .config import ClientConfig, RuntimeConfig, ServingConfig
 from .repository import ModelRepository
+from .sharding import ShardPool, sharding_supported
 
 
 def _as_serving_config(config: Union[ServingConfig, Mapping, None]
@@ -65,6 +67,7 @@ class ServingApp:
         self.repository = repository
         self.config = _as_serving_config(config)
         self._server: Optional[EdgeServer] = None
+        self._pool: Optional[ShardPool] = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -101,7 +104,16 @@ class ServingApp:
 
     # ------------------------------------------------------------------
     def start(self) -> "ServingApp":
-        """Bind the socket, start the accept loop, subscribe to reloads."""
+        """Bind the socket, start the accept loop, subscribe to reloads.
+
+        With ``config.sharding.num_shards > 1`` (and a capable platform)
+        this also spawns the shard worker processes and serves through
+        them: the edge server's callables become thin shard routers and
+        every engine call executes on another core.  ``num_shards=1`` — or
+        a platform without ``multiprocessing.shared_memory`` for the
+        ``"shm"`` transport — serves in process exactly as before (the
+        latter with a :class:`RuntimeWarning`).
+        """
         if self._closed:
             raise RuntimeError("ServingApp is closed and cannot be "
                                "restarted; build a new app")
@@ -110,25 +122,77 @@ class ServingApp:
         # Raises cleanly when nothing was published yet — a server with an
         # empty table could never answer a frame.
         self.repository.snapshot()
+        sharding = self.config.sharding
+        if sharding.enabled:
+            if sharding_supported(sharding.transport):
+                self._pool = ShardPool(self.repository, sharding).start()
+            else:
+                warnings.warn(
+                    f"sharding requested ({sharding.num_shards} shards, "
+                    f"transport {sharding.transport!r}) but the platform "
+                    "does not support it; falling back to in-process "
+                    "serving", RuntimeWarning, stacklevel=2)
         server_config, batching = self.config.server, self.config.batching
-        self._server = EdgeServer(
-            edge_fns=self.repository.edge_fns(),
-            batch_fns=self.repository.batch_fns(),
-            selector=self.repository.select_for_meta,
-            host=server_config.host, port=server_config.port,
-            max_workers=server_config.max_workers,
-            backlog=server_config.backlog,
-            session_log_limit=server_config.session_log_limit,
-            max_batch_size=batching.max_batch_size,
-            max_wait_ms=batching.max_wait_ms).start()
+        try:
+            if self._pool is not None:
+                # Publishes must replicate to every shard *before* the
+                # parent swap (pre-swap preparer), so no frame is ever
+                # stamped with a snapshot version a live shard does not
+                # hold.  Register the preparer and re-sync the current
+                # snapshot (an idempotent re-broadcast, covering a publish
+                # that raced pool startup) *before* the socket starts
+                # accepting — and atomically w.r.t. publishes (the
+                # barrier), or a publish in flight right now could read
+                # the preparer list pre-registration and swap
+                # post-sync, invisible to both.
+                with self.repository.publish_barrier():
+                    self.repository.add_preparer(self._pool.prepare_publish)
+                    self._pool.sync(self.repository.snapshot())
+            self._server = EdgeServer(
+                edge_fns=self._edge_fns(),
+                batch_fns=self._batch_fns(),
+                selector=self.repository.select_for_meta,
+                host=server_config.host, port=server_config.port,
+                max_workers=server_config.max_workers,
+                backlog=server_config.backlog,
+                session_log_limit=server_config.session_log_limit,
+                max_batch_size=batching.max_batch_size,
+                max_wait_ms=batching.max_wait_ms,
+                shard_stats=self._pool.stats if self._pool is not None
+                else None).start()
+        except Exception:
+            if self._pool is not None:
+                self.repository.remove_preparer(self._pool.prepare_publish)
+                self._pool.stop()
+                self._pool = None
+            raise
         self.repository.subscribe(self._on_publish)
         # A publish may have landed between reading the routers above and
         # the subscribe — it would have notified nobody.  Re-install once
         # now that we are subscribed, so the server's name table can never
         # miss a publish (the routers themselves always follow the
-        # repository, so this only refreshes the names/selector).
+        # repository; shard replication is already covered by the preparer
+        # registered above).
         self._on_publish(self.repository.snapshot())
         return self
+
+    def _edge_fns(self):
+        return (self._pool.edge_fns() if self._pool is not None
+                else self.repository.edge_fns())
+
+    def _batch_fns(self):
+        return (self._pool.batch_fns() if self._pool is not None
+                else self.repository.batch_fns())
+
+    @property
+    def sharded(self) -> bool:
+        """True when this app serves through a process-parallel shard pool."""
+        return self._pool is not None
+
+    @property
+    def shard_pool(self) -> Optional[ShardPool]:
+        """The shard pool behind this app (``None`` for in-process serving)."""
+        return self._pool
 
     def _on_publish(self, snapshot) -> None:
         """Install the new snapshot's entry names on the live server.
@@ -143,8 +207,8 @@ class ServingApp:
         server = self._server
         if server is None or self._closed:
             return
-        server.install_table(edge_fns=self.repository.edge_fns(),
-                             batch_fns=self.repository.batch_fns(),
+        server.install_table(edge_fns=self._edge_fns(),
+                             batch_fns=self._batch_fns(),
                              selector=self.repository.select_for_meta)
 
     def stop(self) -> None:
@@ -153,8 +217,12 @@ class ServingApp:
             return
         self._closed = True
         self.repository.unsubscribe(self._on_publish)
+        if self._pool is not None:
+            self.repository.remove_preparer(self._pool.prepare_publish)
         if self._server is not None:
             self._server.stop()
+        if self._pool is not None:
+            self._pool.stop()
 
     def __enter__(self) -> "ServingApp":
         if self._server is None and not self._closed:

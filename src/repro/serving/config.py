@@ -34,6 +34,7 @@ import numpy as np
 
 from ..core.executor import RUNTIMES
 from ..runtime import SEGMENTS
+from ..runtime.shard import SHARD_TRANSPORT_SHM, SHARD_TRANSPORTS
 from ..system.messages import WIRE_FORMAT_ZLIB, WIRE_FORMATS
 
 
@@ -198,6 +199,71 @@ class BatchingConfig(_Config):
 
 
 @dataclass(frozen=True)
+class ShardingConfig(_Config):
+    """Process-parallel serving shards of a :class:`~repro.serving.ServingApp`.
+
+    ``num_shards=1`` (the default) serves in process exactly as before — no
+    worker processes, no transport.  With ``num_shards > 1`` the app spawns
+    that many shard worker processes, each holding its own compiled plans
+    and buffer arenas, and routes frames (and whole micro-batches) to them
+    over the chosen transport; see :mod:`repro.serving.sharding`.
+
+    Parameters
+    ----------
+    num_shards:
+        Worker processes executing engine calls.  Sizing rule of thumb:
+        number of cores minus one (the parent's socket/batcher threads and
+        the loopback device segments need a core of their own).
+    transport:
+        ``"shm"`` — per-shard shared-memory ring buffers carrying the raw
+        wire framing (default) — or ``"pipe"`` — the same framing over
+        ``multiprocessing.Pipe`` (portability fallback / A-B baseline).
+    ring_bytes:
+        Capacity of each shared-memory ring (one request + one response
+        ring per shard).  A single frame must fit: size it to a few times
+        the largest raw-framed frame you expect.
+    request_timeout_s:
+        Upper bound on one frame/batch round trip to a shard before it is
+        treated as unreachable (guards against a wedged — not crashed —
+        worker; crashes are detected immediately).
+    start_timeout_s:
+        How long :meth:`~repro.serving.sharding.ShardPool.start` waits for
+        every worker to build its models/plans and report ready.
+    publish_timeout_s:
+        How long a publish waits for each shard to acknowledge a new
+        snapshot before the shard is treated as failed.
+    """
+
+    num_shards: int = 1
+    transport: str = SHARD_TRANSPORT_SHM
+    ring_bytes: int = 4 * 1024 * 1024
+    request_timeout_s: float = 60.0
+    start_timeout_s: float = 60.0
+    publish_timeout_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "num_shards",
+                           _check_int(self.num_shards, knob="num_shards",
+                                      minimum=1))
+        if self.transport not in SHARD_TRANSPORTS:
+            raise ValueError(f"unknown shard transport {self.transport!r} "
+                             f"(expected one of {SHARD_TRANSPORTS})")
+        object.__setattr__(self, "ring_bytes",
+                           _check_int(self.ring_bytes, knob="ring_bytes",
+                                      minimum=64 * 1024))
+        for knob in ("request_timeout_s", "start_timeout_s",
+                     "publish_timeout_s"):
+            object.__setattr__(self, knob,
+                               _check_number(getattr(self, knob), knob=knob,
+                                             minimum=0.0, inclusive=False))
+
+    @property
+    def enabled(self) -> bool:
+        """True when serving should spawn worker processes."""
+        return self.num_shards > 1
+
+
+@dataclass(frozen=True)
 class ServerConfig(_Config):
     """Socket and worker-pool knobs of the :class:`~repro.system.engine.EdgeServer`."""
 
@@ -264,7 +330,7 @@ class ClientConfig(_Config):
 class ServingConfig(_Config):
     """Everything a server-side deployment needs, in one value.
 
-    Composes the runtime, batching and server configs; this is the single
+    Composes the runtime, batching, server and sharding configs; this is the single
     ``config`` argument of :func:`repro.serving.serve` and
     :class:`repro.serving.ServingApp`.  Plain dicts are accepted for any
     sub-config (handy for file-borne configs).
@@ -273,9 +339,10 @@ class ServingConfig(_Config):
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
     batching: BatchingConfig = field(default_factory=BatchingConfig)
     server: ServerConfig = field(default_factory=ServerConfig)
+    sharding: ShardingConfig = field(default_factory=ShardingConfig)
 
     _nested = {"runtime": RuntimeConfig, "batching": BatchingConfig,
-               "server": ServerConfig}
+               "server": ServerConfig, "sharding": ShardingConfig}
 
     def __post_init__(self) -> None:
         for name, cls in self._nested.items():

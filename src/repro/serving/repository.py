@@ -30,6 +30,7 @@ snapshot** — pinned by ``tests/test_serving_hot_reload.py``.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from dataclasses import dataclass
 from types import MappingProxyType
@@ -65,6 +66,19 @@ class ServingSnapshot:
         """Entry names served by this snapshot."""
         return list(self.callables)
 
+    def release_buffers(self) -> int:
+        """Release the pooled plan buffers of every entry; returns bytes freed.
+
+        Called by the repository when the snapshot falls out of the retained
+        window: per-thread arenas otherwise keep every executing thread's
+        steady-state buffers pooled for as long as anything references the
+        snapshot.  Releasing is safe for a frame still in flight on this
+        snapshot — its buffers survive through the frame's own references
+        and the arena simply reallocates on the next request.
+        """
+        return sum(serving.release_buffers()
+                   for serving in self.callables.values())
+
 
 class ModelRepository:
     """Owns the zoo → serving-callables wiring behind versioned snapshots.
@@ -99,17 +113,28 @@ class ModelRepository:
         self.seed = seed
         self._retain = retain
         self._lock = threading.Lock()
+        #: Serializes whole publishes: the version is allocated before the
+        #: pre-swap preparers run but only consumed at the swap, so two
+        #: interleaved publishes could otherwise mint the same version.
+        self._publish_lock = threading.Lock()
         self._snapshots: Dict[int, ServingSnapshot] = {}
         self._current: Optional[ServingSnapshot] = None
         self._next_version = 1
         self._subscribers: List[Callable[[ServingSnapshot], None]] = []
+        self._preparers: List[Callable[[ServingSnapshot], None]] = []
         if zoo is not None:
             self.publish(zoo)
+
+    @property
+    def retain(self) -> int:
+        """How many snapshots stay alive for pinned in-flight frames."""
+        return self._retain
 
     # ------------------------------------------------------------------
     # Publishing
     # ------------------------------------------------------------------
-    def publish(self, zoo: ArchitectureZoo) -> ServingSnapshot:
+    def publish(self, zoo: ArchitectureZoo, *,
+                version: Optional[int] = None) -> ServingSnapshot:
         """Build and atomically install a new snapshot serving ``zoo``.
 
         The expensive part — model construction and plan compilation for
@@ -117,27 +142,93 @@ class ModelRepository:
         serving the previous snapshot until the single reference swap at
         the end.  Subscribers (attached serving apps) are notified after
         the swap so their servers re-list the new entry names.
+
+        Preparers (see :meth:`add_preparer`) run after the snapshot is
+        built but *before* the swap; a raising preparer aborts the publish
+        with the old snapshot still installed.  This is the hook the
+        process-parallel serving tier uses to replicate the snapshot to
+        every shard before any frame can be stamped with its version.
+
+        ``version`` forces the snapshot's version number (it must exceed
+        the current one) instead of taking the next sequential value —
+        used by shard workers to mirror the parent repository's numbering
+        so cross-process snapshot pinning stays aligned.
         """
         if len(zoo) == 0:
             raise ValueError("cannot publish an empty architecture zoo")
+        with self._publish_lock:
+            return self._publish(zoo, version)
+
+    def _publish(self, zoo: ArchitectureZoo,
+                 version: Optional[int]) -> ServingSnapshot:
         callables = build_zoo_callables(zoo, in_dim=self.in_dim,
                                         num_classes=self.num_classes,
                                         config=self.runtime, seed=self.seed)
         dispatcher = RuntimeDispatcher(zoo)
         with self._lock:
+            if version is not None:
+                if version < self._next_version:
+                    raise ValueError(
+                        f"explicit snapshot version {version} must be at "
+                        f"least {self._next_version} (monotonic versioning)")
+                self._next_version = version
             snapshot = ServingSnapshot(
                 version=self._next_version, zoo=zoo,
                 callables=MappingProxyType(dict(callables)),
                 dispatcher=dispatcher)
-            self._next_version += 1
+            # The version is consumed NOW, even if a preparer aborts the
+            # publish below: a preparer may already have replicated this
+            # version to shard workers, and re-minting it for a different
+            # zoo later would make those shards silently serve the aborted
+            # zoo's models under the reused number.  Version gaps are
+            # harmless; version reuse is not.
+            self._next_version = snapshot.version + 1
+            preparers = list(self._preparers)
+        # Pre-swap hooks: replication to shards etc.  A failure here aborts
+        # the publish with the old snapshot still installed (only the
+        # version number is burned).
+        for prepare in preparers:
+            prepare(snapshot)
+        released: List[ServingSnapshot] = []
+        with self._lock:
             self._snapshots[snapshot.version] = snapshot
             self._current = snapshot
             while len(self._snapshots) > self._retain:
-                del self._snapshots[min(self._snapshots)]
+                released.append(self._snapshots.pop(min(self._snapshots)))
             subscribers = list(self._subscribers)
+        for old in released:
+            # Out of the retained window: no new frame can resolve to this
+            # snapshot anymore — free its pooled arena buffers now instead
+            # of when the last thread that ever executed its plans dies.
+            old.release_buffers()
         for notify in subscribers:
             notify(snapshot)
         return snapshot
+
+    @contextlib.contextmanager
+    def publish_barrier(self):
+        """No publish can be in flight (or start) while this is held.
+
+        Lets a caller register a preparer and synchronize external state
+        with the current snapshot *atomically* with respect to publishes:
+        without the barrier, a concurrent publish could read the preparer
+        list before the registration and swap after the synchronization —
+        invisible to both.  Do not call :meth:`publish` while holding it.
+        """
+        with self._publish_lock:
+            yield
+
+    def add_preparer(self, callback: Callable[[ServingSnapshot], None]) -> None:
+        """Register a pre-swap publish hook (see :meth:`publish`)."""
+        with self._lock:
+            if callback not in self._preparers:
+                self._preparers.append(callback)
+
+    def remove_preparer(self, callback: Callable[[ServingSnapshot], None]
+                        ) -> None:
+        with self._lock:
+            if callback in self._preparers:
+                self._preparers.remove(callback)
 
     def subscribe(self, callback: Callable[[ServingSnapshot], None]) -> None:
         """Register a callback invoked after every successful publish."""
@@ -242,14 +333,14 @@ class ModelRepository:
     # ------------------------------------------------------------------
     # Edge side: snapshot-routing callables for an EdgeServer table
     # ------------------------------------------------------------------
-    def _edge_router(self, name: str) -> Callable[[ArrayDict, Dict], FrameState]:
+    def edge_router(self, name: str) -> Callable[[ArrayDict, Dict], FrameState]:
         def edge_fn(arrays: ArrayDict, meta: Dict) -> FrameState:
             snapshot = self._snapshot_for(name, meta)
             return self._entry(snapshot, name).edge_fn(arrays, meta)
 
         return edge_fn
 
-    def _batch_router(self, name: str
+    def batch_router(self, name: str
                       ) -> Callable[[Sequence[FrameState]], List[FrameState]]:
         def batch_fn(requests: Sequence[FrameState]) -> List[FrameState]:
             # Frames coalesced across a publish may pin different snapshot
@@ -278,12 +369,12 @@ class ModelRepository:
 
     def edge_fns(self) -> Dict[str, Callable[[ArrayDict, Dict], FrameState]]:
         """Per-entry edge routers, covering every retained snapshot's names."""
-        return {name: self._edge_router(name) for name in self.serving_names()}
+        return {name: self.edge_router(name) for name in self.serving_names()}
 
     def batch_fns(self) -> Dict[str, Callable[[Sequence[FrameState]],
                                               List[FrameState]]]:
         """Per-entry batched routers, covering every retained snapshot's names."""
-        return {name: self._batch_router(name)
+        return {name: self.batch_router(name)
                 for name in self.serving_names()}
 
     def select_for_meta(self, meta: Dict) -> Optional[str]:

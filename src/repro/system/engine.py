@@ -71,9 +71,14 @@ import traceback
 from collections import Counter
 from dataclasses import dataclass, field, replace
 from types import MappingProxyType
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Callable, Dict, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 import numpy as np
+
+if TYPE_CHECKING:  # import-free at runtime: engine must not drag in the
+    # shard runtime (repro.serving builds on this module, not vice versa).
+    from ..runtime.shard import ShardStats
 
 from .messages import (_LENGTH_SIZE as PAYLOAD_PREFIX_BYTES, Message,
                        WIRE_FORMAT_ZLIB, WIRE_FORMATS, recv_message,
@@ -251,6 +256,20 @@ class EdgeServerStats:
     #: the batched path is degrading; the histogram above still records the
     #: *attempted* coalescing.
     batch_fallback_frames: int = 0
+    #: Queue health of the micro-batcher: frames currently sitting in entry
+    #: queues awaiting dispatch, and the highest depth ever observed.  A
+    #: peak persistently near ``max_batch_size × active clients`` (and a
+    #: growing ``mean_queue_delay_s``) is the saturation signal — the
+    #: engine, not the wire, is the bottleneck.  Both zero with batching
+    #: off.
+    queue_depth: int = 0
+    queue_depth_peak: int = 0
+    #: Process-parallel serving: per-shard counters of the attached shard
+    #: pool (empty when serving in process).  ``num_shards`` counts the
+    #: configured shards; a shard with ``alive=False`` crashed and is being
+    #: routed around.
+    num_shards: int = 0
+    shards: List["ShardStats"] = field(default_factory=list)
 
     @property
     def throughput_fps(self) -> float:
@@ -308,6 +327,11 @@ class MicroBatcher:
         self._size_histogram: "Counter[int]" = Counter()
         self._queue_delay_total_s = 0.0
         self._fallback_frames = 0
+        #: Frames enqueued but not yet handed to dispatch, and the highest
+        #: value that counter ever reached — the operator-facing saturation
+        #: signal (surfaced as ``EdgeServerStats.queue_depth``/``_peak``).
+        self._queue_depth = 0
+        self._queue_depth_peak = 0
 
     # ------------------------------------------------------------------
     def submit(self, name: str, request: _PendingRequest) -> bool:
@@ -315,6 +339,9 @@ class MicroBatcher:
         with self._lock:
             if self._stopped.is_set():
                 return False
+            self._queue_depth += 1
+            if self._queue_depth > self._queue_depth_peak:
+                self._queue_depth_peak = self._queue_depth
             entry_queue = self._queues.get(name)
             if entry_queue is None:
                 entry_queue = queue.Queue()
@@ -360,6 +387,7 @@ class MicroBatcher:
             with self._lock:
                 self._batches += 1
                 self._frames += len(batch)
+                self._queue_depth -= len(batch)
                 self._size_histogram[len(batch)] += 1
                 self._queue_delay_total_s += sum(
                     dispatched_at - request.enqueued_at for request in batch)
@@ -379,11 +407,13 @@ class MicroBatcher:
                     self._fallback_frames += len(batch)
 
     # ------------------------------------------------------------------
-    def snapshot(self) -> Tuple[int, int, Dict[int, int], float, int]:
-        """``(batches, frames, size_histogram, total_queue_delay_s, fallback_frames)``."""
+    def snapshot(self) -> Tuple[int, int, Dict[int, int], float, int, int, int]:
+        """``(batches, frames, size_histogram, total_queue_delay_s,
+        fallback_frames, queue_depth, queue_depth_peak)``."""
         with self._lock:
             return (self._batches, self._frames, dict(self._size_histogram),
-                    self._queue_delay_total_s, self._fallback_frames)
+                    self._queue_delay_total_s, self._fallback_frames,
+                    self._queue_depth, self._queue_depth_peak)
 
     def stop(self) -> None:
         """Stop the collector threads; pending requests are abandoned."""
@@ -429,6 +459,11 @@ class EdgeServer:
     session_log_limit:
         How many closed sessions to keep individually inspectable; older
         closed sessions are folded into the aggregate statistics.
+    shard_stats:
+        Optional provider of per-shard counters (typically
+        ``ShardPool.stats`` of :mod:`repro.serving.sharding`) folded into
+        :meth:`stats` when this server routes frames to a process-parallel
+        shard pool instead of executing them in process.
     """
 
     def __init__(self, edge_fn: Optional[EdgeFn] = None, host: str = "127.0.0.1",
@@ -437,7 +472,9 @@ class EdgeServer:
                  batch_fns: Optional[Dict[str, BatchedEdgeFn]] = None,
                  max_batch_size: int = 1, max_wait_ms: float = 2.0,
                  max_workers: int = 8, backlog: int = 32,
-                 session_log_limit: int = SESSION_LOG_LIMIT) -> None:
+                 session_log_limit: int = SESSION_LOG_LIMIT,
+                 shard_stats: Optional[Callable[[], List["ShardStats"]]] = None
+                 ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         if max_batch_size < 1:
@@ -479,6 +516,12 @@ class EdgeServer:
         #: thread replies to frames while the handler thread may still write
         #: hello acknowledgements on the same socket.
         self._send_locks: Dict[int, threading.Lock] = {}
+        #: When serving through a process-parallel shard pool, the pool's
+        #: per-shard counter snapshot — folded into :meth:`stats` so the
+        #: socket-level and per-core views live in one place.  The server
+        #: itself stays shard-agnostic: its edge/batched callables already
+        #: route to the shards.
+        self._shard_stats = shard_stats
         self._started_at: Optional[float] = None
         self._stopped_at: Optional[float] = None
 
@@ -931,9 +974,12 @@ class EdgeServer:
         # reporting the throughput actually achieved while serving.
         end = self._stopped_at if self._stopped_at is not None else time.perf_counter()
         wall = end - self._started_at if self._started_at is not None else 0.0
-        batches, batched_frames, size_histogram, delay_total, fallback = (
+        (batches, batched_frames, size_histogram, delay_total, fallback,
+         queue_depth, queue_depth_peak) = (
             self._batcher.snapshot() if self._batcher is not None
-            else (0, 0, {}, 0.0, 0))
+            else (0, 0, {}, 0.0, 0, 0, 0))
+        shards: List["ShardStats"] = (list(self._shard_stats())
+                                      if self._shard_stats is not None else [])
         return EdgeServerStats(
             num_sessions=num_sessions,
             active_sessions=sum(s.active for s in sessions),
@@ -949,7 +995,11 @@ class EdgeServer:
             mean_batch_size=batched_frames / batches if batches else 0.0,
             batch_size_histogram=size_histogram,
             mean_queue_delay_s=delay_total / batched_frames if batched_frames else 0.0,
-            batch_fallback_frames=fallback)
+            batch_fallback_frames=fallback,
+            queue_depth=queue_depth,
+            queue_depth_peak=queue_depth_peak,
+            num_shards=len(shards),
+            shards=shards)
 
     def stop(self) -> None:
         """Stop accepting, close live connections and release the listener."""

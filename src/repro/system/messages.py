@@ -55,6 +55,34 @@ _RAW_MAGIC = 0xAB
 #: Current raw-format layout version.
 _RAW_VERSION = 1
 
+# ----------------------------------------------------------------------
+# Shard control envelope (process-parallel serving)
+# ----------------------------------------------------------------------
+# The shard transport (:mod:`repro.runtime.shard`) moves whole ``Message``
+# envelopes across the process boundary in the *raw* framing above — the
+# same versioned layout the socket wire speaks, so a frame crosses into a
+# shard with zero serialization work beyond the JSON header (no pickling,
+# no re-encoding; array payloads are straight memcpys).  Beyond the socket
+# kinds (``"frame"``/``"result"``/``"error"``/``"stop"``), shards speak the
+# control kinds below; ``Message.frame_id`` carries the correlation id that
+# matches responses to requests, and ``Message.batch_index`` positions a
+# reply within a shard-executed micro-batch.
+
+#: Parent -> shard: header announcing ``meta["count"]`` coalesced frames for
+#: zoo entry ``meta["entry"]``, immediately followed by that many ``"frame"``
+#: envelopes sharing the header's correlation id.
+SHARD_KIND_BATCH = "batch"
+#: Parent -> shard: replicate a published snapshot (``meta["zoo"]`` holds
+#: the JSON zoo payload, ``meta["version"]`` the parent's snapshot version).
+SHARD_KIND_PUBLISH = "publish"
+#: Shard -> parent: acknowledgement that ``meta["version"]`` is installed.
+SHARD_KIND_PUBLISHED = "published"
+#: Shard -> parent: the worker built its initial snapshot and is serving.
+SHARD_KIND_READY = "ready"
+#: Every control kind the shard protocol adds on top of the socket kinds.
+SHARD_CONTROL_KINDS = (SHARD_KIND_BATCH, SHARD_KIND_PUBLISH,
+                       SHARD_KIND_PUBLISHED, SHARD_KIND_READY)
+
 
 @dataclass
 class Message:

@@ -519,3 +519,100 @@ class TestSegmentInfo:
         np.testing.assert_array_equal(fast.starts, scanned.starts)
         np.testing.assert_array_equal(fast.counts, scanned.counts)
         assert fast.uniform_k == scanned.uniform_k == 3
+
+
+class TestArenaRelease:
+    """Explicit arena teardown: retired plans must not retain buffers.
+
+    Regression tests for the per-thread arena retention fix: arenas are
+    keyed by executing thread, so without an explicit release hook a
+    long-lived plan keeps one buffer set pooled per thread that ever
+    executed it — and a retired serving snapshot would hold them until the
+    threads die.
+    """
+
+    def _plan_and_frame(self):
+        model = ArchitectureModel(_arch("max", "max||mean"), in_dim=3,
+                                  num_classes=4, seed=0)
+        plan = compile_plan(model)
+        return plan, _point_cloud_frames(count=1)[0]
+
+    def test_release_buffers_frees_and_stays_usable(self):
+        plan, frame = self._plan_and_frame()
+        before = plan(frame)
+        assert plan.arena_nbytes() > 0
+        freed = plan.release_buffers()
+        assert freed > 0
+        assert plan.arena_nbytes() == 0
+        # The plan still works (buffers reallocate) and stays equivalent.
+        np.testing.assert_allclose(plan(frame), before, atol=F64_TOL)
+
+    def test_worker_thread_arenas_are_enumerable_and_releasable(self):
+        import threading
+        plan, frame = self._plan_and_frame()
+        plan(frame)  # main-thread arena
+
+        def worker():
+            plan(frame)
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        # While the threads lived they each had an arena; release drops
+        # whatever is still reachable in one call.
+        assert plan.release_buffers() >= 0
+        assert plan.arena_nbytes() == 0
+
+    def test_dead_thread_arena_is_not_retained_by_the_registry(self):
+        """The registry must hold weak refs: a thread exiting frees its
+        arena instead of parking it in the segment forever."""
+        import gc
+        import threading
+        import weakref
+        plan, frame = self._plan_and_frame()
+        captured = []
+
+        def worker():
+            plan(frame)
+            captured.append(weakref.ref(plan.full.arena))
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join(timeout=30.0)
+        gc.collect()
+        assert captured and captured[0]() is None, (
+            "a dead worker thread's arena is still strongly referenced — "
+            "the per-thread arena retention leak is back")
+        assert all(arena is not None for arena in plan.full.arenas())
+
+    def test_serving_callables_release(self):
+        zoo = ArchitectureZoo([ZooEntry("m", _arch("max", "mean"),
+                                        0.9, 10.0, 0.5)])
+        serving = build_zoo_callables(zoo, in_dim=3, num_classes=4)["m"]
+        assert serving.plans  # compiled runtime: plans are exposed
+        frame = _point_cloud_frames(count=1)[0]
+        arrays, meta = serving.device_fn(frame)
+        serving.edge_fn(arrays, meta)
+        assert serving.arena_nbytes() > 0
+        assert serving.release_buffers() > 0
+        assert serving.arena_nbytes() == 0
+
+    def test_retired_snapshot_releases_its_buffers(self):
+        """Publishing past the retain window frees the evicted snapshot's
+        pooled arena buffers immediately."""
+        from repro.serving import ModelRepository
+        zoo = ArchitectureZoo([ZooEntry("m", _arch("max", "mean"),
+                                        0.9, 10.0, 0.5)])
+        repo = ModelRepository(in_dim=3, num_classes=4, retain=1, zoo=zoo)
+        first = repo.snapshot()
+        frame = _point_cloud_frames(count=1)[0]
+        arrays, meta = repo.device_fn("m")(frame)
+        repo.edge_fns()["m"](arrays, meta)
+        pooled = sum(serving.arena_nbytes()
+                     for serving in first.callables.values())
+        assert pooled > 0
+        repo.publish(zoo)  # retain=1: evicts (and must release) v1
+        assert sum(serving.arena_nbytes()
+                   for serving in first.callables.values()) == 0

@@ -105,6 +105,23 @@ class TestModelRepository:
         with pytest.raises(KeyError, match="nope"):
             repo.device_fn("nope")(_frames(1)[0])
 
+    def test_aborted_publish_burns_its_version(self):
+        """A preparer abort may have replicated the version to shards —
+        re-minting it for a different zoo would let them serve stale
+        models under a reused number, so the number must be consumed."""
+        repo = ModelRepository(in_dim=3, num_classes=3, zoo=ZOO_V1)
+
+        def failing_preparer(snapshot):
+            raise RuntimeError("replication exploded")
+
+        repo.add_preparer(failing_preparer)
+        with pytest.raises(RuntimeError, match="replication exploded"):
+            repo.publish(ZOO_V2)
+        assert repo.version == 1  # old snapshot still installed...
+        repo.remove_preparer(failing_preparer)
+        snapshot = repo.publish(ZOO_V2)
+        assert snapshot.version == 3  # ...but v2 was burned by the abort
+
     def test_subscribers_notified_once_per_publish(self):
         repo = ModelRepository(in_dim=3, num_classes=3)
         seen = []

@@ -550,3 +550,70 @@ class TestBatchIndexWireFormat:
     def test_batch_index_defaults_to_none(self):
         decoded = deserialize_message(serialize_message(Message(kind="frame")))
         assert decoded.batch_index is None
+
+
+class TestQueueDepthStats:
+    """Queue health: EdgeServerStats.queue_depth / queue_depth_peak."""
+
+    def test_depth_visible_under_gated_dispatch_and_drains_to_zero(self):
+        release = threading.Event()
+        dispatched = threading.Event()
+
+        def gated_batch_fn(requests):
+            dispatched.set()
+            release.wait(timeout=10.0)
+            return _batch_edge_fn(requests)
+
+        server = EdgeServer(_edge_fn, batch_fns={"default": gated_batch_fn},
+                            max_batch_size=1024, max_wait_ms=0.0,
+                            max_workers=4).start()
+        clients = [DeviceClient(server.host, server.port) for _ in range(2)]
+        errors = []
+
+        def run_client(client, value):
+            try:
+                frames = [np.full((2, 2), value + i, dtype=float)
+                          for i in range(4)]
+                client.run_pipeline(frames, _device_fn, timeout_s=30.0)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run_client, args=(c, i * 10))
+                   for i, c in enumerate(clients)]
+        try:
+            threads[0].start()
+            assert dispatched.wait(timeout=10.0)
+            # First dispatch is gated; everything client 2 sends now piles
+            # up in the entry queue and must show up as queue depth.
+            threads[1].start()
+            deadline = time.monotonic() + 10.0
+            while (server.stats().queue_depth < 1
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            stalled = server.stats()
+            assert stalled.queue_depth >= 1
+            assert stalled.queue_depth_peak >= stalled.queue_depth
+            release.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert not errors, errors
+            drained = server.stats()
+            assert drained.queue_depth == 0  # everything dispatched
+            assert drained.queue_depth_peak >= stalled.queue_depth_peak
+        finally:
+            release.set()
+            for client in clients:
+                client.close()
+            server.stop()
+
+    def test_zero_without_batching(self):
+        server = EdgeServer(_edge_fn).start()
+        client = DeviceClient(server.host, server.port)
+        try:
+            client.run_pipeline([np.ones((2, 2))], _device_fn, timeout_s=10.0)
+            stats = server.stats()
+            assert stats.queue_depth == 0
+            assert stats.queue_depth_peak == 0
+        finally:
+            client.close()
+            server.stop()
