@@ -155,7 +155,10 @@ def sweep_table(results: Dict[int, Tuple[float, EdgeServerStats]]) -> str:
 
 
 def sweep_json(results: Dict[int, Tuple[float, EdgeServerStats]],
-               skipped: bool = False) -> Dict:
+               skipped: str = "") -> Dict:
+    """JSON twin of the sweep; ``skipped`` records *why* a run produced no
+    numbers (platform/core constraints), so a missing result is
+    distinguishable from a broken bench when diffing CI artifacts."""
     payload: Dict = {
         "bench": "shard_scaling",
         "cpu_count": os.cpu_count(),
@@ -163,7 +166,7 @@ def sweep_json(results: Dict[int, Tuple[float, EdgeServerStats]],
         "frames_per_client": FRAMES_PER_CLIENT,
         "num_points": NUM_POINTS,
         "knn_k": KNN_K,
-        "skipped": skipped,
+        "skipped": skipped or None,
         "shards": {},
     }
     if results:
@@ -213,7 +216,7 @@ def test_shard_scaling(benchmark):
     from conftest import save_json, save_report
     reason = _skip_reason()
     if reason:
-        save_json("shard_scaling.json", sweep_json({}, skipped=True))
+        save_json("shard_scaling.json", sweep_json({}, skipped=reason))
         pytest.skip(f"shard scaling bench skipped: {reason}")
     results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     save_report("shard_scaling.txt", sweep_table(results))
@@ -227,7 +230,7 @@ def main() -> None:
     from conftest import save_json, save_report
     reason = _skip_reason()
     if reason:
-        save_json("shard_scaling.json", sweep_json({}, skipped=True))
+        save_json("shard_scaling.json", sweep_json({}, skipped=reason))
         print(f"shard scaling bench skipped: {reason}")
         return
     results = run_sweep()

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import sys
 
 import numpy as np
 import pytest
@@ -57,13 +59,45 @@ def save_report(name: str, text: str) -> str:
     return path
 
 
+def _cpu_model() -> str:
+    """Human-readable CPU model, best effort (empty when undetectable)."""
+    if sys.platform.startswith("linux"):
+        try:
+            with open("/proc/cpuinfo", "r", encoding="utf-8") as handle:
+                for line in handle:
+                    if line.lower().startswith("model name"):
+                        return line.split(":", 1)[1].strip()
+        except OSError:
+            pass
+    return platform.processor() or ""
+
+
+def hardware_envelope() -> dict:
+    """The machine this run measured on, for apples-to-apples comparisons.
+
+    Throughput and latency numbers are meaningless across machines without
+    this: every JSON twin records where it was measured so trend tooling
+    can refuse to diff results from different hardware.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "cpu_model": _cpu_model(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
+
+
 def save_json(name: str, payload: dict) -> str:
     """Write a machine-readable result to benchmarks/results (BENCH trajectory).
 
     The serving benchmarks keep their human-readable txt tables *and* write
     these JSON twins so CI and trend tooling can diff runs without parsing
-    tables.
+    tables.  Every payload is stamped with the :func:`hardware_envelope` it
+    was measured on (an explicit ``hardware`` key in the payload wins).
     """
+    payload = dict(payload)
+    payload.setdefault("hardware", hardware_envelope())
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, name)
     with open(path, "w", encoding="utf-8") as handle:

@@ -7,9 +7,10 @@ served over the socket engine (device and edge both on localhost) twice:
 * pipelined — the device keeps producing frames while earlier frames are in
   flight or on the edge (the engine's normal mode),
 
-then compares the achieved throughput, and reports how large the compressed
-intermediate frames were on the wire versus the simulator's transfer-size
-model.
+then compares the achieved throughput, runs the same split over the real
+socket engine (asyncio frontend, QoS admission control with a per-frame
+deadline), and reports how large the compressed intermediate frames were on
+the wire versus the simulator's transfer-size model.
 
 Run with:  python examples/engine_pipeline_demo.py
 """
@@ -24,8 +25,9 @@ from repro.gnn import OpSpec, OpType
 from repro.graph import SyntheticModelNet40, stratified_split
 from repro.graph.data import Batch
 from repro.hardware import DataProfile, JETSON_TX2, INTEL_I7, LINK_40MBPS, trace_workloads
-from repro.system import (CoInferenceSimulator, SystemConfig, compressed_size,
-                          run_co_inference, EdgeServer, DeviceClient)
+from repro.system import (CoInferenceSimulator, QosPolicy, SystemConfig,
+                          compressed_size, run_co_inference, EdgeServer,
+                          DeviceClient)
 
 
 def build_split_model(profile: DataProfile) -> ArchitectureModel:
@@ -71,6 +73,29 @@ def main() -> None:
     speedup = (len(frames) / sequential_s) and stats.throughput_fps / (len(frames) / sequential_s)
     print(f"pipeline speedup     : {speedup:.2f}x on localhost "
           f"(gains grow with real link + edge latency)")
+
+    # -------------------- the same split over the socket engine, with QoS
+    # The asyncio frontend multiplexes every connection on one event loop;
+    # the QoS policy bounds the admission queue, and the client stamps each
+    # frame with a deadline — expired or shed frames come back as clean
+    # ``rejected`` replies (counted, not raised, under ``on_rejected="drop"``).
+    server = EdgeServer(serving.edge_fn, frontend="async",
+                        qos=QosPolicy(max_queue_depth=32)).start()
+    try:
+        client = DeviceClient(server.host, server.port,
+                              client_name="pipeline-demo",
+                              deadline_ms=2_000.0, on_rejected="drop")
+        try:
+            wire_results, wire_stats = client.run_pipeline(frames, device_fn)
+        finally:
+            client.close()
+        server_stats = server.stats()
+    finally:
+        server.stop()
+    print(f"socket engine (TCP)  : {wire_stats.throughput_fps:6.1f} fps via the "
+          f"{server_stats.frontend} frontend "
+          f"({len(wire_results)} served, {wire_stats.frames_rejected} shed "
+          f"under a 2000 ms deadline)")
 
     # ------------------------------------------ wire size vs simulator model
     arrays, meta = device_fn(frames[0])

@@ -15,8 +15,14 @@ entirely through the :mod:`repro.serving` facade:
   executes the device segment of the dispatched entry automatically,
 * frames from all clients interleave on the edge, where the micro-batcher
   coalesces concurrent requests of the same entry into single batched
-  engine calls (``BatchingConfig``), and
-* per-session, aggregate and batching statistics are reported at the end.
+  engine calls (``BatchingConfig``),
+* the server runs the **asyncio frontend** (one event loop multiplexing
+  every connection) behind a ``QosConfig`` admission policy — bounded
+  queue, implicit per-frame deadlines, and a priority map that clients
+  tag into via ``ClientConfig(priority=...)`` — so saturation is shed
+  with ``rejected`` replies instead of absorbed as unbounded queueing, and
+* per-session, aggregate, batching and QoS statistics are reported at the
+  end.
 
 Run with:  python examples/multi_client_serving.py
 """
@@ -30,7 +36,8 @@ from repro.gnn import OpSpec, OpType
 from repro.graph import SyntheticModelNet40, stratified_split
 from repro.graph.data import Batch
 from repro.hardware import DataProfile
-from repro.serving import BatchingConfig, ServingConfig, serve
+from repro.serving import (BatchingConfig, ClientConfig, QosConfig,
+                           ServerConfig, ServingConfig, serve)
 
 FRAMES_PER_CLIENT = 8
 
@@ -65,36 +72,49 @@ def main() -> None:
     frames = [Batch.from_graphs([graph]) for graph in held_out[:FRAMES_PER_CLIENT]]
 
     config = ServingConfig(
-        batching=BatchingConfig(max_batch_size=4, max_wait_ms=5.0))
+        server=ServerConfig(frontend="async"),
+        batching=BatchingConfig(max_batch_size=4, max_wait_ms=5.0),
+        qos=QosConfig(max_queue_depth=64, default_deadline_ms=5_000.0,
+                      priority_map={"interactive": 0, "bulk": 1}))
     app = serve(build_zoo(), config, in_dim=profile.feature_dim,
                 num_classes=profile.num_classes)
 
+    # Each profile: the conditions announced in the hello handshake (drives
+    # the dispatcher) plus the client's own QoS stance (drives admission).
+    interactive = ClientConfig(priority="interactive", on_rejected="drop")
+    bulk = ClientConfig(priority="bulk", on_rejected="drop")
     client_profiles = [
-        ("latency-critical", {"latency_budget_ms": 35.0}),
-        ("best-effort", {"latency_budget_ms": 200.0}),
-        ("battery-saver", {"latency_budget_ms": 200.0, "energy_budget_j": 0.2}),
-        ("degraded-link", {"latency_budget_ms": 60.0, "bandwidth_factor": 0.5}),
+        ("latency-critical", {"latency_budget_ms": 35.0}, interactive),
+        ("best-effort", {"latency_budget_ms": 200.0}, bulk),
+        ("battery-saver", {"latency_budget_ms": 200.0, "energy_budget_j": 0.2},
+         bulk),
+        ("degraded-link", {"latency_budget_ms": 60.0, "bandwidth_factor": 0.5},
+         interactive),
     ]
 
     report_lock = threading.Lock()
 
-    def run_client(name: str, conditions: dict) -> None:
-        with app.client(name=name, conditions=conditions) as client:
+    def run_client(name: str, conditions: dict,
+                   client_config: ClientConfig) -> None:
+        with app.client(name=name, conditions=conditions,
+                        config=client_config) as client:
             assigned = client.assigned_model
             results, stats = client.run(frames)
             with report_lock:
                 print(f"{name:17s} -> served by {assigned!r:11s} "
                       f"{stats.throughput_fps:6.1f} fps, "
                       f"mean latency {stats.mean_latency_s * 1000:6.1f} ms, "
-                      f"{len(results)} frames ok")
+                      f"{len(results)} frames ok, "
+                      f"{stats.frames_rejected} shed")
 
     with app:
         print(f"edge server listening on {app.host}:{app.port} with "
               f"{len(app.repository.names())} zoo entries: "
               f"{', '.join(sorted(app.repository.names()))} "
               f"(micro-batching up to {config.batching.max_batch_size} frames)\n")
-        threads = [threading.Thread(target=run_client, args=(name, conditions))
-                   for name, conditions in client_profiles]
+        threads = [threading.Thread(target=run_client,
+                                    args=(name, conditions, client_config))
+                   for name, conditions, client_config in client_profiles]
         for thread in threads:
             thread.start()
         for thread in threads:
@@ -112,6 +132,10 @@ def main() -> None:
           f"mean realized batch {stats.mean_batch_size:.2f}, "
           f"sizes {dict(sorted(stats.batch_size_histogram.items()))}, "
           f"mean queue delay {stats.mean_queue_delay_s * 1000:.2f} ms")
+    print(f"qos ({stats.frontend} frontend): {stats.frames_shed} frames shed "
+          f"{dict(sorted(stats.shed_by_reason.items()))}, "
+          f"admission queue delay p50 {stats.queue_delay_p50_s * 1000:.2f} ms / "
+          f"p99 {stats.queue_delay_p99_s * 1000:.2f} ms")
     print("frames by model:", dict(sorted(stats.frames_by_model.items())))
     print("dispatch history:", dispatch_history)
     for session in stats.sessions:

@@ -21,8 +21,8 @@ Layer map
 ---------
 * :mod:`repro.serving.config` — frozen, validated, ``to_dict``/``from_dict``
   round-trippable configuration (:class:`RuntimeConfig`,
-  :class:`BatchingConfig`, :class:`ServerConfig`, :class:`ClientConfig`,
-  composed by :class:`ServingConfig`).
+  :class:`BatchingConfig`, :class:`ServerConfig`, :class:`QosConfig`,
+  :class:`ClientConfig`, composed by :class:`ServingConfig`).
 * :mod:`repro.serving.builders` — :func:`build_callables` /
   :func:`build_zoo_callables`, the config-driven replacements for the
   deprecated ``zoo_*`` free functions.
@@ -46,9 +46,10 @@ contract guarded by ``tools/check_public_api.py`` in CI.
 
 from ..core.executor import ServingCallables
 from ..runtime.shard import ShardCrashedError, ShardStats
+from ..system.engine import RequestRejectedError
 from .app import Client, ServingApp, serve
 from .builders import build_callables, build_zoo_callables
-from .config import (BatchingConfig, ClientConfig, RuntimeConfig,
+from .config import (BatchingConfig, ClientConfig, QosConfig, RuntimeConfig,
                      ServerConfig, ServingConfig, ShardingConfig)
 from .repository import SNAPSHOT_META_KEY, ModelRepository, ServingSnapshot
 from .sharding import ShardPool, sharding_supported
@@ -58,6 +59,8 @@ __all__ = [
     "Client",
     "ClientConfig",
     "ModelRepository",
+    "QosConfig",
+    "RequestRejectedError",
     "RuntimeConfig",
     "SNAPSHOT_META_KEY",
     "ServerConfig",

@@ -22,6 +22,7 @@ table under live traffic (see :mod:`repro.serving.repository`).
 
 from __future__ import annotations
 
+import dataclasses
 import warnings
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -133,6 +134,14 @@ class ServingApp:
                     "does not support it; falling back to in-process "
                     "serving", RuntimeWarning, stacklevel=2)
         server_config, batching = self.config.server, self.config.batching
+        # The QoS policy guards the whole admission path; the batching
+        # config's max_queue_depth is a convenience alias for the same
+        # knob (an explicit QosConfig value wins).
+        qos_policy = self.config.qos.policy()
+        if (qos_policy.max_queue_depth is None
+                and batching.max_queue_depth is not None):
+            qos_policy = dataclasses.replace(
+                qos_policy, max_queue_depth=batching.max_queue_depth)
         try:
             if self._pool is not None:
                 # Publishes must replicate to every shard *before* the
@@ -155,6 +164,8 @@ class ServingApp:
                 host=server_config.host, port=server_config.port,
                 max_workers=server_config.max_workers,
                 backlog=server_config.backlog,
+                frontend=server_config.frontend,
+                qos=qos_policy,
                 session_log_limit=server_config.session_log_limit,
                 max_batch_size=batching.max_batch_size,
                 max_wait_ms=batching.max_wait_ms,
@@ -311,7 +322,10 @@ class Client:
             self.host, self.port, timeout_s=self.config.connect_timeout_s,
             client_name=self.name, conditions=self._conditions,
             model=self._model, wire_format=self.config.wire_format,
-            wire_dtype=self.config.numpy_wire_dtype)
+            wire_dtype=self.config.numpy_wire_dtype,
+            deadline_ms=self.config.deadline_ms,
+            priority=self.config.priority,
+            on_rejected=self.config.on_rejected)
         return self
 
     def stop(self) -> None:

@@ -10,12 +10,18 @@ every constructor:
 :class:`BatchingConfig`
     The micro-batcher (frames per batched engine call, coalescing window).
 :class:`ServerConfig`
-    The :class:`~repro.system.engine.EdgeServer` socket/worker knobs.
+    The :class:`~repro.system.engine.EdgeServer` socket/worker knobs and
+    the transport frontend (``"threaded"`` / ``"async"``).
+:class:`QosConfig`
+    Admission control between the frontends and the execution tiers —
+    bounded queues with load shedding, per-frame deadlines, priority
+    classes, per-client fairness (see :mod:`repro.system.scheduler`).
 :class:`ClientConfig`
-    The :class:`~repro.system.engine.DeviceClient` wire framing/dtype and
-    the three timeouts (connect / handshake / pipeline).
+    The :class:`~repro.system.engine.DeviceClient` wire framing/dtype,
+    the three timeouts (connect / handshake / pipeline) and the QoS
+    knobs frames carry (deadline, priority, rejection handling).
 
-:class:`ServingConfig` composes the server-side three into the single value
+:class:`ServingConfig` composes the server-side configs into the single value
 :func:`repro.serving.serve` takes.  All configs validate in ``__post_init__``
 (construction never yields a half-usable config) and round-trip through
 ``to_dict`` / ``from_dict`` so they can live in JSON files or ride along in
@@ -36,6 +42,8 @@ from ..core.executor import RUNTIMES
 from ..runtime import SEGMENTS
 from ..runtime.shard import SHARD_TRANSPORT_SHM, SHARD_TRANSPORTS
 from ..system.messages import WIRE_FORMAT_ZLIB, WIRE_FORMATS
+from ..system.scheduler import QosPolicy
+from ..system.transport import FRONTEND_THREADED, FRONTENDS
 
 
 def _canonical_dtype(value: Any, *, knob: str) -> str:
@@ -179,11 +187,18 @@ class BatchingConfig(_Config):
 
     ``max_batch_size=1`` (the default) disables micro-batching entirely —
     no batcher threads, exact per-frame serving.  ``max_wait_ms`` bounds how
-    long the first frame of a batch waits for company.
+    long the first frame of a batch waits for company.  ``max_queue_depth``
+    caps how many admitted frames may wait for execution at once (across
+    the batcher queues and the direct path); ``None`` — the default —
+    keeps the historical unbounded behavior, an integer turns on load
+    shedding: frames beyond the cap get a wire-level ``"rejected"`` reply
+    instead of queueing without bound.  It is a convenience alias for
+    :attr:`QosConfig.max_queue_depth` (an explicit value there wins).
     """
 
     max_batch_size: int = 1
     max_wait_ms: float = 2.0
+    max_queue_depth: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "max_batch_size",
@@ -192,6 +207,10 @@ class BatchingConfig(_Config):
         object.__setattr__(self, "max_wait_ms",
                            _check_number(self.max_wait_ms, knob="max_wait_ms",
                                          minimum=0.0))
+        if self.max_queue_depth is not None:
+            object.__setattr__(self, "max_queue_depth",
+                               _check_int(self.max_queue_depth,
+                                          knob="max_queue_depth", minimum=1))
 
     @property
     def enabled(self) -> bool:
@@ -264,13 +283,105 @@ class ShardingConfig(_Config):
 
 
 @dataclass(frozen=True)
+class QosConfig(_Config):
+    """Admission control of the edge server (load shedding, deadlines).
+
+    The config twin of :class:`repro.system.scheduler.QosPolicy` — all
+    defaults preserve the historical behavior (no shedding, no implicit
+    deadlines).  See :meth:`policy` for the conversion.
+
+    Parameters
+    ----------
+    max_queue_depth:
+        Cap on admitted-but-unexecuted frames; beyond it new frames are
+        shed with a wire-level ``"rejected"`` reply carrying
+        ``retry_after_ms``.  ``None`` (default) = unbounded.
+    default_deadline_ms:
+        Freshness budget stamped on frames that do not carry their own
+        ``meta["deadline_ms"]``; expired frames are never executed.
+        ``None`` (default) = no implicit deadline.
+    retry_after_ms:
+        Back-off hint carried by every rejection reply.
+    priority_map:
+        Maps symbolic ``meta["priority"]`` class names to integer levels
+        (``0`` is highest; each level halves a client's share of the
+        queue cap).
+    default_priority:
+        Level for frames without a priority tag.
+    fairness:
+        Per-client fairness: with a bounded queue, one client may hold at
+        most ``max_queue_depth // active_clients`` slots, so a firehose
+        client cannot starve a trickle client.
+    fairness_window_s:
+        How long a client counts as active after its last frame.
+    """
+
+    max_queue_depth: Optional[int] = None
+    default_deadline_ms: Optional[float] = None
+    retry_after_ms: float = 50.0
+    priority_map: Dict[str, int] = field(default_factory=dict)
+    default_priority: int = 0
+    fairness: bool = True
+    fairness_window_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        # QosPolicy's own validation is the single source of truth; build
+        # one eagerly so a bad QosConfig fails at construction like every
+        # other config, then copy back the canonicalized fields.
+        policy = QosPolicy(
+            max_queue_depth=self.max_queue_depth,
+            default_deadline_ms=self.default_deadline_ms,
+            retry_after_ms=self.retry_after_ms,
+            priority_map=self.priority_map,
+            default_priority=self.default_priority,
+            fairness=self.fairness,
+            fairness_window_s=self.fairness_window_s)
+        object.__setattr__(self, "max_queue_depth", policy.max_queue_depth)
+        object.__setattr__(self, "default_deadline_ms",
+                           policy.default_deadline_ms)
+        object.__setattr__(self, "retry_after_ms", policy.retry_after_ms)
+        object.__setattr__(self, "priority_map", dict(policy.priority_map))
+        object.__setattr__(self, "default_priority", policy.default_priority)
+        object.__setattr__(self, "fairness", bool(self.fairness))
+        object.__setattr__(self, "fairness_window_s",
+                           policy.fairness_window_s)
+
+    def policy(self) -> QosPolicy:
+        """The :class:`~repro.system.scheduler.QosPolicy` this config names."""
+        return QosPolicy(
+            max_queue_depth=self.max_queue_depth,
+            default_deadline_ms=self.default_deadline_ms,
+            retry_after_ms=self.retry_after_ms,
+            priority_map=self.priority_map,
+            default_priority=self.default_priority,
+            fairness=self.fairness,
+            fairness_window_s=self.fairness_window_s)
+
+    @property
+    def enabled(self) -> bool:
+        """True when any knob departs from the permissive defaults."""
+        return (self.max_queue_depth is not None
+                or self.default_deadline_ms is not None
+                or bool(self.priority_map)
+                or self.default_priority != 0)
+
+
+@dataclass(frozen=True)
 class ServerConfig(_Config):
-    """Socket and worker-pool knobs of the :class:`~repro.system.engine.EdgeServer`."""
+    """Socket and worker-pool knobs of the :class:`~repro.system.engine.EdgeServer`.
+
+    ``frontend`` selects the transport serving the socket: ``"threaded"``
+    (default; one handler thread per connection, ``max_workers`` bounds
+    concurrent connections) or ``"async"`` (one asyncio event loop
+    multiplexing all connections; ``max_workers`` bounds concurrent engine
+    calls instead).  Serving semantics are identical under both.
+    """
 
     host: str = "127.0.0.1"
     port: int = 0
     max_workers: int = 8
     backlog: int = 32
+    frontend: str = FRONTEND_THREADED
     session_log_limit: int = 1024
 
     def __post_init__(self) -> None:
@@ -285,6 +396,9 @@ class ServerConfig(_Config):
                                       minimum=1))
         object.__setattr__(self, "backlog",
                            _check_int(self.backlog, knob="backlog", minimum=1))
+        if self.frontend not in FRONTENDS:
+            raise ValueError(f"unknown frontend {self.frontend!r} "
+                             f"(expected one of {FRONTENDS})")
         object.__setattr__(self, "session_log_limit",
                            _check_int(self.session_log_limit,
                                       knob="session_log_limit", minimum=1))
@@ -299,6 +413,14 @@ class ClientConfig(_Config):
     arrays (e.g. ``"float32"`` halves frame bytes).  The three timeouts
     bound connection establishment, the hello handshake, and each
     ``run()``'s wait for results, respectively.
+
+    The QoS knobs shape how a QoS-enabled server treats this client's
+    frames: ``deadline_ms`` stamps every frame with a freshness budget,
+    ``priority`` tags them with a priority class (an integer level or a
+    name from the server's ``priority_map``), and ``on_rejected`` picks
+    whether a shed frame raises :class:`~repro.serving.RequestRejectedError`
+    (``"raise"``, default) or is silently dropped and counted
+    (``"drop"``).
     """
 
     wire_format: str = WIRE_FORMAT_ZLIB
@@ -306,6 +428,9 @@ class ClientConfig(_Config):
     connect_timeout_s: float = 30.0
     handshake_timeout_s: float = 10.0
     pipeline_timeout_s: float = 60.0
+    deadline_ms: Optional[float] = None
+    priority: Optional[Any] = None
+    on_rejected: str = "raise"
 
     def __post_init__(self) -> None:
         if self.wire_format not in WIRE_FORMATS:
@@ -320,6 +445,18 @@ class ClientConfig(_Config):
             object.__setattr__(self, knob,
                                _check_number(getattr(self, knob), knob=knob,
                                              minimum=0.0, inclusive=False))
+        if self.deadline_ms is not None:
+            object.__setattr__(self, "deadline_ms",
+                               _check_number(self.deadline_ms,
+                                             knob="deadline_ms", minimum=0.0,
+                                             inclusive=False))
+        if self.priority is not None and not isinstance(self.priority, str):
+            object.__setattr__(self, "priority",
+                               _check_int(self.priority, knob="priority",
+                                          minimum=0))
+        if self.on_rejected not in ("raise", "drop"):
+            raise ValueError(f"on_rejected must be 'raise' or 'drop', "
+                             f"got {self.on_rejected!r}")
 
     @property
     def numpy_wire_dtype(self) -> Optional[np.dtype]:
@@ -340,9 +477,11 @@ class ServingConfig(_Config):
     batching: BatchingConfig = field(default_factory=BatchingConfig)
     server: ServerConfig = field(default_factory=ServerConfig)
     sharding: ShardingConfig = field(default_factory=ShardingConfig)
+    qos: QosConfig = field(default_factory=QosConfig)
 
     _nested = {"runtime": RuntimeConfig, "batching": BatchingConfig,
-               "server": ServerConfig, "sharding": ShardingConfig}
+               "server": ServerConfig, "sharding": ShardingConfig,
+               "qos": QosConfig}
 
     def __post_init__(self) -> None:
         for name, cls in self._nested.items():

@@ -50,6 +50,7 @@ from ..core.executor import ArrayDict, FrameState
 from ..runtime.shard import (ShardChannel, ShardCrashedError, ShardStats,
                              create_channel, transport_available,
                              zoo_to_payload, _shard_main)
+from ..system.scheduler import BackpressureError
 from ..system.messages import (Message, SHARD_KIND_BATCH, SHARD_KIND_PUBLISH,
                                SHARD_KIND_PUBLISHED, SHARD_KIND_READY,
                                WIRE_FORMAT_RAW, deserialize_message,
@@ -58,6 +59,13 @@ from .config import ShardingConfig
 from .repository import ModelRepository, ServingSnapshot
 
 __all__ = ["ShardPool", "ShardCrashedError", "sharding_supported"]
+
+#: How long a frame/batch waits for room on a shard's request ring before
+#: it is shed with a :class:`~repro.system.scheduler.BackpressureError`.
+#: Shedding happens *before* the ring (nothing written, protocol intact),
+#: so a saturated shard answers "rejected" within this bound instead of
+#: stalling the caller for the full request timeout and then crashing.
+RING_SHED_TIMEOUT_S = 0.05
 
 
 def sharding_supported(transport: str) -> bool:
@@ -159,13 +167,23 @@ class _Shard:
             self._pending.pop(corr, None)
 
     def _send(self, messages: Sequence[Message],
-              timeout: Optional[float] = None) -> None:
+              timeout: Optional[float] = None,
+              shed_timeout: Optional[float] = None) -> None:
         """Ship one or more envelopes back-to-back (atomic on the ring).
 
         Every envelope is size-checked against the transport *before* the
         first one is written: a mid-sequence failure would desync the
         worker's protocol (it would swallow unrelated envelopes as the
         missing frames of a half-sent batch).
+
+        ``shed_timeout`` bounds the wait for the *first* envelope only:
+        a ring with no room within it raises
+        :class:`~repro.system.scheduler.BackpressureError` — nothing has
+        been written yet, so shedding is safe and the shard stays healthy
+        (shed *before* the ring, never after).  Once the first envelope
+        is on the ring the full ``timeout`` applies: giving up
+        mid-sequence would desync the protocol, so from there on a
+        timeout keeps the historical crash semantics.
         """
         blobs = [serialize_message(message, wire_format=WIRE_FORMAT_RAW)
                  for message in messages]
@@ -179,8 +197,17 @@ class _Shard:
                         "ShardingConfig.ring_bytes for frames this large")
         timeout = self.request_timeout_s if timeout is None else timeout
         with self._send_lock:
-            for blob in blobs:
-                sent = self.channel.send_bytes(blob, timeout=timeout)
+            for index, blob in enumerate(blobs):
+                if index == 0 and shed_timeout is not None:
+                    try:
+                        sent = self.channel.send_bytes(
+                            blob, timeout=min(shed_timeout, timeout))
+                    except TimeoutError as exc:
+                        raise BackpressureError(
+                            f"shard {self.shard_id} ring had no room within "
+                            f"{shed_timeout:.3f}s") from exc
+                else:
+                    sent = self.channel.send_bytes(blob, timeout=timeout)
                 with self._lock:
                     self.bytes_to_shard += sent
 
@@ -214,7 +241,13 @@ class _Shard:
         corr, reply = self._register(1)
         try:
             self._send([Message(kind="frame", frame_id=corr, arrays=arrays,
-                                meta={"entry": entry, "frame": meta})])
+                                meta={"entry": entry, "frame": meta})],
+                       shed_timeout=RING_SHED_TIMEOUT_S)
+        except BackpressureError:
+            # Ring full, nothing written: shed upstream (the edge server
+            # answers "rejected"); the shard itself is healthy.
+            self._forget(corr)
+            raise
         except (TimeoutError, ValueError, OSError) as exc:
             self._forget(corr)
             with self._lock:
@@ -240,7 +273,10 @@ class _Shard:
                     meta={"frame": meta, "index": index})
             for index, (arrays, meta) in enumerate(requests))
         try:
-            self._send(envelopes)
+            self._send(envelopes, shed_timeout=RING_SHED_TIMEOUT_S)
+        except BackpressureError:
+            self._forget(corr)  # nothing on the ring: shed, don't crash
+            raise
         except (TimeoutError, ValueError, OSError) as exc:
             self._forget(corr)
             with self._lock:

@@ -1,4 +1,5 @@
-"""Co-inference system layer: simulator, partitioning, wire format, engine."""
+"""Co-inference system layer: simulator, partitioning, wire format, transport,
+scheduling, engine."""
 
 from .simulator import (SystemConfig, SystemPerformance, CoInferenceSimulator,
                         OpTimelineEntry, make_system, DEVICE, EDGE)
@@ -7,9 +8,12 @@ from .partition import (PartitionResult, insert_partition, candidate_partitions,
 from .messages import (Message, serialize_message, deserialize_message,
                        compressed_size, WIRE_FORMAT_RAW, WIRE_FORMAT_ZLIB,
                        WIRE_FORMATS)
+from .transport import FRONTEND_ASYNC, FRONTEND_THREADED, FRONTENDS
+from .scheduler import (BackpressureError, FrameExpiredError, QosPolicy,
+                        Scheduler, SchedulerSnapshot)
 from .engine import (EdgeServer, DeviceClient, FrameResult, MicroBatcher,
-                     PipelineStats, ServingSession, ServingTable,
-                     EdgeServerStats, run_co_inference)
+                     PipelineStats, RequestRejectedError, ServingSession,
+                     ServingTable, EdgeServerStats, run_co_inference)
 
 __all__ = [
     "SystemConfig", "SystemPerformance", "CoInferenceSimulator",
@@ -18,7 +22,10 @@ __all__ = [
     "evaluate_partitions", "best_partition",
     "Message", "serialize_message", "deserialize_message", "compressed_size",
     "WIRE_FORMAT_RAW", "WIRE_FORMAT_ZLIB", "WIRE_FORMATS",
+    "FRONTEND_ASYNC", "FRONTEND_THREADED", "FRONTENDS",
+    "BackpressureError", "FrameExpiredError", "QosPolicy", "Scheduler",
+    "SchedulerSnapshot",
     "EdgeServer", "DeviceClient", "FrameResult", "MicroBatcher",
-    "PipelineStats", "ServingSession", "ServingTable", "EdgeServerStats",
-    "run_co_inference",
+    "PipelineStats", "RequestRejectedError", "ServingSession", "ServingTable",
+    "EdgeServerStats", "run_co_inference",
 ]

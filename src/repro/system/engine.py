@@ -58,6 +58,27 @@ without a batched callable are likewise served per frame.  The batcher's
 realized batch-size distribution and queueing delay are part of
 :class:`EdgeServerStats`, whose ``mean_service_time_s`` then reports the
 *amortized* per-frame engine time.
+
+Layering: frontends and admission control
+-----------------------------------------
+Since the transport/scheduling split, this module is the serving *core*
+only.  Connection accept/read/write and message framing live in
+:mod:`repro.system.transport` behind a pluggable frontend
+(``EdgeServer(frontend="threaded"|"async")``): the threaded frontend keeps
+the historical thread-per-connection server, the asyncio frontend
+multiplexes thousands of mostly-idle connections on one event loop and
+hands compute to a bounded thread pool.  The core's behavior — routing,
+batching, statistics, hot reload — is identical under both.
+
+Between the frontends and execution sits the admission-control stage of
+:mod:`repro.system.scheduler`: every frame passes ``Scheduler.admit``
+before it may queue, so a saturated server *sheds* load with an explicit
+wire-level ``"rejected"`` reply (reason + ``retry_after_ms``) instead of
+queueing without bound; per-frame deadlines (``meta["deadline_ms"]``) are
+honored by never executing expired frames, priority classes shed
+low-priority traffic first, and per-client fairness keeps one firehose
+client from starving the rest.  Clients surface rejections as
+:class:`RequestRejectedError` (or count them, ``on_rejected="drop"``).
 """
 
 from __future__ import annotations
@@ -80,9 +101,16 @@ if TYPE_CHECKING:  # import-free at runtime: engine must not drag in the
     # shard runtime (repro.serving builds on this module, not vice versa).
     from ..runtime.shard import ShardStats
 
-from .messages import (_LENGTH_SIZE as PAYLOAD_PREFIX_BYTES, Message,
-                       WIRE_FORMAT_ZLIB, WIRE_FORMATS, recv_message,
-                       send_message, send_payload, serialize_message)
+from .messages import (_LENGTH_SIZE as PAYLOAD_PREFIX_BYTES,
+                       DEADLINE_MS_META_KEY, KIND_REJECTED, Message,
+                       PRIORITY_META_KEY, REJECT_REASON_META_KEY,
+                       RETRY_AFTER_MS_META_KEY, WIRE_FORMAT_ZLIB,
+                       WIRE_FORMATS, recv_message, send_message,
+                       send_payload, serialize_message)
+from .scheduler import (REJECT_REASON_CAPACITY, REJECT_REASON_DEADLINE,
+                        BackpressureError, FrameExpiredError, QosPolicy,
+                        Rejection, Scheduler)
+from .transport import FRONTEND_THREADED, Connection, create_frontend
 
 ArrayDict = Dict[str, np.ndarray]
 DeviceFn = Callable[[object], Tuple[ArrayDict, Dict]]
@@ -184,10 +212,38 @@ class PipelineStats:
     mean_latency_s: float
     bytes_sent: int
     bytes_received: int
+    #: Frames the server shed with a ``rejected`` reply instead of
+    #: executing (only non-zero for clients built with
+    #: ``on_rejected="drop"`` — the default raises instead).
+    frames_rejected: int = 0
 
     @property
     def throughput_fps(self) -> float:
         return self.num_frames / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+
+class RequestRejectedError(RuntimeError):
+    """The edge server shed a frame instead of executing it.
+
+    Raised by :meth:`DeviceClient.run_pipeline` (and therefore
+    :meth:`repro.serving.Client.run`) when a frame comes back as a
+    ``"rejected"`` reply — the server's admission control refused it
+    (queue bound, fairness share, or an already-expired deadline).  The
+    typed fields let callers implement informed backoff instead of
+    pattern-matching an error string.
+    """
+
+    def __init__(self, frame_id: int, reason: str,
+                 retry_after_ms: float) -> None:
+        super().__init__(
+            f"edge server rejected frame {frame_id} ({reason}); "
+            f"retry after {retry_after_ms:.0f} ms")
+        #: Frame index relative to the rejected run.
+        self.frame_id = frame_id
+        #: Wire-visible shed reason: ``"capacity"``/``"fairness"``/``"deadline"``.
+        self.reason = reason
+        #: Server's backoff hint in milliseconds.
+        self.retry_after_ms = retry_after_ms
 
 
 @dataclass
@@ -264,6 +320,21 @@ class EdgeServerStats:
     #: off.
     queue_depth: int = 0
     queue_depth_peak: int = 0
+    #: Load shedding (QoS): frames answered with a ``rejected`` reply
+    #: instead of being executed, broken down by reason (``"capacity"`` /
+    #: ``"fairness"`` / ``"deadline"``).  Zero with the default unbounded,
+    #: deadline-free policy.
+    frames_shed: int = 0
+    shed_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: Queue-delay distribution (time from arrival to execution start)
+    #: over the most recent frames of *both* the batched and the direct
+    #: path — the tail (`p99`) is what a shedding policy bounds, which a
+    #: mean can hide.
+    queue_delay_p50_s: float = 0.0
+    queue_delay_p99_s: float = 0.0
+    #: Which transport frontend served these sessions (``"threaded"`` or
+    #: ``"async"``).
+    frontend: str = FRONTEND_THREADED
     #: Process-parallel serving: per-shard counters of the attached shard
     #: pool (empty when serving in process).  ``num_shards`` counts the
     #: configured shards; a shard with ``alive=False`` crashed and is being
@@ -281,17 +352,25 @@ class EdgeServerStats:
 class _PendingRequest:
     """One frame waiting for (batched) edge execution.
 
-    Holds everything a batcher thread needs to reply without going back
-    through the handler: the connection, its per-connection send lock (the
-    handler may concurrently write hello acknowledgements) and the session
-    record for statistics.
+    Holds everything a batcher/compute thread needs to reply without going
+    back through the frontend: the connection (whose ``send_bytes`` is
+    thread-safe), the session record for statistics, and the admission
+    outcome (absolute expiry + priority) the scheduler stamped on it.
+
+    ``conn`` is normally a :class:`~repro.system.transport.Connection`;
+    a bare socket plus the legacy ``send_lock`` is still accepted so
+    pre-frontend callers keep working.
     """
 
-    conn: socket.socket
-    send_lock: threading.Lock
+    conn: object
     session: ServingSession
     message: Message
     enqueued_at: float
+    send_lock: Optional[threading.Lock] = None
+    #: ``time.monotonic()`` moment after which the frame must not execute
+    #: (``None`` = no deadline); stamped at admission.
+    expires_at: Optional[float] = None
+    priority: int = 0
 
 
 class MicroBatcher:
@@ -454,8 +533,24 @@ class EdgeServer:
         How long the batcher may hold the first frame of a batch while
         waiting for more traffic to coalesce with.
     max_workers:
-        Upper bound on concurrently served connections; further connections
-        queue in the listen backlog until a handler slot frees up.
+        Compute-concurrency bound.  Under the threaded frontend this is
+        the historical "concurrently served connections" limit (further
+        connections queue in the listen backlog until a handler slot
+        frees up); under the asyncio frontend it sizes the compute thread
+        pool — idle connections are no longer bounded by it.
+    frontend:
+        Transport frontend serving the socket (see
+        :mod:`repro.system.transport`): ``"threaded"`` (default, one
+        handler thread per connection) or ``"async"`` (one asyncio event
+        loop multiplexing all connections, compute on a bounded pool).
+        Core semantics — routing, batching, statistics, hot reload — are
+        identical under both.
+    qos:
+        Admission-control policy (:class:`~repro.system.scheduler.QosPolicy`)
+        guarding the queues: bounded depth with load shedding, per-frame
+        deadlines, priority classes, per-client fairness.  ``None`` keeps
+        the historical behavior (unbounded queues, no deadlines) — but
+        frames carrying ``meta["deadline_ms"]`` are honored even then.
     session_log_limit:
         How many closed sessions to keep individually inspectable; older
         closed sessions are folded into the aggregate statistics.
@@ -472,6 +567,8 @@ class EdgeServer:
                  batch_fns: Optional[Dict[str, BatchedEdgeFn]] = None,
                  max_batch_size: int = 1, max_wait_ms: float = 2.0,
                  max_workers: int = 8, backlog: int = 32,
+                 frontend: str = FRONTEND_THREADED,
+                 qos: Optional[QosPolicy] = None,
                  session_log_limit: int = SESSION_LOG_LIMIT,
                  shard_stats: Optional[Callable[[], List["ShardStats"]]] = None
                  ) -> None:
@@ -491,18 +588,19 @@ class EdgeServer:
                                          max_batch_size=max_batch_size,
                                          max_wait_ms=max_wait_ms)
         self.max_workers = max_workers
-        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind((host, port))
-        self._listener.listen(backlog)
-        # A short accept timeout lets the accept loop poll the stop flag;
-        # closing a listening socket from another thread is not guaranteed to
-        # wake a blocked accept().
-        self._listener.settimeout(0.2)
-        self.host, self.port = self._listener.getsockname()
-        self._accept_thread: Optional[threading.Thread] = None
-        self._stopped = threading.Event()
-        self._slots = threading.BoundedSemaphore(max_workers)
+        # Admission control sits between the transport and the execution
+        # tiers: every frame passes Scheduler.admit() before it is queued or
+        # executed, whatever frontend delivered it.
+        self._scheduler = Scheduler(qos)
+        # The frontend owns the socket: accept/read/framing/write live in
+        # repro.system.transport, this class only sees decoded Messages via
+        # the callbacks below.  The listener binds in the frontend
+        # constructor, so host/port are final before start().
+        self.frontend = frontend
+        self._frontend = create_frontend(frontend, self, host, port,
+                                         max_workers=max_workers,
+                                         backlog=backlog)
+        self.host, self.port = self._frontend.host, self._frontend.port
         self._lock = threading.Lock()
         self._sessions: List[ServingSession] = []
         self._session_log_limit = max(1, session_log_limit)
@@ -510,12 +608,9 @@ class EdgeServer:
         # Aggregate remainder of sessions evicted from the bounded log.
         self._retired = ServingSession(session_id=-1, peer="<retired>")
         self._retired_count = 0
-        self._active_conns: Dict[int, socket.socket] = {}
-        self._handlers: Dict[int, threading.Thread] = {}
-        #: Per-connection write locks: with micro-batching on, a batcher
-        #: thread replies to frames while the handler thread may still write
-        #: hello acknowledgements on the same socket.
-        self._send_locks: Dict[int, threading.Lock] = {}
+        #: Live transport connections mapped to their sessions; entries are
+        #: added by connection_opened() and removed by connection_closed().
+        self._conn_sessions: Dict[Connection, ServingSession] = {}
         #: When serving through a process-parallel shard pool, the pool's
         #: per-shard counter snapshot — folded into :meth:`stats` so the
         #: socket-level and per-core views live in one place.  The server
@@ -582,59 +677,61 @@ class EdgeServer:
 
     # ------------------------------------------------------------------
     def start(self) -> "EdgeServer":
-        """Start the accept loop in a background thread."""
+        """Start serving (frontend accept loop / event loop in background)."""
         self._started_at = time.perf_counter()
-        self._accept_thread = threading.Thread(target=self._serve, daemon=True)
-        self._accept_thread.start()
+        self._frontend.start()
         return self
 
-    def _serve(self) -> None:
-        while not self._stopped.is_set():
-            # Bounded worker pool: hold a slot *before* accepting, so excess
-            # connections genuinely wait in the kernel's listen backlog
-            # instead of being accepted and left unanswered.  The short
-            # timeouts keep shutdown from wedging on a full pool.
-            if not self._slots.acquire(timeout=0.1):
-                continue
-            handed_off = False
-            try:
-                accepted = self._accept()
-                if accepted is None:
-                    return
-                conn, addr = accepted
-                conn.settimeout(None)
-                session = ServingSession(
-                    session_id=self._next_session_id, peer="%s:%d" % addr[:2],
-                    connected_at=time.perf_counter())
-                self._next_session_id += 1
-                handler = threading.Thread(target=self._handle,
-                                           args=(conn, session), daemon=True)
-                with self._lock:
-                    self._sessions.append(session)
-                    self._active_conns[session.session_id] = conn
-                    self._handlers[session.session_id] = handler
-                    self._send_locks[session.session_id] = threading.Lock()
-                handler.start()
-                handed_off = True  # the handler releases the slot on exit
-            finally:
-                if not handed_off:
-                    self._slots.release()
+    # ------------------------------------------------------------------
+    # FrontendCore callbacks: the transport layer delivers connection
+    # lifecycle events and decoded messages here.  These run on frontend
+    # threads (handler threads or the event-loop thread) and must stay
+    # cheap — compute is returned as a thunk for the frontend to place.
+    # ------------------------------------------------------------------
+    def connection_opened(self, conn: Connection) -> None:
+        """A frontend accepted ``conn``; register its session."""
+        with self._lock:
+            session = ServingSession(session_id=self._next_session_id,
+                                     peer=conn.peer,
+                                     connected_at=time.perf_counter())
+            self._next_session_id += 1
+            self._sessions.append(session)
+            self._conn_sessions[conn] = session
 
-    def _accept(self) -> Optional[Tuple[socket.socket, Tuple]]:
-        while not self._stopped.is_set():
-            try:
-                return self._listener.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                if self._stopped.is_set():
-                    return None  # listener closed by stop()
-                # Transient accept failure (fd exhaustion, aborted backlog
-                # connection): keep the loop alive — a dead accept thread
-                # would leave the server half-dead, serving existing
-                # connections while silently refusing new ones.
-                time.sleep(0.05)
+    def connection_message(self, conn: Connection,
+                           message: Message) -> Optional[Callable[[], None]]:
+        """A frontend decoded ``message`` on ``conn``.
+
+        Returns ``None`` when the message was fully handled inline (hello
+        acknowledgements, admission rejections, batcher enqueues) or a
+        zero-argument thunk the frontend must run on a compute slot (the
+        direct execution path) — keeping model execution off the event
+        loop under the async frontend.
+        """
+        with self._lock:
+            session = self._conn_sessions.get(conn)
+            if session is None:
+                return None  # closed concurrently; the frame has no home
+            session.bytes_received += message.wire_bytes
+        if message.kind == "hello":
+            self._handle_hello(conn, session, message)
+            return None
+        if message.kind == "frame":
+            return self._handle_frame(conn, session, message)
+        # Unknown kinds are ignored: forward compatibility.
         return None
+
+    def connection_closed(self, conn: Connection,
+                          error: Optional[BaseException]) -> None:
+        """``conn`` is gone (clean close, decode failure, or I/O error)."""
+        with self._lock:
+            session = self._conn_sessions.pop(conn, None)
+            if session is None:
+                return
+            if error is not None:
+                session.errors += 1
+            session.closed_at = time.perf_counter()
+            self._evict_old_sessions()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -658,7 +755,7 @@ class EdgeServer:
                            f"(available: {table.model_names()})")
         return name, table.edge_fns[name]
 
-    def _handle_hello(self, conn: socket.socket, session: ServingSession,
+    def _handle_hello(self, conn: Connection, session: ServingSession,
                       message: Message) -> None:
         table = self._table
         ack_meta: Dict = {"server": f"{self.host}:{self.port}",
@@ -681,51 +778,93 @@ class EdgeServer:
                 dispatch_failed = True
                 ack_meta["error"] = f"{type(exc).__name__}: {exc}"
                 ack_meta["traceback"] = traceback.format_exc()
-        with self._send_lock_for(session):
-            # Reply in the framing the hello arrived in: a raw-framing client
-            # gets raw replies, a zlib client zlib ones, from one listener.
-            sent = send_message(conn, Message(kind="hello", meta=ack_meta,
-                                              wire_format=message.wire_format))
+        # Reply in the framing the hello arrived in: a raw-framing client
+        # gets raw replies, a zlib client zlib ones, from one listener.
+        sent = conn.send_bytes(serialize_message(
+            Message(kind="hello", meta=ack_meta,
+                    wire_format=message.wire_format)))
         with self._lock:
             session.client_name = str(message.meta.get("client", ""))
             session.bytes_sent += sent
             if dispatch_failed:
                 session.errors += 1
 
-    def _send_lock_for(self, session: ServingSession) -> threading.Lock:
-        with self._lock:
-            lock = self._send_locks.get(session.session_id)
-        # A request may be replied to after its handler cleaned up (a batch
-        # drained post-disconnect); the write then fails with OSError anyway,
-        # a throwaway lock just keeps the reply path uniform.
-        return lock if lock is not None else threading.Lock()
+    def _handle_frame(self, conn: Connection, session: ServingSession,
+                      message: Message) -> Optional[Callable[[], None]]:
+        """Admit, route and enqueue one frame; return the compute thunk.
 
-    def _handle_frame(self, conn: socket.socket, session: ServingSession,
-                      message: Message) -> None:
-        request = _PendingRequest(conn=conn,
-                                  send_lock=self._send_lock_for(session),
-                                  session=session, message=message,
+        Runs on the frontend's delivery thread and must not execute model
+        code itself: the direct path comes back as a thunk (run inline by
+        the threaded frontend, on the compute pool by the async one), the
+        batched path hands the frame to a collector thread, and rejected
+        frames are answered right here with a ``"rejected"`` reply.
+        """
+        request = _PendingRequest(conn=conn, session=session, message=message,
                                   enqueued_at=time.monotonic())
         table = self._table
         try:
             name, edge_fn = self._resolve(message.meta, table)
         except Exception:  # unknown model / selector failure: per-frame error
             self._reply_error(request)
-            return
+            return None
+        # Admission control: shed *before* any queue or engine sees the
+        # frame.  A Rejection is answered immediately — the client learns
+        # within a round-trip instead of timing out.
+        decision = self._scheduler.admit(session.session_id, message.meta)
+        if isinstance(decision, Rejection):
+            self._reply_rejected(request, decision.reason,
+                                 decision.retry_after_ms)
+            return None
+        request.expires_at = decision.expires_at
+        request.priority = decision.priority
         if self._batcher is not None and name in table.batch_fns:
             # Entries without a batched callable stay on the direct path
             # below: funnelling them through a per-entry collector thread
             # would serialize their (possibly thread-safe) edge callables
             # and add up to max_wait_ms of queueing with nothing to batch.
-            if self._batcher.submit(name, request):
-                return
-            # Batcher already stopped: the server is shutting down and this
-            # connection is about to be torn down; drop the frame.
+            if not self._batcher.submit(name, request):
+                # Batcher already stopped: the server is shutting down and
+                # this connection is about to be torn down; drop the frame
+                # (and its admission ticket).
+                self._scheduler.release(session.session_id)
+            return None
+
+        def run_frame() -> None:
+            self._execute_direct(request, name, edge_fn)
+
+        return run_frame
+
+    def _execute_direct(self, request: _PendingRequest, name: str,
+                        edge_fn: EdgeFn) -> None:
+        """Run one un-batched frame on a compute slot and reply."""
+        now = time.monotonic()
+        self._scheduler.release(request.session.session_id,
+                                queue_delay_s=now - request.enqueued_at)
+        if self._scheduler.expired(request.expires_at, now):
+            # The deadline lapsed while the frame waited for a compute slot;
+            # executing it would waste engine time on an answer the device
+            # has already given up on.
+            self._scheduler.record_shed(REJECT_REASON_DEADLINE)
+            self._reply_rejected(request, REJECT_REASON_DEADLINE,
+                                 self._scheduler.policy.retry_after_ms)
             return
         try:
             started = time.perf_counter()
-            arrays, meta = edge_fn(message.arrays, message.meta)
+            arrays, meta = edge_fn(request.message.arrays,
+                                   request.message.meta)
             elapsed = time.perf_counter() - started
+        except FrameExpiredError:
+            self._scheduler.record_shed(REJECT_REASON_DEADLINE)
+            self._reply_rejected(request, REJECT_REASON_DEADLINE,
+                                 self._scheduler.policy.retry_after_ms)
+            return
+        except BackpressureError:
+            # The execution tier (e.g. a saturated shard ring) pushed back
+            # before accepting the frame; surface it as a clean rejection.
+            self._scheduler.record_shed(REJECT_REASON_CAPACITY)
+            self._reply_rejected(request, REJECT_REASON_CAPACITY,
+                                 self._scheduler.policy.retry_after_ms)
+            return
         except Exception:  # propagate to the client, keep serving
             self._reply_error(request)
             return
@@ -749,6 +888,24 @@ class EdgeServer:
         of the batch is served by exactly one table even when
         :meth:`install_table` swaps it concurrently.
         """
+        now = time.monotonic()
+        live: List[_PendingRequest] = []
+        for request in requests:
+            # The admission ticket is held for the queueing stage only; the
+            # dispatch itself is bounded by the batcher's own concurrency.
+            self._scheduler.release(request.session.session_id,
+                                    queue_delay_s=now - request.enqueued_at)
+            if self._scheduler.expired(request.expires_at, now):
+                # Deadline lapsed in the micro-batching queue: never execute
+                # expired work, answer with a rejection instead.
+                self._scheduler.record_shed(REJECT_REASON_DEADLINE)
+                self._reply_rejected(request, REJECT_REASON_DEADLINE,
+                                     self._scheduler.policy.retry_after_ms)
+            else:
+                live.append(request)
+        if not live:
+            return True
+        requests = live
         table = self._table
         batch_fn = table.batch_fns.get(name)
         if batch_fn is not None and len(requests) > 1:
@@ -795,6 +952,16 @@ class EdgeServer:
                 arrays, meta = edge_fn(request.message.arrays,
                                        request.message.meta)
                 elapsed = time.perf_counter() - started
+            except FrameExpiredError:
+                self._scheduler.record_shed(REJECT_REASON_DEADLINE)
+                self._reply_rejected(request, REJECT_REASON_DEADLINE,
+                                     self._scheduler.policy.retry_after_ms,
+                                     batch_index=index)
+            except BackpressureError:
+                self._scheduler.record_shed(REJECT_REASON_CAPACITY)
+                self._reply_rejected(request, REJECT_REASON_CAPACITY,
+                                     self._scheduler.policy.retry_after_ms,
+                                     batch_index=index)
             except Exception:
                 self._reply_error(request, batch_index=index)
             else:
@@ -804,6 +971,47 @@ class EdgeServer:
         # batches and entries without a batched callable; a multi-frame
         # batch landing here means its batched call failed.
         return not (batch_fn is not None and len(requests) > 1)
+
+    def _send_frame(self, request: _PendingRequest, blob: bytes) -> int:
+        """Write one framed reply for ``request``; returns wire bytes.
+
+        Replies normally go through the transport :class:`Connection`
+        (whose ``send_bytes`` is thread-safe).  Requests built directly on
+        a raw socket — the pre-frontend construction some tests and
+        embedders use — keep the historical per-request ``send_lock`` +
+        :func:`send_payload` path.
+        """
+        conn = request.conn
+        if isinstance(conn, Connection):
+            return conn.send_bytes(blob)
+        lock = request.send_lock if request.send_lock is not None \
+            else threading.Lock()
+        with lock:
+            return send_payload(conn, blob)
+
+    def _reply_rejected(self, request: _PendingRequest, reason: str,
+                        retry_after_ms: float,
+                        batch_index: Optional[int] = None) -> None:
+        """Answer a shed frame with a wire-level ``"rejected"`` message.
+
+        The reply carries the shed reason and a retry hint so the device
+        can back off deliberately instead of discovering the loss through
+        its pipeline timeout.  Shed counting lives in the scheduler (the
+        admission path books rejections itself; dispatch-time sheds call
+        :meth:`Scheduler.record_shed`), so this method only speaks wire.
+        """
+        try:
+            blob = serialize_message(Message(
+                kind=KIND_REJECTED, frame_id=request.message.frame_id,
+                meta={REJECT_REASON_META_KEY: reason,
+                      RETRY_AFTER_MS_META_KEY: float(retry_after_ms)},
+                batch_index=batch_index,
+                wire_format=request.message.wire_format))
+            sent = self._send_frame(request, blob)
+        except OSError:
+            return  # client already gone; nothing to roll back
+        with self._lock:
+            self._stats_target(request).bytes_sent += sent
 
     def _reply_result(self, request: _PendingRequest, name: str,
                       arrays: ArrayDict, meta: Dict, service_time_s: float,
@@ -832,8 +1040,7 @@ class EdgeServer:
             session.frames += 1
             session.frames_by_model[name] += 1
         try:
-            with request.send_lock:
-                send_payload(request.conn, blob)
+            self._send_frame(request, blob)
         except OSError:
             # The client vanished between execution and reply; its handler
             # (or stop()) tears the connection down.  Un-book the frame that
@@ -865,51 +1072,16 @@ class EdgeServer:
             # connection cannot make the error vanish from the stats.
             self._stats_target(request).errors += 1
         try:
-            with request.send_lock:
-                sent = send_message(request.conn, Message(
-                    kind="error", frame_id=request.message.frame_id,
-                    meta={"error": f"{type(exc).__name__}: {exc}",
-                          "traceback": traceback.format_exc()},
-                    batch_index=batch_index,
-                    wire_format=request.message.wire_format))
+            sent = self._send_frame(request, serialize_message(Message(
+                kind="error", frame_id=request.message.frame_id,
+                meta={"error": f"{type(exc).__name__}: {exc}",
+                      "traceback": traceback.format_exc()},
+                batch_index=batch_index,
+                wire_format=request.message.wire_format)))
         except OSError:
             return
         with self._lock:
             self._stats_target(request).bytes_sent += sent
-
-    def _handle(self, conn: socket.socket, session: ServingSession) -> None:
-        try:
-            with conn:
-                while not self._stopped.is_set():
-                    try:
-                        message = recv_message(conn)
-                    except Exception:
-                        # Truncated, reset, or undecodable stream — all
-                        # unrecoverable for a length-prefixed protocol: drop
-                        # the connection but keep the server alive.
-                        with self._lock:
-                            session.errors += 1
-                        break
-                    if message is None or message.kind == "stop":
-                        break
-                    with self._lock:
-                        session.bytes_received += message.wire_bytes
-                    try:
-                        if message.kind == "hello":
-                            self._handle_hello(conn, session, message)
-                        elif message.kind == "frame":
-                            self._handle_frame(conn, session, message)
-                        # Unknown kinds are ignored: forward compatibility.
-                    except OSError:
-                        break
-        finally:
-            session.closed_at = time.perf_counter()
-            with self._lock:
-                self._active_conns.pop(session.session_id, None)
-                self._handlers.pop(session.session_id, None)
-                self._send_locks.pop(session.session_id, None)
-                self._evict_old_sessions()
-            self._slots.release()
 
     def _evict_old_sessions(self) -> None:
         """Fold the oldest closed sessions into the aggregate (lock held)."""
@@ -980,6 +1152,7 @@ class EdgeServer:
             else (0, 0, {}, 0.0, 0, 0, 0))
         shards: List["ShardStats"] = (list(self._shard_stats())
                                       if self._shard_stats is not None else [])
+        sched = self._scheduler.snapshot()
         return EdgeServerStats(
             num_sessions=num_sessions,
             active_sessions=sum(s.active for s in sessions),
@@ -998,32 +1171,28 @@ class EdgeServer:
             batch_fallback_frames=fallback,
             queue_depth=queue_depth,
             queue_depth_peak=queue_depth_peak,
+            frames_shed=sched.frames_shed,
+            shed_by_reason=dict(sched.shed_by_reason),
+            queue_delay_p50_s=sched.queue_delay_p50_s,
+            queue_delay_p99_s=sched.queue_delay_p99_s,
+            frontend=self.frontend,
             num_shards=len(shards),
             shards=shards)
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The admission-control scheduler guarding this server's queues."""
+        return self._scheduler
 
     def stop(self) -> None:
         """Stop accepting, close live connections and release the listener."""
         if self._stopped_at is None:
             self._stopped_at = time.perf_counter()
-        self._stopped.set()
-        try:
-            self._listener.close()
-        except OSError:
-            pass
-        with self._lock:
-            live = list(self._active_conns.values())
-            handlers = list(self._handlers.values())
-        for conn in live:
-            try:
-                conn.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=5.0)
+        # Transport first (no new frames can arrive), batcher second (the
+        # queued tail drains through _dispatch_batch as before).
+        self._frontend.stop()
         if self._batcher is not None:
             self._batcher.stop()
-        for handler in handlers:
-            handler.join(timeout=5.0)
 
 
 class DeviceClient:
@@ -1049,16 +1218,39 @@ class DeviceClient:
     before they are framed, halving frame sizes at reduced precision; when
     the device callable already emits that dtype (a compiled plan with
     ``dtype=np.float32``) the cast is a no-op.
+
+    QoS knobs
+    ---------
+    ``deadline_ms`` stamps every outgoing frame with a freshness budget: a
+    QoS-enabled server sheds the frame (with a ``"rejected"`` reply)
+    instead of executing it once the budget lapses.  ``priority`` tags
+    frames with a priority class (``0`` highest; or a name from the
+    server's ``priority_map``).  ``on_rejected`` picks how rejections
+    surface from :meth:`run_pipeline`: ``"raise"`` (default) raises
+    :class:`RequestRejectedError`, ``"drop"`` silently counts the frame in
+    :attr:`PipelineStats.frames_rejected` — the natural mode for live
+    streams where a stale frame is best replaced by the next one.
     """
 
     def __init__(self, host: str, port: int, timeout_s: float = 30.0,
                  client_name: str = "", conditions: Optional[Dict] = None,
                  model: Optional[str] = None,
                  wire_format: str = WIRE_FORMAT_ZLIB,
-                 wire_dtype=None) -> None:
+                 wire_dtype=None,
+                 deadline_ms: Optional[float] = None,
+                 priority: Optional[object] = None,
+                 on_rejected: str = "raise") -> None:
         if wire_format not in WIRE_FORMATS:
             raise ValueError(f"unknown wire format {wire_format!r} "
                              f"(expected one of {WIRE_FORMATS})")
+        if on_rejected not in ("raise", "drop"):
+            raise ValueError(f"on_rejected must be 'raise' or 'drop', "
+                             f"got {on_rejected!r}")
+        if deadline_ms is not None and not deadline_ms > 0:
+            raise ValueError(f"deadline_ms must be positive, got {deadline_ms}")
+        self.deadline_ms = deadline_ms
+        self.priority = priority
+        self.on_rejected = on_rejected
         self.wire_format = wire_format
         self._wire_dtype = None if wire_dtype is None else np.dtype(wire_dtype)
         if (self._wire_dtype is not None
@@ -1231,15 +1423,20 @@ class DeviceClient:
                 # Only un-dispatched frames need the conditions on the wire
                 # (per-frame dispatch); a resolved model short-circuits them.
                 meta.setdefault("conditions", self._conditions)
+            if self.deadline_ms is not None:
+                meta.setdefault(DEADLINE_MS_META_KEY, self.deadline_ms)
+            if self.priority is not None:
+                meta.setdefault(PRIORITY_META_KEY, self.priority)
             self._send_queue.put(Message(kind="frame", frame_id=base_id + offset,
                                          arrays=arrays, meta=meta,
                                          wire_format=self.wire_format))
         results: List[FrameResult] = []
+        rejected = 0
         # timeout_s bounds the wait for results (as it always has; device
         # compute above is not counted against it) and, separately, the
         # handshake wait — each phase gets at most timeout_s, not their sum.
         deadline = time.monotonic() + timeout_s
-        while len(results) < len(frames):
+        while len(results) + rejected < len(frames):
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise TimeoutError("co-inference pipeline timed out waiting for results")
@@ -1250,8 +1447,8 @@ class DeviceClient:
             if message.kind == "disconnect":
                 raise ConnectionError(
                     "connection to the edge server was lost with "
-                    f"{len(frames) - len(results)} frame(s) outstanding: "
-                    f"{message.meta.get('error', 'peer closed')}")
+                    f"{len(frames) - len(results) - rejected} frame(s) "
+                    f"outstanding: {message.meta.get('error', 'peer closed')}")
             if message.frame_id not in submitted:
                 continue  # stale leftover of an earlier, aborted run
             if message.kind == "error":
@@ -1261,6 +1458,17 @@ class DeviceClient:
                     f"edge execution failed for frame "
                     f"{message.frame_id - base_id}: {detail}\n"
                     f"--- remote traceback ---\n{remote_tb}")
+            if message.kind == KIND_REJECTED:
+                # The server shed the frame (queue full, deadline lapsed,
+                # fairness): a deliberate, typed signal — not an error.
+                reason = str(message.meta.get(REJECT_REASON_META_KEY,
+                                              "capacity"))
+                retry = float(message.meta.get(RETRY_AFTER_MS_META_KEY, 0.0))
+                if self.on_rejected == "raise":
+                    raise RequestRejectedError(message.frame_id - base_id,
+                                               reason, retry)
+                rejected += 1
+                continue
             results.append(FrameResult(
                 frame_id=message.frame_id - base_id, arrays=message.arrays,
                 meta=message.meta, submitted_at=submitted[message.frame_id],
@@ -1272,7 +1480,8 @@ class DeviceClient:
             num_frames=len(frames), wall_time_s=wall,
             mean_latency_s=float(np.mean([r.latency_s for r in results])) if results else 0.0,
             bytes_sent=self.bytes_sent - sent_before,
-            bytes_received=self.bytes_received - received_before)
+            bytes_received=self.bytes_received - received_before,
+            frames_rejected=rejected)
         return results, stats
 
     def close(self) -> None:

@@ -48,6 +48,27 @@ WIRE_FORMAT_ZLIB = "zlib"
 WIRE_FORMAT_RAW = "raw"
 WIRE_FORMATS = (WIRE_FORMAT_ZLIB, WIRE_FORMAT_RAW)
 
+#: Server -> client reply kind for a frame shed by admission control: the
+#: frame was *not* executed (queue bound hit, fairness share exceeded, or
+#: its deadline already passed).  The reply's ``meta`` carries the
+#: rejection ``"reason"`` and a ``"retry_after_ms"`` hint — an explicit
+#: answer, so a shed frame never looks like a timeout to the client.
+KIND_REJECTED = "rejected"
+
+#: Frame metadata key: relative per-frame deadline in milliseconds.  The
+#: server stamps an absolute expiry at admission and never executes a
+#: frame whose deadline passed while it queued (see
+#: :mod:`repro.system.scheduler`).
+DEADLINE_MS_META_KEY = "deadline_ms"
+#: Frame metadata key: priority class — an integer level (0 = highest) or
+#: a symbolic name resolved through ``QosPolicy.priority_map``.
+PRIORITY_META_KEY = "priority"
+#: ``rejected``-reply metadata key: suggested client backoff in ms.
+RETRY_AFTER_MS_META_KEY = "retry_after_ms"
+#: ``rejected``-reply metadata key: why the frame was shed
+#: (``"capacity"`` / ``"fairness"`` / ``"deadline"``).
+REJECT_REASON_META_KEY = "reason"
+
 #: First byte of a raw frame.  zlib streams produced by ``zlib.compress``
 #: always start with ``0x78`` (deflate, 32K window), so this magic makes the
 #: two framings self-describing on receive.
@@ -96,8 +117,9 @@ class Message:
         available models and, when a dispatcher is attached, the entry chosen
         for those conditions), ``"frame"`` (intermediate state), ``"result"``
         (classifier output), ``"error"`` (edge-side execution failure,
-        carrying the remote traceback in ``meta``), ``"stop"`` (end of
-        stream).
+        carrying the remote traceback in ``meta``), ``"rejected"`` (frame
+        shed by admission control — never executed; ``meta`` carries the
+        reason and a ``retry_after_ms`` hint), ``"stop"`` (end of stream).
     frame_id:
         Sequence number of the inference frame this message belongs to.
     arrays:
