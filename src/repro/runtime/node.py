@@ -1,0 +1,324 @@
+"""TCP replica node: the shard worker main behind a socket transport.
+
+A *node* is :class:`~repro.runtime.shard.ReplicaCore` — the exact worker
+loop the shared-memory shards run — reached over TCP instead of a ring
+buffer, so a fleet of machines can serve the same zoo the way one box's
+cores do.  Everything above the transport is shared code: the same JSON zoo
+payload bootstrap (same seed → bit-identical replica weights), the same
+``frame``/``batch``/``publish`` envelope kinds in the versioned raw wire
+framing, the same idempotent snapshot replication and pin checks.
+
+Handshake
+---------
+A node starts *empty* — it holds no models until a router connects — so
+nodes can be launched standalone on remote machines (``python -m
+repro.runtime.node --port 9000``) before any router exists.  Per
+connection:
+
+1. The router sends a **hello**: one ``publish`` envelope whose ``meta``
+   is the full bootstrap dict (``zoo`` payload, ``version``, ``in_dim``,
+   ``num_classes``, ``runtime``, ``seed``, ``retain``).
+2. The node builds its :class:`ReplicaCore` on first contact, or — on a
+   reconnect — idempotently installs the hello's snapshot if it is newer
+   than what the node already holds (a re-sync can never regress state).
+3. The node answers ``ready`` (pid, node id, installed version) and then
+   serves the normal envelope loop, including ``ping`` → ``pong``
+   heartbeats, until the connection closes.
+
+Connections are served concurrently (one thread each) against the single
+shared core, mirroring the in-process server's worker threads; a router
+redialing after a partition therefore never waits for the stale
+connection to finish dying.
+
+Crash behavior mirrors the shard tier: the router detects a dead node
+(reader failure, missed heartbeats) and fails that node's in-flight
+requests with :class:`NodeCrashedError` — a :class:`ConnectionError` — so
+a killed node produces clean per-frame errors while new traffic reroutes
+to the surviving replicas.  A spawned node likewise exits when its parent
+disappears.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .shard import PeerClosed, ReplicaCore, _parent_alive, zoo_from_payload
+
+#: How long a node's accept loop sleeps between liveness polls, and the
+#: per-read timeout of a connection's envelope loop (seconds).
+_ACCEPT_POLL_S = 0.5
+
+
+class NodeCrashedError(ConnectionError):
+    """A replica node died (or became unreachable) mid-request."""
+
+
+@dataclass
+class NodeStats:
+    """Router-side view of one node's serving counters.
+
+    Folded into :class:`~repro.system.engine.EdgeServerStats` by a
+    clustered server so operators see per-node utilization, replication
+    lag (``snapshot_version``) and dead nodes in the same snapshot as the
+    socket-level statistics.
+    """
+
+    node_id: int
+    #: ``host:port`` the router dials for this node.
+    address: str
+    alive: bool
+    frames: int
+    batches: int
+    errors: int
+    #: Engine time the node reported for its executed frames (excludes
+    #: transport; the server's ``mean_service_time_s`` includes it).
+    service_time_s: float
+    bytes_to_node: int
+    bytes_from_node: int
+    #: Latest snapshot version the node acknowledged (ready or publish ack).
+    snapshot_version: int
+    #: Last heartbeat round-trip in milliseconds; ``None`` before the
+    #: first pong (or after the node died).
+    rtt_ms: Optional[float]
+
+
+def bootstrap_meta(repository) -> Dict:
+    """The hello/bootstrap dict for ``repository``'s current snapshot.
+
+    The same payload the shard tier passes at spawn: everything a replica
+    needs to rebuild bit-identical serving state from scratch.
+    """
+    from .shard import zoo_to_payload
+    snapshot = repository.snapshot()
+    return {
+        "zoo": zoo_to_payload(snapshot.zoo),
+        "version": snapshot.version,
+        "in_dim": repository.in_dim,
+        "num_classes": repository.num_classes,
+        "runtime": repository.runtime.to_dict(),
+        "seed": repository.seed,
+        "retain": repository.retain,
+    }
+
+
+class _CoreHolder:
+    """The node's single shared core, built lazily from the first hello."""
+
+    def __init__(self) -> None:
+        self.core: Optional[ReplicaCore] = None
+        self.lock = threading.Lock()
+
+    def apply_hello(self, meta: Dict) -> ReplicaCore:
+        with self.lock:
+            if self.core is None:
+                self.core = ReplicaCore(meta)
+            else:
+                version = int(meta["version"])
+                if version > self.core.repository.version:
+                    self.core.repository.publish(
+                        zoo_from_payload(meta["zoo"]), version=version)
+            return self.core
+
+
+def _serve_connection(conn: socket.socket, holder: _CoreHolder,
+                      node_id: int) -> None:
+    """Handshake then envelope loop for one router connection."""
+    from ..system.messages import (Message, SHARD_KIND_PUBLISH,
+                                   SHARD_KIND_READY, WIRE_FORMAT_RAW,
+                                   recv_message, send_payload,
+                                   serialize_message)
+
+    def read_envelope(timeout: float) -> Optional[Message]:
+        conn.settimeout(timeout)
+        try:
+            message = recv_message(conn)
+        except socket.timeout:
+            return None
+        if message is None:
+            raise PeerClosed()
+        return message
+
+    def reply(message: Message) -> None:
+        send_payload(conn, serialize_message(message,
+                                             wire_format=WIRE_FORMAT_RAW))
+
+    try:
+        try:
+            hello = read_envelope(30.0)
+        except PeerClosed:
+            return
+        if hello is None or hello.kind != SHARD_KIND_PUBLISH:
+            return  # not a router speaking our handshake: drop the link
+        try:
+            core = holder.apply_hello(hello.meta)
+        except Exception as exc:
+            import traceback
+            try:
+                reply(Message(kind="error", frame_id=hello.frame_id,
+                              meta={"error": f"{type(exc).__name__}: {exc}",
+                                    "traceback": traceback.format_exc()}))
+            except Exception:
+                pass
+            return
+        reply(Message(kind=SHARD_KIND_READY, frame_id=hello.frame_id,
+                      meta=core.ready_meta(node_id)))
+        core.serve(read_envelope, reply, peer_alive=_parent_alive)
+    except Exception:  # connection-scoped failure: the link is dead anyway
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _node_main(node_id: int, host: str, port: int, ready_conn=None) -> None:
+    """Entry point of one node process (spawn-safe, module-level).
+
+    Binds ``host:port`` (0 = ephemeral), reports the bound port back
+    through ``ready_conn`` (a ``multiprocessing`` pipe end) when given,
+    then accepts router connections until its parent disappears.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(16)
+        bound_port = listener.getsockname()[1]
+    except Exception as exc:
+        if ready_conn is not None:
+            import traceback
+            ready_conn.send(("error",
+                             f"{type(exc).__name__}: {exc}\n"
+                             f"{traceback.format_exc()}"))
+            ready_conn.close()
+        listener.close()
+        return
+    if ready_conn is not None:
+        ready_conn.send(("ok", bound_port))
+        ready_conn.close()
+
+    holder = _CoreHolder()
+    listener.settimeout(_ACCEPT_POLL_S)
+    try:
+        while _parent_alive():
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            threading.Thread(target=_serve_connection,
+                             args=(conn, holder, node_id),
+                             name=f"node-{node_id}-conn",
+                             daemon=True).start()
+    finally:
+        listener.close()
+
+
+class NodeProcess:
+    """Spawn one localhost replica node and learn its bound address.
+
+    The test/bench harness for the cluster tier: spawns
+    :func:`_node_main` in a fresh process (spawn context — same isolation
+    the shard tier uses), waits for the child to report the port it
+    actually bound (``port=0`` → ephemeral, no collisions), and exposes
+    ``address`` for :class:`~repro.serving.ClusterConfig.nodes`.
+    """
+
+    def __init__(self, node_id: int = 0, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.node_id = node_id
+        self.host = host
+        self._requested_port = port
+        self.port: Optional[int] = None
+        self._process = None
+
+    def start(self, timeout: float = 30.0) -> "NodeProcess":
+        import multiprocessing
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe()
+        self._process = ctx.Process(
+            target=_node_main,
+            args=(self.node_id, self.host, self._requested_port, child_conn),
+            name=f"repro-node-{self.node_id}", daemon=True)
+        self._process.start()
+        child_conn.close()
+        try:
+            if not parent_conn.poll(timeout):
+                raise NodeCrashedError(
+                    f"node {self.node_id} did not report a port within "
+                    f"{timeout:.0f}s")
+            status, detail = parent_conn.recv()
+        except EOFError:
+            raise NodeCrashedError(
+                f"node {self.node_id} died before reporting a port")
+        finally:
+            parent_conn.close()
+        if status != "ok":
+            self.stop()
+            raise NodeCrashedError(
+                f"node {self.node_id} failed to bind "
+                f"{self.host}:{self._requested_port}: {detail}")
+        self.port = int(detail)
+        return self
+
+    @property
+    def address(self) -> str:
+        if self.port is None:
+            raise RuntimeError("node not started")
+        return f"{self.host}:{self.port}"
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid if self._process is not None else None
+
+    def alive(self) -> bool:
+        return self._process is not None and self._process.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL the node — the chaos tests' hard-crash injection."""
+        if self._process is not None and self._process.is_alive():
+            self._process.kill()
+            self._process.join(timeout=10.0)
+
+    def stop(self) -> None:
+        if self._process is None:
+            return
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=10.0)
+            if self._process.is_alive():  # pragma: no cover - last resort
+                self._process.kill()
+                self._process.join(timeout=10.0)
+        self._process = None
+
+    def __enter__(self) -> "NodeProcess":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def main(argv=None) -> None:
+    """Run one replica node in the foreground (remote-machine deploys)."""
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="0.0.0.0",
+                        help="interface to bind (default: all)")
+    parser.add_argument("--port", type=int, default=9000,
+                        help="TCP port to listen on (0 = ephemeral)")
+    parser.add_argument("--node-id", type=int, default=0,
+                        help="identity reported in ready/pong envelopes")
+    options = parser.parse_args(argv)
+    print(f"repro node {options.node_id} listening on "
+          f"{options.host}:{options.port}", flush=True)
+    _node_main(options.node_id, options.host, options.port)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    main()

@@ -458,6 +458,229 @@ def _parent_alive() -> bool:
     return parent is None or parent.is_alive()
 
 
+class PeerClosed(Exception):
+    """Raised by a transport's ``read_envelope`` on a clean peer close.
+
+    Distinguishes an orderly shutdown (loop just exits) from undecodable
+    bytes or a mid-frame cut (loop sends one error envelope, then exits).
+    """
+
+
+class ReplicaCore:
+    """Transport-agnostic replica worker: bootstrap + message loop.
+
+    Everything a shard worker does *between* transport reads and writes
+    lives here — building the repository from a JSON bootstrap, executing
+    frames/batches, installing replicated snapshots, answering heartbeats —
+    parameterized over ``read_envelope``/``reply`` callables.  The
+    shared-memory shard worker (:func:`_shard_main`) and the TCP cluster
+    node (:mod:`repro.runtime.node`) are the same core behind different
+    transports, so their guarantees (same seed → bit-identical weights,
+    idempotent publish, pin checks) are one implementation, not two.
+    """
+
+    def __init__(self, bootstrap: Dict) -> None:
+        # Deferred imports: this module must stay importable without
+        # dragging the serving facade in (repro.serving imports
+        # repro.runtime).
+        from ..serving.config import RuntimeConfig
+        from ..serving.repository import ModelRepository
+        self.repository = ModelRepository(
+            in_dim=int(bootstrap["in_dim"]),
+            num_classes=int(bootstrap["num_classes"]),
+            runtime=RuntimeConfig.from_dict(bootstrap["runtime"]),
+            seed=int(bootstrap["seed"]),
+            retain=int(bootstrap["retain"]))
+        self.repository.publish(zoo_from_payload(bootstrap["zoo"]),
+                                version=int(bootstrap["version"]))
+        #: Frames served over this core's lifetime (reported in pongs).
+        self.frames_served = 0
+
+    def ready_meta(self, ident: int) -> Dict:
+        """Metadata of the READY envelope announcing this core serves."""
+        return {"pid": os.getpid(), "shard_id": ident,
+                "version": self.repository.version}
+
+    def serve(self, read_envelope, reply, peer_alive=_parent_alive) -> None:
+        """Run the message loop until ``stop``, a dead peer, or bad bytes.
+
+        ``read_envelope(timeout)`` returns a decoded ``Message`` or ``None``
+        on timeout (raising on transport/protocol failure); ``reply(msg)``
+        ships one envelope back; ``peer_alive()`` is polled on idle so an
+        orphaned worker exits instead of spinning forever.
+        """
+        from ..serving.repository import SNAPSHOT_META_KEY
+        from ..system.messages import (Message, NODE_KIND_PING,
+                                       NODE_KIND_PONG, SHARD_KIND_BATCH,
+                                       SHARD_KIND_PUBLISH,
+                                       SHARD_KIND_PUBLISHED)
+        repository = self.repository
+
+        def reply_error(corr: int, exc: BaseException,
+                        batch_index: Optional[int] = None) -> None:
+            import traceback
+            try:
+                reply(Message(kind="error", frame_id=corr,
+                              meta={"error": f"{type(exc).__name__}: {exc}",
+                                    "traceback": traceback.format_exc()},
+                              batch_index=batch_index))
+            except Exception:  # peer gone: nothing left to tell
+                pass
+
+        def check_pin(frame_meta) -> None:
+            """Fail loudly on a pin this replica cannot honor yet.
+
+            A frame pinned to a version *newer* than anything this replica
+            holds means snapshot replication lagged behind the parent swap
+            (a startup race the app guards against); the repository's
+            normal fallback would silently answer it from an older
+            snapshot — numerically wrong.  An error envelope is the honest
+            outcome.
+            """
+            pinned = (frame_meta.get(SNAPSHOT_META_KEY)
+                      if isinstance(frame_meta, dict) else None)
+            if pinned is not None and int(pinned) > repository.version:
+                raise RuntimeError(
+                    f"frame pinned to snapshot v{pinned} but this replica "
+                    f"only holds up to v{repository.version} — snapshot "
+                    "replication lagged behind the parent swap")
+
+        def handle_frame(message: Message) -> None:
+            corr = message.frame_id
+            try:
+                entry = message.meta["entry"]
+                frame_meta = message.meta["frame"]
+                check_pin(frame_meta)
+                started = time.perf_counter()
+                arrays, out_meta = repository.edge_router(entry)(
+                    dict(message.arrays), frame_meta)
+                elapsed = time.perf_counter() - started
+            except Exception as exc:
+                reply_error(corr, exc)
+                return
+            self.frames_served += 1
+            try:
+                reply(Message(kind="result", frame_id=corr, arrays=arrays,
+                              meta={"frame": out_meta,
+                                    "service_time_s": elapsed}))
+            except Exception as exc:
+                # A result that cannot be shipped (larger than the response
+                # ring, parent stalled) must degrade to one per-frame
+                # error, not kill the whole worker.
+                reply_error(corr, exc)
+
+        def handle_batch(header: Message) -> Optional[Message]:
+            """Collect and execute one batch; returns a stray envelope.
+
+            The pool writes the header and its frames back-to-back under
+            one send lock, so they are contiguous on the transport.
+            Defensively, an envelope that is not one of this batch's frames
+            (a desynced parent after a mid-sequence transport failure)
+            aborts the batch — the parent already failed it on its side —
+            and is handed back to the main loop for normal processing
+            instead of being swallowed.
+            """
+            corr = header.frame_id
+            count = int(header.meta["count"])
+            entry = header.meta["entry"]
+            requests = []
+            deadline = time.monotonic() + 30.0
+            while len(requests) < count:
+                message = read_envelope(0.2)
+                if message is not None:
+                    if message.kind != "frame" or message.frame_id != corr:
+                        reply_error(corr, RuntimeError(
+                            f"batch {corr} truncated: expected frame "
+                            f"{len(requests)}/{count}, got a "
+                            f"{message.kind!r} envelope"))
+                        return message
+                    requests.append((dict(message.arrays),
+                                     message.meta["frame"]))
+                elif time.monotonic() > deadline or not peer_alive():
+                    return None  # truncated batch from a dead peer: drop it
+            try:
+                for _, frame_meta in requests:
+                    check_pin(frame_meta)
+                started = time.perf_counter()
+                results = repository.batch_router(entry)(requests)
+                elapsed = time.perf_counter() - started
+            except Exception as exc:
+                # One error for the whole batch: the parent's batched
+                # router raises, and the engine re-runs the frames per
+                # frame so the failure isolates to the offending request
+                # (the same fallback contract in-process batched serving
+                # has).
+                reply_error(corr, exc)
+                return None
+            self.frames_served += len(results)
+            share = elapsed / max(len(results), 1)
+            for index, (arrays, out_meta) in enumerate(results):
+                try:
+                    reply(Message(kind="result", frame_id=corr,
+                                  arrays=arrays,
+                                  meta={"frame": out_meta,
+                                        "service_time_s": share},
+                                  batch_index=index))
+                except Exception as exc:
+                    # Per-index degradation, same rationale as handle_frame.
+                    reply_error(corr, exc, batch_index=index)
+            return None
+
+        def handle_publish(message: Message) -> None:
+            corr = message.frame_id
+            version = int(message.meta["version"])
+            try:
+                if version > repository.version:
+                    repository.publish(
+                        zoo_from_payload(message.meta["zoo"]),
+                        version=version)
+                # A re-broadcast of an installed (or older) version is an
+                # idempotent no-op: startup re-syncs can never regress
+                # state.
+                reply(Message(kind=SHARD_KIND_PUBLISHED, frame_id=corr,
+                              meta={"version": repository.version}))
+            except Exception as exc:
+                reply_error(corr, exc)
+
+        def handle_ping(message: Message) -> None:
+            try:
+                reply(Message(kind=NODE_KIND_PONG,
+                              frame_id=message.frame_id,
+                              meta={"version": repository.version,
+                                    "frames": self.frames_served,
+                                    "pid": os.getpid()}))
+            except Exception:  # peer gone mid-heartbeat: the probe's
+                pass           # timeout handles it
+
+        stray: Optional[Message] = None
+        while True:
+            if stray is not None:
+                message, stray = stray, None
+            else:
+                try:
+                    message = read_envelope(0.5)
+                except PeerClosed:  # orderly shutdown: nothing to report
+                    break
+                except Exception as exc:  # bad bytes: broken protocol
+                    reply_error(0, exc)
+                    break
+                if message is None:
+                    if not peer_alive():
+                        break  # orphaned worker: exit instead of spinning
+                    continue
+            if message.kind == "stop":
+                break
+            if message.kind == "frame":
+                handle_frame(message)
+            elif message.kind == SHARD_KIND_BATCH:
+                stray = handle_batch(message)
+            elif message.kind == SHARD_KIND_PUBLISH:
+                handle_publish(message)
+            elif message.kind == NODE_KIND_PING:
+                handle_ping(message)
+            # Unknown kinds are ignored: forward compatibility.
+
+
 def _shard_main(shard_id: int, spec: Tuple, bootstrap: Dict) -> None:
     """Entry point of one shard worker process (spawn-safe, module-level).
 
@@ -467,14 +690,9 @@ def _shard_main(shard_id: int, spec: Tuple, bootstrap: Dict) -> None:
     parent's (same seed, same builder) and shard execution is numerically
     equivalent to in-process serving.
     """
-    # Deferred imports: this module must stay importable without dragging
-    # the serving facade in (repro.serving imports repro.runtime).
-    from ..serving.config import RuntimeConfig
-    from ..serving.repository import SNAPSHOT_META_KEY, ModelRepository
-    from ..system.messages import (Message, SHARD_KIND_BATCH,
-                                   SHARD_KIND_PUBLISH, SHARD_KIND_PUBLISHED,
-                                   SHARD_KIND_READY, WIRE_FORMAT_RAW,
-                                   deserialize_message, serialize_message)
+    from ..system.messages import (Message, SHARD_KIND_READY,
+                                   WIRE_FORMAT_RAW, deserialize_message,
+                                   serialize_message)
 
     channel = attach_channel(spec)
 
@@ -482,170 +700,26 @@ def _shard_main(shard_id: int, spec: Tuple, bootstrap: Dict) -> None:
         channel.send_bytes(serialize_message(message,
                                              wire_format=WIRE_FORMAT_RAW))
 
-    def reply_error(corr: int, exc: BaseException,
-                    batch_index: Optional[int] = None) -> None:
-        import traceback
-        try:
-            reply(Message(kind="error", frame_id=corr,
-                          meta={"error": f"{type(exc).__name__}: {exc}",
-                                "traceback": traceback.format_exc()},
-                          batch_index=batch_index))
-        except Exception:  # parent gone: nothing left to tell
-            pass
-
-    try:
-        repository = ModelRepository(
-            in_dim=int(bootstrap["in_dim"]),
-            num_classes=int(bootstrap["num_classes"]),
-            runtime=RuntimeConfig.from_dict(bootstrap["runtime"]),
-            seed=int(bootstrap["seed"]),
-            retain=int(bootstrap["retain"]))
-        repository.publish(zoo_from_payload(bootstrap["zoo"]),
-                           version=int(bootstrap["version"]))
-    except Exception as exc:
-        reply_error(0, exc)
-        channel.close()
-        return
-    try:
-        reply(Message(kind=SHARD_KIND_READY,
-                      meta={"pid": os.getpid(), "shard_id": shard_id,
-                            "version": repository.version}))
-    except Exception:  # parent died during our bootstrap: nothing to serve
-        channel.close()
-        return
-
     def read_envelope(timeout: float) -> Optional[Message]:
         blob = channel.recv_bytes(timeout=timeout)
         return None if blob is None else deserialize_message(blob)
 
-    def check_pin(frame_meta) -> None:
-        """Fail loudly on a pin this shard cannot honor yet.
-
-        A frame pinned to a version *newer* than anything this shard holds
-        means snapshot replication lagged behind the parent swap (a startup
-        race the app guards against); the repository's normal fallback
-        would silently answer it from an older snapshot — numerically
-        wrong.  An error envelope is the honest outcome.
-        """
-        pinned = (frame_meta.get(SNAPSHOT_META_KEY)
-                  if isinstance(frame_meta, dict) else None)
-        if pinned is not None and int(pinned) > repository.version:
-            raise RuntimeError(
-                f"frame pinned to snapshot v{pinned} but this shard only "
-                f"holds up to v{repository.version} — snapshot replication "
-                "lagged behind the parent swap")
-
-    def handle_frame(message: Message) -> None:
-        corr = message.frame_id
+    try:
+        core = ReplicaCore(bootstrap)
+    except Exception as exc:
+        import traceback
         try:
-            entry = message.meta["entry"]
-            frame_meta = message.meta["frame"]
-            check_pin(frame_meta)
-            started = time.perf_counter()
-            arrays, out_meta = repository.edge_router(entry)(
-                dict(message.arrays), frame_meta)
-            elapsed = time.perf_counter() - started
-        except Exception as exc:
-            reply_error(corr, exc)
-            return
-        try:
-            reply(Message(kind="result", frame_id=corr, arrays=arrays,
-                          meta={"frame": out_meta,
-                                "service_time_s": elapsed}))
-        except Exception as exc:
-            # A result that cannot be shipped (larger than the response
-            # ring, parent stalled) must degrade to one per-frame error,
-            # not kill the whole worker.
-            reply_error(corr, exc)
-
-    def handle_batch(header: Message) -> Optional[Message]:
-        """Collect and execute one batch; returns a stray envelope, if any.
-
-        The pool writes the header and its frames back-to-back under one
-        send lock, so they are contiguous on the ring.  Defensively, an
-        envelope that is not one of this batch's frames (a desynced parent
-        after a mid-sequence transport failure) aborts the batch — the
-        parent already failed it on its side — and is handed back to the
-        main loop for normal processing instead of being swallowed.
-        """
-        corr = header.frame_id
-        count = int(header.meta["count"])
-        entry = header.meta["entry"]
-        requests = []
-        deadline = time.monotonic() + 30.0
-        while len(requests) < count:
-            message = read_envelope(timeout=0.2)
-            if message is not None:
-                if message.kind != "frame" or message.frame_id != corr:
-                    reply_error(corr, RuntimeError(
-                        f"batch {corr} truncated: expected frame "
-                        f"{len(requests)}/{count}, got a "
-                        f"{message.kind!r} envelope"))
-                    return message
-                requests.append((dict(message.arrays),
-                                 message.meta["frame"]))
-            elif time.monotonic() > deadline or not _parent_alive():
-                return None  # truncated batch from a dead parent: drop it
-        try:
-            for _, frame_meta in requests:
-                check_pin(frame_meta)
-            started = time.perf_counter()
-            results = repository.batch_router(entry)(requests)
-            elapsed = time.perf_counter() - started
-        except Exception as exc:
-            # One error for the whole batch: the parent's batched router
-            # raises, and the engine re-runs the frames per frame so the
-            # failure isolates to the offending request (the same fallback
-            # contract in-process batched serving has).
-            reply_error(corr, exc)
-            return None
-        share = elapsed / max(len(results), 1)
-        for index, (arrays, out_meta) in enumerate(results):
-            try:
-                reply(Message(kind="result", frame_id=corr, arrays=arrays,
-                              meta={"frame": out_meta,
-                                    "service_time_s": share},
-                              batch_index=index))
-            except Exception as exc:
-                # Per-index degradation, same rationale as handle_frame.
-                reply_error(corr, exc, batch_index=index)
-        return None
-
-    def handle_publish(message: Message) -> None:
-        corr = message.frame_id
-        version = int(message.meta["version"])
-        try:
-            if version > repository.version:
-                repository.publish(zoo_from_payload(message.meta["zoo"]),
-                                   version=version)
-            # A re-broadcast of an installed (or older) version is an
-            # idempotent no-op: startup re-syncs can never regress state.
-            reply(Message(kind=SHARD_KIND_PUBLISHED, frame_id=corr,
-                          meta={"version": repository.version}))
-        except Exception as exc:
-            reply_error(corr, exc)
-
-    stray: Optional[Message] = None
-    while True:
-        if stray is not None:
-            message, stray = stray, None
-        else:
-            try:
-                message = read_envelope(timeout=0.5)
-            except Exception as exc:  # undecodable envelope: broken protocol
-                reply_error(0, exc)
-                break
-            if message is None:
-                if not _parent_alive():
-                    break  # orphaned worker: exit instead of spinning
-                continue
-        if message.kind == "stop":
-            break
-        if message.kind == "frame":
-            handle_frame(message)
-        elif message.kind == SHARD_KIND_BATCH:
-            stray = handle_batch(message)
-        elif message.kind == SHARD_KIND_PUBLISH:
-            handle_publish(message)
-        # Unknown kinds are ignored: forward compatibility.
+            reply(Message(kind="error", frame_id=0,
+                          meta={"error": f"{type(exc).__name__}: {exc}",
+                                "traceback": traceback.format_exc()}))
+        except Exception:  # parent gone: nothing left to tell
+            pass
+        channel.close()
+        return
+    try:
+        reply(Message(kind=SHARD_KIND_READY, meta=core.ready_meta(shard_id)))
+    except Exception:  # parent died during our bootstrap: nothing to serve
+        channel.close()
+        return
+    core.serve(read_envelope, reply, peer_alive=_parent_alive)
     channel.close()

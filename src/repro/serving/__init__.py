@@ -36,6 +36,11 @@ Layer map
   serving shards (multi-core scaling) behind a
   :class:`ShardingConfig`-enabled app; frames cross to worker processes
   over shared-memory rings carrying the raw wire framing.
+* :mod:`repro.serving.cluster` — :class:`ClusterPool`: the multi-node
+  cluster tier (multi-machine scaling) behind a
+  :class:`ClusterConfig`-enabled app; frames travel to TCP replica nodes
+  (:mod:`repro.runtime.node`) with heartbeat failover, least-loaded or
+  consistent-hash routing, and publish-ack-before-swap zoo replication.
 
 The engine primitives (:class:`~repro.system.engine.EdgeServer`,
 :class:`~repro.system.engine.DeviceClient`) stay available in
@@ -45,12 +50,15 @@ contract guarded by ``tools/check_public_api.py`` in CI.
 """
 
 from ..core.executor import ServingCallables
+from ..runtime.node import NodeCrashedError, NodeStats
 from ..runtime.shard import ShardCrashedError, ShardStats
 from ..system.engine import RequestRejectedError
 from .app import Client, ServingApp, serve
 from .builders import build_callables, build_zoo_callables
-from .config import (BatchingConfig, ClientConfig, QosConfig, RuntimeConfig,
-                     ServerConfig, ServingConfig, ShardingConfig)
+from .cluster import ClusterPool
+from .config import (BatchingConfig, ClientConfig, ClusterConfig, QosConfig,
+                     RuntimeConfig, ServerConfig, ServingConfig,
+                     ShardingConfig)
 from .repository import SNAPSHOT_META_KEY, ModelRepository, ServingSnapshot
 from .sharding import ShardPool, sharding_supported
 
@@ -58,7 +66,11 @@ __all__ = [
     "BatchingConfig",
     "Client",
     "ClientConfig",
+    "ClusterConfig",
+    "ClusterPool",
     "ModelRepository",
+    "NodeCrashedError",
+    "NodeStats",
     "QosConfig",
     "RequestRejectedError",
     "RuntimeConfig",

@@ -30,6 +30,7 @@ from ..core.zoo import ArchitectureZoo
 from ..system.engine import (DeviceClient, DeviceFn, EdgeServer,
                              EdgeServerStats, FrameResult, PipelineStats,
                              ServingSession)
+from .cluster import ClusterPool
 from .config import ClientConfig, RuntimeConfig, ServingConfig
 from .repository import ModelRepository
 from .sharding import ShardPool, sharding_supported
@@ -69,6 +70,7 @@ class ServingApp:
         self.config = _as_serving_config(config)
         self._server: Optional[EdgeServer] = None
         self._pool: Optional[ShardPool] = None
+        self._cluster: Optional[ClusterPool] = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -114,6 +116,11 @@ class ServingApp:
         a platform without ``multiprocessing.shared_memory`` for the
         ``"shm"`` transport — serves in process exactly as before (the
         latter with a :class:`RuntimeWarning`).
+
+        With ``config.cluster.nodes`` set, the app instead dials the
+        replica-node fleet (strictly — an unreachable node at startup
+        raises) and serves through the cluster router; see
+        :mod:`repro.serving.cluster`.
         """
         if self._closed:
             raise RuntimeError("ServingApp is closed and cannot be "
@@ -133,6 +140,20 @@ class ServingApp:
                     f"transport {sharding.transport!r}) but the platform "
                     "does not support it; falling back to in-process "
                     "serving", RuntimeWarning, stacklevel=2)
+        if self.config.cluster.enabled:
+            # Strict by design (no in-process fallback): a cluster config
+            # names concrete machines, and silently serving without them
+            # would hide a deployment failure.  start() raises if any node
+            # is unreachable; node deaths *after* startup are handled by
+            # heartbeat failover instead.
+            try:
+                self._cluster = ClusterPool(self.repository,
+                                            self.config.cluster).start()
+            except Exception:
+                if self._pool is not None:  # pragma: no cover - configs
+                    self._pool.stop()       # are mutually exclusive
+                    self._pool = None
+                raise
         server_config, batching = self.config.server, self.config.batching
         # The QoS policy guards the whole admission path; the batching
         # config's max_queue_depth is a convenience alias for the same
@@ -142,11 +163,12 @@ class ServingApp:
                 and batching.max_queue_depth is not None):
             qos_policy = dataclasses.replace(
                 qos_policy, max_queue_depth=batching.max_queue_depth)
+        backend = self._pool if self._pool is not None else self._cluster
         try:
-            if self._pool is not None:
-                # Publishes must replicate to every shard *before* the
-                # parent swap (pre-swap preparer), so no frame is ever
-                # stamped with a snapshot version a live shard does not
+            if backend is not None:
+                # Publishes must replicate to every shard/node *before* the
+                # local swap (pre-swap preparer), so no frame is ever
+                # stamped with a snapshot version a live replica does not
                 # hold.  Register the preparer and re-sync the current
                 # snapshot (an idempotent re-broadcast, covering a publish
                 # that raced pool startup) *before* the socket starts
@@ -155,8 +177,8 @@ class ServingApp:
                 # the preparer list pre-registration and swap
                 # post-sync, invisible to both.
                 with self.repository.publish_barrier():
-                    self.repository.add_preparer(self._pool.prepare_publish)
-                    self._pool.sync(self.repository.snapshot())
+                    self.repository.add_preparer(backend.prepare_publish)
+                    backend.sync(self.repository.snapshot())
             self._server = EdgeServer(
                 edge_fns=self._edge_fns(),
                 batch_fns=self._batch_fns(),
@@ -170,12 +192,15 @@ class ServingApp:
                 max_batch_size=batching.max_batch_size,
                 max_wait_ms=batching.max_wait_ms,
                 shard_stats=self._pool.stats if self._pool is not None
+                else None,
+                node_stats=self._cluster.stats if self._cluster is not None
                 else None).start()
         except Exception:
-            if self._pool is not None:
-                self.repository.remove_preparer(self._pool.prepare_publish)
-                self._pool.stop()
+            if backend is not None:
+                self.repository.remove_preparer(backend.prepare_publish)
+                backend.stop()
                 self._pool = None
+                self._cluster = None
             raise
         self.repository.subscribe(self._on_publish)
         # A publish may have landed between reading the routers above and
@@ -188,12 +213,18 @@ class ServingApp:
         return self
 
     def _edge_fns(self):
-        return (self._pool.edge_fns() if self._pool is not None
-                else self.repository.edge_fns())
+        if self._pool is not None:
+            return self._pool.edge_fns()
+        if self._cluster is not None:
+            return self._cluster.edge_fns()
+        return self.repository.edge_fns()
 
     def _batch_fns(self):
-        return (self._pool.batch_fns() if self._pool is not None
-                else self.repository.batch_fns())
+        if self._pool is not None:
+            return self._pool.batch_fns()
+        if self._cluster is not None:
+            return self._cluster.batch_fns()
+        return self.repository.batch_fns()
 
     @property
     def sharded(self) -> bool:
@@ -204,6 +235,16 @@ class ServingApp:
     def shard_pool(self) -> Optional[ShardPool]:
         """The shard pool behind this app (``None`` for in-process serving)."""
         return self._pool
+
+    @property
+    def clustered(self) -> bool:
+        """True when this app routes frames to a fleet of replica nodes."""
+        return self._cluster is not None
+
+    @property
+    def cluster_pool(self) -> Optional[ClusterPool]:
+        """The cluster pool behind this app (``None`` when not clustered)."""
+        return self._cluster
 
     def _on_publish(self, snapshot) -> None:
         """Install the new snapshot's entry names on the live server.
@@ -230,10 +271,14 @@ class ServingApp:
         self.repository.unsubscribe(self._on_publish)
         if self._pool is not None:
             self.repository.remove_preparer(self._pool.prepare_publish)
+        if self._cluster is not None:
+            self.repository.remove_preparer(self._cluster.prepare_publish)
         if self._server is not None:
             self._server.stop()
         if self._pool is not None:
             self._pool.stop()
+        if self._cluster is not None:
+            self._cluster.stop()
 
     def __enter__(self) -> "ServingApp":
         if self._server is None and not self._closed:

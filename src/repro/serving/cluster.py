@@ -1,0 +1,723 @@
+"""Multi-node cluster tier: the TCP router behind a clustered ServingApp.
+
+The shard tier (:mod:`repro.serving.sharding`) scales serving across the
+cores of one box; a :class:`ClusterPool` scales it across machines.  It
+dials a fleet of replica nodes (:mod:`repro.runtime.node` — the same
+:class:`~repro.runtime.shard.ReplicaCore` worker loop behind a socket),
+bootstraps each with the current snapshot (same JSON zoo payload, same
+seed → bit-identical replica weights), and exposes per-entry
+``edge_fns``/``batch_fns`` that ship frames — in the same versioned raw
+``Message`` framing the device/edge wire speaks — to the fleet.  The
+:class:`~repro.system.engine.EdgeServer` threads act as a thin router:
+sockets, coalescing and statistics stay local while every engine call runs
+on another machine.
+
+Guarantees preserved across the network boundary
+------------------------------------------------
+* **Snapshot pinning / hot reload** — the pool registers a *pre-swap
+  preparer* on the :class:`~repro.serving.repository.ModelRepository`: a
+  publish first replicates the new zoo to every live node and returns only
+  after every one acknowledged, and only then does the router swap — so no
+  frame is ever stamped with a snapshot version a node lacks.
+* **Client-transparent failover** — node heartbeats (``ping``/``pong``
+  envelopes on the data connection, with any traffic counting as liveness)
+  detect a dead or partitioned node; its in-flight frames fail fast with
+  :class:`~repro.runtime.node.NodeCrashedError` (a ``ConnectionError``)
+  while new traffic reroutes to the surviving replicas.  With
+  ``ClusterConfig.reconnect_s`` set, dead nodes are redialed and rejoin
+  routing after a re-handshake re-syncs their snapshot.
+* **Routing** — ``"least_loaded"`` sends each request to the live node
+  with the fewest in-flight requests (round-robin tie-break);
+  ``"hash"`` pins each zoo entry to a node on a consistent hash ring
+  (64 vnodes per node), so an entry's compiled plans and arenas stay hot
+  on one machine and a dead node only reshuffles its own arc.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import select
+import socket
+import threading
+import time
+from bisect import bisect_right
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.executor import ArrayDict, FrameState
+from ..runtime.node import NodeCrashedError, NodeStats, bootstrap_meta
+from ..runtime.shard import zoo_to_payload
+from ..system.messages import (Message, NODE_KIND_PING, NODE_KIND_PONG,
+                               SHARD_KIND_BATCH, SHARD_KIND_PUBLISH,
+                               SHARD_KIND_PUBLISHED, SHARD_KIND_READY,
+                               WIRE_FORMAT_RAW, recv_message, send_payload,
+                               serialize_message)
+from .config import ClusterConfig, ROUTING_HASH
+from .repository import ModelRepository, ServingSnapshot
+from .sharding import _PendingReply
+
+__all__ = ["ClusterPool", "NodeCrashedError"]
+
+#: Virtual nodes per physical node on the consistent hash ring: enough to
+#: spread entries evenly over small fleets while keeping ring rebuilds
+#: trivially cheap.
+_VNODES = 64
+
+#: Reader-side poll quantum (seconds): bounds how long a stop/crash takes
+#: to be noticed without burning CPU on an idle connection.
+_READ_POLL_S = 0.2
+
+
+def _ring_point(key: str) -> int:
+    """Stable 64-bit ring position for ``key`` (never Python's salted hash)."""
+    return int.from_bytes(hashlib.md5(key.encode()).digest()[:8], "big")
+
+
+class _Node:
+    """One replica node: its socket, reader thread and counters.
+
+    Single-use by design: a crashed node's object stays in the pool (its
+    counters and death time still show in stats) until a reconnect builds
+    a *replacement* ``_Node``, carries the cumulative counters over and
+    swaps it into the routing table — no half-revived state to reason
+    about.
+    """
+
+    def __init__(self, node_id: int, address: str,
+                 request_timeout_s: float) -> None:
+        self.node_id = node_id
+        self.address = address
+        host, _, port = address.rpartition(":")
+        self._host, self._port = host, int(port)
+        self.request_timeout_s = request_timeout_s
+        self.ready = threading.Event()
+        self.ready_error: Optional[str] = None
+        self._sock: Optional[socket.socket] = None
+        self._reader: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._pending: Dict[int, _PendingReply] = {}
+        self._corr = itertools.count(1)
+        self._stopping = False
+        self.crashed = False
+        #: ``time.monotonic`` of death, for reconnect pacing.
+        self.died_at: Optional[float] = None
+        #: ``time.monotonic`` of the last envelope received — *any*
+        #: traffic counts as liveness, so a node busy with a long frame is
+        #: never declared dead for answering pongs late.
+        self.last_seen = time.monotonic()
+        # Outstanding heartbeat probes: correlation id -> perf_counter().
+        self._pings: Dict[int, float] = {}
+        # Counters (under self._lock) folded into NodeStats.
+        self.frames = 0
+        self.batches = 0
+        self.errors = 0
+        self.service_time_s = 0.0
+        self.bytes_to_node = 0
+        self.bytes_from_node = 0
+        self.snapshot_version = 0
+        self.rtt_ms: Optional[float] = None
+        self.pid: Optional[int] = None
+
+    # -- connection -----------------------------------------------------
+    def connect(self, hello_meta: Dict, timeout: float) -> None:
+        """Dial the node and ship the bootstrap hello (does not wait ready)."""
+        sock = socket.create_connection((self._host, self._port),
+                                        timeout=timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # One bound for every blocking socket op from here on: a send or a
+        # mid-frame read stalled longer than the request timeout means the
+        # node is unreachable by contract.
+        sock.settimeout(self.request_timeout_s)
+        self._sock = sock
+        self._reader = threading.Thread(target=self._read_loop, daemon=True,
+                                        name=f"node-{self.node_id}-reader")
+        self._reader.start()
+        self._send([Message(kind=SHARD_KIND_PUBLISH, frame_id=next(self._corr),
+                            meta=dict(hello_meta))])
+
+    def wait_ready(self, timeout: float) -> None:
+        if not self.ready.wait(timeout):
+            self.mark_crashed(f"no ready within {timeout:.1f}s")
+            raise NodeCrashedError(
+                f"node {self.node_id} ({self.address}) did not become "
+                f"ready within {timeout:.1f}s")
+        if self.crashed:
+            raise NodeCrashedError(
+                f"node {self.node_id} ({self.address}) failed to start: "
+                f"{self.ready_error or 'connection lost'}")
+
+    def carry_counters(self, old: "_Node") -> None:
+        """Continue ``old``'s cumulative stats row (reconnect bookkeeping)."""
+        with old._lock:
+            self.frames += old.frames
+            self.batches += old.batches
+            self.errors += old.errors
+            self.service_time_s += old.service_time_s
+            self.bytes_to_node += old.bytes_to_node
+            self.bytes_from_node += old.bytes_from_node
+
+    # -- health --------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return not self.crashed and self.ready.is_set()
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def mark_crashed(self, reason: str) -> None:
+        """Fail every in-flight request and refuse new ones."""
+        with self._lock:
+            if self.crashed:
+                return
+            self.crashed = True
+            self.died_at = time.monotonic()
+            self.rtt_ms = None
+            self._pings.clear()
+            pending = list(self._pending.values())
+            self._pending.clear()
+            self.errors += len(pending)
+        self.ready_error = self.ready_error or reason
+        self.ready.set()  # wake a wait_ready() on a node that died
+        self._close_socket()
+        exc = NodeCrashedError(
+            f"node {self.node_id} ({self.address}) is gone: {reason}")
+        for reply in pending:
+            reply.fail(exc)
+
+    def _close_socket(self) -> None:
+        sock = self._sock
+        if sock is None:
+            return
+        try:
+            # shutdown (not just close) reliably unblocks a reader thread
+            # parked in recv on the same socket.
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    # -- request plumbing ----------------------------------------------
+    def _register(self, count: int) -> Tuple[int, _PendingReply]:
+        reply = _PendingReply(count)
+        with self._lock:
+            if self.crashed:
+                raise NodeCrashedError(
+                    f"node {self.node_id} ({self.address}) already crashed")
+            corr = next(self._corr)
+            self._pending[corr] = reply
+        return corr, reply
+
+    def _forget(self, corr: int) -> None:
+        with self._lock:
+            self._pending.pop(corr, None)
+
+    def _send(self, messages: Sequence[Message]) -> None:
+        """Ship one or more envelopes back-to-back (atomic on the stream).
+
+        Serialization happens before the first byte goes out and the whole
+        sequence is sent under one lock, so a batch header and its frames
+        are never interleaved with another thread's envelope (a ping
+        landing mid-batch would desync the node's protocol).
+        """
+        blobs = [serialize_message(message, wire_format=WIRE_FORMAT_RAW)
+                 for message in messages]
+        with self._send_lock:
+            sock = self._sock
+            if sock is None or self.crashed:
+                raise NodeCrashedError(
+                    f"node {self.node_id} ({self.address}) is not connected")
+            for blob in blobs:
+                sent = send_payload(sock, blob)
+                with self._lock:
+                    self.bytes_to_node += sent
+
+    def _request(self, messages: Sequence[Message], corr: int,
+                 reply: _PendingReply) -> _PendingReply:
+        try:
+            self._send(messages)
+        except NodeCrashedError:
+            self._forget(corr)
+            raise
+        except (socket.timeout, OSError) as exc:
+            self._forget(corr)
+            with self._lock:
+                self.errors += 1
+            self.mark_crashed(f"request transport failed: {exc}")
+            raise NodeCrashedError(str(exc)) from exc
+        return self._await(corr, reply, self.request_timeout_s)
+
+    def _await(self, corr: int, reply: _PendingReply,
+               timeout: float) -> _PendingReply:
+        if not reply.event.wait(timeout):
+            self._forget(corr)
+            with self._lock:
+                self.errors += 1
+            # A node that stops answering is unreachable by contract
+            # (ClusterConfig.request_timeout_s): poison it so the router
+            # stops feeding it and reroutes around it.
+            self.mark_crashed(f"no answer within {timeout:.1f}s")
+            raise NodeCrashedError(
+                f"node {self.node_id} ({self.address}) did not answer "
+                f"within {timeout:.1f}s")
+        self._forget(corr)
+        if reply.error is not None:
+            raise reply.error
+        return reply
+
+    # -- public request API ---------------------------------------------
+    def request_frame(self, entry: str, arrays: ArrayDict,
+                      meta: Dict) -> FrameState:
+        corr, reply = self._register(1)
+        self._request([Message(kind="frame", frame_id=corr, arrays=arrays,
+                               meta={"entry": entry, "frame": meta})],
+                      corr, reply)
+        result_arrays, result_meta, service = reply.results[0]
+        with self._lock:
+            self.frames += 1
+            self.service_time_s += service
+        return result_arrays, result_meta
+
+    def request_batch(self, entry: str,
+                      requests: Sequence[FrameState]) -> List[FrameState]:
+        corr, reply = self._register(len(requests))
+        envelopes = [Message(kind=SHARD_KIND_BATCH, frame_id=corr,
+                             meta={"entry": entry, "count": len(requests)})]
+        envelopes.extend(
+            Message(kind="frame", frame_id=corr, arrays=arrays,
+                    meta={"frame": meta, "index": index})
+            for index, (arrays, meta) in enumerate(requests))
+        self._request(envelopes, corr, reply)
+        with self._lock:
+            self.batches += 1
+            self.frames += len(requests)
+            self.service_time_s += sum(result[2] for result in reply.results)
+        return [(arrays, meta) for arrays, meta, _ in reply.results]
+
+    def start_publish(self, payload: Dict,
+                      version: int) -> Tuple[int, _PendingReply]:
+        """Phase 1 of snapshot replication: ship the envelope, don't wait.
+
+        Splitting send from await lets the pool broadcast to every node
+        first and collect acknowledgements second, so the fleet rebuilds
+        the zoo's models/plans concurrently instead of one node after
+        another.
+        """
+        corr, reply = self._register(1)
+        try:
+            self._send([Message(kind=SHARD_KIND_PUBLISH, frame_id=corr,
+                                meta={"zoo": payload, "version": version})])
+        except NodeCrashedError:
+            self._forget(corr)
+            raise
+        except (socket.timeout, OSError) as exc:
+            self._forget(corr)
+            self.mark_crashed(f"publish transport failed: {exc}")
+            raise NodeCrashedError(str(exc)) from exc
+        return corr, reply
+
+    def finish_publish(self, corr: int, reply: _PendingReply, version: int,
+                       timeout: float) -> None:
+        """Phase 2: wait for the node's acknowledgement of ``version``."""
+        self._await(corr, reply, timeout)
+        with self._lock:
+            self.snapshot_version = max(self.snapshot_version, version)
+
+    # -- heartbeats ------------------------------------------------------
+    def outstanding_pings(self) -> int:
+        with self._lock:
+            return len(self._pings)
+
+    def send_ping(self) -> None:
+        corr = next(self._corr)
+        with self._lock:
+            if self.crashed:
+                return
+            self._pings[corr] = time.perf_counter()
+        try:
+            self._send([Message(kind=NODE_KIND_PING, frame_id=corr)])
+        except NodeCrashedError:
+            pass
+        except (socket.timeout, OSError) as exc:
+            self.mark_crashed(f"heartbeat transport failed: {exc}")
+
+    # -- reader ----------------------------------------------------------
+    def _read_loop(self) -> None:
+        sock = self._sock
+        while not self._stopping:
+            try:
+                readable, _, _ = select.select([sock], [], [], _READ_POLL_S)
+            except (OSError, ValueError):  # socket torn down mid-select
+                self.mark_crashed("connection closed")
+                return
+            if not readable:
+                continue
+            try:
+                message = recv_message(sock)
+            except socket.timeout:
+                self.mark_crashed(
+                    f"node stalled mid-frame for {self.request_timeout_s:.1f}s")
+                return
+            except (ConnectionError, OSError, ValueError) as exc:
+                if not self._stopping:
+                    self.mark_crashed(f"response transport failed: {exc}")
+                return
+            if message is None:
+                if not self._stopping:
+                    self.mark_crashed("connection closed by node")
+                return
+            with self._lock:
+                self.bytes_from_node += message.wire_bytes or 0
+                self.last_seen = time.monotonic()
+            self._dispatch(message)
+
+    def _dispatch(self, message: Message) -> None:
+        if message.kind == SHARD_KIND_READY:
+            with self._lock:
+                self.snapshot_version = int(message.meta.get("version", 0))
+                self.pid = message.meta.get("pid")
+            self.ready.set()
+            return
+        if message.kind == NODE_KIND_PONG:
+            with self._lock:
+                sent_at = self._pings.pop(message.frame_id, None)
+                # A pong for probe N proves every earlier probe's question
+                # ("are you alive?") answered too.
+                for corr in [c for c in self._pings if c < message.frame_id]:
+                    self._pings.pop(corr, None)
+                if sent_at is not None:
+                    self.rtt_ms = (time.perf_counter() - sent_at) * 1e3
+                self.snapshot_version = max(
+                    self.snapshot_version,
+                    int(message.meta.get("version", 0)))
+            return
+        with self._lock:
+            reply = self._pending.get(message.frame_id)
+        if reply is None:
+            if message.kind == "error" and not self.ready.is_set():
+                # Bootstrap failure: the node could not build its
+                # repository and reported why — surface the real traceback
+                # instead of a generic "connection lost".
+                self.ready_error = (
+                    f"{message.meta.get('error', 'bootstrap failed')}\n"
+                    f"{message.meta.get('traceback', '')}")
+                self.mark_crashed(self.ready_error)
+            return  # late reply for a timed-out/abandoned request
+        if message.kind == "result":
+            index = message.batch_index if message.batch_index is not None else 0
+            reply.complete_index(index, (dict(message.arrays),
+                                         message.meta.get("frame", {}),
+                                         float(message.meta.get(
+                                             "service_time_s", 0.0))))
+        elif message.kind in ("error", SHARD_KIND_PUBLISHED):
+            if message.kind == "error":
+                with self._lock:
+                    self.errors += 1
+                reply.fail(RuntimeError(
+                    f"node {self.node_id} execution failed: "
+                    f"{message.meta.get('error', 'unknown')}\n"
+                    f"--- node traceback ---\n"
+                    f"{message.meta.get('traceback', '')}"))
+            else:
+                reply.complete_index(0, ({}, dict(message.meta), 0.0))
+
+    # -- lifecycle -------------------------------------------------------
+    def stop(self, join_timeout_s: float = 5.0) -> None:
+        self._stopping = True
+        self._close_socket()
+        self.mark_crashed("cluster pool stopped")
+        if self._reader is not None:
+            self._reader.join(timeout=join_timeout_s)
+
+    def stats(self) -> NodeStats:
+        with self._lock:
+            return NodeStats(
+                node_id=self.node_id,
+                address=self.address,
+                alive=self.alive,
+                frames=self.frames,
+                batches=self.batches,
+                errors=self.errors,
+                service_time_s=self.service_time_s,
+                bytes_to_node=self.bytes_to_node,
+                bytes_from_node=self.bytes_from_node,
+                snapshot_version=self.snapshot_version,
+                rtt_ms=self.rtt_ms)
+
+
+class ClusterPool:
+    """Owns the connections to a fleet of replica nodes serving one zoo.
+
+    Built (and started) by :class:`~repro.serving.app.ServingApp` when its
+    :class:`~repro.serving.config.ClusterConfig` names node addresses.
+    The pool's :meth:`edge_fns`/:meth:`batch_fns` mirror the repository's
+    router mappings but execute on the fleet; the routing policy picks the
+    node per request (least-loaded) or per entry (consistent hash).
+    """
+
+    def __init__(self, repository: ModelRepository,
+                 config: ClusterConfig) -> None:
+        if not config.enabled:
+            raise ValueError("a ClusterPool needs at least one node address")
+        self.repository = repository
+        self.config = config
+        self._nodes: List[_Node] = []
+        self._rr = itertools.count()
+        self._ring: List[Tuple[int, int]] = []
+        self._started = False
+        self._stopped = False
+        self._publish_lock = threading.Lock()
+        # The bootstrap hello of the *latest replicated* snapshot: kept
+        # current by prepare_publish so a node reconnecting in the window
+        # between fleet replication and the parent's swap still receives
+        # the version in flight (a hello with the repository's pre-swap
+        # snapshot would leave it one version behind the stamps).
+        self._hello_meta: Optional[Dict] = None
+        self._hb_stop = threading.Event()
+        self._hb_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ClusterPool":
+        """Dial every node, wait until the whole fleet is serving.
+
+        Startup is strict — a cluster that begins life degraded is a
+        deployment error, unlike a node dying later (failover handles
+        that).  Hellos are broadcast first and awaited second, so the
+        fleet builds its models concurrently.
+        """
+        if self._started:
+            raise RuntimeError("ClusterPool is already started")
+        self._started = True
+        self._hello_meta = bootstrap_meta(self.repository)
+        try:
+            for node_id, address in enumerate(self.config.nodes):
+                node = _Node(node_id, address,
+                             request_timeout_s=self.config.request_timeout_s)
+                try:
+                    node.connect(self._hello_meta,
+                                 timeout=self.config.connect_timeout_s)
+                except OSError as exc:
+                    node.mark_crashed(f"dial failed: {exc}")
+                    raise RuntimeError(
+                        f"node {node_id} ({address}) is unreachable: "
+                        f"{exc}") from exc
+                finally:
+                    self._nodes.append(node)
+            deadline = time.monotonic() + self.config.connect_timeout_s
+            for node in self._nodes:
+                node.wait_ready(max(deadline - time.monotonic(), 0.001))
+        except Exception:
+            self.stop()
+            raise
+        self._ring = self._build_ring()
+        self._hb_thread = threading.Thread(target=self._heartbeat_loop,
+                                           daemon=True,
+                                           name="cluster-heartbeat")
+        self._hb_thread.start()
+        return self
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _pick_least_loaded(self) -> _Node:
+        """Live node with the fewest in-flight requests, ties round-robin.
+
+        The round-robin tie-break matters for sequential traffic: every
+        frame would otherwise see all nodes at zero in-flight and pile
+        onto node 0.
+        """
+        nodes = self._nodes
+        count = len(nodes)
+        if count:
+            start = next(self._rr)
+            best: Optional[_Node] = None
+            best_load = None
+            for offset in range(count):
+                node = nodes[(start + offset) % count]
+                if not node.alive:
+                    continue
+                load = node.in_flight()
+                if best_load is None or load < best_load:
+                    best, best_load = node, load
+            if best is not None:
+                return best
+        raise NodeCrashedError(f"all {count} cluster nodes are down")
+
+    def _build_ring(self) -> List[Tuple[int, int]]:
+        ring = []
+        for node in self._nodes:
+            for vnode in range(_VNODES):
+                ring.append((_ring_point(f"{node.address}#{vnode}"),
+                             node.node_id))
+        ring.sort()
+        return ring
+
+    def _pick_hash(self, name: str) -> _Node:
+        """Owner of ``name`` on the ring; a dead owner's arc falls clockwise."""
+        ring = self._ring
+        if ring:
+            start = bisect_right(ring, (_ring_point(name), -1))
+            seen: set = set()
+            for offset in range(len(ring)):
+                _, node_id = ring[(start + offset) % len(ring)]
+                if node_id in seen:
+                    continue
+                seen.add(node_id)
+                node = self._nodes[node_id]
+                if node.alive:
+                    return node
+        raise NodeCrashedError(
+            f"all {len(self._nodes)} cluster nodes are down")
+
+    def _pick(self, name: str) -> _Node:
+        if self.config.routing == ROUTING_HASH:
+            return self._pick_hash(name)
+        return self._pick_least_loaded()
+
+    def edge_fn(self, name: str) -> Callable[[ArrayDict, Dict], FrameState]:
+        def edge_fn(arrays: ArrayDict, meta: Dict) -> FrameState:
+            return self._pick(name).request_frame(name, arrays, meta)
+
+        return edge_fn
+
+    def batch_fn(self, name: str
+                 ) -> Callable[[Sequence[FrameState]], List[FrameState]]:
+        def batch_fn(requests: Sequence[FrameState]) -> List[FrameState]:
+            return self._pick(name).request_batch(name, list(requests))
+
+        return batch_fn
+
+    def edge_fns(self) -> Dict[str, Callable[[ArrayDict, Dict], FrameState]]:
+        """Fleet-routing per-frame callables, one per retained entry name."""
+        return {name: self.edge_fn(name)
+                for name in self.repository.serving_names()}
+
+    def batch_fns(self) -> Dict[str, Callable[[Sequence[FrameState]],
+                                              List[FrameState]]]:
+        """Fleet-routing batched callables, one per retained entry name."""
+        return {name: self.batch_fn(name)
+                for name in self.repository.serving_names()}
+
+    # ------------------------------------------------------------------
+    # Publish replication (registered as a repository pre-swap preparer)
+    # ------------------------------------------------------------------
+    def prepare_publish(self, snapshot: ServingSnapshot) -> None:
+        """Replicate ``snapshot`` to every live node before the local swap.
+
+        Runs as a :meth:`ModelRepository.add_preparer` hook: by the time
+        the router's repository installs the snapshot (and its version can
+        be stamped onto results), every live node has acknowledged it.  A
+        node that fails to install the snapshot is treated like a crashed
+        node (routed around) rather than failing the publish — unless *no*
+        node is left, which aborts the publish.
+        """
+        with self._publish_lock:
+            payload = zoo_to_payload(snapshot.zoo)
+            if self._hello_meta is not None:
+                self._hello_meta = dict(self._hello_meta,
+                                        zoo=payload, version=snapshot.version)
+
+            def poison(node: _Node, exc: Exception) -> None:
+                # The node diverged (or died) — it can never serve a frame
+                # pinned to a snapshot it lacks, so take it out of routing.
+                node.mark_crashed(f"snapshot v{snapshot.version} "
+                                  f"replication failed: {exc}")
+
+            in_flight = []
+            for node in list(self._nodes):
+                if not node.alive:
+                    continue
+                try:
+                    corr, reply = node.start_publish(payload,
+                                                     snapshot.version)
+                except Exception as exc:
+                    poison(node, exc)
+                    continue
+                in_flight.append((node, corr, reply))
+            for node, corr, reply in in_flight:
+                try:
+                    node.finish_publish(corr, reply, snapshot.version,
+                                        self.config.publish_timeout_s)
+                except Exception as exc:
+                    poison(node, exc)
+            if not any(node.alive for node in self._nodes):
+                raise RuntimeError(
+                    f"publish of snapshot v{snapshot.version} aborted: no "
+                    "cluster node accepted it")
+
+    def sync(self, snapshot: ServingSnapshot) -> None:
+        """Idempotent re-broadcast (covers publishes racing pool startup)."""
+        self.prepare_publish(snapshot)
+
+    # ------------------------------------------------------------------
+    # Heartbeats + reconnect
+    # ------------------------------------------------------------------
+    def _heartbeat_loop(self) -> None:
+        interval = self.config.heartbeat_ms / 1e3
+        grace = interval * self.config.heartbeat_misses
+        while not self._hb_stop.wait(interval):
+            now = time.monotonic()
+            for index, node in enumerate(list(self._nodes)):
+                if node.alive:
+                    if (node.outstanding_pings() >= self.config.heartbeat_misses
+                            and now - node.last_seen >= grace):
+                        node.mark_crashed(
+                            f"missed {self.config.heartbeat_misses} "
+                            f"heartbeats ({node.outstanding_pings()} probes "
+                            f"unanswered, silent for "
+                            f"{now - node.last_seen:.2f}s)")
+                    elif node.outstanding_pings() < self.config.heartbeat_misses:
+                        node.send_ping()
+                elif (self.config.reconnect_s is not None
+                      and node.died_at is not None
+                      and now - node.died_at >= self.config.reconnect_s):
+                    self._try_reconnect(index, node)
+
+    def _try_reconnect(self, index: int, old: _Node) -> None:
+        """Redial a dead node; it rejoins routing only after a full re-sync.
+
+        Runs under the publish lock so a reconnect can never interleave
+        with fleet replication: the hello the node receives is always the
+        latest replicated snapshot, and a publish broadcast sees either the
+        dead node (skipped) or the fully re-synced replacement.
+        """
+        replacement = _Node(old.node_id, old.address,
+                            request_timeout_s=self.config.request_timeout_s)
+        try:
+            with self._publish_lock:
+                replacement.connect(dict(self._hello_meta),
+                                    timeout=self.config.connect_timeout_s)
+                replacement.wait_ready(self.config.connect_timeout_s)
+                replacement.carry_counters(old)
+                self._nodes[index] = replacement
+        except Exception:
+            replacement.stop()
+            old.died_at = time.monotonic()  # back off before the next try
+
+    # ------------------------------------------------------------------
+    def stats(self) -> List[NodeStats]:
+        """Per-node counters (router-side view), node order preserved."""
+        return [node.stats() for node in self._nodes]
+
+    def live_count(self) -> int:
+        return sum(1 for node in self._nodes if node.alive)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def stop(self) -> None:
+        """Drop every connection (idempotent).  Node processes are not
+        owned by the pool — whoever launched them stops them."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._hb_stop.set()
+        if self._hb_thread is not None:
+            self._hb_thread.join(timeout=5.0)
+        for node in self._nodes:
+            node.stop()

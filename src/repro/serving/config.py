@@ -282,6 +282,107 @@ class ShardingConfig(_Config):
         return self.num_shards > 1
 
 
+#: Routing policies :class:`ClusterConfig.routing` accepts.  They live here
+#: (not in :mod:`repro.serving.cluster`) so config validation never has to
+#: import the router.
+ROUTING_LEAST_LOADED = "least_loaded"
+ROUTING_HASH = "hash"
+ROUTING_POLICIES = (ROUTING_LEAST_LOADED, ROUTING_HASH)
+
+
+@dataclass(frozen=True)
+class ClusterConfig(_Config):
+    """Multi-node cluster tier of a :class:`~repro.serving.ServingApp`.
+
+    ``nodes=()`` (the default) disables the tier entirely.  With addresses
+    configured the app dials each ``"host:port"`` replica node
+    (:mod:`repro.runtime.node`), bootstraps it with the current snapshot,
+    and routes frames to the fleet over TCP; see
+    :mod:`repro.serving.cluster`.
+
+    Parameters
+    ----------
+    nodes:
+        Replica node addresses, each ``"host:port"``.  Order fixes node
+        ids (stats rows, hash-ring seeds).
+    routing:
+        ``"least_loaded"`` (default) sends each frame to the node with the
+        fewest in-flight requests (round-robin tie-break); ``"hash"``
+        pins each zoo entry name to a node via a consistent hash ring, so
+        an entry's compiled plans and arenas stay hot on one node.
+    heartbeat_ms:
+        Interval between ping probes to every node.
+    heartbeat_misses:
+        Consecutive unanswered probes before a node is declared dead
+        (its in-flight frames fail fast, new traffic reroutes).
+    connect_timeout_s:
+        Bound on dialing + bootstrapping one node at startup/reconnect.
+    request_timeout_s:
+        Upper bound on one frame/batch round trip to a node before it is
+        treated as unreachable (guards against a wedged — not crashed —
+        node; dead connections are detected immediately).
+    publish_timeout_s:
+        How long a publish waits for each node to acknowledge a new
+        snapshot before the node is treated as failed.
+    reconnect_s:
+        Redial period for dead nodes — a healed node rejoins routing after
+        a re-handshake re-syncs its snapshot.  ``None`` (default) never
+        redials: a dead node stays dead until the app restarts.
+    """
+
+    nodes: Tuple[str, ...] = ()
+    routing: str = ROUTING_LEAST_LOADED
+    heartbeat_ms: float = 100.0
+    heartbeat_misses: int = 3
+    connect_timeout_s: float = 30.0
+    request_timeout_s: float = 60.0
+    publish_timeout_s: float = 60.0
+    reconnect_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.nodes, str):
+            raise ValueError("nodes must be a sequence of 'host:port' "
+                             "strings, not a single string")
+        nodes = tuple(self.nodes)
+        for address in nodes:
+            if (not isinstance(address, str) or ":" not in address
+                    or not address.rsplit(":", 1)[0]):
+                raise ValueError(f"node address {address!r} must look like "
+                                 "'host:port'")
+            port = address.rsplit(":", 1)[1]
+            if not port.isdigit() or not 0 < int(port) <= 65535:
+                raise ValueError(f"node address {address!r} has an invalid "
+                                 "port (expected 1-65535)")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError(f"duplicate node address in {list(nodes)}")
+        object.__setattr__(self, "nodes", nodes)
+        if self.routing not in ROUTING_POLICIES:
+            raise ValueError(f"unknown routing policy {self.routing!r} "
+                             f"(expected one of {ROUTING_POLICIES})")
+        object.__setattr__(self, "heartbeat_ms",
+                           _check_number(self.heartbeat_ms,
+                                         knob="heartbeat_ms", minimum=0.0,
+                                         inclusive=False))
+        object.__setattr__(self, "heartbeat_misses",
+                           _check_int(self.heartbeat_misses,
+                                      knob="heartbeat_misses", minimum=1))
+        for knob in ("connect_timeout_s", "request_timeout_s",
+                     "publish_timeout_s"):
+            object.__setattr__(self, knob,
+                               _check_number(getattr(self, knob), knob=knob,
+                                             minimum=0.0, inclusive=False))
+        if self.reconnect_s is not None:
+            object.__setattr__(self, "reconnect_s",
+                               _check_number(self.reconnect_s,
+                                             knob="reconnect_s", minimum=0.0,
+                                             inclusive=False))
+
+    @property
+    def enabled(self) -> bool:
+        """True when serving should route frames to replica nodes."""
+        return bool(self.nodes)
+
+
 @dataclass(frozen=True)
 class QosConfig(_Config):
     """Admission control of the edge server (load shedding, deadlines).
@@ -467,7 +568,8 @@ class ClientConfig(_Config):
 class ServingConfig(_Config):
     """Everything a server-side deployment needs, in one value.
 
-    Composes the runtime, batching, server and sharding configs; this is the single
+    Composes the runtime, batching, server, sharding, QoS and cluster
+    configs; this is the single
     ``config`` argument of :func:`repro.serving.serve` and
     :class:`repro.serving.ServingApp`.  Plain dicts are accepted for any
     sub-config (handy for file-borne configs).
@@ -478,10 +580,11 @@ class ServingConfig(_Config):
     server: ServerConfig = field(default_factory=ServerConfig)
     sharding: ShardingConfig = field(default_factory=ShardingConfig)
     qos: QosConfig = field(default_factory=QosConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
 
     _nested = {"runtime": RuntimeConfig, "batching": BatchingConfig,
                "server": ServerConfig, "sharding": ShardingConfig,
-               "qos": QosConfig}
+               "qos": QosConfig, "cluster": ClusterConfig}
 
     def __post_init__(self) -> None:
         for name, cls in self._nested.items():
@@ -492,3 +595,9 @@ class ServingConfig(_Config):
             if not isinstance(value, cls):
                 raise ValueError(f"{name} must be a {cls.__name__} (or a "
                                  f"mapping), got {type(value).__name__}")
+        if self.sharding.enabled and self.cluster.enabled:
+            raise ValueError(
+                "sharding and cluster tiers are mutually exclusive: pick "
+                "in-box worker processes (sharding.num_shards > 1) or a "
+                "node fleet (cluster.nodes), not both — a node can itself "
+                "be a machine's only tenant")

@@ -99,6 +99,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # import-free at runtime: engine must not drag in the
     # shard runtime (repro.serving builds on this module, not vice versa).
+    from ..runtime.node import NodeStats
     from ..runtime.shard import ShardStats
 
 from .messages import (_LENGTH_SIZE as PAYLOAD_PREFIX_BYTES,
@@ -341,6 +342,12 @@ class EdgeServerStats:
     #: routed around.
     num_shards: int = 0
     shards: List["ShardStats"] = field(default_factory=list)
+    #: Multi-node cluster serving: per-node counters of the attached
+    #: cluster pool (empty when not clustered).  ``num_nodes`` counts the
+    #: configured nodes; a node with ``alive=False`` died (or partitioned)
+    #: and is being routed around until a reconnect re-syncs it.
+    num_nodes: int = 0
+    nodes: List["NodeStats"] = field(default_factory=list)
 
     @property
     def throughput_fps(self) -> float:
@@ -559,6 +566,11 @@ class EdgeServer:
         ``ShardPool.stats`` of :mod:`repro.serving.sharding`) folded into
         :meth:`stats` when this server routes frames to a process-parallel
         shard pool instead of executing them in process.
+    node_stats:
+        Optional provider of per-node counters (typically
+        ``ClusterPool.stats`` of :mod:`repro.serving.cluster`) folded into
+        :meth:`stats` when this server routes frames to a fleet of replica
+        nodes instead of executing them in process.
     """
 
     def __init__(self, edge_fn: Optional[EdgeFn] = None, host: str = "127.0.0.1",
@@ -570,7 +582,8 @@ class EdgeServer:
                  frontend: str = FRONTEND_THREADED,
                  qos: Optional[QosPolicy] = None,
                  session_log_limit: int = SESSION_LOG_LIMIT,
-                 shard_stats: Optional[Callable[[], List["ShardStats"]]] = None
+                 shard_stats: Optional[Callable[[], List["ShardStats"]]] = None,
+                 node_stats: Optional[Callable[[], List["NodeStats"]]] = None
                  ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
@@ -617,6 +630,9 @@ class EdgeServer:
         #: itself stays shard-agnostic: its edge/batched callables already
         #: route to the shards.
         self._shard_stats = shard_stats
+        #: Same idea for the multi-node cluster tier: the router's
+        #: per-node counter snapshot, provided by the cluster pool.
+        self._node_stats = node_stats
         self._started_at: Optional[float] = None
         self._stopped_at: Optional[float] = None
 
@@ -1152,6 +1168,8 @@ class EdgeServer:
             else (0, 0, {}, 0.0, 0, 0, 0))
         shards: List["ShardStats"] = (list(self._shard_stats())
                                       if self._shard_stats is not None else [])
+        nodes: List["NodeStats"] = (list(self._node_stats())
+                                    if self._node_stats is not None else [])
         sched = self._scheduler.snapshot()
         return EdgeServerStats(
             num_sessions=num_sessions,
@@ -1177,7 +1195,9 @@ class EdgeServer:
             queue_delay_p99_s=sched.queue_delay_p99_s,
             frontend=self.frontend,
             num_shards=len(shards),
-            shards=shards)
+            shards=shards,
+            num_nodes=len(nodes),
+            nodes=nodes)
 
     @property
     def scheduler(self) -> Scheduler:

@@ -43,6 +43,14 @@ import numpy as np
 _LENGTH_FORMAT = ">I"
 _LENGTH_SIZE = struct.calcsize(_LENGTH_FORMAT)
 
+#: Upper bound on a single framed message accepted off a socket.  The
+#: length prefix is peer-controlled, so the receiver must never allocate
+#: the declared size blindly — a 4-byte prefix can claim up to 4 GiB and
+#: ``socket.recv`` allocates its buffer up front.  256 MiB is far above
+#: any real frame (the largest benchmarked raw frames are single-digit
+#: megabytes) while keeping a malicious or corrupted prefix harmless.
+MAX_MESSAGE_BYTES = 256 * 1024 * 1024
+
 #: Wire framing identifiers (``Message.wire_format`` / ``serialize_message``).
 WIRE_FORMAT_ZLIB = "zlib"
 WIRE_FORMAT_RAW = "raw"
@@ -103,6 +111,24 @@ SHARD_KIND_READY = "ready"
 #: Every control kind the shard protocol adds on top of the socket kinds.
 SHARD_CONTROL_KINDS = (SHARD_KIND_BATCH, SHARD_KIND_PUBLISH,
                        SHARD_KIND_PUBLISHED, SHARD_KIND_READY)
+
+# ----------------------------------------------------------------------
+# Cluster node control envelope (multi-node serving tier)
+# ----------------------------------------------------------------------
+# Replica nodes (:mod:`repro.runtime.node`) speak the shard protocol above
+# over TCP — same envelopes, same correlation — plus the heartbeat pair
+# below, which the cluster router uses to detect partitioned/wedged nodes
+# (a dead TCP peer surfaces as a socket error, but a *partitioned* one just
+# goes silent).
+
+#: Router -> node: heartbeat probe; ``frame_id`` carries the correlation id.
+NODE_KIND_PING = "ping"
+#: Node -> router: heartbeat answer, echoing the probe's correlation id;
+#: ``meta`` reports the node's installed snapshot ``version``, served
+#: ``frames`` count and ``pid``.
+NODE_KIND_PONG = "pong"
+#: Every control kind the node protocol adds on top of the shard kinds.
+NODE_CONTROL_KINDS = (NODE_KIND_PING, NODE_KIND_PONG)
 
 
 @dataclass
@@ -220,10 +246,23 @@ def deserialize_message(blob: bytes) -> Message:
     The framing is detected from the first byte, so one receive path serves
     zlib and raw peers alike; the decoded message records which framing it
     arrived in (``wire_format``).
+
+    Any malformed input — bad magic, a lying header, truncated payload,
+    undecodable compression — raises a clean :class:`ValueError`.  Decoding
+    runs on bytes a remote peer controls, so the failure mode must be a
+    single well-known exception the caller can map onto "drop this peer",
+    never a hang or an arbitrary library error escaping the transport.
     """
-    if blob[:1] == bytes((_RAW_MAGIC,)):
-        return _deserialize_raw(blob)
-    return _deserialize_zlib(blob)
+    try:
+        if blob[:1] == bytes((_RAW_MAGIC,)):
+            return _deserialize_raw(blob)
+        return _deserialize_zlib(blob)
+    except ValueError:
+        raise
+    except (zlib.error, struct.error, KeyError, IndexError, TypeError,
+            EOFError, OSError) as exc:
+        raise ValueError(f"undecodable message: {type(exc).__name__}: "
+                         f"{exc}") from exc
 
 
 def _deserialize_zlib(blob: bytes) -> Message:
@@ -249,16 +288,33 @@ def _deserialize_raw(blob: bytes) -> Message:
     offset = 2
     (header_len,) = struct.unpack_from(_LENGTH_FORMAT, blob, offset)
     offset += _LENGTH_SIZE
+    if offset + header_len > len(blob):
+        raise ValueError(
+            f"raw frame header truncated: header length {header_len} "
+            f"exceeds the {len(blob) - offset} bytes received after it")
     header = json.loads(blob[offset:offset + header_len].decode("utf-8"))
     offset += header_len
     arrays: Dict[str, np.ndarray] = {}
     for name, dtype_str, shape in header["arrays"]:
         dtype = np.dtype(dtype_str)
+        # The header is peer-controlled: every shape/size claim is checked
+        # against the bytes actually received before numpy touches them —
+        # a lying header must fail as a clean ValueError, and a negative
+        # dimension must never reach np.frombuffer (count=-1 means "read
+        # everything", silently yielding an array the sender never sent).
+        if not all(isinstance(dim, int) and dim >= 0 for dim in shape):
+            raise ValueError(f"raw frame header declares invalid shape "
+                             f"{shape!r} for array {name!r}")
         count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        nbytes = count * dtype.itemsize
+        if offset + nbytes > len(blob):
+            raise ValueError(
+                f"raw frame payload truncated: array {name!r} declares "
+                f"{nbytes} bytes but only {len(blob) - offset} remain")
         # Zero-copy: the array is a read-only view over the received bytes.
         arrays[name] = np.frombuffer(blob, dtype=dtype, count=count,
                                      offset=offset).reshape(shape)
-        offset += count * dtype.itemsize
+        offset += nbytes
     return Message(kind=header["kind"], frame_id=header["frame_id"],
                    arrays=arrays, meta=header["meta"],
                    batch_index=header.get("batch_index"),
@@ -306,18 +362,28 @@ def _recv_exact(sock: socket.socket, size: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-def recv_message(sock: socket.socket) -> Optional[Message]:
+def recv_message(sock: socket.socket,
+                 max_bytes: int = MAX_MESSAGE_BYTES) -> Optional[Message]:
     """Receive one framed message.
 
     Returns ``None`` on a clean peer close (the stream ended on a frame
     boundary) and raises :class:`ConnectionError` when the stream is
     truncated mid-frame — a length prefix or payload cut short by a dying
     peer must surface as an error instead of silently dropping the frame.
+    A length prefix above ``max_bytes`` also raises
+    :class:`ConnectionError` *before* any allocation: the prefix is
+    peer-controlled and the stream beyond a rejected prefix is
+    unparseable anyway.
     """
     prefix = _recv_exact(sock, _LENGTH_SIZE)
     if prefix is None:
         return None
     (length,) = struct.unpack(_LENGTH_FORMAT, prefix)
+    if length > max_bytes:
+        raise ConnectionError(
+            f"length prefix announced {length} bytes, above the "
+            f"{max_bytes}-byte message cap — corrupted stream or "
+            "misbehaving peer")
     blob = _recv_exact(sock, length)
     if blob is None:
         raise ConnectionError(

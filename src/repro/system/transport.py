@@ -53,8 +53,8 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, Optional, Tuple
 
-from .messages import (_LENGTH_FORMAT, _LENGTH_SIZE, deserialize_message,
-                       recv_message, send_payload)
+from .messages import (_LENGTH_FORMAT, _LENGTH_SIZE, MAX_MESSAGE_BYTES,
+                       deserialize_message, recv_message, send_payload)
 
 #: Frontend identifiers (``EdgeServer(frontend=...)`` / ``ServerConfig``).
 FRONTEND_THREADED = "threaded"
@@ -377,6 +377,14 @@ class AsyncFrontend:
                 try:
                     prefix = await reader.readexactly(_LENGTH_SIZE)
                     (length,) = struct.unpack(_LENGTH_FORMAT, prefix)
+                    if length > MAX_MESSAGE_BYTES:
+                        # Same cap recv_message enforces: the prefix is
+                        # peer-controlled, so an absurd claim must be
+                        # rejected before buffering toward it.
+                        error = (f"length prefix announced {length} bytes, "
+                                 f"above the {MAX_MESSAGE_BYTES}-byte "
+                                 "message cap")
+                        break
                     blob = await reader.readexactly(length)
                 except asyncio.IncompleteReadError as exc:
                     if exc.partial:

@@ -1,0 +1,392 @@
+"""chaosnet: a deterministic fault-injection TCP proxy for serving tests.
+
+Sits between two peers that speak the repo's length-prefixed wire framing
+(``[>I length][payload]`` — the device/edge wire, the cluster router/node
+wire) and injects transport faults *at frame granularity*, so a test can
+say exactly which frame is dropped, delayed, truncated mid-frame,
+duplicated or reordered — and assert the guarantee that must survive it.
+
+Determinism rules
+-----------------
+* The proxy is **frame-aware**: it never splits or merges frames on its
+  own, so a scripted fault applies to exactly one whole protocol message.
+* Faults are **scripted one-shots** consumed in arrival order per
+  direction (``client_to_server`` / ``server_to_client``): no randomness,
+  no races between test and proxy.
+* Delays are driven by an **injected clock**: with a :class:`ManualClock`
+  a held frame is released when the *test* advances time, never by a
+  wall-clock sleep — so a delay test runs in microseconds and cannot
+  flake on a loaded CI box.
+
+Failure modes
+-------------
+``drop_next``          swallow the next frame(s) silently.
+``delay_next``         hold the next frame until the clock reaches
+                       ``now + delay_s`` (frames behind it queue: the
+                       proxy preserves per-direction ordering).
+``truncate_next``      forward only a prefix of the next frame's bytes,
+                       then sever both directions — the receiver must see
+                       a mid-frame ``ConnectionError``, never a hang.
+``duplicate_next``     forward the next frame twice (a retransmit bug /
+                       at-least-once transport).
+``reorder_next``       swap the next two frames.
+``partition()``        silently drop *everything* in both directions while
+                       active — connections stay open (unlike a crash,
+                       nothing is reset) until :meth:`ChaosProxy.heal`.
+``kill_links()``       abruptly close every live connection (a crash's
+                       TCP signature) while the listener keeps accepting.
+
+Typical use::
+
+    proxy = ChaosProxy(node_host, node_port).start()
+    config = ClusterConfig(nodes=(proxy.address,), ...)
+    ...
+    proxy.server_to_client.drop_next()   # lose one reply
+    proxy.partition()                    # then cut the link entirely
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+_PREFIX = ">I"
+_PREFIX_SIZE = struct.calcsize(_PREFIX)
+#: Wake quantum of clock waiters: only bounds how fast a stop request is
+#: noticed — frame release times are governed purely by the clock value.
+_WAIT_QUANTUM_S = 0.05
+
+
+class ManualClock:
+    """A clock that only moves when the test says so."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._cond = threading.Condition()
+
+    def now(self) -> float:
+        with self._cond:
+            return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward and wake every waiter (never backwards)."""
+        if dt < 0:
+            raise ValueError(f"cannot advance by {dt}")
+        with self._cond:
+            self._now += float(dt)
+            self._cond.notify_all()
+            return self._now
+
+    def wait_until(self, deadline: float, should_stop) -> None:
+        """Block until ``now >= deadline`` or ``should_stop()``."""
+        with self._cond:
+            while self._now < deadline and not should_stop():
+                self._cond.wait(timeout=_WAIT_QUANTUM_S)
+
+
+class RealClock:
+    """Wall-clock fallback for tests that do not script delays."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def wait_until(self, deadline: float, should_stop) -> None:
+        while time.monotonic() < deadline and not should_stop():
+            time.sleep(min(_WAIT_QUANTUM_S,
+                           max(deadline - time.monotonic(), 0.0)))
+
+
+class _Truncate(Exception):
+    """Internal: carries the byte prefix to emit before severing the link."""
+
+    def __init__(self, prefix: bytes) -> None:
+        super().__init__(f"truncate after {len(prefix)} bytes")
+        self.prefix = prefix
+
+
+class Direction:
+    """Fault script + counters for one flow (client→server or back)."""
+
+    def __init__(self, name: str, clock) -> None:
+        self.name = name
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._script: Deque[Tuple[str, object]] = deque()
+        # Counters (under self._lock).
+        self.frames_forwarded = 0
+        self.frames_dropped = 0
+        self._frames_held = 0
+
+    # -- scripting (call from the test thread) --------------------------
+    def drop_next(self, count: int = 1) -> None:
+        with self._lock:
+            self._script.extend([("drop", None)] * count)
+
+    def delay_next(self, delay_s: float) -> None:
+        with self._lock:
+            self._script.append(("delay", float(delay_s)))
+
+    def truncate_next(self, keep_bytes: int = 1) -> None:
+        """Forward ``keep_bytes`` of the next frame's wire bytes, then cut."""
+        with self._lock:
+            self._script.append(("truncate", int(keep_bytes)))
+
+    def duplicate_next(self) -> None:
+        with self._lock:
+            self._script.append(("duplicate", None))
+
+    def reorder_next(self) -> None:
+        """Swap the next two frames of this direction."""
+        with self._lock:
+            self._script.append(("reorder", None))
+
+    def pending_faults(self) -> int:
+        with self._lock:
+            return len(self._script)
+
+    def held_frames(self) -> int:
+        """Frames currently parked by a ``delay_next`` fault.
+
+        The release deadline is captured *before* the frame becomes
+        visible here, so a test that waits for ``held_frames() == 1`` and
+        then advances the clock is guaranteed to release it — advancing
+        on a timer instead would race the pump thread's deadline capture.
+        """
+        with self._lock:
+            return self._frames_held
+
+    # -- application (called by a pump thread) --------------------------
+    def _apply(self, frame: bytes, partitioned, should_stop) -> List[bytes]:
+        """Turn one arriving frame into the frames actually forwarded."""
+        if partitioned():
+            with self._lock:
+                self.frames_dropped += 1
+            return []
+        with self._lock:
+            fault = self._script.popleft() if self._script else None
+        if fault is None:
+            out = [frame]
+        else:
+            kind, arg = fault
+            if kind == "drop":
+                with self._lock:
+                    self.frames_dropped += 1
+                return []
+            if kind == "delay":
+                # Deadline first, *then* publish the held state: once a
+                # test observes held_frames() == 1 the deadline is fixed,
+                # so advancing the clock past it reliably releases.
+                deadline = self._clock.now() + arg
+                with self._lock:
+                    self._frames_held += 1
+                try:
+                    self._clock.wait_until(deadline, should_stop)
+                finally:
+                    with self._lock:
+                        self._frames_held -= 1
+                out = [frame]
+            elif kind == "truncate":
+                raise _Truncate(frame[:arg])
+            elif kind == "duplicate":
+                out = [frame, frame]
+            elif kind == "reorder":
+                with self._lock:
+                    self._script.appendleft(("_reorder_with", frame))
+                return []
+            elif kind == "_reorder_with":
+                out = [frame, arg]
+            else:  # pragma: no cover - script is built by the methods above
+                raise AssertionError(f"unknown fault {kind!r}")
+        with self._lock:
+            self.frames_forwarded += len(out)
+        return out
+
+
+class _Link:
+    """One proxied connection: a client socket, a server socket, two pumps."""
+
+    def __init__(self, proxy: "ChaosProxy", client: socket.socket,
+                 server: socket.socket) -> None:
+        self.proxy = proxy
+        self.client = client
+        self.server = server
+        self._closed = threading.Event()
+        self.threads = [
+            threading.Thread(
+                target=self._pump, name="chaosnet-c2s", daemon=True,
+                args=(client, server, proxy.client_to_server)),
+            threading.Thread(
+                target=self._pump, name="chaosnet-s2c", daemon=True,
+                args=(server, client, proxy.server_to_client)),
+        ]
+        for thread in self.threads:
+            thread.start()
+
+    def _recv_exact(self, sock: socket.socket, size: int) -> Optional[bytes]:
+        chunks, received = [], 0
+        while received < size:
+            try:
+                chunk = sock.recv(size - received)
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            received += len(chunk)
+        return b"".join(chunks)
+
+    def _pump(self, source: socket.socket, sink: socket.socket,
+              direction: Direction) -> None:
+        should_stop = self._closed.is_set
+        while not self._closed.is_set():
+            prefix = self._recv_exact(source, _PREFIX_SIZE)
+            if prefix is None:
+                break
+            (length,) = struct.unpack(_PREFIX, prefix)
+            payload = self._recv_exact(source, length)
+            if payload is None:
+                break
+            try:
+                frames = direction._apply(prefix + payload,
+                                          self.proxy._partitioned.is_set,
+                                          should_stop)
+            except _Truncate as fault:
+                try:
+                    sink.sendall(fault.prefix)
+                except OSError:
+                    pass
+                break
+            try:
+                for frame in frames:
+                    sink.sendall(frame)
+            except OSError:
+                break
+        self.close()
+
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        for sock in (self.client, self.server):
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class ChaosProxy:
+    """Frame-aware TCP proxy between a client and ``host:port``.
+
+    ``start()`` binds an ephemeral listening port; point the client at
+    :attr:`address` instead of the real server.  Faults are scripted on
+    :attr:`client_to_server` / :attr:`server_to_client`; fleet-level modes
+    (:meth:`partition`, :meth:`kill_links`) apply to every live link.
+    """
+
+    def __init__(self, upstream_host: str, upstream_port: int,
+                 clock=None) -> None:
+        self.upstream = (upstream_host, int(upstream_port))
+        self.clock = clock if clock is not None else RealClock()
+        self.client_to_server = Direction("client_to_server", self.clock)
+        self.server_to_client = Direction("server_to_client", self.clock)
+        self._partitioned = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._links: List[_Link] = []
+        self._links_lock = threading.Lock()
+        self._stopped = threading.Event()
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "ChaosProxy":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(16)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self.host, self.port = listener.getsockname()
+        self._accept_thread = threading.Thread(target=self._accept_loop,
+                                               name="chaosnet-accept",
+                                               daemon=True)
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> str:
+        if self.port is None:
+            raise RuntimeError("proxy not started")
+        return f"{self.host}:{self.port}"
+
+    def _accept_loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                server = socket.create_connection(self.upstream, timeout=10.0)
+            except OSError:
+                client.close()
+                continue
+            # The connect timeout must not linger: an idle upstream (e.g.
+            # while a delayed frame is held) would otherwise "time out" the
+            # pump's recv and silently kill the link mid-test.
+            server.settimeout(None)
+            for sock in (client, server):
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._links_lock:
+                self._links.append(_Link(self, client, server))
+
+    def stop(self) -> None:
+        self._stopped.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        self.kill_links()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self if self._listener is not None else self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- fleet-level failure modes --------------------------------------
+    def partition(self) -> None:
+        """Silently drop every frame in both directions until :meth:`heal`."""
+        self._partitioned.set()
+
+    def heal(self) -> None:
+        self._partitioned.clear()
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partitioned.is_set()
+
+    def kill_links(self) -> None:
+        """Abruptly close every live connection (a crash's TCP signature)."""
+        with self._links_lock:
+            links, self._links = self._links, []
+        for link in links:
+            link.close()
+
+    def live_links(self) -> int:
+        with self._links_lock:
+            self._links = [link for link in self._links
+                           if not link._closed.is_set()]
+            return len(self._links)

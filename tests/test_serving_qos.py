@@ -27,6 +27,7 @@ import time
 import numpy as np
 import pytest
 
+from conftest import wait_until
 from repro.core import (Architecture, ArchitectureModel, ArchitectureZoo,
                         ZooEntry)
 from repro.gnn import OpSpec, OpType
@@ -601,10 +602,8 @@ class TestAsyncFrontendGuarantees:
                 send_message(sock, Message(kind="hello",
                                            meta={"client": f"idle-{i}"}))
                 idle.append(sock)
-            deadline = time.monotonic() + 10.0
-            while (server.stats().active_sessions < 16
-                   and time.monotonic() < deadline):
-                time.sleep(0.02)
+            wait_until(lambda: server.stats().active_sessions >= 16,
+                       message="all idle sessions registered")
             assert server.stats().active_sessions == 16
             # A 17th, active client is served while all 16 idle: under the
             # threaded frontend max_workers=2 would park it in the backlog.
@@ -672,10 +671,9 @@ class TestAsyncFrontendGuarantees:
         with serve(ZOO_V1, config, in_dim=3, num_classes=3) as app:
             for shard in app.shard_pool._shards:
                 shard.process.kill()
-            deadline = time.monotonic() + 10.0
-            while (any(s.alive for s in app.shard_pool.stats())
-                   and time.monotonic() < deadline):
-                time.sleep(0.05)
+            wait_until(lambda: not any(s.alive for s in
+                                       app.shard_pool.stats()),
+                       message="all shards marked dead")
             started = time.monotonic()
             with app.client(model="m") as client:
                 with pytest.raises(RuntimeError, match="(?i)shard"):
@@ -685,3 +683,67 @@ class TestAsyncFrontendGuarantees:
             # The server survived and still answers handshakes.
             with app.client(model="m") as client:
                 assert client.handshake()["models"] == ["m"]
+
+
+# ----------------------------------------------------------------------
+# QoS x sharding: admission control must act BEFORE the shard boundary
+# ----------------------------------------------------------------------
+class TestQosShardingInteraction:
+    @pytest.mark.skipif(not sharding_supported("shm"),
+                        reason="platform lacks shared memory")
+    @pytest.mark.parametrize("frontend", FRONTENDS)
+    def test_expired_frames_never_cross_the_shard_ring(self, frontend):
+        """A lapsed deadline sheds the frame on the frontend, not after
+        paying the ring crossing: every shard's frame counter stays 0."""
+        config = ServingConfig(
+            server=ServerConfig(frontend=frontend),
+            sharding=ShardingConfig(num_shards=2),
+            # A long coalescing window guarantees the deadline lapses while
+            # the frame is still queued on the parent side of the ring.
+            batching=BatchingConfig(max_batch_size=8, max_wait_ms=50.0))
+        frames = _frames(4)
+        with serve(ZOO_V1, config, in_dim=3, num_classes=3) as app:
+            client_config = ClientConfig(deadline_ms=0.0005,
+                                         on_rejected="drop")
+            with app.client(model="m", config=client_config) as client:
+                results, stats = client.run(frames)
+            assert results == []
+            assert stats.frames_rejected == len(frames)
+            server_stats = app.stats()
+            assert server_stats.shed_by_reason == \
+                {REJECT_REASON_DEADLINE: len(frames)}
+            assert server_stats.frames_processed == 0
+            # The invariant under test: no shed frame was ever submitted
+            # to a worker process.
+            assert server_stats.num_shards == 2
+            assert [s.frames for s in server_stats.shards] == [0, 0]
+            assert all(s.alive for s in server_stats.shards)
+
+    @pytest.mark.parametrize("frontend", FRONTENDS)
+    def test_rejected_reply_carries_retry_after_ms(self, frontend):
+        """The wire-level ``rejected`` reply tells the client *when* to
+        come back — on both frontends, with the policy's exact value."""
+        def slow_batch(items):
+            time.sleep(0.05)
+            return [({"y": arrays["x"]}, meta) for arrays, meta in items]
+
+        # The batched path queues frames on either frontend (the threaded
+        # one executes direct frames inline, so only the batch queue can
+        # actually fill there).
+        server = EdgeServer(_echo_fn, batch_fns={"default": slow_batch},
+                            max_batch_size=2, max_wait_ms=1.0,
+                            frontend=frontend, max_workers=1,
+                            qos=QosPolicy(max_queue_depth=1, fairness=False,
+                                          retry_after_ms=33.0)).start()
+        try:
+            client = DeviceClient(server.host, server.port)
+            try:
+                with pytest.raises(RequestRejectedError) as excinfo:
+                    client.run_pipeline([np.ones((4,))] * 12, _device_fn,
+                                        timeout_s=60.0)
+            finally:
+                client.close()
+            assert excinfo.value.reason == REJECT_REASON_CAPACITY
+            assert excinfo.value.retry_after_ms == 33.0
+        finally:
+            server.stop()

@@ -30,6 +30,7 @@ from repro.gnn import OpSpec, OpType
 from repro.graph import SyntheticModelNet40
 from repro.graph.data import Batch
 from repro.runtime.shard import ShmRing, shm_available
+from conftest import wait_until
 from repro.serving import (BatchingConfig, ModelRepository, ServingConfig,
                            ShardCrashedError, ShardingConfig, serve,
                            sharding_supported)
@@ -270,10 +271,9 @@ class TestShardCrash:
         with serve(ZOO_V1, _sharded_config(), in_dim=3, num_classes=3) as app:
             for shard in app.shard_pool._shards:
                 shard.process.kill()
-            deadline = time.monotonic() + 10.0
-            while (any(s.alive for s in app.shard_pool.stats())
-                   and time.monotonic() < deadline):
-                time.sleep(0.05)
+            wait_until(lambda: not any(s.alive for s in
+                                       app.shard_pool.stats()),
+                       message="all shards marked dead")
             started = time.monotonic()
             with app.client(model="m") as client:
                 with pytest.raises(RuntimeError, match="(?i)shard"):
@@ -293,10 +293,8 @@ class TestShardCrash:
         with serve(ZOO_V1, _sharded_config(), in_dim=3, num_classes=3) as app:
             victim = app.shard_pool._shards[0]
             victim.process.kill()
-            deadline = time.monotonic() + 10.0
-            while victim.alive and time.monotonic() < deadline:
-                time.sleep(0.05)
-            assert not victim.alive
+            wait_until(lambda: not victim.alive,
+                       message="victim shard marked dead")
             # New traffic is routed around the corpse.
             with app.client(model="m") as client:
                 results, _ = client.run(frames)

@@ -26,6 +26,8 @@ from repro.graph.data import Batch
 from repro.system import DeviceClient, EdgeServer
 from repro.system.messages import Message, deserialize_message, serialize_message
 
+from conftest import wait_until
+
 
 def _co_inference_arch(aggregate: str = "max", pool: str = "max||mean",
                        sample: str = "knn") -> Architecture:
@@ -561,7 +563,9 @@ class TestQueueDepthStats:
 
         def gated_batch_fn(requests):
             dispatched.set()
-            release.wait(timeout=10.0)
+            # Must outlive the queue-depth wait below, or the gate expires
+            # mid-test, the queue drains, and the depth assertion races.
+            release.wait(timeout=60.0)
             return _batch_edge_fn(requests)
 
         server = EdgeServer(_edge_fn, batch_fns={"default": gated_batch_fn},
@@ -586,10 +590,8 @@ class TestQueueDepthStats:
             # First dispatch is gated; everything client 2 sends now piles
             # up in the entry queue and must show up as queue depth.
             threads[1].start()
-            deadline = time.monotonic() + 10.0
-            while (server.stats().queue_depth < 1
-                   and time.monotonic() < deadline):
-                time.sleep(0.01)
+            wait_until(lambda: server.stats().queue_depth >= 1,
+                       message="frames queued behind the gated dispatch")
             stalled = server.stats()
             assert stalled.queue_depth >= 1
             assert stalled.queue_depth_peak >= stalled.queue_depth

@@ -165,30 +165,19 @@ class TestConcurrentServing:
 
     def test_handshake_fails_fast_when_peer_closes_before_ack(self):
         """A hello that will never be answered must not burn the timeout."""
-        import socket as _socket
         import time as _time
 
-        listener = _socket.socket(_socket.AF_INET, _socket.SOCK_STREAM)
-        listener.bind(("127.0.0.1", 0))
-        listener.listen(1)
+        from conftest import fake_peer
 
-        def accept_and_slam():
-            conn, _ = listener.accept()
-            conn.close()
-
-        slammer = threading.Thread(target=accept_and_slam)
-        slammer.start()
-        host, port = listener.getsockname()
-        client = DeviceClient(host, port)
-        started = _time.perf_counter()
-        try:
-            with pytest.raises(ConnectionError, match="before the hello"):
-                client.handshake(timeout_s=30.0)
-            assert _time.perf_counter() - started < 10.0
-        finally:
-            client.close()
-            slammer.join(timeout=5.0)
-            listener.close()
+        with fake_peer(lambda conn: conn.close()) as (host, port):
+            client = DeviceClient(host, port)
+            started = _time.perf_counter()
+            try:
+                with pytest.raises(ConnectionError, match="before the hello"):
+                    client.handshake(timeout_s=30.0)
+                assert _time.perf_counter() - started < 10.0
+            finally:
+                client.close()
 
     def test_connect_timeout_does_not_cut_slow_edge_responses(self):
         """The client timeout guards connecting, not waiting for results."""
@@ -414,32 +403,24 @@ class TestErrorPropagation:
 
     def test_corrupt_stream_from_server_fails_fast(self):
         """Garbage on the wire must surface as a disconnect, not a timeout."""
-        import socket as _socket
         import struct as _struct
         import time as _time
 
-        listener = _socket.socket(_socket.AF_INET, _socket.SOCK_STREAM)
-        listener.bind(("127.0.0.1", 0))
-        listener.listen(1)
+        from conftest import fake_peer
 
-        def send_garbage():
-            conn, _ = listener.accept()
+        def send_garbage(conn):
             conn.sendall(_struct.pack(">I", 7) + b"garbage")  # not valid zlib
-            conn.close()
 
-        feeder = threading.Thread(target=send_garbage)
-        feeder.start()
-        host, port = listener.getsockname()
-        client = DeviceClient(host, port)
-        started = _time.perf_counter()
-        try:
-            with pytest.raises(ConnectionError, match="malformed"):
-                client.run_pipeline([np.ones((2, 2))], _device_fn, timeout_s=30.0)
-            assert _time.perf_counter() - started < 10.0
-        finally:
-            client.close()
-            feeder.join(timeout=5.0)
-            listener.close()
+        with fake_peer(send_garbage) as (host, port):
+            client = DeviceClient(host, port)
+            started = _time.perf_counter()
+            try:
+                with pytest.raises(ConnectionError, match="malformed"):
+                    client.run_pipeline([np.ones((2, 2))], _device_fn,
+                                        timeout_s=30.0)
+                assert _time.perf_counter() - started < 10.0
+            finally:
+                client.close()
 
     def test_unknown_model_is_reported_not_fatal(self):
         server = EdgeServer(_edge_fn, edge_fns={"known": _edge_fn}).start()

@@ -6,9 +6,21 @@ tests pin the round-trip fidelity of both, the versioning of the raw
 layout, the single-serializer size accounting (``compressed_size`` can
 never drift from the real wire), and the end-to-end behavior of mixed-
 framing clients against one server.
+
+The hostile-input half (``TestHostileFrames`` down) treats every byte of
+the frame as peer-controlled: garbage streams, lying headers (shapes,
+dtypes, lengths that don't match the payload), truncated frames and
+absurd length prefixes must all surface as a clean ``ValueError`` /
+``ConnectionError`` — never a hang, a blind allocation, or an array the
+sender never sent — and a server fed such a frame must drop *that
+connection only* and keep serving everyone else.
 """
 
 from __future__ import annotations
+
+import json
+import socket
+import struct
 
 import numpy as np
 import pytest
@@ -21,7 +33,9 @@ from repro.system import (DeviceClient, EdgeServer, Message,
                           WIRE_FORMAT_RAW, WIRE_FORMAT_ZLIB, WIRE_FORMATS,
                           compressed_size, deserialize_message,
                           serialize_message)
-from repro.system.messages import _RAW_MAGIC, _RAW_VERSION
+from repro.system.messages import (_LENGTH_FORMAT, _LENGTH_SIZE, _RAW_MAGIC,
+                                   _RAW_VERSION, MAX_MESSAGE_BYTES,
+                                   recv_message, send_payload)
 
 
 def _sample_message(**overrides) -> Message:
@@ -203,3 +217,236 @@ class TestEngineWireFormats:
             DeviceClient(server.host, server.port, wire_format="gzip")
         with pytest.raises(ValueError, match="floating"):
             DeviceClient(server.host, server.port, wire_dtype=np.int32)
+
+
+# ----------------------------------------------------------------------
+# Hostile frames: every header field is peer-controlled
+# ----------------------------------------------------------------------
+def _raw_parts(message: Message):
+    """Split a serialized raw frame into (header dict, payload bytes)."""
+    blob = serialize_message(message, wire_format=WIRE_FORMAT_RAW)
+    (header_len,) = struct.unpack_from(_LENGTH_FORMAT, blob, 2)
+    start = 2 + _LENGTH_SIZE
+    header = json.loads(blob[start:start + header_len].decode("utf-8"))
+    return header, blob[start + header_len:]
+
+
+def _raw_frame(header: dict, payload: bytes) -> bytes:
+    """Reassemble a raw frame from a (possibly lying) header + payload."""
+    header_bytes = json.dumps(header).encode("utf-8")
+    return b"".join([bytes((_RAW_MAGIC, _RAW_VERSION)),
+                     struct.pack(_LENGTH_FORMAT, len(header_bytes)),
+                     header_bytes, payload])
+
+
+class TestHostileFrames:
+    def test_garbage_bytes_are_a_clean_value_error(self):
+        for blob in (b"\x00" * 64, b"not a frame at all", b"\xff\xfe\xfd",
+                     bytes((_RAW_MAGIC,))):  # magic byte alone, no version
+            with pytest.raises(ValueError, match="undecodable"):
+                deserialize_message(blob)
+
+    def test_header_length_beyond_blob_rejected(self):
+        header, payload = _raw_parts(_sample_message())
+        frame = _raw_frame(header, payload)
+        # Rewrite the header-length word to claim more bytes than exist.
+        lying = frame[:2] + struct.pack(_LENGTH_FORMAT,
+                                        len(frame) * 2) + frame[6:]
+        with pytest.raises(ValueError, match="truncated"):
+            deserialize_message(lying)
+
+    def test_header_overclaiming_shape_rejected(self):
+        """A shape larger than the payload must fail, not read past it."""
+        header, payload = _raw_parts(_sample_message())
+        name, dtype, shape = header["arrays"][0]
+        header["arrays"][0] = [name, dtype, [shape[0] * 1000] + shape[1:]]
+        with pytest.raises(ValueError, match="truncated"):
+            deserialize_message(_raw_frame(header, payload))
+
+    def test_header_lying_dtype_rejected(self):
+        """A wider dtype than was sent overruns the payload: clean error."""
+        header, payload = _raw_parts(
+            Message(kind="frame", arrays={"x": np.zeros(8, np.float32)}))
+        name, _, shape = header["arrays"][0]
+        header["arrays"][0] = [name, "<c16", shape]  # 16B items, 4B sent
+        with pytest.raises(ValueError, match="truncated"):
+            deserialize_message(_raw_frame(header, payload))
+
+    def test_negative_shape_dimension_rejected(self):
+        """count=-1 means 'read everything' to np.frombuffer: must never
+        reach it from a wire header."""
+        header, payload = _raw_parts(_sample_message())
+        name, dtype, shape = header["arrays"][0]
+        header["arrays"][0] = [name, dtype, [-1] + shape[1:]]
+        with pytest.raises(ValueError, match="invalid shape"):
+            deserialize_message(_raw_frame(header, payload))
+
+    def test_non_integer_shape_dimension_rejected(self):
+        header, payload = _raw_parts(_sample_message())
+        name, dtype, shape = header["arrays"][0]
+        header["arrays"][0] = [name, dtype, ["12"] + shape[1:]]
+        with pytest.raises(ValueError, match="invalid shape"):
+            deserialize_message(_raw_frame(header, payload))
+
+    def test_invalid_json_header_rejected(self):
+        frame = _raw_frame({}, b"")
+        broken = frame[:6] + b"{nope!" + frame[8:]
+        with pytest.raises(ValueError):
+            deserialize_message(broken)
+
+    def test_missing_header_keys_rejected(self):
+        frame = _raw_frame({"arrays": []}, b"")  # no kind/frame_id/meta
+        with pytest.raises(ValueError, match="undecodable"):
+            deserialize_message(frame)
+
+    def test_invalid_dtype_string_rejected(self):
+        header, payload = _raw_parts(_sample_message())
+        name, _, shape = header["arrays"][0]
+        header["arrays"][0] = [name, "not-a-dtype", shape]
+        with pytest.raises(ValueError):
+            deserialize_message(_raw_frame(header, payload))
+
+
+class TestSocketFraming:
+    """recv_message against closing, truncating and overclaiming peers."""
+
+    @pytest.fixture
+    def pair(self):
+        ours, theirs = socket.socketpair()
+        ours.settimeout(10.0)
+        theirs.settimeout(10.0)
+        yield ours, theirs
+        ours.close()
+        theirs.close()
+
+    def test_roundtrip_records_wire_bytes(self, pair):
+        ours, theirs = pair
+        blob = serialize_message(_sample_message(),
+                                 wire_format=WIRE_FORMAT_RAW)
+        send_payload(theirs, blob)
+        message = recv_message(ours)
+        assert message.frame_id == 7
+        assert message.wire_bytes == len(blob) + _LENGTH_SIZE
+
+    def test_clean_close_returns_none(self, pair):
+        ours, theirs = pair
+        theirs.close()
+        assert recv_message(ours) is None
+
+    def test_close_mid_prefix_raises(self, pair):
+        ours, theirs = pair
+        theirs.sendall(b"\x00\x00")  # half a length prefix
+        theirs.close()
+        with pytest.raises(ConnectionError, match="mid-frame"):
+            recv_message(ours)
+
+    def test_close_mid_payload_raises(self, pair):
+        ours, theirs = pair
+        theirs.sendall(struct.pack(_LENGTH_FORMAT, 100) + b"x" * 10)
+        theirs.close()
+        with pytest.raises(ConnectionError, match="mid-frame"):
+            recv_message(ours)
+
+    def test_oversize_prefix_rejected_before_any_payload(self, pair):
+        """The 4-byte prefix can claim 4 GiB; the reader must refuse it
+        from the prefix alone — no allocation, no waiting for bytes that
+        will never come."""
+        ours, theirs = pair
+        theirs.sendall(struct.pack(_LENGTH_FORMAT, 0xFFFFFFFF))
+        # Deliberately send nothing else: a reader that tried to receive
+        # the claimed payload would hang here instead of raising.
+        with pytest.raises(ConnectionError, match="cap"):
+            recv_message(ours)
+
+    def test_custom_cap_is_enforced(self, pair):
+        ours, theirs = pair
+        theirs.sendall(struct.pack(_LENGTH_FORMAT, 2048))
+        with pytest.raises(ConnectionError, match="cap"):
+            recv_message(ours, max_bytes=1024)
+        assert 2048 <= MAX_MESSAGE_BYTES  # the default would have allowed it
+
+
+class TestServerSurvivesHostileClients:
+    @pytest.fixture(params=["threaded", "async"])
+    def serving(self, request):
+        arch = Architecture(ops=(
+            OpSpec(OpType.SAMPLE, "knn", k=4),
+            OpSpec(OpType.AGGREGATE, "max"),
+            OpSpec(OpType.COMBINE, 16),
+            OpSpec(OpType.COMMUNICATE, "uplink"),
+            OpSpec(OpType.GLOBAL_POOL, "max||mean"),
+        ), name="hostile-test")
+        model = ArchitectureModel(arch, in_dim=3, num_classes=4, seed=0)
+        device_fn, edge_fn = split_callables(model)
+        graphs = SyntheticModelNet40(num_points=24, samples_per_class=1,
+                                     num_classes=4, seed=0).generate()
+        frames = [Batch.from_graphs([graph]) for graph in graphs[:2]]
+        server = EdgeServer(edge_fn, frontend=request.param).start()
+        yield server, device_fn, frames
+        server.stop()
+
+    def _assert_connection_dropped(self, sock):
+        """The server must close the hostile connection — not hang it."""
+        sock.settimeout(10.0)
+        deadline_hit = False
+        try:
+            while sock.recv(4096):
+                pass
+        except socket.timeout:  # pragma: no cover - the failure mode
+            deadline_hit = True
+        except OSError:
+            pass
+        assert not deadline_hit, "server kept a hostile connection open"
+
+    def _assert_still_serving(self, server, device_fn, frames):
+        client = DeviceClient(server.host, server.port)
+        try:
+            results, _ = client.run_pipeline(frames, device_fn)
+        finally:
+            client.close()
+        assert len(results) == len(frames)
+
+    def test_garbage_payload_drops_connection_only(self, serving):
+        server, device_fn, frames = serving
+        with socket.create_connection((server.host, server.port),
+                                      timeout=10.0) as sock:
+            send_payload(sock, b"\xde\xad\xbe\xef not a frame")
+            self._assert_connection_dropped(sock)
+        self._assert_still_serving(server, device_fn, frames)
+
+    def test_lying_raw_header_drops_connection_only(self, serving):
+        server, device_fn, frames = serving
+        header, payload = _raw_parts(_sample_message())
+        name, dtype, shape = header["arrays"][0]
+        header["arrays"][0] = [name, dtype, [10 ** 6] + shape[1:]]
+        with socket.create_connection((server.host, server.port),
+                                      timeout=10.0) as sock:
+            send_payload(sock, _raw_frame(header, payload))
+            self._assert_connection_dropped(sock)
+        self._assert_still_serving(server, device_fn, frames)
+
+    def test_oversize_prefix_drops_connection_only(self, serving):
+        server, device_fn, frames = serving
+        with socket.create_connection((server.host, server.port),
+                                      timeout=10.0) as sock:
+            sock.sendall(struct.pack(_LENGTH_FORMAT, 0xFFFFFFF0))
+            # No payload follows: the server must reject from the prefix
+            # alone rather than buffer toward 4 GiB that never arrives.
+            self._assert_connection_dropped(sock)
+        self._assert_still_serving(server, device_fn, frames)
+
+    def test_truncated_frame_mid_wire_fails_clean(self, serving):
+        """chaosnet's truncate fault: the client sees a connection error
+        (never a hang), the server keeps serving other clients."""
+        from chaosnet import ChaosProxy
+
+        server, device_fn, frames = serving
+        with ChaosProxy(server.host, server.port) as proxy:
+            proxy.client_to_server.truncate_next(keep_bytes=6)
+            client = DeviceClient(proxy.host, proxy.port)
+            try:
+                with pytest.raises((ConnectionError, OSError, RuntimeError)):
+                    client.run_pipeline(frames, device_fn, timeout_s=20.0)
+            finally:
+                client.close()
+        self._assert_still_serving(server, device_fn, frames)
