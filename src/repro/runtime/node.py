@@ -40,6 +40,7 @@ disappears.
 
 from __future__ import annotations
 
+import select
 import socket
 import threading
 from dataclasses import dataclass
@@ -47,9 +48,18 @@ from typing import Dict, Optional
 
 from .shard import PeerClosed, ReplicaCore, _parent_alive, zoo_from_payload
 
-#: How long a node's accept loop sleeps between liveness polls, and the
-#: per-read timeout of a connection's envelope loop (seconds).
+#: How long a node's accept loop sleeps between liveness polls (seconds).
 _ACCEPT_POLL_S = 0.5
+
+#: Socket timeout for every blocking I/O once a frame has *started* —
+#: mid-frame reads inside ``recv_message`` and ``reply``'s sendall.  This
+#: is request-scale on purpose: the envelope loop's short poll quantum is
+#: implemented with ``select`` (idle-wait only), never as a recv timeout,
+#: because a recv timeout firing after the length prefix (or mid-payload)
+#: would silently discard the partial frame and permanently desync the
+#: stream.  A peer that stalls an in-progress frame this long is
+#: unreachable, not slow.
+_IO_TIMEOUT_S = 60.0
 
 
 class NodeCrashedError(ConnectionError):
@@ -131,12 +141,22 @@ def _serve_connection(conn: socket.socket, holder: _CoreHolder,
                                    recv_message, send_payload,
                                    serialize_message)
 
+    conn.settimeout(_IO_TIMEOUT_S)
+
     def read_envelope(timeout: float) -> Optional[Message]:
-        conn.settimeout(timeout)
+        # Timeout-before-any-bytes is the only "no message" case: the
+        # idle wait is a select() on readability (mirroring the router's
+        # _read_loop), and once bytes flow recv_message runs under the
+        # request-scale _IO_TIMEOUT_S — a transient network stall mid-frame
+        # blocks briefly instead of tearing the partially-read frame out of
+        # the stream.
         try:
-            message = recv_message(conn)
-        except socket.timeout:
+            readable, _, _ = select.select([conn], [], [], timeout)
+        except (OSError, ValueError):  # socket torn down mid-select
+            raise PeerClosed()
+        if not readable:
             return None
+        message = recv_message(conn)
         if message is None:
             raise PeerClosed()
         return message

@@ -617,9 +617,6 @@ class ClusterPool:
         """
         with self._publish_lock:
             payload = zoo_to_payload(snapshot.zoo)
-            if self._hello_meta is not None:
-                self._hello_meta = dict(self._hello_meta,
-                                        zoo=payload, version=snapshot.version)
 
             def poison(node: _Node, exc: Exception) -> None:
                 # The node diverged (or died) — it can never serve a frame
@@ -648,6 +645,14 @@ class ClusterPool:
                 raise RuntimeError(
                     f"publish of snapshot v{snapshot.version} aborted: no "
                     "cluster node accepted it")
+            # Only now — with at least one node acknowledged and the parent
+            # about to swap — may this snapshot become the reconnect
+            # bootstrap.  Advancing the hello before the outcome is known
+            # would, on an aborted publish, hand reconnecting nodes a
+            # version the router never serves.
+            if self._hello_meta is not None:
+                self._hello_meta = dict(self._hello_meta,
+                                        zoo=payload, version=snapshot.version)
 
     def sync(self, snapshot: ServingSnapshot) -> None:
         """Idempotent re-broadcast (covers publishes racing pool startup)."""
@@ -663,7 +668,15 @@ class ClusterPool:
             now = time.monotonic()
             for index, node in enumerate(list(self._nodes)):
                 if node.alive:
-                    if (node.outstanding_pings() >= self.config.heartbeat_misses
+                    # A node with requests in flight is never declared dead
+                    # by heartbeat: its connection loop answers pings inline,
+                    # so a long frame legitimately silences the link for its
+                    # whole service time.  request_timeout_s already bounds
+                    # a wedged node there; heartbeats police only idle
+                    # connections, where no other traffic would reveal a
+                    # partition.
+                    if (node.in_flight() == 0
+                            and node.outstanding_pings() >= self.config.heartbeat_misses
                             and now - node.last_seen >= grace):
                         node.mark_crashed(
                             f"missed {self.config.heartbeat_misses} "

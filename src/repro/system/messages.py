@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import io
 import json
+import math
 import socket
 import struct
 import zlib
@@ -305,7 +306,11 @@ def _deserialize_raw(blob: bytes) -> Message:
         if not all(isinstance(dim, int) and dim >= 0 for dim in shape):
             raise ValueError(f"raw frame header declares invalid shape "
                              f"{shape!r} for array {name!r}")
-        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        # Unbounded Python ints, not np.prod: a hostile shape like
+        # [2**32, 2**33] wraps an int64 product to 0/negative, slipping
+        # past the size check below into np.frombuffer (where a negative
+        # count means "read the whole buffer").
+        count = math.prod(shape)
         nbytes = count * dtype.itemsize
         if offset + nbytes > len(blob):
             raise ValueError(

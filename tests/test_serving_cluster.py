@@ -317,13 +317,17 @@ class TestClusterPublish:
                        _cluster_config(proxy.address,
                                        heartbeat_ms=NO_HEARTBEAT_MS,
                                        publish_timeout_s=0.5),
-                       in_dim=3, num_classes=3, repository=repo):
+                       in_dim=3, num_classes=3, repository=repo) as app:
                 proxy.partition()
                 with pytest.raises(RuntimeError, match="aborted"):
                     repo.publish(ZOO_V2)
                 # The local repository never swapped to the lost snapshot.
                 assert repo.snapshot().version == 1
                 assert repo.snapshot().zoo is ZOO_V1
+                # Nor did the reconnect bootstrap: a node redialing now
+                # must be handed the version the router actually serves,
+                # not the aborted one.
+                assert app.cluster_pool._hello_meta["version"] == 1
 
 
 # ----------------------------------------------------------------------
@@ -416,6 +420,64 @@ class TestClusterFailover:
             finally:
                 pool.stop()
 
+    def test_busy_node_survives_aggressive_heartbeats(self, one_node):
+        """A node serving a long frame is never declared dead by heartbeat.
+
+        The node answers pings inline in its connection loop, so a long
+        engine call legitimately silences the link — pongs and the reply
+        all arrive after it finishes.  While requests are in flight the
+        router must keep trusting the node (request_timeout_s bounds a
+        truly wedged one), even with every miss window long exceeded.
+        """
+        clock = ManualClock()
+        with ChaosProxy("127.0.0.1", one_node.port, clock=clock) as proxy:
+            repo = ModelRepository(in_dim=3, num_classes=3, zoo=ZOO_V1)
+            pool = ClusterPool(repo, ClusterConfig(
+                nodes=(proxy.address,), heartbeat_ms=20.0,
+                heartbeat_misses=2))
+            pool.start()
+            try:
+                node = pool._nodes[0]
+                arrays, meta = repo.device_fn("m")(_frames(1)[0])
+                # Hold the node->router flow: the node executes the frame
+                # instantly but its reply (and every pong behind it) is
+                # parked — indistinguishable from a long engine call.
+                proxy.server_to_client.delay_next(600.0)
+                outcome = []
+
+                def request():
+                    try:
+                        outcome.append(("ok",
+                                        node.request_frame("m", arrays, meta)))
+                    except Exception as exc:
+                        outcome.append(("error", exc))
+
+                thread = threading.Thread(target=request)
+                thread.start()
+                try:
+                    wait_until(
+                        lambda: proxy.server_to_client.held_frames() == 1,
+                        timeout=15.0, message="reply held by the proxy")
+                    wait_until(
+                        lambda: node.outstanding_pings()
+                        >= pool.config.heartbeat_misses,
+                        timeout=10.0,
+                        message="heartbeat probes piled up unanswered")
+                    # Dozens of full miss windows (grace = 40ms) elapse
+                    # with the link silent and probes unanswered: a router
+                    # that heartbeat-kills busy nodes would do it here.
+                    time.sleep(0.5)
+                    assert pool.stats()[0].alive, \
+                        "busy node was declared dead by heartbeat"
+                finally:
+                    clock.advance(600.0)
+                    thread.join(timeout=30.0)
+                assert not thread.is_alive(), "in-flight request hung"
+                assert outcome and outcome[0][0] == "ok", outcome
+                assert pool.stats()[0].alive
+            finally:
+                pool.stop()
+
     def test_partition_detected_by_heartbeats(self, two_nodes):
         first, second = two_nodes
         frames = _frames(2)
@@ -470,6 +532,62 @@ class TestClusterFailover:
                 for result, reference in zip(results, expected):
                     np.testing.assert_allclose(result.arrays["logits"],
                                                reference, atol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Node-side transport robustness
+# ----------------------------------------------------------------------
+class TestNodeTransport:
+    def test_node_tolerates_mid_frame_stall(self, one_node):
+        """A transient stall *inside* a frame must not desync the stream.
+
+        The node's envelope loop polls with a short quantum; only a
+        timeout before any bytes of a frame may mean "no message".  A
+        stall after the length prefix has to block until the rest arrives
+        — a loop that abandons the partial read leaves the next recv
+        starting mid-frame, a permanent protocol desync.
+        """
+        from repro.runtime.node import bootstrap_meta
+        from repro.system.messages import (_LENGTH_FORMAT, Message,
+                                           SHARD_KIND_PUBLISH,
+                                           SHARD_KIND_READY, WIRE_FORMAT_RAW,
+                                           recv_message, send_payload,
+                                           serialize_message)
+
+        repo = ModelRepository(in_dim=3, num_classes=3, zoo=ZOO_V1)
+        with socket.create_connection(("127.0.0.1", one_node.port),
+                                      timeout=60.0) as sock:
+            send_payload(sock, serialize_message(
+                Message(kind=SHARD_KIND_PUBLISH, frame_id=1,
+                        meta=bootstrap_meta(repo)),
+                wire_format=WIRE_FORMAT_RAW))
+            ready = recv_message(sock)
+            assert ready is not None and ready.kind == SHARD_KIND_READY
+
+            arrays, meta = repo.device_fn("m")(_frames(1)[0])
+
+            def frame_wire(frame_id: int) -> bytes:
+                blob = serialize_message(
+                    Message(kind="frame", frame_id=frame_id, arrays=arrays,
+                            meta={"entry": "m", "frame": meta}),
+                    wire_format=WIRE_FORMAT_RAW)
+                return struct.pack(_LENGTH_FORMAT, len(blob)) + blob
+
+            # First half (prefix + part of the payload), a stall well past
+            # the envelope loop's poll quantum, then the rest.
+            wire = frame_wire(2)
+            sock.sendall(wire[:len(wire) // 2])
+            time.sleep(1.2)
+            sock.sendall(wire[len(wire) // 2:])
+            result = recv_message(sock)
+            assert result is not None and result.kind == "result"
+            assert result.frame_id == 2
+            # The stream is still framed correctly: a follow-up frame
+            # round-trips on the same connection.
+            sock.sendall(frame_wire(3))
+            result = recv_message(sock)
+            assert result is not None and result.kind == "result"
+            assert result.frame_id == 3
 
 
 # ----------------------------------------------------------------------

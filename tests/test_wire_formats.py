@@ -272,6 +272,18 @@ class TestHostileFrames:
         with pytest.raises(ValueError, match="truncated"):
             deserialize_message(_raw_frame(header, payload))
 
+    def test_overflowing_shape_product_rejected(self):
+        """A shape whose element product overflows int64 must still fail
+        the size check: a wrapped product of 0 (or negative, which
+        np.frombuffer reads as 'the whole buffer') would slip past it."""
+        for shape in ([2 ** 32, 2 ** 33],   # product 2**65 -> wraps to 0
+                      [2 ** 62, 6]):        # wraps negative
+            header, payload = _raw_parts(_sample_message())
+            name, dtype, _ = header["arrays"][0]
+            header["arrays"][0] = [name, dtype, shape]
+            with pytest.raises(ValueError, match="truncated"):
+                deserialize_message(_raw_frame(header, payload))
+
     def test_negative_shape_dimension_rejected(self):
         """count=-1 means 'read everything' to np.frombuffer: must never
         reach it from a wire header."""
