@@ -183,32 +183,45 @@ def _as_runtime_config(runtime: str, dtype) -> "RuntimeConfig":
 
 
 def _resolve_plan(model: ArchitectureModel, config,
-                  segments: Sequence[str]) -> Optional[InferencePlan]:
+                  segments: Sequence[str],
+                  precision: Optional[str] = None,
+                  calibration=None) -> Optional[InferencePlan]:
     """Compile ``model`` according to ``config`` (None = run eagerly).
 
     ``config`` is a :class:`repro.serving.RuntimeConfig`; ``segments``
     limits compilation to the plan segments the caller will run, so e.g. a
     batched edge callable never builds device/full step lists it cannot
-    execute.
+    execute.  ``precision`` is the entry's resolved precision (see
+    ``RuntimeConfig.precision_for``); for ``"int8"`` the caller passes the
+    matching ``calibration`` and the plan compiles on the quantized path
+    with a float32 carrier.
     """
     runtime = config.runtime
     if runtime not in RUNTIMES:
         raise ValueError(f"unknown runtime {runtime!r} (expected one of "
                          f"{RUNTIMES})")
-    dtype = np.dtype(np.float64 if config.dtype is None else config.dtype)
+    if precision is None:
+        precision = np.dtype(np.float64 if config.dtype is None
+                             else config.dtype).name
+    quantized = precision == "int8"
+    dtype = np.dtype(np.float32 if quantized else precision)
     if runtime == "eager":
-        if dtype != np.float64:
+        if dtype != np.float64 or quantized:
             raise ValueError(
                 "the eager runtime computes in float64 only; use "
-                "runtime='compiled' for a different compute dtype")
+                "runtime='compiled' for a different compute dtype or "
+                "precision")
         return None
+    backend = getattr(config, "backend", None)
     try:
-        return compile_plan(model, dtype=dtype, segments=segments)
+        return compile_plan(model, dtype=dtype, segments=segments,
+                            backend=backend,
+                            calibration=calibration if quantized else None)
     except PlanCompileError:
         if runtime == "compiled":
             raise
-        if dtype != np.float64:
-            raise  # no eager fallback can honor a non-float64 dtype
+        if dtype != np.float64 or quantized:
+            raise  # no eager fallback can honor a non-float64 precision
         return None
 
 
@@ -498,31 +511,61 @@ class ServingCallables:
 
 def _build_callables(model: ArchitectureModel, config, *,
                      lock: Optional[threading.Lock] = None,
-                     split: bool = True, batched: bool = True
+                     split: bool = True, batched: bool = True,
+                     entry_name: Optional[str] = None,
+                     calibration_frames: Optional[Sequence] = None
                      ) -> ServingCallables:
     """The one internal builder every serving constructor routes through.
 
     ``config`` is a :class:`repro.serving.RuntimeConfig`; this is the single
-    place its ``runtime``/``dtype``/``segments`` knobs are resolved into
-    engine callables, so no public builder re-threads them.  ``split`` /
-    ``batched`` select which callables to build (each compiles its own plan
-    with its own arena: the per-frame arena keeps stable single-frame buffer
-    shapes while the batched arena tracks the realized micro-batch shapes).
-    When ``lock`` is given, every built callable is serialized through it —
-    :class:`ArchitectureModel` is not thread-safe (its operations share one
-    random generator), so nothing may run the *same* model concurrently.
+    place its ``runtime``/``dtype``/``segments``/``precision``/``backend``
+    knobs are resolved into engine callables, so no public builder
+    re-threads them.  ``split`` / ``batched`` select which callables to
+    build (each compiles its own plan with its own arena: the per-frame
+    arena keeps stable single-frame buffer shapes while the batched arena
+    tracks the realized micro-batch shapes).  When ``lock`` is given, every
+    built callable is serialized through it — :class:`ArchitectureModel` is
+    not thread-safe (its operations share one random generator), so nothing
+    may run the *same* model concurrently.
+
+    ``entry_name`` selects the per-entry precision from the config's
+    ``precision_policy``.  For int8 entries, activation scales come from one
+    calibration pass over ``calibration_frames`` — or, when none are given,
+    over deterministic seeded synthetic frames, which is what keeps shard
+    and cluster replicas (rebuilt from config alone) bit-identical to the
+    parent process.
     """
+    precision = (config.precision_for(entry_name)
+                 if hasattr(config, "precision_for")
+                 else np.dtype(np.float64 if config.dtype is None
+                               else config.dtype).name)
+    calibration = None
+    if precision == "int8" and config.runtime != "eager":
+        from ..runtime import calibrate, synthetic_calibration_frames
+        segments = set()
+        if split:
+            segments.update(config.segments or ("device", "edge"))
+        if batched:
+            segments.add("edge")
+        frames = calibration_frames
+        if not frames:
+            frames = synthetic_calibration_frames(model.in_dim, seed=0)
+        calibration = calibrate(model, frames,
+                                segments=tuple(sorted(segments)))
     device_fn = edge_fn = batch_fn = None
     plans: List[InferencePlan] = []
     if split:
         segments = config.segments or ("device", "edge")
-        plan = _resolve_plan(model, config, segments=segments)
+        plan = _resolve_plan(model, config, segments=segments,
+                             precision=precision, calibration=calibration)
         if plan is not None:
             plans.append(plan)
         device_fn, edge_fn = (_split_callables_eager(model) if plan is None
                               else _split_callables_plan(model, plan))
     if batched:
-        batch_plan = _resolve_plan(model, config, segments=("edge",))
+        batch_plan = _resolve_plan(model, config, segments=("edge",),
+                                   precision=precision,
+                                   calibration=calibration)
         if batch_plan is not None:
             plans.append(batch_plan)
         batch_fn = _batched_edge_fn_impl(model, batch_plan)

@@ -38,6 +38,10 @@ class BufferArena:
         self.allocations = 0
         #: Requests served from an existing buffer without allocating.
         self.hits = 0
+        #: Reallocations caused by a slot changing *dtype* — in a correctly
+        #: slotted mixed-precision plan this stays 0 after warm-up (int8 and
+        #: float buffers must live in distinct slots, never thrash one).
+        self.retypes = 0
 
     def take(self, slot: object, shape: Tuple[int, ...], dtype) -> np.ndarray:
         """Return a writable ``(shape, dtype)`` buffer for ``slot``.
@@ -49,6 +53,8 @@ class BufferArena:
         dtype = np.dtype(dtype)
         buffer = self._buffers.get(slot)
         if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
+            if buffer is not None and buffer.dtype != dtype:
+                self.retypes += 1
             buffer = np.empty(shape, dtype=dtype)
             self._buffers[slot] = buffer
             self.allocations += 1
@@ -59,6 +65,22 @@ class BufferArena:
     def clear(self) -> None:
         """Drop every pooled buffer (e.g. before serving a new shape regime)."""
         self._buffers.clear()
+
+    def dtype_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-dtype view of the pooled buffers: ``{dtype: {slots, nbytes}}``.
+
+        Makes mixed-precision footprints observable — a quantized plan
+        should show its bulk bytes under int8/int16 with only small float32
+        entries (scales, logits), and the per-dtype slot counts let tests
+        assert that precisions occupy disjoint slots instead of thrashing.
+        """
+        stats: Dict[str, Dict[str, int]] = {}
+        for buffer in self._buffers.values():
+            entry = stats.setdefault(buffer.dtype.name,
+                                     {"slots": 0, "nbytes": 0})
+            entry["slots"] += 1
+            entry["nbytes"] += int(buffer.nbytes)
+        return stats
 
     @property
     def num_buffers(self) -> int:

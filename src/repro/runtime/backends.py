@@ -1,0 +1,383 @@
+"""Pluggable kernel backends for the compiled inference runtime.
+
+:class:`KernelBackend` is the seam between plan *steps* (which own slots,
+scale bookkeeping and state threading — see :mod:`repro.runtime.plan`) and
+the array arithmetic that executes them.  Plan compilation is backend
+agnostic: a compiled plan holds a backend reference and every step calls
+through it, so the same plan object can execute on any registered backend.
+
+Two backends ship:
+
+``"numpy"``
+    The default — delegates straight to the reference kernels of
+    :mod:`repro.runtime.kernels` (BLAS matmuls, vectorized reductions).
+    Always available; the numerical contract of the runtime is defined by
+    this backend.
+``"numba"``
+    Optional JIT backend, auto-detected at import (``importlib`` spec probe
+    only — numba itself is imported lazily on first use).  It overrides the
+    kernels where fused loops beat vectorized numpy — the gather-heavy
+    EdgeConv and the quantized kernels, where true fused int accumulation
+    avoids the float-widening passes — and *inherits* the numpy
+    implementations everywhere BLAS or bookkeeping-heavy code wins (dense
+    float matmul, ragged scatters, kNN selection).  Never required: tier-1
+    tests and default serving run without it, and ``"auto"`` silently
+    resolves to numpy when numba is absent.
+
+Parity contract: a backend must match the numpy backend within 1e-6 on
+every kernel (the jitted implementations are written to be bit-identical:
+same rounding mode, same float widths, same operation order; only float
+summation *order* may differ, which tolerance covers).  The plain-python
+jittable implementations are unit-tested against the numpy kernels without
+numba installed, so logic divergence is caught in tier-1; the optional-deps
+CI job compiles them under numba and re-checks.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from typing import Optional
+
+import numpy as np
+
+from . import kernels as _kernels
+from .kernels import QMAX_INT8, SegmentInfo
+
+#: Backend names accepted by ``RuntimeConfig.backend``.  ``"auto"`` resolves
+#: to numba when importable, else numpy.
+BACKEND_NUMPY = "numpy"
+BACKEND_NUMBA = "numba"
+BACKEND_AUTO = "auto"
+KERNEL_BACKENDS = (BACKEND_NUMPY, BACKEND_NUMBA, BACKEND_AUTO)
+
+#: Integer codes for the jit-friendly dispatch of the plain implementations
+#: (numba specializes per call site; string dispatch would defeat that).
+ACT_NONE, ACT_RELU, ACT_LEAKY_RELU = 0, 1, 2
+RED_SUM, RED_MEAN, RED_MAX = 0, 1, 2
+_ACT_CODES = {None: ACT_NONE, "relu": ACT_RELU, "leaky_relu": ACT_LEAKY_RELU}
+_RED_CODES = {"add": RED_SUM, "sum": RED_SUM, "mean": RED_MEAN,
+              "max": RED_MAX}
+
+
+# ----------------------------------------------------------------------
+# Plain (jittable) implementations
+# ----------------------------------------------------------------------
+# These run under ``numba.njit`` when numba is installed and as ordinary
+# python in the parity tests, so every backend executes the *same* logic.
+# They are written for bit-identity with the vectorized numpy kernels:
+# float32 statements stay float32 (numba unifies branch types, so no branch
+# may assign a float64 to a float32 variable), rounding is np.rint
+# (ties-to-even) everywhere, and scale application always divides on the
+# quantize side / multiplies on the dequantize side, matching kernels.py.
+
+def _quantize_impl(x, scale, out):  # pragma: no cover - exercised via parity
+    rows, cols = x.shape
+    scale32 = np.float32(scale)
+    for i in range(rows):
+        for j in range(cols):
+            q = np.rint(x[i, j] / scale32)
+            if q > 127.0:
+                q = 127.0
+            elif q < -127.0:
+                q = -127.0
+            out[i, j] = np.int8(q)
+    return out
+
+
+def _dequantize_impl(xq, scale, out):  # pragma: no cover - parity-tested
+    rows, cols = xq.shape
+    scale32 = np.float32(scale)
+    for i in range(rows):
+        for j in range(cols):
+            out[i, j] = np.float32(xq[i, j]) * scale32
+    return out
+
+
+def _quant_linear_f32_impl(xq, wq, mult, bias, act, slope, requant,
+                           out_scale, out32, outq):  # pragma: no cover
+    rows, kdim = xq.shape
+    cols = wq.shape[1]
+    zero = np.float32(0.0)
+    out_scale32 = np.float32(out_scale)
+    for i in range(rows):
+        for j in range(cols):
+            acc = np.int64(0)
+            for t in range(kdim):
+                acc += np.int64(xq[i, t]) * np.int64(wq[t, j])
+            y = np.float32(acc) * mult[j] + bias[j]
+            if act == 1:
+                if y < zero:
+                    y = zero
+            elif act == 2:
+                if y < zero:
+                    y = y * slope
+            if requant:
+                q = np.rint(y / out_scale32)
+                if q > 127.0:
+                    q = 127.0
+                elif q < -127.0:
+                    q = -127.0
+                outq[i, j] = np.int8(q)
+            else:
+                out32[i, j] = y
+    return out32
+
+
+def _quant_linear_f64_impl(xq, wq, mult, bias, act, slope, requant,
+                           out_scale, out32, outq):  # pragma: no cover
+    rows, kdim = xq.shape
+    cols = wq.shape[1]
+    zero = np.float64(0.0)
+    for i in range(rows):
+        for j in range(cols):
+            acc = np.int64(0)
+            for t in range(kdim):
+                acc += np.int64(xq[i, t]) * np.int64(wq[t, j])
+            y = np.float64(acc) * np.float64(mult[j]) + np.float64(bias[j])
+            if act == 1:
+                if y < zero:
+                    y = zero
+            elif act == 2:
+                if y < zero:
+                    y = y * np.float64(slope)
+            if requant:
+                q = np.rint(y / np.float64(out_scale))
+                if q > 127.0:
+                    q = 127.0
+                elif q < -127.0:
+                    q = -127.0
+                outq[i, j] = np.int8(q)
+            else:
+                out32[i, j] = np.float32(y)
+    return out32
+
+
+def _quant_edgeconv_impl(xq, src, k, red, out):  # pragma: no cover
+    rows, cols = xq.shape
+    kk = np.int64(k)
+    for i in range(rows):
+        base = i * k
+        for j in range(cols):
+            centre = np.int64(xq[i, j])
+            if red == 2:  # max
+                best = np.int64(xq[src[base], j])
+                for t in range(1, k):
+                    v = np.int64(xq[src[base + t], j])
+                    if v > best:
+                        best = v
+                out[i, j] = centre
+                out[i, j + cols] = best - centre
+            else:  # add / mean (mean folds 1/k into the output scale)
+                total = np.int64(0)
+                for t in range(k):
+                    total += np.int64(xq[src[base + t], j])
+                out[i, j] = kk * centre
+                out[i, j + cols] = total - kk * centre
+    return out
+
+
+def _edgeconv_uniform_impl(x, src, k, red, out):  # pragma: no cover
+    rows, cols = x.shape
+    for i in range(rows):
+        base = i * k
+        for j in range(cols):
+            centre = x[i, j]
+            if red == 2:  # max
+                best = x[src[base], j] - centre
+                for t in range(1, k):
+                    v = x[src[base + t], j] - centre
+                    if v > best:
+                        best = v
+                out[i, j] = centre
+                out[i, j + cols] = best
+            else:
+                total = x[src[base], j] - centre
+                for t in range(1, k):
+                    total += x[src[base + t], j] - centre
+                if red == 0:  # add
+                    out[i, j] = centre * k
+                    out[i, j + cols] = total
+                else:  # mean
+                    out[i, j] = centre
+                    out[i, j + cols] = total / k
+    return out
+
+
+# ----------------------------------------------------------------------
+# Backend protocol + registry
+# ----------------------------------------------------------------------
+class KernelBackend:
+    """The kernel surface compiled plan steps execute through.
+
+    The base class *is* the numpy reference backend — subclasses override
+    only the kernels they accelerate, so a new backend starts correct and
+    speeds up incrementally.  All methods follow the kernels.py convention:
+    caller-provided ``out=``/scratch buffers (from the plan's
+    :class:`~repro.runtime.arena.BufferArena`), nothing allocated inside.
+    """
+
+    name = "numpy"
+
+    # -- float kernels -------------------------------------------------
+    def fused_linear(self, x, weight, bias, out, activation=None,
+                     negative_slope=0.2):
+        return _kernels.fused_linear(x, weight, bias, out,
+                                     activation=activation,
+                                     negative_slope=negative_slope)
+
+    def relu_(self, x):
+        return _kernels.relu_(x)
+
+    def edge_messages(self, x, src, dst, out):
+        return _kernels.edge_messages(x, src, dst, out)
+
+    def edgeconv_uniform(self, x, src, k, reduce, scratch, out):
+        return _kernels.edgeconv_uniform(x, src, k, reduce, scratch, out)
+
+    def uniform_segment_reduce(self, grouped, reduce, out):
+        return _kernels.uniform_segment_reduce(grouped, reduce, out)
+
+    def segment_reduce(self, src, index, info: SegmentInfo, reduce, out):
+        return _kernels.segment_reduce(src, index, info, reduce, out)
+
+    def knn_edges_uniform(self, points, k, num_graphs, per_graph):
+        return _kernels.knn_edges_uniform(points, k, num_graphs, per_graph)
+
+    # -- quantized kernels ---------------------------------------------
+    def quantize(self, x, scale, scratch, out):
+        return _kernels.quantize_array(x, scale, scratch, out)
+
+    def dequantize(self, xq, scale, out):
+        return _kernels.dequantize_array(xq, scale, out)
+
+    def quant_fused_linear(self, xq, wq, w_float, w_scale, x_scale, bias,
+                           xcast, acc, activation, negative_slope,
+                           out_scale, outq, out32):
+        """Fused quantized linear; returns ``outq`` (requantizing) or ``out32``.
+
+        ``wq`` is the int8 weight matrix and ``w_float`` its float widening
+        matching ``xcast``'s dtype — a backend uses whichever representation
+        its matmul wants (numpy: BLAS over the float widening; numba: true
+        integer accumulation over ``wq``).
+        """
+        return _kernels.quant_fused_linear(
+            xq, w_float, w_scale, x_scale, bias, xcast, acc, activation,
+            negative_slope, out_scale, outq, out32)
+
+    def quant_edgeconv_uniform(self, xq, src, k, reduce, gather, out):
+        return _kernels.quant_edgeconv_uniform(xq, src, k, reduce, gather,
+                                               out)
+
+    def quant_pool_uniform(self, xq, num_graphs, per_graph, mode, scale,
+                           scratch, out):
+        return _kernels.quant_pool_uniform(xq, num_graphs, per_graph, mode,
+                                           scale, scratch, out)
+
+
+class NumpyBackend(KernelBackend):
+    """The default backend (the base class arithmetic, under its own name)."""
+
+
+class NumbaBackend(KernelBackend):
+    """JIT backend over the plain implementations above (requires numba).
+
+    Overrides the gather-bound EdgeConv kernels and the quantized kernels
+    with fused ``njit`` loops; everything else — BLAS matmuls, ragged
+    scatters, kNN — inherits the numpy implementations, which are faster
+    there.  ``fastmath`` stays off: determinism and parity with numpy
+    outrank the last few percent.
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        import numba  # deferred: only resolved backends pay the import
+        jit = numba.njit(cache=False, fastmath=False)
+        self._quantize = jit(_quantize_impl)
+        self._dequantize = jit(_dequantize_impl)
+        self._quant_linear_f32 = jit(_quant_linear_f32_impl)
+        self._quant_linear_f64 = jit(_quant_linear_f64_impl)
+        self._quant_edgeconv = jit(_quant_edgeconv_impl)
+        self._edgeconv = jit(_edgeconv_uniform_impl)
+
+    def quantize(self, x, scale, scratch, out):
+        return self._quantize(x, float(scale), out)
+
+    def dequantize(self, xq, scale, out):
+        return self._dequantize(xq, float(scale), out)
+
+    def quant_fused_linear(self, xq, wq, w_float, w_scale, x_scale, bias,
+                           xcast, acc, activation, negative_slope,
+                           out_scale, outq, out32):
+        # Same combined multiplier as the numpy kernel: per-channel weight
+        # scale times the per-tensor input scale, computed once in float32.
+        mult = w_scale * np.float32(x_scale)
+        act = _ACT_CODES[activation]
+        requant = out_scale is not None
+        impl = (self._quant_linear_f64 if xcast.dtype == np.float64
+                else self._quant_linear_f32)
+        sentinel = outq if outq is not None else _INT8_SENTINEL
+        impl(xq, wq, mult, bias, act, np.float32(negative_slope), requant,
+             float(out_scale) if requant else 1.0, out32, sentinel)
+        return outq if requant else out32
+
+    def quant_edgeconv_uniform(self, xq, src, k, reduce, gather, out):
+        return self._quant_edgeconv(xq, src, int(k), _RED_CODES[reduce], out)
+
+    def edgeconv_uniform(self, x, src, k, reduce, scratch, out):
+        return self._edgeconv(x, src, int(k), _RED_CODES[reduce], out)
+
+
+#: Placeholder int8 array handed to the jitted linear when not requantizing
+#: (numba needs a concretely typed argument even on the untaken branch).
+_INT8_SENTINEL = np.empty((1, 1), dtype=np.int8)
+
+
+_AVAILABLE: Optional[bool] = None
+
+
+def numba_available() -> bool:
+    """True when the optional numba dependency is importable (spec probe)."""
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        _AVAILABLE = importlib.util.find_spec("numba") is not None
+    return _AVAILABLE
+
+
+def available_backends() -> "tuple[str, ...]":
+    """Names of the kernel backends usable in this process, numpy first."""
+    if numba_available():
+        return (BACKEND_NUMPY, BACKEND_NUMBA)
+    return (BACKEND_NUMPY,)
+
+
+_INSTANCES: dict = {}
+
+
+def resolve_backend(name: Optional[str] = None) -> KernelBackend:
+    """Resolve a backend name (or ``None``/``"auto"``) to a live instance.
+
+    ``"auto"`` picks numba when importable and falls back to numpy cleanly
+    otherwise; an *explicit* ``"numba"`` without numba installed raises at
+    build time (a config that names a backend must get it or fail loudly).
+    Instances are process-wide singletons: jit compilation caches live on
+    the instance and plans only hold references.
+    """
+    if name is None:
+        name = BACKEND_AUTO
+    if isinstance(name, KernelBackend):
+        return name
+    if name not in KERNEL_BACKENDS:
+        raise ValueError(f"unknown kernel backend {name!r} "
+                         f"(expected one of {KERNEL_BACKENDS})")
+    if name == BACKEND_AUTO:
+        name = BACKEND_NUMBA if numba_available() else BACKEND_NUMPY
+    if name == BACKEND_NUMBA and not numba_available():
+        raise RuntimeError(
+            "backend 'numba' was requested but numba is not importable; "
+            "install numba or use backend='auto' (falls back to numpy)")
+    backend = _INSTANCES.get(name)
+    if backend is None:
+        backend = NumpyBackend() if name == BACKEND_NUMPY else NumbaBackend()
+        _INSTANCES[name] = backend
+    return backend

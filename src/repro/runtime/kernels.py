@@ -242,7 +242,7 @@ def edgeconv_uniform(x: np.ndarray, src: np.ndarray, k: int, reduce: str,
     scratch -= x[:, None, :]
     centres = out[:, :features]
     if reduce in ("add", "sum"):
-        np.multiply(x, float(k), out=centres)
+        np.multiply(x, x.dtype.type(k), out=centres)
     else:  # max / mean of k copies of x_i is x_i itself
         np.copyto(centres, x)
     uniform_segment_reduce(scratch, reduce, out[:, features:])
@@ -283,9 +283,13 @@ def fused_linear(x: np.ndarray, weight: np.ndarray,
     if bias is not None:
         out += bias
     if activation == "relu":
-        np.maximum(out, 0.0, out=out)
+        np.maximum(out, out.dtype.type(0), out=out)
     elif activation == "leaky_relu":
-        np.multiply(out, np.where(out > 0, 1.0, negative_slope), out=out)
+        # The slope factors must carry the output dtype: float python
+        # scalars inside np.where would materialize a float64 factor array
+        # and promote the whole multiply to float64 before casting back.
+        np.multiply(out, np.where(out > 0, out.dtype.type(1),
+                                  out.dtype.type(negative_slope)), out=out)
     elif activation is not None:
         raise ValueError(f"unknown fused activation {activation!r}")
     return out
@@ -293,7 +297,157 @@ def fused_linear(x: np.ndarray, weight: np.ndarray,
 
 def relu_(x: np.ndarray) -> np.ndarray:
     """In-place ReLU (used for activations that could not be fused)."""
-    return np.maximum(x, 0.0, out=x)
+    return np.maximum(x, x.dtype.type(0), out=x)
+
+
+# ----------------------------------------------------------------------
+# Quantized (int8) kernels
+# ----------------------------------------------------------------------
+# Symmetric quantization: zero-point 0 everywhere, so ``x ≈ xq * scale``.
+# Weights carry one scale per output channel, activations one per tensor
+# (static, from calibration).  Every kernel below is exact in integer
+# arithmetic; rounding happens only at the explicit (re)quantize points.
+
+#: Quantized values live in [-127, 127] (symmetric; -128 unused).
+QMAX_INT8 = 127
+
+#: Largest integer magnitude exactly representable in float32.  Integer
+#: matmuls run as float32 sgemm when every partial sum stays below this
+#: bound (all partial sums are integers, so no product or addition ever
+#: rounds); beyond it the accumulation switches to float64 (exact to 2^53).
+_F32_EXACT = 2 ** 24
+
+
+def quantize_array(x: np.ndarray, scale: float, scratch: np.ndarray,
+                   out: np.ndarray) -> np.ndarray:
+    """Quantize ``x`` to int8 with per-tensor ``scale`` into ``out``.
+
+    ``q = clip(rint(x / scale), -127, 127)``; ``scratch`` is a float buffer
+    of the same shape (it may alias ``x`` when the caller owns ``x``), so
+    the kernel allocates nothing.  Rounding is ties-to-even (``np.rint``),
+    matching the jitted backends bit for bit.
+    """
+    np.divide(x, x.dtype.type(scale), out=scratch)
+    np.rint(scratch, out=scratch)
+    np.clip(scratch, scratch.dtype.type(-QMAX_INT8),
+            scratch.dtype.type(QMAX_INT8), out=scratch)
+    out[...] = scratch
+    return out
+
+
+def dequantize_array(xq: np.ndarray, scale: float,
+                     out: np.ndarray) -> np.ndarray:
+    """Dequantize integer ``xq`` into the float buffer ``out`` (``xq*scale``)."""
+    out[...] = xq
+    out *= out.dtype.type(scale)
+    return out
+
+
+def quant_fused_linear(xq: np.ndarray, w_float: np.ndarray,
+                       w_scale: np.ndarray, x_scale: float,
+                       bias: np.ndarray, xcast: np.ndarray, acc: np.ndarray,
+                       activation: Optional[str], negative_slope: float,
+                       out_scale: Optional[float], outq: Optional[np.ndarray],
+                       out32: np.ndarray) -> np.ndarray:
+    """Fused quantized linear: int matmul → dequantize(+bias, act) → requantize.
+
+    The integer matmul runs through BLAS: ``xq`` is widened into ``xcast``
+    (float32, or float64 when the caller determined the accumulator bound
+    exceeds 2^24) and multiplied against ``w_float`` (the matching float
+    widening of the int8 weights).  Every partial sum is an exactly
+    representable integer, so this *is* exact int32-style accumulation, at
+    sgemm speed.  The accumulator is then scaled per output channel by
+    ``x_scale * w_scale[j]``, biased and activated in float, and either
+    requantized to int8 (``out_scale`` given → returns ``outq``) or emitted
+    as float32 logits (returns ``out32``).
+    """
+    xcast[...] = xq
+    np.matmul(xcast, w_float, out=acc)
+    acc *= w_scale * np.float32(x_scale)
+    acc += bias
+    if activation == "relu":
+        np.maximum(acc, acc.dtype.type(0), out=acc)
+    elif activation == "leaky_relu":
+        np.multiply(acc, np.where(acc > 0, acc.dtype.type(1),
+                                  acc.dtype.type(negative_slope)), out=acc)
+    elif activation is not None:
+        raise ValueError(f"unknown fused activation {activation!r}")
+    if out_scale is not None:
+        return quantize_array(acc, out_scale, acc, outq)
+    if acc is not out32:
+        out32[...] = acc
+    return out32
+
+
+def quant_edgeconv_uniform(xq: np.ndarray, src: np.ndarray, k: int,
+                           reduce: str, gather: np.ndarray,
+                           out: np.ndarray) -> np.ndarray:
+    """Fused EdgeConv over a k-regular topology, entirely in integers.
+
+    Exploits the algebraic identity ``reduce_j (x_j - x_i) =
+    (reduce_j x_j) - x_i`` (exact for ``max``; exact in integers for
+    ``add``): the neighbour half reduces the *gathered int8 rows directly*
+    and subtracts the centre once, so the ``(N, k, F)`` scratch stays int8
+    (4-8x less gather traffic than the float kernel) and no difference
+    tensor is ever materialized.  Output columns are
+    ``[x_i, max_j x_j - x_i]`` for ``max`` (scale unchanged) and
+    ``[k·x_i, Σ_j x_j - k·x_i]`` for ``add``/``mean`` — for ``mean`` the
+    caller folds the 1/k into the output scale, keeping the arithmetic
+    integer-exact.  ``out`` must be wide enough for the caller-computed
+    bound (int16 for one int8 block at small k, int32 beyond).
+    """
+    num_nodes, features = xq.shape
+    np.take(xq, src, axis=0, out=gather.reshape(num_nodes * k, features))
+    grouped = gather
+    centres = out[:, :features]
+    neighbours = out[:, features:]
+    if reduce == "max":
+        np.maximum.reduce(grouped, axis=1, out=neighbours)
+        centres[...] = xq
+        np.subtract(neighbours, centres, out=neighbours)
+    elif reduce in ("add", "sum", "mean"):
+        np.add.reduce(grouped, axis=1, dtype=out.dtype, out=neighbours)
+        np.multiply(xq, out.dtype.type(k), out=centres)
+        np.subtract(neighbours, centres, out=neighbours)
+    else:
+        raise ValueError(f"unknown scatter reduction: {reduce!r}")
+    return out
+
+
+def quant_pool_uniform(xq: np.ndarray, num_graphs: int, per_graph: int,
+                       mode: str, scale: float, scratch: np.ndarray,
+                       out: np.ndarray) -> np.ndarray:
+    """Global pooling of quantized features over a uniform batch grid.
+
+    Reduces the ``(num_graphs, per_graph, F)`` grid in integer arithmetic
+    (``scratch`` is an int64 ``(num_graphs, F)`` buffer, so sums can never
+    overflow) and dequantizes the tiny per-graph result straight into the
+    float32 ``out`` — pooling is where quantized features leave the integer
+    domain, because ``max||mean`` concatenation would otherwise mix scales.
+    """
+    features = xq.shape[1]
+    grouped = xq.reshape(num_graphs, per_graph, features)
+    mult = np.float32(scale)
+    mult_mean = np.float32(scale / per_graph)
+    if mode in ("max||mean", "maxmean"):
+        np.maximum.reduce(grouped, axis=1, out=scratch)
+        out[:, :features] = scratch
+        out[:, :features] *= mult
+        np.add.reduce(grouped, axis=1, dtype=scratch.dtype, out=scratch)
+        out[:, features:] = scratch
+        out[:, features:] *= mult_mean
+        return out
+    if mode == "max":
+        np.maximum.reduce(grouped, axis=1, out=scratch)
+        out[...] = scratch
+        out *= mult
+    elif mode in ("sum", "add", "mean"):
+        np.add.reduce(grouped, axis=1, dtype=scratch.dtype, out=scratch)
+        out[...] = scratch
+        out *= mult if mode != "mean" else mult_mean
+    else:
+        raise ValueError(f"unknown pooling mode: {mode!r}")
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -50,10 +50,11 @@ from ..graph.knn import knn_graph, random_graph
 from ..nn.modules import (Dropout, Identity, LeakyReLU, Linear, MLP, ReLU,
                           Sequential)
 from .arena import BufferArena
-from .kernels import (SegmentInfo, canonical_edge_order, edge_messages,
-                      edgeconv_uniform, fused_linear, knn_edges_uniform,
-                      relu_, segment_max, segment_mean, segment_reduce,
-                      segment_sum, uniform_segment_reduce)
+from .backends import KernelBackend, resolve_backend
+from .kernels import (QMAX_INT8, SegmentInfo, _F32_EXACT,
+                      canonical_edge_order)
+from .quantize import (PRECISION_INT8, PlanCalibration, SegmentCalibration,
+                       amax_to_scale, quantize_weight)
 
 
 class PlanCompileError(NotImplementedError):
@@ -72,17 +73,25 @@ class PlanRun:
 
     __slots__ = ("x", "batch", "num_graphs", "edge_index", "pos", "pooled",
                  "edge_info", "batch_sorted", "topo_cache", "arena",
-                 "x_in_arena")
+                 "x_in_arena", "backend", "x_scale", "x_qmax")
 
     def __init__(self, x: np.ndarray, batch: np.ndarray, num_graphs: int,
                  edge_index: Optional[np.ndarray], pos: Optional[np.ndarray],
-                 pooled: bool, arena: BufferArena) -> None:
+                 pooled: bool, arena: BufferArena,
+                 backend: KernelBackend) -> None:
         self.x = x
         self.batch = batch
         self.num_graphs = num_graphs
         self.edge_index = edge_index
         self.pos = pos
         self.pooled = pooled
+        self.backend = backend
+        #: When ``x`` holds quantized integers: its per-tensor scale and the
+        #: largest magnitude any element can reach (tracked exactly through
+        #: the integer kernels; drives the f32-vs-f64 matmul exactness
+        #: bound).  ``None`` whenever ``x`` is float.
+        self.x_scale: Optional[float] = None
+        self.x_qmax: Optional[int] = None
         #: SegmentInfo of the current edge list's destinations, or None when
         #: not yet derived (wire edges are canonicalized lazily on first use).
         self.edge_info: Optional[SegmentInfo] = None
@@ -159,11 +168,16 @@ class _LinearStep:
         self.slope = negative_slope
         self.slot = slot
 
+    @property
+    def calib_key(self) -> object:
+        return self.slot
+
     def __call__(self, run: PlanRun) -> None:
         out = run.arena.take(self.slot, (run.x.shape[0], self.out_features),
                              run.x.dtype)
-        fused_linear(run.x, self.weight.get(), self.bias.get(), out,
-                     activation=self.activation, negative_slope=self.slope)
+        run.backend.fused_linear(run.x, self.weight.get(), self.bias.get(),
+                                 out, activation=self.activation,
+                                 negative_slope=self.slope)
         run.x = out
         run.x_in_arena = True
 
@@ -176,12 +190,16 @@ class _ReluStep:
     def __init__(self, slot: object) -> None:
         self.slot = slot
 
+    @property
+    def calib_key(self) -> object:
+        return self.slot
+
     def __call__(self, run: PlanRun) -> None:
         if run.x_in_arena:
-            relu_(run.x)
+            run.backend.relu_(run.x)
             return
         out = run.arena.take(self.slot, run.x.shape, run.x.dtype)
-        np.maximum(run.x, 0.0, out=out)
+        np.maximum(run.x, run.x.dtype.type(0), out=out)
         run.x = out
         run.x_in_arena = True
 
@@ -263,7 +281,8 @@ class _SampleStep:
             counts = np.bincount(run.batch, minlength=num_graphs)
             if counts.min() != per_graph or counts.max() != per_graph:
                 return None
-        return knn_edges_uniform(reference, self.k, num_graphs, per_graph)
+        return run.backend.knn_edges_uniform(reference, self.k, num_graphs,
+                                             per_graph)
 
 
 class _AggregateStep:
@@ -277,6 +296,10 @@ class _AggregateStep:
         self.reduce = reduce
         self.msg_slot = msg_slot
         self.out_slot = out_slot
+
+    @property
+    def calib_key(self) -> object:
+        return self.out_slot
 
     def __call__(self, run: PlanRun) -> None:
         if run.edge_index is None or run.edge_index.size == 0:
@@ -293,12 +316,14 @@ class _AggregateStep:
             scratch = run.arena.take(self.msg_slot,
                                      (run.num_nodes, k, features),
                                      run.x.dtype)
-            edgeconv_uniform(run.x, src, k, self.reduce, scratch, out)
+            run.backend.edgeconv_uniform(run.x, src, k, self.reduce, scratch,
+                                         out)
         else:
             messages = run.arena.take(self.msg_slot,
                                       (num_edges, 2 * features), run.x.dtype)
-            edge_messages(run.x, src, dst, messages)
-            segment_reduce(messages, dst, run.edge_info, self.reduce, out)
+            run.backend.edge_messages(run.x, src, dst, messages)
+            run.backend.segment_reduce(messages, dst, run.edge_info,
+                                       self.reduce, out)
         run.x = out
         run.x_in_arena = True
 
@@ -315,57 +340,70 @@ class _GlobalPoolStep:
         self.slot = slot
         self.scratch_slot = scratch_slot
 
+    @property
+    def calib_key(self) -> object:
+        return self.slot
+
     def __call__(self, run: PlanRun) -> None:
         if run.pooled:
             raise RuntimeError("graph is already pooled")
         _pool_into(run, self.mode, self.slot, self.scratch_slot)
 
 
-def _pool_into(run: PlanRun, mode: str, slot: object,
-               scratch_slot: object) -> None:
-    """Shared pooling kernel (GlobalPool step and classifier defensive pool)."""
-    num_graphs, features = run.num_graphs, run.x.shape[1]
+def _batch_segment_info(run: PlanRun) -> SegmentInfo:
+    """SegmentInfo of the batch vector (for pooling), cheapest derivation first."""
+    num_graphs = run.num_graphs
     if (num_graphs == 1 and run.batch_sorted and run.batch.shape[0]
             and run.batch[0] == 0 and run.batch[-1] == 0):
-        info = SegmentInfo.single_segment(run.num_nodes)
-    elif run.batch_sorted:
-        info = SegmentInfo.from_sorted_index(run.batch, num_graphs)
-    else:
-        info = SegmentInfo.from_index(run.batch, num_graphs)
-    per_graph = info.uniform_k
-    grouped = (run.x.reshape(num_graphs, per_graph, features)
-               if per_graph is not None else None)
-    if mode in ("max||mean", "maxmean"):
-        out = run.arena.take(slot, (num_graphs, 2 * features), run.x.dtype)
-        if grouped is not None:
-            uniform_segment_reduce(grouped, "max", out[:, :features])
-            uniform_segment_reduce(grouped, "mean", out[:, features:])
-        else:
-            scratch = run.arena.take(scratch_slot, (num_graphs, features),
-                                     run.x.dtype)
-            segment_max(run.x, run.batch, info, scratch)
-            out[:, :features] = scratch
-            segment_mean(run.x, run.batch, info, scratch)
-            out[:, features:] = scratch
-    else:
-        out = run.arena.take(slot, (num_graphs, features), run.x.dtype)
-        if grouped is not None:
-            uniform_segment_reduce(grouped, "sum" if mode == "add" else mode,
-                                   out)
-        elif mode in ("sum", "add"):
-            segment_sum(run.x, run.batch, info, out)
-        elif mode == "mean":
-            segment_mean(run.x, run.batch, info, out)
-        else:
-            segment_max(run.x, run.batch, info, out)
+        return SegmentInfo.single_segment(run.num_nodes)
+    if run.batch_sorted:
+        return SegmentInfo.from_sorted_index(run.batch, num_graphs)
+    return SegmentInfo.from_index(run.batch, num_graphs)
+
+
+def _finish_pool(run: PlanRun, out: np.ndarray, num_graphs: int) -> None:
+    """Install pooled features and reset per-node state (shared pool epilogue)."""
     run.x = out
     run.x_in_arena = True
+    run.x_scale = None
+    run.x_qmax = None
     run.batch = np.arange(num_graphs, dtype=np.int64)
     run.batch_sorted = True
     run.edge_index = None
     run.edge_info = None
     run.pos = None
     run.pooled = True
+
+
+def _pool_into(run: PlanRun, mode: str, slot: object,
+               scratch_slot: object) -> None:
+    """Shared pooling kernel (GlobalPool step and classifier defensive pool)."""
+    num_graphs, features = run.num_graphs, run.x.shape[1]
+    backend = run.backend
+    info = _batch_segment_info(run)
+    per_graph = info.uniform_k
+    grouped = (run.x.reshape(num_graphs, per_graph, features)
+               if per_graph is not None else None)
+    if mode in ("max||mean", "maxmean"):
+        out = run.arena.take(slot, (num_graphs, 2 * features), run.x.dtype)
+        if grouped is not None:
+            backend.uniform_segment_reduce(grouped, "max", out[:, :features])
+            backend.uniform_segment_reduce(grouped, "mean", out[:, features:])
+        else:
+            scratch = run.arena.take(scratch_slot, (num_graphs, features),
+                                     run.x.dtype)
+            backend.segment_reduce(run.x, run.batch, info, "max", scratch)
+            out[:, :features] = scratch
+            backend.segment_reduce(run.x, run.batch, info, "mean", scratch)
+            out[:, features:] = scratch
+    else:
+        out = run.arena.take(slot, (num_graphs, features), run.x.dtype)
+        if grouped is not None:
+            backend.uniform_segment_reduce(
+                grouped, "sum" if mode == "add" else mode, out)
+        else:
+            backend.segment_reduce(run.x, run.batch, info, mode, out)
+    _finish_pool(run, out, num_graphs)
 
 
 class _EnsurePooledStep:
@@ -377,9 +415,323 @@ class _EnsurePooledStep:
         self.slot = slot
         self.scratch_slot = scratch_slot
 
+    @property
+    def calib_key(self) -> object:
+        return self.slot
+
     def __call__(self, run: PlanRun) -> None:
         if not run.pooled:
             _pool_into(run, "mean", self.slot, self.scratch_slot)
+
+
+# ----------------------------------------------------------------------
+# Quantized (int8) plan steps
+# ----------------------------------------------------------------------
+# The quantized compile path mirrors the float steps one for one, with two
+# extra pieces of threaded state: ``run.x_scale`` (the per-tensor scale of
+# the current integer ``x``) and ``run.x_qmax`` (the largest magnitude any
+# element can hold, tracked *exactly* through the integer kernels — it
+# decides when the BLAS widening trick needs float64 to stay exact).
+# Activation scales are static, fixed at compile time from a
+# ``SegmentCalibration``; weight scales are per output channel, derived
+# lazily per parameter version.  See ``docs/architecture.md`` for the
+# scheme.
+
+class _QuantParamRef:
+    """Call-time quantized view of a weight matrix (per-channel scales).
+
+    Mirrors :class:`_ParamRef`: re-quantizes only when the parameter's array
+    identity changes, so ``load_state_dict`` after compilation re-quantizes
+    automatically and the steady state is one ``is`` check per call.
+    Returns ``(wq, w32, w64, scales)`` — the int8 weights, their float32 and
+    float64 widenings (whichever the backend's matmul wants), and the
+    float32 per-output-channel scales.
+    """
+
+    __slots__ = ("_param", "_src", "_packed")
+
+    def __init__(self, param) -> None:
+        self._param = param
+        self._src: Optional[np.ndarray] = None
+        self._packed = None
+
+    def get(self):
+        data = self._param.data
+        if data is not self._src:
+            wq, scales = quantize_weight(data)
+            packed = (wq, wq.astype(np.float32), wq.astype(np.float64),
+                      scales)
+            # Publish the pack before the source marker (same memory-order
+            # reasoning as _ParamRef).
+            self._packed = packed
+            self._src = data
+            return packed
+        return self._packed
+
+
+class _QuantizeStep:
+    """Quantize the segment's float input once, at entry (static scale)."""
+
+    __slots__ = ("scale", "slot")
+
+    def __init__(self, scale: float, slot: object) -> None:
+        self.scale = scale
+        self.slot = slot
+
+    def __call__(self, run: PlanRun) -> None:
+        x = run.x
+        if x.dtype.kind in "iu":
+            return  # already quantized upstream
+        outq = run.arena.take(self.slot, x.shape, np.int8)
+        scratch = run.arena.take((self.slot, "scratch"), x.shape, np.float32)
+        run.backend.quantize(x, self.scale, scratch, outq)
+        run.x = outq
+        run.x_in_arena = True
+        run.x_scale = self.scale
+        run.x_qmax = QMAX_INT8
+
+
+class _QuantLinearStep:
+    """Fused quantized linear: (quantize →) int matmul → dequant(+bias, act).
+
+    Float inputs (segment entry states that skipped the entry quantize,
+    pooled features) are first quantized with the calibrated ``in_scale``;
+    integer inputs use the scale they arrived with.  The output is
+    requantized to the calibrated ``out_scale`` — except for a segment's
+    final linear (``requantize=False``), which emits float32 logits.
+    """
+
+    __slots__ = ("qweight", "bias", "zero_bias", "out_features", "activation",
+                 "slope", "in_scale", "out_scale", "requantize", "slot")
+
+    def __init__(self, linear: Linear, slot: object,
+                 activation: Optional[str], negative_slope: float,
+                 in_amax: float, out_amax: float) -> None:
+        self.qweight = _QuantParamRef(linear.weight)
+        self.bias = _ParamRef(linear.bias, np.float32)
+        self.zero_bias = np.zeros(linear.out_features, dtype=np.float32)
+        self.out_features = linear.out_features
+        self.activation = activation
+        self.slope = negative_slope
+        self.in_scale = amax_to_scale(in_amax)
+        self.out_scale = amax_to_scale(out_amax)
+        self.requantize = True
+        self.slot = slot
+
+    @property
+    def calib_key(self) -> object:
+        return self.slot
+
+    def __call__(self, run: PlanRun) -> None:
+        backend = run.backend
+        x = run.x
+        if x.dtype.kind in "iu":
+            xq, x_scale = x, run.x_scale
+            qmax = run.x_qmax if run.x_qmax is not None else QMAX_INT8
+        else:
+            xq = run.arena.take((self.slot, "inq"), x.shape, np.int8)
+            scratch = run.arena.take((self.slot, "inq-scratch"), x.shape,
+                                     np.float32)
+            backend.quantize(x, self.in_scale, scratch, xq)
+            x_scale, qmax = self.in_scale, QMAX_INT8
+        wq, w32, w64, w_scale = self.qweight.get()
+        bias = self.bias.get()
+        if bias is None:
+            bias = self.zero_bias
+        rows, in_features = xq.shape
+        # Exactness bound of the BLAS widening trick: every partial sum is
+        # an integer below qmax·127·K; float32 holds those exactly to 2^24,
+        # beyond that the accumulation must widen to float64 (exact to 2^53).
+        use_f64 = qmax * QMAX_INT8 * in_features >= _F32_EXACT
+        fdtype = np.float64 if use_f64 else np.float32
+        xcast = run.arena.take((self.slot, "xcast"), xq.shape, fdtype)
+        acc = run.arena.take((self.slot, "acc"), (rows, self.out_features),
+                             fdtype)
+        out32 = (run.arena.take((self.slot, "out32"),
+                                (rows, self.out_features), np.float32)
+                 if use_f64 else acc)
+        outq = (run.arena.take((self.slot, "outq"),
+                               (rows, self.out_features), np.int8)
+                if self.requantize else None)
+        run.x = backend.quant_fused_linear(
+            xq, wq, w64 if use_f64 else w32, w_scale, x_scale, bias, xcast,
+            acc, self.activation, self.slope,
+            self.out_scale if self.requantize else None, outq, out32)
+        run.x_in_arena = True
+        if self.requantize:
+            run.x_scale = self.out_scale
+            run.x_qmax = QMAX_INT8
+        else:
+            run.x_scale = None
+            run.x_qmax = None
+
+
+class _QuantAggregateStep:
+    """EdgeConv over quantized features, integer-exact on uniform topologies.
+
+    The k-regular fast path reduces gathered int8 rows directly (see
+    :func:`~repro.runtime.kernels.quant_edgeconv_uniform`) — no rounding at
+    all; the output scale/qmax transform in closed form (``max``: scale
+    unchanged, qmax doubles; ``add``: scale unchanged, qmax → 2k·qmax;
+    ``mean``: 1/k folds into the scale).  Ragged topologies (and float
+    inputs) fall back to the float kernels and requantize to the calibrated
+    ``out_amax``.
+    """
+
+    __slots__ = ("reduce", "msg_slot", "out_slot", "out_amax")
+
+    def __init__(self, reduce: str, msg_slot: object, out_slot: object,
+                 out_amax: float) -> None:
+        if reduce not in ("add", "sum", "mean", "max"):
+            raise PlanCompileError(f"unsupported aggregate reducer {reduce!r}")
+        self.reduce = reduce
+        self.msg_slot = msg_slot
+        self.out_slot = out_slot
+        self.out_amax = out_amax
+
+    @property
+    def calib_key(self) -> object:
+        return self.out_slot
+
+    def __call__(self, run: PlanRun) -> None:
+        if run.edge_index is None or run.edge_index.size == 0:
+            raise RuntimeError("aggregate requires an existing graph structure")
+        if run.pooled:
+            raise RuntimeError("cannot aggregate after global pooling")
+        _ensure_edge_info(run)
+        x = run.x
+        k = run.edge_info.uniform_k
+        if k is None or x.dtype.kind not in "iu":
+            self._float_fallback(run)
+            return
+        features = x.shape[1]
+        qmax = run.x_qmax if run.x_qmax is not None else QMAX_INT8
+        if self.reduce == "max":
+            bound = 2 * qmax
+            new_scale = run.x_scale
+        else:
+            bound = 2 * k * qmax
+            new_scale = (run.x_scale if self.reduce in ("add", "sum")
+                         else run.x_scale / k)
+        if bound > np.iinfo(np.int32).max:
+            self._float_fallback(run)
+            return
+        out_dtype = (np.int16 if bound <= np.iinfo(np.int16).max
+                     else np.int32)
+        out = run.arena.take(self.out_slot, (run.num_nodes, 2 * features),
+                             out_dtype)
+        gather = run.arena.take(self.msg_slot, (run.num_nodes, k, features),
+                                x.dtype)
+        run.backend.quant_edgeconv_uniform(x, run.edge_index[0], k,
+                                           self.reduce, gather, out)
+        run.x = out
+        run.x_in_arena = True
+        run.x_scale = new_scale
+        run.x_qmax = bound
+
+    def _float_fallback(self, run: PlanRun) -> None:
+        """Ragged topology / float input: float arithmetic, then requantize."""
+        backend = run.backend
+        x = run.x
+        if x.dtype.kind in "iu":
+            deq = run.arena.take((self.out_slot, "deq"), x.shape, np.float32)
+            backend.dequantize(x, run.x_scale, deq)
+            x = deq
+        src, dst = run.edge_index[0], run.edge_index[1]
+        num_edges, features = src.shape[0], x.shape[1]
+        out = run.arena.take((self.out_slot, "f"),
+                             (run.num_nodes, 2 * features), np.float32)
+        k = run.edge_info.uniform_k
+        if k is not None:
+            scratch = run.arena.take((self.msg_slot, "f"),
+                                     (run.num_nodes, k, features), np.float32)
+            backend.edgeconv_uniform(x, src, k, self.reduce, scratch, out)
+        else:
+            messages = run.arena.take((self.msg_slot, "f"),
+                                      (num_edges, 2 * features), np.float32)
+            backend.edge_messages(x, src, dst, messages)
+            backend.segment_reduce(messages, dst, run.edge_info, self.reduce,
+                                   out)
+        scale = amax_to_scale(self.out_amax)
+        outq = run.arena.take((self.out_slot, "q"), out.shape, np.int8)
+        backend.quantize(out, scale, out, outq)
+        run.x = outq
+        run.x_in_arena = True
+        run.x_scale = scale
+        run.x_qmax = QMAX_INT8
+
+
+def _quant_pool_into(run: PlanRun, mode: str, slot: object,
+                     scratch_slot: object) -> None:
+    """Pool quantized features; this is where values re-enter float.
+
+    Uniform batch grids reduce in integer arithmetic (int64 scratch, so
+    sums can never overflow) and dequantize the tiny per-graph result;
+    ragged batches dequantize first and reuse the float pooling path.
+    Float inputs delegate straight to :func:`_pool_into`.
+    """
+    x = run.x
+    if x.dtype.kind not in "iu":
+        _pool_into(run, mode, slot, scratch_slot)
+        return
+    info = _batch_segment_info(run)
+    per_graph = info.uniform_k
+    if per_graph is None:
+        deq = run.arena.take((slot, "deq"), x.shape, np.float32)
+        run.backend.dequantize(x, run.x_scale, deq)
+        run.x = deq
+        run.x_in_arena = True
+        run.x_scale = None
+        run.x_qmax = None
+        _pool_into(run, mode, slot, scratch_slot)
+        return
+    num_graphs, features = run.num_graphs, x.shape[1]
+    cols = 2 * features if mode in ("max||mean", "maxmean") else features
+    out = run.arena.take(slot, (num_graphs, cols), np.float32)
+    scratch = run.arena.take(scratch_slot, (num_graphs, features), np.int64)
+    run.backend.quant_pool_uniform(x, num_graphs, per_graph, mode,
+                                   run.x_scale, scratch, out)
+    _finish_pool(run, out, num_graphs)
+
+
+class _QuantPoolStep:
+    """Quantized global pooling (same modes as :class:`_GlobalPoolStep`)."""
+
+    __slots__ = ("mode", "slot", "scratch_slot")
+
+    def __init__(self, mode: str, slot: object, scratch_slot: object) -> None:
+        if mode not in ("sum", "add", "mean", "max", "max||mean", "maxmean"):
+            raise PlanCompileError(f"unsupported global pooling mode {mode!r}")
+        self.mode = mode
+        self.slot = slot
+        self.scratch_slot = scratch_slot
+
+    @property
+    def calib_key(self) -> object:
+        return self.slot
+
+    def __call__(self, run: PlanRun) -> None:
+        if run.pooled:
+            raise RuntimeError("graph is already pooled")
+        _quant_pool_into(run, self.mode, self.slot, self.scratch_slot)
+
+
+class _QuantEnsurePooledStep:
+    """Defensive mean-pool before the classifier (quantized variant)."""
+
+    __slots__ = ("slot", "scratch_slot")
+
+    def __init__(self, slot: object, scratch_slot: object) -> None:
+        self.slot = slot
+        self.scratch_slot = scratch_slot
+
+    @property
+    def calib_key(self) -> object:
+        return self.slot
+
+    def __call__(self, run: PlanRun) -> None:
+        if not run.pooled:
+            _quant_pool_into(run, "mean", self.slot, self.scratch_slot)
 
 
 # ----------------------------------------------------------------------
@@ -389,9 +741,10 @@ class PlanSegment:
     """A compiled, contiguous run of operations with per-thread buffer arenas."""
 
     def __init__(self, steps: List[Callable[[PlanRun], None]],
-                 dtype: np.dtype) -> None:
+                 dtype: np.dtype, backend: KernelBackend) -> None:
         self.steps = steps
         self.dtype = dtype
+        self.backend = backend
         self._arenas = threading.local()
         # Weak registry of every arena ever handed out, so the segment can
         # enumerate and release them without keeping dead threads' arenas
@@ -451,12 +804,15 @@ class PlanSegment:
     def execute(self, x: np.ndarray, batch: np.ndarray, num_graphs: int,
                 edge_index: Optional[np.ndarray] = None,
                 pos: Optional[np.ndarray] = None,
-                pooled: bool = False) -> PlanRun:
+                pooled: bool = False,
+                observer: Optional[Callable] = None) -> PlanRun:
         """Run every step over the given state; returns the final run state.
 
         The returned state's ``x`` may alias an arena buffer (checked via
         ``x_in_arena``); use :meth:`execute_out` when the result must survive
-        the next call.
+        the next call.  ``observer(step, run)`` is invoked after every step —
+        the calibration hook (see :func:`repro.runtime.quantize.calibrate`);
+        leave it ``None`` on the serving hot path.
         """
         x = np.asarray(x)
         if x.dtype != self.dtype:
@@ -469,9 +825,14 @@ class PlanSegment:
         if edge_index is not None:
             edge_index = np.asarray(edge_index, dtype=np.int64)
         run = PlanRun(x, batch, int(num_graphs), edge_index, pos, bool(pooled),
-                      self.arena)
-        for step in self.steps:
-            step(run)
+                      self.arena, self.backend)
+        if observer is None:
+            for step in self.steps:
+                step(run)
+        else:
+            for step in self.steps:
+                step(run)
+                observer(step, run)
         return run
 
     def execute_out(self, x: np.ndarray, batch: np.ndarray, num_graphs: int,
@@ -483,11 +844,20 @@ class PlanSegment:
         The final ``x`` is copied out when (and only when) it aliases an
         arena buffer, so results handed to callers can never be overwritten
         by the next frame — the no-cross-frame-aliasing guarantee the serving
-        engine relies on.
+        engine relies on.  Quantized state never leaves a plan: a segment
+        ending on integer features dequantizes them to float32 here, so the
+        wire/collate/snapshot contracts are precision-agnostic.
         """
         run = self.execute(x, batch, num_graphs, edge_index=edge_index,
                            pos=pos, pooled=pooled)
-        if run.x_in_arena:
+        if run.x.dtype.kind in "iu" and run.x_scale is not None:
+            out = np.empty(run.x.shape, dtype=np.float32)
+            self.backend.dequantize(run.x, run.x_scale, out)
+            run.x = out
+            run.x_in_arena = False
+            run.x_scale = None
+            run.x_qmax = None
+        elif run.x_in_arena:
             run.x = run.x.copy()
             run.x_in_arena = False
         return run
@@ -580,22 +950,141 @@ def _compile_operation(operation: Operation, index: int, x_version: int,
         f"cannot compile operation {type(operation).__name__}")
 
 
+def _compile_quant_mlp(mlp: MLP, slot_prefix: str, calib: SegmentCalibration,
+                       in_amax: float):
+    """Quantized twin of :func:`_compile_mlp`; returns (steps, final amax).
+
+    The running ``amax`` threads each step's calibrated output range into
+    the next step's input scale; slots are identical to the float compile,
+    which is what aligns calibration keys between the float plan that
+    observed and the quantized plan that consumes.
+    """
+    steps: List[Callable[[PlanRun], None]] = []
+    pending: Optional[Linear] = None
+    index = 0
+    amax = in_amax
+
+    def flush(activation: Optional[str] = None, slope: float = 0.2) -> None:
+        nonlocal pending, index, amax
+        if pending is not None:
+            key = (slot_prefix, index, "linear")
+            out_amax = calib.step_amax.get(key, amax)
+            steps.append(_QuantLinearStep(pending, key, activation, slope,
+                                          amax, out_amax))
+            amax = out_amax
+            pending = None
+        elif activation == "relu":
+            key = (slot_prefix, index, "relu")
+            steps.append(_ReluStep(key))
+            amax = calib.step_amax.get(key, amax)
+        elif activation is not None:
+            raise PlanCompileError(
+                "cannot compile a standalone non-ReLU activation")
+        index += 1
+
+    for layer in mlp.net:
+        if isinstance(layer, Linear):
+            flush()
+            pending = layer
+        elif isinstance(layer, ReLU):
+            flush(activation="relu")
+        elif isinstance(layer, LeakyReLU):
+            if pending is None:
+                raise PlanCompileError(
+                    "cannot compile a standalone LeakyReLU activation")
+            flush(activation="leaky_relu", slope=layer.negative_slope)
+        elif isinstance(layer, Dropout):
+            if layer.p > 0 and layer.training:
+                raise PlanCompileError(
+                    "cannot compile an active Dropout layer (p>0 in "
+                    "training mode) — call model.eval() first")
+            continue
+        elif isinstance(layer, Identity):
+            continue
+        else:
+            raise PlanCompileError(
+                f"cannot compile classifier layer {type(layer).__name__}")
+    flush()
+    return steps, amax
+
+
+def _compile_quant_operation(operation: Operation, index: int, x_version: int,
+                             calib: SegmentCalibration, amax: float):
+    """Quantized twin of :func:`_compile_operation`.
+
+    Returns ``(steps, new x_version, running activation amax)``.  Missing
+    calibration keys (a step the float plan never materialized) inherit the
+    running amax — a safe upper-bound guess that keeps compilation total.
+    """
+    if isinstance(operation, (IdentityOp, CommunicateOp)):
+        return [], x_version, amax
+    if isinstance(operation, SampleOp):
+        return [_SampleStep(operation, x_version)], x_version, amax
+    if isinstance(operation, AggregateOp):
+        reduce = str(operation.spec.function)
+        key = (index, "out")
+        out_amax = calib.step_amax.get(key, 2.0 * amax)
+        return [_QuantAggregateStep(reduce, (index, "msgs"), key,
+                                    out_amax)], x_version + 1, out_amax
+    if isinstance(operation, CombineOp):
+        key = (index, "linear")
+        out_amax = calib.step_amax.get(key, amax)
+        return [_QuantLinearStep(operation.linear, key, "relu", 0.2, amax,
+                                 out_amax)], x_version + 1, out_amax
+    if isinstance(operation, GlobalPoolOp):
+        mode = str(operation.spec.function)
+        key = (index, "pool")
+        steps = [_QuantPoolStep(mode, key, (index, "scratch"))]
+        return steps, x_version + 1, calib.step_amax.get(key, amax)
+    if isinstance(operation, ClassifierOp):
+        key = (index, "defensive-pool")
+        steps = [_QuantEnsurePooledStep(key, (index, "defensive-scratch"))]
+        amax = calib.step_amax.get(key, amax)
+        mlp_steps, amax = _compile_quant_mlp(operation.mlp,
+                                             f"classifier{index}", calib,
+                                             amax)
+        steps.extend(mlp_steps)
+        return steps, x_version + 1, amax
+    raise PlanCompileError(
+        f"cannot compile operation {type(operation).__name__}")
+
+
 def _compile_segment(model, start: int, end: Optional[int],
-                     include_classifier: bool, dtype: np.dtype) -> PlanSegment:
+                     include_classifier: bool, dtype: np.dtype,
+                     backend: KernelBackend,
+                     calib: Optional[SegmentCalibration] = None
+                     ) -> PlanSegment:
     operations = model._operations
     end = len(operations) if end is None else end
     steps: List[Callable[[PlanRun], None]] = []
     x_version = 0
+    if calib is None:
+        for index in range(start, end):
+            op_steps, x_version = _compile_operation(operations[index], index,
+                                                     x_version, dtype)
+            steps.extend(op_steps)
+        if include_classifier:
+            op_steps, x_version = _compile_operation(model.classifier,
+                                                     len(operations),
+                                                     x_version, dtype)
+            steps.extend(op_steps)
+        return PlanSegment(steps, dtype, backend)
+    amax = calib.input_amax
+    steps.append(_QuantizeStep(amax_to_scale(amax), ("entry", "quantize")))
     for index in range(start, end):
-        op_steps, x_version = _compile_operation(operations[index], index,
-                                                 x_version, dtype)
+        op_steps, x_version, amax = _compile_quant_operation(
+            operations[index], index, x_version, calib, amax)
         steps.extend(op_steps)
     if include_classifier:
-        op_steps, x_version = _compile_operation(model.classifier,
-                                                 len(operations), x_version,
-                                                 dtype)
+        op_steps, x_version, amax = _compile_quant_operation(
+            model.classifier, len(operations), x_version, calib, amax)
         steps.extend(op_steps)
-    return PlanSegment(steps, dtype)
+    # The segment's final linear emits float32 (logits for classifier
+    # segments, wire states for device segments) instead of requantizing —
+    # exits are float either way, so skip the lossy extra round trip.
+    if steps and isinstance(steps[-1], _QuantLinearStep):
+        steps[-1].requantize = False
+    return PlanSegment(steps, dtype, backend)
 
 
 #: All compilable plan segments (the default for :func:`compile_plan`).
@@ -624,7 +1113,9 @@ class InferencePlan:
     """
 
     def __init__(self, model, dtype=np.float64,
-                 segments: Sequence[str] = SEGMENTS) -> None:
+                 segments: Sequence[str] = SEGMENTS,
+                 backend=None,
+                 calibration: Optional[PlanCalibration] = None) -> None:
         if not segments:
             raise ValueError(
                 f"segments must name at least one of {SEGMENTS}")
@@ -636,22 +1127,37 @@ class InferencePlan:
         self.dtype = np.dtype(dtype)
         if not np.issubdtype(self.dtype, np.floating):
             raise ValueError(f"plan dtype must be floating, got {self.dtype}")
+        self.backend = resolve_backend(backend)
+        self.calibration = calibration
+        #: ``"int8"`` for calibrated quantized plans, else the dtype name —
+        #: the carrier ``dtype`` stays float either way (quantized segments
+        #: take and emit float32 states).
+        self.precision = (PRECISION_INT8 if calibration is not None
+                          else self.dtype.name)
         self.split = model.first_communicate_index()
         self.full = self.device = self.edge = None
+
+        def calib_for(name: str) -> Optional[SegmentCalibration]:
+            return None if calibration is None else calibration.segment(name)
+
         if self.split is None:
             # Everything aliases the full architecture: device runs it all,
             # and an (unfinished) frame on the edge re-runs it all too.
             self.full = self.device = self.edge = _compile_segment(
-                model, 0, None, True, self.dtype)
+                model, 0, None, True, self.dtype, self.backend,
+                calib_for("full"))
             return
         if "full" in segments:
-            self.full = _compile_segment(model, 0, None, True, self.dtype)
+            self.full = _compile_segment(model, 0, None, True, self.dtype,
+                                         self.backend, calib_for("full"))
         if "device" in segments:
             self.device = _compile_segment(model, 0, self.split, False,
-                                           self.dtype)
+                                           self.dtype, self.backend,
+                                           calib_for("device"))
         if "edge" in segments:
             self.edge = _compile_segment(model, self.split + 1, None, True,
-                                         self.dtype)
+                                         self.dtype, self.backend,
+                                         calib_for("edge"))
 
     # ------------------------------------------------------------------
     def segments(self) -> List[PlanSegment]:
@@ -693,7 +1199,10 @@ class InferencePlan:
 
 
 def compile_plan(model, dtype=np.float64,
-                 segments: Sequence[str] = SEGMENTS) -> InferencePlan:
+                 segments: Sequence[str] = SEGMENTS,
+                 backend=None,
+                 calibration: Optional[PlanCalibration] = None
+                 ) -> InferencePlan:
     """Compile ``model`` into an :class:`InferencePlan`.
 
     ``segments`` restricts compilation to the execution segments the caller
@@ -702,5 +1211,15 @@ def compile_plan(model, dtype=np.float64,
     requested segment contains a construct the compiled runtime does not
     support (callers requesting ``runtime="auto"`` then fall back to eager
     execution).
+
+    ``backend`` selects the kernel backend (a name from
+    :data:`~repro.runtime.backends.KERNEL_BACKENDS`, a live
+    :class:`~repro.runtime.backends.KernelBackend`, or ``None`` for
+    ``"auto"``).  Passing a :class:`~repro.runtime.quantize.PlanCalibration`
+    switches the requested segments to the int8 quantized path; ``dtype``
+    then only sets the float carrier (use float32) — quantized segments
+    still take and emit float32 states, so every serving contract above the
+    plan is unchanged.
     """
-    return InferencePlan(model, dtype=dtype, segments=segments)
+    return InferencePlan(model, dtype=dtype, segments=segments,
+                         backend=backend, calibration=calibration)

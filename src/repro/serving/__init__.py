@@ -50,6 +50,7 @@ contract guarded by ``tools/check_public_api.py`` in CI.
 """
 
 from ..core.executor import ServingCallables
+from ..runtime import available_backends
 from ..runtime.node import NodeCrashedError, NodeStats
 from ..runtime.shard import ShardCrashedError, ShardStats
 from ..system.engine import RequestRejectedError
@@ -84,6 +85,7 @@ __all__ = [
     "ShardPool",
     "ShardStats",
     "ShardingConfig",
+    "available_backends",
     "build_callables",
     "build_zoo_callables",
     "serve",

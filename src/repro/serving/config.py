@@ -39,7 +39,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Type
 import numpy as np
 
 from ..core.executor import RUNTIMES
-from ..runtime import SEGMENTS
+from ..runtime import KERNEL_BACKENDS, PRECISIONS, SEGMENTS
 from ..runtime.shard import SHARD_TRANSPORT_SHM, SHARD_TRANSPORTS
 from ..system.messages import WIRE_FORMAT_ZLIB, WIRE_FORMATS
 from ..system.scheduler import QosPolicy
@@ -147,11 +147,29 @@ class RuntimeConfig(_Config):
         Plan segments compiled for the per-frame callables; ``None`` means
         ``("device", "edge")`` — batched callables always compile just
         ``("edge",)`` with their own arena.
+    precision:
+        Default execution precision for every entry: ``"float64"`` /
+        ``"float32"`` (equivalent to ``dtype``) or ``"int8"`` (calibrated
+        post-training quantization; wire states stay float32).  ``None``
+        defers to ``dtype`` (then ``"float64"``).  Setting both
+        ``precision`` and ``dtype`` to conflicting values is rejected.
+    precision_policy:
+        Per-entry overrides: maps zoo entry names to a precision, winning
+        over ``precision`` for that entry.  Entries absent from the map use
+        the default.  Unknown precisions are rejected at construction.
+    backend:
+        Kernel backend executing compiled plans: ``"numpy"`` (reference),
+        ``"numba"`` (optional JIT; requires numba installed — fails loudly
+        at build time otherwise) or ``"auto"`` (default: numba when
+        importable, else numpy).
     """
 
     runtime: str = "auto"
     dtype: Optional[str] = None
     segments: Optional[Tuple[str, ...]] = None
+    precision: Optional[str] = None
+    precision_policy: Dict[str, str] = field(default_factory=dict)
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.runtime not in RUNTIMES:
@@ -160,10 +178,41 @@ class RuntimeConfig(_Config):
         if self.dtype is not None:
             object.__setattr__(self, "dtype",
                                _canonical_dtype(self.dtype, knob="dtype"))
-        if self.runtime == "eager" and self.dtype not in (None, "float64"):
+        if self.precision is not None and self.precision not in PRECISIONS:
+            raise ValueError(f"unknown precision {self.precision!r} "
+                             f"(expected one of {PRECISIONS})")
+        if (self.precision is not None and self.dtype is not None
+                and self.precision != self.dtype):
             raise ValueError(
-                "the eager runtime computes in float64 only; use "
-                "runtime='compiled' for a different compute dtype")
+                f"precision={self.precision!r} conflicts with "
+                f"dtype={self.dtype!r}; set one of the two (precision "
+                "supersedes dtype)")
+        if not isinstance(self.precision_policy, Mapping):
+            raise ValueError("precision_policy must be a mapping of entry "
+                             f"name -> precision, got "
+                             f"{type(self.precision_policy).__name__}")
+        policy = dict(self.precision_policy)
+        for entry_name, precision in policy.items():
+            if precision not in PRECISIONS:
+                raise ValueError(
+                    f"unknown precision {precision!r} for entry "
+                    f"{entry_name!r} in precision_policy (expected one of "
+                    f"{PRECISIONS})")
+        object.__setattr__(self, "precision_policy", policy)
+        if self.backend not in KERNEL_BACKENDS:
+            raise ValueError(f"unknown kernel backend {self.backend!r} "
+                             f"(expected one of {KERNEL_BACKENDS})")
+        if self.runtime == "eager":
+            if self.dtype not in (None, "float64"):
+                raise ValueError(
+                    "the eager runtime computes in float64 only; use "
+                    "runtime='compiled' for a different compute dtype")
+            eager_precisions = {self.precision, *policy.values()} - {None}
+            if eager_precisions - {"float64"}:
+                raise ValueError(
+                    "the eager runtime computes in float64 only; use "
+                    "runtime='compiled' (or 'auto') for float32/int8 "
+                    "precisions")
         if self.segments is not None:
             segments = tuple(self.segments)
             if not segments:
@@ -179,6 +228,18 @@ class RuntimeConfig(_Config):
     def numpy_dtype(self) -> Optional[np.dtype]:
         """The dtype as ``np.dtype`` (``None`` = builder default, float64)."""
         return None if self.dtype is None else np.dtype(self.dtype)
+
+    def precision_for(self, entry_name: Optional[str] = None) -> str:
+        """Effective precision of one entry: policy → precision → dtype."""
+        if entry_name is not None:
+            override = self.precision_policy.get(entry_name)
+            if override is not None:
+                return override
+        if self.precision is not None:
+            return self.precision
+        if self.dtype is not None:
+            return self.dtype
+        return "float64"
 
 
 @dataclass(frozen=True)

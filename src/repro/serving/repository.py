@@ -89,7 +89,14 @@ class ModelRepository:
         Model dimensions every published zoo's entries are built with.
     runtime:
         :class:`~repro.serving.config.RuntimeConfig` applied to every
-        published snapshot (compiled vs eager, dtype, plan segments).
+        published snapshot (compiled vs eager, dtype, plan segments,
+        per-entry ``precision_policy`` and kernel ``backend``).  Entries
+        resolved to ``"int8"`` calibrate on deterministic synthetic frames
+        at publish time — repositories are rebuilt from config alone in
+        shard workers and cluster nodes, and the seeded synthetic
+        calibration is what makes every replica derive bit-identical
+        quantization scales (the shard/cluster equivalence guarantee
+        extends to quantized entries).
     seed:
         Weight-initialization seed for the per-entry models.
     retain:

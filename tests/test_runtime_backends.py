@@ -1,0 +1,367 @@
+"""Kernel backends: registry semantics, numpy<->jit parity, arena hygiene.
+
+The backend seam has three contracts worth pinning:
+
+* **registry** — ``resolve_backend`` is total over ``KERNEL_BACKENDS``
+  (unknown names rejected), ``"auto"`` degrades to numpy without numba,
+  an *explicit* ``"numba"`` without numba fails loudly, and instances are
+  process-wide singletons;
+* **parity** — the plain-python jit source implementations (what numba
+  compiles) match the vectorized numpy kernels bit-for-bit on integers and
+  to <= 1e-6 on floats, *without* numba installed, so the tier-1 suite
+  guards the exact code the optional backend will execute;
+* **arena hygiene** — mixed-precision plans key buffers per dtype, so a
+  warm plan never re-types (and therefore never re-allocates) a slot.
+
+The numba-backed suites at the bottom only run when numba is importable
+(CI's optional-deps job); everything above them is numba-free tier-1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Architecture, ArchitectureModel
+from repro.gnn import OpSpec, OpType
+from repro.graph import SyntheticModelNet40
+from repro.graph.data import Batch
+from repro.runtime import (BufferArena, available_backends, calibrate,
+                           compile_plan, numba_available, resolve_backend,
+                           synthetic_calibration_frames)
+from repro.runtime import kernels
+from repro.runtime.backends import (KERNEL_BACKENDS, KernelBackend,
+                                    NumpyBackend, _ACT_CODES, _RED_CODES,
+                                    _dequantize_impl, _edgeconv_uniform_impl,
+                                    _quant_edgeconv_impl,
+                                    _quant_linear_f32_impl,
+                                    _quant_linear_f64_impl, _quantize_impl)
+
+requires_numba = pytest.mark.skipif(not numba_available(),
+                                    reason="numba not installed")
+without_numba = pytest.mark.skipif(numba_available(),
+                                   reason="numba installed: auto picks it")
+
+
+def _arch(aggregator: str = "max", pool: str = "max||mean") -> Architecture:
+    return Architecture(ops=(
+        OpSpec(OpType.SAMPLE, "knn", k=6),
+        OpSpec(OpType.AGGREGATE, aggregator),
+        OpSpec(OpType.COMBINE, 16),
+        OpSpec(OpType.COMMUNICATE, "uplink"),
+        OpSpec(OpType.SAMPLE, "knn", k=4),
+        OpSpec(OpType.AGGREGATE, aggregator),
+        OpSpec(OpType.GLOBAL_POOL, pool),
+    ), name=f"{aggregator}-{pool}")
+
+
+def _model(aggregator: str = "max", pool: str = "max||mean"):
+    return ArchitectureModel(_arch(aggregator, pool), in_dim=3,
+                             num_classes=5, seed=0)
+
+
+def _frame(num_points: int = 32):
+    graphs = SyntheticModelNet40(num_points=num_points, samples_per_class=1,
+                                 num_classes=2, seed=0).generate()
+    return Batch.from_graphs(graphs[:1])
+
+
+def _int8_plan(model, segments=("full",)):
+    calibration = calibrate(model, synthetic_calibration_frames(3, seed=0),
+                            segments=segments)
+    return compile_plan(model, segments=segments, calibration=calibration)
+
+
+# ----------------------------------------------------------------------
+# Registry semantics
+# ----------------------------------------------------------------------
+class TestBackendRegistry:
+    def test_numpy_always_available_and_first(self):
+        names = available_backends()
+        assert names[0] == "numpy"
+        assert set(names) <= {"numpy", "numba"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="kernel backend"):
+            resolve_backend("cuda")
+
+    def test_instances_are_singletons(self):
+        assert resolve_backend("numpy") is resolve_backend("numpy")
+
+    def test_instance_passes_through(self):
+        backend = NumpyBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_registry_names_resolve(self):
+        for name in KERNEL_BACKENDS:
+            if name == "numba" and not numba_available():
+                continue
+            assert isinstance(resolve_backend(name), KernelBackend)
+
+    @without_numba
+    def test_auto_falls_back_to_numpy(self):
+        assert resolve_backend("auto").name == "numpy"
+        assert resolve_backend(None).name == "numpy"
+        assert available_backends() == ("numpy",)
+
+    @without_numba
+    def test_explicit_numba_fails_loudly(self):
+        with pytest.raises(RuntimeError, match="numba"):
+            resolve_backend("numba")
+
+    @requires_numba
+    def test_auto_picks_numba_when_available(self):
+        assert resolve_backend("auto").name == "numba"
+        assert available_backends() == ("numpy", "numba")
+
+
+# ----------------------------------------------------------------------
+# Jit-source vs numpy-kernel parity (runs WITHOUT numba: the plain
+# python implementations are exactly what numba compiles)
+# ----------------------------------------------------------------------
+class TestJitSourceParity:
+    def setup_method(self):
+        self.rng = np.random.default_rng(7)
+
+    def _xq(self, shape):
+        return self.rng.integers(-127, 128, size=shape).astype(np.int8)
+
+    def test_quantize_bit_parity(self):
+        x = self.rng.standard_normal((9, 5)).astype(np.float32) * 2.5
+        scale = 0.0371
+        ref = kernels.quantize_array(x.copy(), scale, x.copy(),
+                                     np.empty_like(x, dtype=np.int8))
+        got = _quantize_impl(x, scale, np.empty_like(x, dtype=np.int8))
+        np.testing.assert_array_equal(got, ref)
+
+    def test_dequantize_bit_parity(self):
+        xq = self._xq((7, 4))
+        scale = 0.021
+        ref = kernels.dequantize_array(xq, scale,
+                                       np.empty(xq.shape, np.float32))
+        got = _dequantize_impl(xq, scale, np.empty(xq.shape, np.float32))
+        np.testing.assert_array_equal(got, ref)
+
+    @pytest.mark.parametrize("activation", [None, "relu", "leaky_relu"])
+    @pytest.mark.parametrize("requantize", [True, False])
+    def test_quant_linear_f32_parity(self, activation, requantize):
+        rows, kdim, cols = 6, 8, 5
+        xq, wq = self._xq((rows, kdim)), self._xq((kdim, cols))
+        w_scale = (self.rng.uniform(0.01, 0.1, cols)).astype(np.float32)
+        bias = self.rng.standard_normal(cols).astype(np.float32)
+        x_scale, out_scale, slope = 0.05, 0.11, 0.2
+        acc = np.empty((rows, cols), np.float32)
+        outq_ref = np.empty((rows, cols), np.int8)
+        ref = kernels.quant_fused_linear(
+            xq, wq.astype(np.float32), w_scale, x_scale, bias,
+            np.empty((rows, kdim), np.float32), acc, activation, slope,
+            out_scale if requantize else None, outq_ref, acc)
+        mult = w_scale * np.float32(x_scale)
+        out32 = np.empty((rows, cols), np.float32)
+        outq = np.empty((rows, cols), np.int8)
+        _quant_linear_f32_impl(xq, wq, mult, bias, _ACT_CODES[activation],
+                               np.float32(slope), requantize, out_scale,
+                               out32, outq)
+        if requantize:
+            np.testing.assert_array_equal(outq, ref)
+        else:
+            np.testing.assert_allclose(out32, ref, rtol=0, atol=1e-6)
+
+    @pytest.mark.parametrize("requantize", [True, False])
+    def test_quant_linear_f64_parity(self, requantize):
+        rows, kdim, cols = 5, 40, 4
+        xq, wq = self._xq((rows, kdim)), self._xq((kdim, cols))
+        w_scale = (self.rng.uniform(0.01, 0.1, cols)).astype(np.float32)
+        bias = self.rng.standard_normal(cols).astype(np.float32)
+        x_scale, out_scale = 0.04, 0.6
+        acc = np.empty((rows, cols), np.float64)
+        out32_ref = np.empty((rows, cols), np.float32)
+        outq_ref = np.empty((rows, cols), np.int8)
+        ref = kernels.quant_fused_linear(
+            xq, wq.astype(np.float64), w_scale, x_scale, bias,
+            np.empty((rows, kdim), np.float64), acc, "relu", 0.0,
+            out_scale if requantize else None, outq_ref, out32_ref)
+        mult = w_scale * np.float32(x_scale)
+        out32 = np.empty((rows, cols), np.float32)
+        outq = np.empty((rows, cols), np.int8)
+        _quant_linear_f64_impl(xq, wq, mult, bias, _ACT_CODES["relu"],
+                               np.float32(0.0), requantize, out_scale,
+                               out32, outq)
+        if requantize:
+            np.testing.assert_array_equal(outq, ref)
+        else:
+            np.testing.assert_allclose(out32, ref, rtol=0, atol=1e-6)
+
+    @pytest.mark.parametrize("reduce", ["max", "add", "mean"])
+    def test_quant_edgeconv_bit_parity(self, reduce):
+        num_nodes, k, features = 6, 3, 4
+        xq = self._xq((num_nodes, features))
+        src = self.rng.integers(0, num_nodes,
+                                size=num_nodes * k).astype(np.int64)
+        gather = np.empty((num_nodes, k, features), np.int8)
+        ref = kernels.quant_edgeconv_uniform(
+            xq, src, k, reduce, gather,
+            np.empty((num_nodes, 2 * features), np.int16))
+        got = _quant_edgeconv_impl(xq, src, k, _RED_CODES[reduce],
+                                   np.empty((num_nodes, 2 * features),
+                                            np.int16))
+        np.testing.assert_array_equal(got, ref)
+
+    @pytest.mark.parametrize("reduce", ["max", "add", "mean"])
+    def test_float_edgeconv_parity(self, reduce):
+        num_nodes, k, features = 6, 3, 4
+        x = self.rng.standard_normal((num_nodes, features)).astype(np.float32)
+        src = self.rng.integers(0, num_nodes,
+                                size=num_nodes * k).astype(np.int64)
+        ref = kernels.edgeconv_uniform(
+            x, src, k, reduce, np.empty((num_nodes, k, features), np.float32),
+            np.empty((num_nodes, 2 * features), np.float32))
+        got = _edgeconv_uniform_impl(x, src, k, _RED_CODES[reduce],
+                                     np.empty((num_nodes, 2 * features),
+                                              np.float32))
+        np.testing.assert_allclose(got, ref, rtol=1e-6, atol=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Satellite: float32 stays float32 (no silent float64 upcasts)
+# ----------------------------------------------------------------------
+class TestDtypePreservation:
+    def test_relu_preserves_float32(self):
+        x = np.linspace(-1, 1, 12, dtype=np.float32).reshape(3, 4)
+        out = kernels.relu_(x)
+        assert out.dtype == np.float32 and out is x
+        assert out.min() >= 0.0
+
+    def test_fused_linear_preserves_float32(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((4, 6)).astype(np.float32)
+        w = rng.standard_normal((6, 3)).astype(np.float32)
+        b = rng.standard_normal(3).astype(np.float32)
+        for activation in (None, "relu", "leaky_relu"):
+            out = kernels.fused_linear(x, w, b, np.empty((4, 3), np.float32),
+                                       activation=activation)
+            assert out.dtype == np.float32
+
+    def test_edgeconv_uniform_preserves_float32(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((6, 4)).astype(np.float32)
+        src = rng.integers(0, 6, size=18).astype(np.int64)
+        for reduce in ("max", "add", "mean"):
+            out = kernels.edgeconv_uniform(
+                x, src, 3, reduce, np.empty((6, 3, 4), np.float32),
+                np.empty((6, 8), np.float32))
+            assert out.dtype == np.float32
+
+    def test_float32_plan_arena_holds_no_float64_features(self):
+        """A float32 plan's feature buffers must all be float32 — an upcast
+        anywhere in the step chain would surface here as a float64 slot."""
+        plan = compile_plan(_model(), dtype=np.float32, segments=("full",))
+        frame = _frame()
+        plan(frame)
+        stats = plan.full.arena.dtype_stats()
+        assert "float32" in stats and stats["float32"]["slots"] > 0
+        assert "float64" not in stats
+        assert plan(frame).dtype == np.float32
+
+
+# ----------------------------------------------------------------------
+# Satellite: per-dtype arena accounting, no retype thrash
+# ----------------------------------------------------------------------
+class TestArenaDtypeStats:
+    def test_retype_counter_and_stats(self):
+        arena = BufferArena()
+        arena.take("a", (4, 4), np.float64)
+        arena.take("a", (4, 4), np.float64)
+        assert arena.retypes == 0
+        arena.take("a", (4, 4), np.float32)  # same slot, new dtype
+        assert arena.retypes == 1
+        arena.take("b", (2, 2), np.int8)
+        stats = arena.dtype_stats()
+        assert stats["float32"]["slots"] == 1
+        assert stats["int8"]["slots"] == 1
+        assert stats["int8"]["nbytes"] == 4
+
+    def test_mixed_precision_plan_never_retypes(self):
+        """Quantized plans interleave int8/int16/float32 buffers; slot keys
+        must keep them apart so a warm plan only ever reuses buffers."""
+        plan = _int8_plan(_model())
+        frame = _frame()
+        plan(frame)
+        arena = plan.full.arena
+        allocations = arena.allocations
+        plan(frame)
+        plan(frame)
+        assert arena.retypes == 0
+        assert arena.allocations == allocations  # warm: pure reuse
+        stats = arena.dtype_stats()
+        assert stats["int8"]["slots"] > 0  # quantized activations
+        assert stats["float32"]["slots"] > 0  # scales/logit outputs
+
+    def test_float_and_quant_plans_share_nothing(self):
+        """Serving one float and one int8 plan side by side (mixed-precision
+        zoo) keeps each arena self-consistent — no cross-plan aliasing."""
+        frame = _frame()
+        float_plan = compile_plan(_model(), segments=("full",))
+        quant_plan = _int8_plan(_model())
+        baseline = float_plan(frame).copy()
+        for _ in range(3):
+            quant_plan(frame)
+            np.testing.assert_allclose(float_plan(frame), baseline,
+                                       atol=0, rtol=0)
+
+
+# ----------------------------------------------------------------------
+# Numba backend parity (optional-deps job; skipped without numba)
+# ----------------------------------------------------------------------
+@requires_numba
+class TestNumbaBackendParity:
+    def setup_method(self):
+        self.numpy = resolve_backend("numpy")
+        self.numba = resolve_backend("numba")
+        self.rng = np.random.default_rng(3)
+
+    def test_quantize_dequantize_match(self):
+        x = self.rng.standard_normal((8, 6)).astype(np.float32)
+        scale = 0.017
+        ref = self.numpy.quantize(x, scale, x.copy(),
+                                  np.empty(x.shape, np.int8))
+        got = self.numba.quantize(x, scale, x.copy(),
+                                  np.empty(x.shape, np.int8))
+        np.testing.assert_array_equal(got, ref)
+        dref = self.numpy.dequantize(ref, scale, np.empty(x.shape, np.float32))
+        dgot = self.numba.dequantize(ref, scale, np.empty(x.shape, np.float32))
+        np.testing.assert_array_equal(dgot, dref)
+
+    @pytest.mark.parametrize("reduce", ["max", "add", "mean"])
+    def test_quant_edgeconv_matches(self, reduce):
+        num_nodes, k, features = 10, 4, 6
+        xq = self.rng.integers(-127, 128,
+                               size=(num_nodes, features)).astype(np.int8)
+        src = self.rng.integers(0, num_nodes,
+                                size=num_nodes * k).astype(np.int64)
+        ref = self.numpy.quant_edgeconv_uniform(
+            xq, src, k, reduce, np.empty((num_nodes, k, features), np.int8),
+            np.empty((num_nodes, 2 * features), np.int16))
+        got = self.numba.quant_edgeconv_uniform(
+            xq, src, k, reduce, np.empty((num_nodes, k, features), np.int8),
+            np.empty((num_nodes, 2 * features), np.int16))
+        np.testing.assert_array_equal(got, ref)
+
+    @pytest.mark.parametrize("precision", ["float32", "int8"])
+    def test_full_plan_equivalence(self, precision):
+        """Whole compiled plans agree across backends to <= 1e-6."""
+        frame = _frame()
+        outputs = []
+        for backend in ("numpy", "numba"):
+            model = _model()
+            if precision == "int8":
+                calibration = calibrate(
+                    model, synthetic_calibration_frames(3, seed=0),
+                    segments=("full",))
+                plan = compile_plan(model, segments=("full",),
+                                    backend=backend, calibration=calibration)
+            else:
+                plan = compile_plan(model, dtype=np.float32,
+                                    segments=("full",), backend=backend)
+            outputs.append(plan(frame))
+        np.testing.assert_allclose(outputs[1], outputs[0], rtol=0, atol=1e-6)
