@@ -136,10 +136,10 @@ class _CoreHolder:
 def _serve_connection(conn: socket.socket, holder: _CoreHolder,
                       node_id: int) -> None:
     """Handshake then envelope loop for one router connection."""
-    from ..system.messages import (Message, SHARD_KIND_PUBLISH,
-                                   SHARD_KIND_READY, WIRE_FORMAT_RAW,
-                                   recv_message, send_payload,
-                                   serialize_message)
+    from ..system.messages import (KIND_ERROR, Message,
+                                   SHARD_KIND_PUBLISH, SHARD_KIND_READY,
+                                   WIRE_FORMAT_RAW, recv_message,
+                                   send_payload, serialize_message)
 
     conn.settimeout(_IO_TIMEOUT_S)
 
@@ -177,7 +177,7 @@ def _serve_connection(conn: socket.socket, holder: _CoreHolder,
         except Exception as exc:
             import traceback
             try:
-                reply(Message(kind="error", frame_id=hello.frame_id,
+                reply(Message(kind=KIND_ERROR, frame_id=hello.frame_id,
                               meta={"error": f"{type(exc).__name__}: {exc}",
                                     "traceback": traceback.format_exc()}))
             except Exception:

@@ -510,8 +510,10 @@ class ReplicaCore:
         orphaned worker exits instead of spinning forever.
         """
         from ..serving.repository import SNAPSHOT_META_KEY
-        from ..system.messages import (Message, NODE_KIND_PING,
-                                       NODE_KIND_PONG, SHARD_KIND_BATCH,
+        from ..system.messages import (KIND_ERROR, KIND_FRAME,
+                                       KIND_RESULT, KIND_STOP, Message,
+                                       NODE_KIND_PING, NODE_KIND_PONG,
+                                       SHARD_KIND_BATCH,
                                        SHARD_KIND_PUBLISH,
                                        SHARD_KIND_PUBLISHED)
         repository = self.repository
@@ -520,7 +522,7 @@ class ReplicaCore:
                         batch_index: Optional[int] = None) -> None:
             import traceback
             try:
-                reply(Message(kind="error", frame_id=corr,
+                reply(Message(kind=KIND_ERROR, frame_id=corr,
                               meta={"error": f"{type(exc).__name__}: {exc}",
                                     "traceback": traceback.format_exc()},
                               batch_index=batch_index))
@@ -560,7 +562,7 @@ class ReplicaCore:
                 return
             self.frames_served += 1
             try:
-                reply(Message(kind="result", frame_id=corr, arrays=arrays,
+                reply(Message(kind=KIND_RESULT, frame_id=corr, arrays=arrays,
                               meta={"frame": out_meta,
                                     "service_time_s": elapsed}))
             except Exception as exc:
@@ -588,7 +590,7 @@ class ReplicaCore:
             while len(requests) < count:
                 message = read_envelope(0.2)
                 if message is not None:
-                    if message.kind != "frame" or message.frame_id != corr:
+                    if message.kind != KIND_FRAME or message.frame_id != corr:
                         reply_error(corr, RuntimeError(
                             f"batch {corr} truncated: expected frame "
                             f"{len(requests)}/{count}, got a "
@@ -616,7 +618,7 @@ class ReplicaCore:
             share = elapsed / max(len(results), 1)
             for index, (arrays, out_meta) in enumerate(results):
                 try:
-                    reply(Message(kind="result", frame_id=corr,
+                    reply(Message(kind=KIND_RESULT, frame_id=corr,
                                   arrays=arrays,
                                   meta={"frame": out_meta,
                                         "service_time_s": share},
@@ -668,9 +670,9 @@ class ReplicaCore:
                     if not peer_alive():
                         break  # orphaned worker: exit instead of spinning
                     continue
-            if message.kind == "stop":
+            if message.kind == KIND_STOP:
                 break
-            if message.kind == "frame":
+            if message.kind == KIND_FRAME:
                 handle_frame(message)
             elif message.kind == SHARD_KIND_BATCH:
                 stray = handle_batch(message)
@@ -690,7 +692,7 @@ def _shard_main(shard_id: int, spec: Tuple, bootstrap: Dict) -> None:
     parent's (same seed, same builder) and shard execution is numerically
     equivalent to in-process serving.
     """
-    from ..system.messages import (Message, SHARD_KIND_READY,
+    from ..system.messages import (KIND_ERROR, Message, SHARD_KIND_READY,
                                    WIRE_FORMAT_RAW, deserialize_message,
                                    serialize_message)
 
@@ -709,7 +711,7 @@ def _shard_main(shard_id: int, spec: Tuple, bootstrap: Dict) -> None:
     except Exception as exc:
         import traceback
         try:
-            reply(Message(kind="error", frame_id=0,
+            reply(Message(kind=KIND_ERROR, frame_id=0,
                           meta={"error": f"{type(exc).__name__}: {exc}",
                                 "traceback": traceback.format_exc()}))
         except Exception:  # parent gone: nothing left to tell

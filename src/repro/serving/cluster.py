@@ -47,7 +47,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..core.executor import ArrayDict, FrameState
 from ..runtime.node import NodeCrashedError, NodeStats, bootstrap_meta
 from ..runtime.shard import zoo_to_payload
-from ..system.messages import (Message, NODE_KIND_PING, NODE_KIND_PONG,
+from ..system.messages import (KIND_ERROR, KIND_FRAME, KIND_RESULT,
+                               Message, NODE_KIND_PING, NODE_KIND_PONG,
                                SHARD_KIND_BATCH, SHARD_KIND_PUBLISH,
                                SHARD_KIND_PUBLISHED, SHARD_KIND_READY,
                                WIRE_FORMAT_RAW, recv_message, send_payload,
@@ -148,14 +149,23 @@ class _Node:
                 f"{self.ready_error or 'connection lost'}")
 
     def carry_counters(self, old: "_Node") -> None:
-        """Continue ``old``'s cumulative stats row (reconnect bookkeeping)."""
+        """Continue ``old``'s cumulative stats row (reconnect bookkeeping).
+
+        Snapshot under ``old``'s lock, add under our own: by the time a
+        replacement node carries counters its reader thread is already
+        running, so the bare ``+=`` would race the reader's increments.
+        """
         with old._lock:
-            self.frames += old.frames
-            self.batches += old.batches
-            self.errors += old.errors
-            self.service_time_s += old.service_time_s
-            self.bytes_to_node += old.bytes_to_node
-            self.bytes_from_node += old.bytes_from_node
+            carried = (old.frames, old.batches, old.errors,
+                       old.service_time_s, old.bytes_to_node,
+                       old.bytes_from_node)
+        with self._lock:
+            self.frames += carried[0]
+            self.batches += carried[1]
+            self.errors += carried[2]
+            self.service_time_s += carried[3]
+            self.bytes_to_node += carried[4]
+            self.bytes_from_node += carried[5]
 
     # -- health --------------------------------------------------------
     @property
@@ -273,7 +283,7 @@ class _Node:
     def request_frame(self, entry: str, arrays: ArrayDict,
                       meta: Dict) -> FrameState:
         corr, reply = self._register(1)
-        self._request([Message(kind="frame", frame_id=corr, arrays=arrays,
+        self._request([Message(kind=KIND_FRAME, frame_id=corr, arrays=arrays,
                                meta={"entry": entry, "frame": meta})],
                       corr, reply)
         result_arrays, result_meta, service = reply.results[0]
@@ -288,7 +298,7 @@ class _Node:
         envelopes = [Message(kind=SHARD_KIND_BATCH, frame_id=corr,
                              meta={"entry": entry, "count": len(requests)})]
         envelopes.extend(
-            Message(kind="frame", frame_id=corr, arrays=arrays,
+            Message(kind=KIND_FRAME, frame_id=corr, arrays=arrays,
                     meta={"frame": meta, "index": index})
             for index, (arrays, meta) in enumerate(requests))
         self._request(envelopes, corr, reply)
@@ -398,7 +408,7 @@ class _Node:
         with self._lock:
             reply = self._pending.get(message.frame_id)
         if reply is None:
-            if message.kind == "error" and not self.ready.is_set():
+            if message.kind == KIND_ERROR and not self.ready.is_set():
                 # Bootstrap failure: the node could not build its
                 # repository and reported why — surface the real traceback
                 # instead of a generic "connection lost".
@@ -407,14 +417,14 @@ class _Node:
                     f"{message.meta.get('traceback', '')}")
                 self.mark_crashed(self.ready_error)
             return  # late reply for a timed-out/abandoned request
-        if message.kind == "result":
+        if message.kind == KIND_RESULT:
             index = message.batch_index if message.batch_index is not None else 0
             reply.complete_index(index, (dict(message.arrays),
                                          message.meta.get("frame", {}),
                                          float(message.meta.get(
                                              "service_time_s", 0.0))))
-        elif message.kind in ("error", SHARD_KIND_PUBLISHED):
-            if message.kind == "error":
+        elif message.kind in (KIND_ERROR, SHARD_KIND_PUBLISHED):
+            if message.kind == KIND_ERROR:
                 with self._lock:
                     self.errors += 1
                 reply.fail(RuntimeError(
@@ -492,7 +502,11 @@ class ClusterPool:
         if self._started:
             raise RuntimeError("ClusterPool is already started")
         self._started = True
-        self._hello_meta = bootstrap_meta(self.repository)
+        # Under the publish lock for lock discipline: a publisher advancing
+        # the hello (prepare_publish) holds it, so the bootstrap write uses
+        # the same lock even though no other thread exists yet at start().
+        with self._publish_lock:
+            self._hello_meta = bootstrap_meta(self.repository)
         try:
             for node_id, address in enumerate(self.config.nodes):
                 node = _Node(node_id, address,

@@ -51,10 +51,11 @@ from ..runtime.shard import (ShardChannel, ShardCrashedError, ShardStats,
                              create_channel, transport_available,
                              zoo_to_payload, _shard_main)
 from ..system.scheduler import BackpressureError
-from ..system.messages import (Message, SHARD_KIND_BATCH, SHARD_KIND_PUBLISH,
-                               SHARD_KIND_PUBLISHED, SHARD_KIND_READY,
-                               WIRE_FORMAT_RAW, deserialize_message,
-                               serialize_message)
+from ..system.messages import (KIND_ERROR, KIND_FRAME, KIND_RESULT,
+                               KIND_STOP, Message, SHARD_KIND_BATCH,
+                               SHARD_KIND_PUBLISH, SHARD_KIND_PUBLISHED,
+                               SHARD_KIND_READY, WIRE_FORMAT_RAW,
+                               deserialize_message, serialize_message)
 from .config import ShardingConfig
 from .repository import ModelRepository, ServingSnapshot
 
@@ -240,7 +241,7 @@ class _Shard:
                       meta: Dict) -> FrameState:
         corr, reply = self._register(1)
         try:
-            self._send([Message(kind="frame", frame_id=corr, arrays=arrays,
+            self._send([Message(kind=KIND_FRAME, frame_id=corr, arrays=arrays,
                                 meta={"entry": entry, "frame": meta})],
                        shed_timeout=RING_SHED_TIMEOUT_S)
         except BackpressureError:
@@ -269,7 +270,7 @@ class _Shard:
         envelopes = [Message(kind=SHARD_KIND_BATCH, frame_id=corr,
                              meta={"entry": entry, "count": len(requests)})]
         envelopes.extend(
-            Message(kind="frame", frame_id=corr, arrays=arrays,
+            Message(kind=KIND_FRAME, frame_id=corr, arrays=arrays,
                     meta={"frame": meta, "index": index})
             for index, (arrays, meta) in enumerate(requests))
         try:
@@ -352,7 +353,7 @@ class _Shard:
         with self._lock:
             reply = self._pending.get(message.frame_id)
         if reply is None:
-            if message.kind == "error" and not self.ready.is_set():
+            if message.kind == KIND_ERROR and not self.ready.is_set():
                 # Bootstrap failure: the worker could not build its
                 # repository and reported why with correlation id 0 —
                 # surface the real traceback instead of a generic
@@ -362,14 +363,14 @@ class _Shard:
                     f"{message.meta.get('traceback', '')}")
                 self.mark_crashed(self.ready_error)
             return  # late reply for a timed-out/abandoned request
-        if message.kind == "result":
+        if message.kind == KIND_RESULT:
             index = message.batch_index if message.batch_index is not None else 0
             reply.complete_index(index, (dict(message.arrays),
                                          message.meta.get("frame", {}),
                                          float(message.meta.get(
                                              "service_time_s", 0.0))))
-        elif message.kind in ("error", SHARD_KIND_PUBLISHED):
-            if message.kind == "error":
+        elif message.kind in (KIND_ERROR, SHARD_KIND_PUBLISHED):
+            if message.kind == KIND_ERROR:
                 with self._lock:
                     self.errors += 1
                 reply.fail(RuntimeError(
@@ -388,7 +389,7 @@ class _Shard:
                 # Short timeout: a wedged worker with a full ring must not
                 # stall shutdown for request_timeout_s — it gets killed
                 # right below anyway.
-                self._send([Message(kind="stop")], timeout=1.0)
+                self._send([Message(kind=KIND_STOP)], timeout=1.0)
             except Exception:
                 pass
         if self.process is not None:

@@ -103,11 +103,12 @@ if TYPE_CHECKING:  # import-free at runtime: engine must not drag in the
     from ..runtime.shard import ShardStats
 
 from .messages import (_LENGTH_SIZE as PAYLOAD_PREFIX_BYTES,
-                       DEADLINE_MS_META_KEY, KIND_REJECTED, Message,
-                       PRIORITY_META_KEY, REJECT_REASON_META_KEY,
-                       RETRY_AFTER_MS_META_KEY, WIRE_FORMAT_ZLIB,
-                       WIRE_FORMATS, recv_message, send_message,
-                       send_payload, serialize_message)
+                       DEADLINE_MS_META_KEY, KIND_ERROR, KIND_FRAME,
+                       KIND_HELLO, KIND_REJECTED, KIND_RESULT,
+                       KIND_STOP, Message, PRIORITY_META_KEY,
+                       REJECT_REASON_META_KEY, RETRY_AFTER_MS_META_KEY,
+                       WIRE_FORMAT_ZLIB, WIRE_FORMATS, recv_message,
+                       send_message, send_payload, serialize_message)
 from .scheduler import (REJECT_REASON_CAPACITY, REJECT_REASON_DEADLINE,
                         BackpressureError, FrameExpiredError, QosPolicy,
                         Rejection, Scheduler)
@@ -124,6 +125,11 @@ SelectorFn = Callable[[Dict], Optional[str]]
 
 #: Model-name bucket used for frames served by the default ``edge_fn``.
 DEFAULT_MODEL = "default"
+
+#: Client-local sentinel kind the receive thread enqueues when the
+#: connection drops; never serialized, so it lives here rather than with
+#: the wire kinds of :mod:`repro.system.messages`.
+_KIND_DISCONNECT = "disconnect"
 
 #: Closed sessions retained for per-session inspection; older closed sessions
 #: are folded into aggregate counters so a long-running server that accepts
@@ -729,10 +735,10 @@ class EdgeServer:
             if session is None:
                 return None  # closed concurrently; the frame has no home
             session.bytes_received += message.wire_bytes
-        if message.kind == "hello":
+        if message.kind == KIND_HELLO:
             self._handle_hello(conn, session, message)
             return None
-        if message.kind == "frame":
+        if message.kind == KIND_FRAME:
             return self._handle_frame(conn, session, message)
         # Unknown kinds are ignored: forward compatibility.
         return None
@@ -797,7 +803,7 @@ class EdgeServer:
         # Reply in the framing the hello arrived in: a raw-framing client
         # gets raw replies, a zlib client zlib ones, from one listener.
         sent = conn.send_bytes(serialize_message(
-            Message(kind="hello", meta=ack_meta,
+            Message(kind=KIND_HELLO, meta=ack_meta,
                     wire_format=message.wire_format)))
         with self._lock:
             session.client_name = str(message.meta.get("client", ""))
@@ -1037,7 +1043,7 @@ class EdgeServer:
             # non-JSON-serializable metadata must come back as an "error"
             # message, not kill the replying thread.
             blob = serialize_message(Message(
-                kind="result", frame_id=request.message.frame_id,
+                kind=KIND_RESULT, frame_id=request.message.frame_id,
                 arrays=arrays, meta=meta, batch_index=batch_index,
                 wire_format=request.message.wire_format))
         except Exception:
@@ -1089,7 +1095,7 @@ class EdgeServer:
             self._stats_target(request).errors += 1
         try:
             sent = self._send_frame(request, serialize_message(Message(
-                kind="error", frame_id=request.message.frame_id,
+                kind=KIND_ERROR, frame_id=request.message.frame_id,
                 meta={"error": f"{type(exc).__name__}: {exc}",
                       "traceback": traceback.format_exc()},
                 batch_index=batch_index,
@@ -1303,7 +1309,7 @@ class DeviceClient:
         hello_meta: Dict = {"client": client_name}
         if self._conditions is not None:
             hello_meta["conditions"] = self._conditions
-        self._send_queue.put(Message(kind="hello", meta=hello_meta,
+        self._send_queue.put(Message(kind=KIND_HELLO, meta=hello_meta,
                                      wire_format=self.wire_format))
 
     # ------------------------------------------------------------------
@@ -1326,7 +1332,7 @@ class DeviceClient:
                                  "%s: %s" % (type(exc).__name__, exc))
                 break
         try:
-            send_message(self._sock, Message(kind="stop",
+            send_message(self._sock, Message(kind=KIND_STOP,
                                              wire_format=self.wire_format))
         except OSError:
             pass
@@ -1348,7 +1354,7 @@ class DeviceClient:
                 self._disconnect("peer closed the connection")
                 break
             self.bytes_received += message.wire_bytes
-            if message.kind == "hello":
+            if message.kind == KIND_HELLO:
                 self._hello_meta = message.meta
                 self._hello_event.set()
                 continue
@@ -1361,7 +1367,7 @@ class DeviceClient:
         timeout and raise an uninformative TimeoutError.
         """
         self._disconnect_reason = reason
-        self._results.put(Message(kind="disconnect", meta={"error": reason}))
+        self._results.put(Message(kind=_KIND_DISCONNECT, meta={"error": reason}))
         self._hello_event.set()
 
     # ------------------------------------------------------------------
@@ -1447,7 +1453,7 @@ class DeviceClient:
                 meta.setdefault(DEADLINE_MS_META_KEY, self.deadline_ms)
             if self.priority is not None:
                 meta.setdefault(PRIORITY_META_KEY, self.priority)
-            self._send_queue.put(Message(kind="frame", frame_id=base_id + offset,
+            self._send_queue.put(Message(kind=KIND_FRAME, frame_id=base_id + offset,
                                          arrays=arrays, meta=meta,
                                          wire_format=self.wire_format))
         results: List[FrameResult] = []
@@ -1464,14 +1470,14 @@ class DeviceClient:
                 message = self._results.get(timeout=remaining)
             except queue.Empty:
                 continue  # deadline expired: the check above raises TimeoutError
-            if message.kind == "disconnect":
+            if message.kind == _KIND_DISCONNECT:
                 raise ConnectionError(
                     "connection to the edge server was lost with "
                     f"{len(frames) - len(results) - rejected} frame(s) "
                     f"outstanding: {message.meta.get('error', 'peer closed')}")
             if message.frame_id not in submitted:
                 continue  # stale leftover of an earlier, aborted run
-            if message.kind == "error":
+            if message.kind == KIND_ERROR:
                 detail = message.meta.get("error", "unknown edge failure")
                 remote_tb = message.meta.get("traceback", "")
                 raise RuntimeError(

@@ -57,12 +57,38 @@ WIRE_FORMAT_ZLIB = "zlib"
 WIRE_FORMAT_RAW = "raw"
 WIRE_FORMATS = (WIRE_FORMAT_ZLIB, WIRE_FORMAT_RAW)
 
+# ----------------------------------------------------------------------
+# Base protocol kinds
+# ----------------------------------------------------------------------
+# Every module that produces or dispatches a ``Message.kind`` must use
+# these named constants — never the string literal — so a typo'd kind
+# cannot compile and silently never match on the other end of the socket
+# (enforced by the ``message-kinds`` checker of ``tools/reprolint``).
+
+#: Client -> server session opener (``meta`` selects model/options); the
+#: server answers with a ``hello`` ack carrying the serving table.
+KIND_HELLO = "hello"
+#: A request envelope: input arrays + metadata for one inference frame.
+KIND_FRAME = "frame"
+#: Server -> client reply carrying the frame's output arrays.
+KIND_RESULT = "result"
+#: Server -> client (or shard/node -> parent) failure reply;
+#: ``meta["error"]`` describes what went wrong.
+KIND_ERROR = "error"
+#: Orderly end of a session/worker: the peer stops reading after this.
+KIND_STOP = "stop"
+
 #: Server -> client reply kind for a frame shed by admission control: the
 #: frame was *not* executed (queue bound hit, fairness share exceeded, or
 #: its deadline already passed).  The reply's ``meta`` carries the
 #: rejection ``"reason"`` and a ``"retry_after_ms"`` hint — an explicit
 #: answer, so a shed frame never looks like a timeout to the client.
 KIND_REJECTED = "rejected"
+
+#: Every kind of the base socket protocol (shard/node control kinds extend
+#: this set — see ``SHARD_CONTROL_KINDS`` / ``NODE_CONTROL_KINDS``).
+BASE_KINDS = (KIND_HELLO, KIND_FRAME, KIND_RESULT, KIND_ERROR, KIND_STOP,
+              KIND_REJECTED)
 
 #: Frame metadata key: relative per-frame deadline in milliseconds.  The
 #: server stamps an absolute expiry at admission and never executes a
@@ -409,5 +435,5 @@ def compressed_size(arrays: Dict[str, np.ndarray], compress_level: int = 6,
     Useful for validating the simulator's compression-ratio assumption
     against the real wire format and for sizing raw-framing deployments.
     """
-    return len(serialize_message(Message(kind="frame", arrays=dict(arrays)),
+    return len(serialize_message(Message(kind=KIND_FRAME, arrays=dict(arrays)),
                                  compress_level, wire_format=wire_format))

@@ -53,8 +53,9 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, Optional, Tuple
 
-from .messages import (_LENGTH_FORMAT, _LENGTH_SIZE, MAX_MESSAGE_BYTES,
-                       deserialize_message, recv_message, send_payload)
+from .messages import (_LENGTH_FORMAT, _LENGTH_SIZE, KIND_STOP,
+                       MAX_MESSAGE_BYTES, deserialize_message,
+                       recv_message, send_payload)
 
 #: Frontend identifiers (``EdgeServer(frontend=...)`` / ``ServerConfig``).
 FRONTEND_THREADED = "threaded"
@@ -202,7 +203,7 @@ class ThreadedFrontend:
                     if not self._stopped.is_set():
                         error = f"{type(exc).__name__}: {exc}"
                     break
-                if message is None or message.kind == "stop":
+                if message is None or message.kind == KIND_STOP:
                     break
                 try:
                     work = self._core.connection_message(connection, message)
@@ -399,7 +400,7 @@ class AsyncFrontend:
                     error = f"undecodable message: {type(exc).__name__}: {exc}"
                     break
                 message.wire_bytes = length + _LENGTH_SIZE
-                if message.kind == "stop":
+                if message.kind == KIND_STOP:
                     break
                 try:
                     work = self._core.connection_message(connection, message)

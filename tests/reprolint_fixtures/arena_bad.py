@@ -1,0 +1,17 @@
+"""Known-bad arena fixture: pooled buffers escape their plan uncopied."""
+
+
+def execute(run, shape, dtype):
+    out = run.arena.take("slot", shape, dtype)
+    out[:] = 0
+    return out  # aliases the arena: the next frame overwrites it
+
+
+def execute_direct(arena, shape, dtype):
+    return arena.take("slot", shape, dtype)  # returned straight from take
+
+
+def execute_view(self, shape, dtype):
+    buf = self.arena.take("slot", shape, dtype)
+    head = buf[:1]  # views alias the buffer: taint propagates
+    return head

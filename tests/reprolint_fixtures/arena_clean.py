@@ -1,0 +1,20 @@
+"""Known-clean arena fixture: results are copied out (or never pooled)."""
+
+import numpy as np
+
+
+def execute_out(run, shape, dtype):
+    out = run.arena.take("slot", shape, dtype)
+    out[:] = 0
+    out = out.copy()  # detached from the arena before escaping
+    return out
+
+
+def execute_fresh(shape, dtype):
+    out = np.empty(shape, dtype=dtype)  # never pooled: free to return
+    return out
+
+
+def execute_state(run, shape, dtype):
+    run.x = run.arena.take("slot", shape, dtype)
+    return run  # returning the state container is the dynamic contract's job

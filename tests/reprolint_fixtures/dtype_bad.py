@@ -1,0 +1,12 @@
+"""Known-bad dtype fixture: bare float scalars in kernel-style array math."""
+
+import numpy as np
+
+
+def halve(x):
+    return x * 0.5  # bare float binop with an array
+
+
+def clamp(out):
+    np.maximum(out, 0.0, out=out)  # bare float into a dtype-sensitive ufunc
+    return out

@@ -1,0 +1,20 @@
+"""Known-clean dtype fixture: every scalar typed at the use site."""
+
+import numpy as np
+
+
+def halve(x):
+    return x * x.dtype.type(0.5)  # repo idiom: scalar takes the array dtype
+
+
+def clamp(out):
+    np.maximum(out, out.dtype.type(0), out=out)  # int literal is weak anyway
+    return out
+
+
+def scale(x, factor):
+    return x * np.float32(factor)  # explicit float32 scalar
+
+
+def shapes(rows, k):
+    return rows * 2 + k - 1  # integer index math is always fine

@@ -1,0 +1,23 @@
+"""Known-bad message-kind fixture: raw literals at produce/dispatch sites."""
+
+
+class Message:
+    def __init__(self, kind=None, frame_id=0):
+        self.kind = kind
+        self.frame_id = frame_id
+
+
+def produce(frame_id):
+    return Message(kind="frame", frame_id=frame_id)  # raw known kind
+
+
+def produce_typo(frame_id):
+    return Message(kind="framee", frame_id=frame_id)  # raw UNKNOWN kind
+
+
+def dispatch(message):
+    if message.kind == "stop":  # raw literal compared against .kind
+        return None
+    if message.kind in ("result", "error"):  # raw literals in membership
+        return message
+    return None

@@ -1,0 +1,31 @@
+"""Known-clean message-kind fixture: named constants everywhere.
+
+The test scans this with constants ``KIND_FRAME``/``KIND_STOP`` declared,
+so both must register as dispatched and nothing is flagged — including the
+``dtype.kind`` access, which is a numpy dtype code, not a wire kind.
+"""
+
+KIND_FRAME = "frame"
+KIND_STOP = "stop"
+
+
+class Message:
+    def __init__(self, kind=None, frame_id=0):
+        self.kind = kind
+        self.frame_id = frame_id
+
+
+def produce(frame_id):
+    return Message(kind=KIND_FRAME, frame_id=frame_id)
+
+
+def dispatch(message):
+    if message.kind == KIND_STOP:
+        return None
+    if message.kind == KIND_FRAME:
+        return message
+    return None
+
+
+def is_integer(x):
+    return x.dtype.kind in "iu"  # dtype kind code: exempt

@@ -1,0 +1,13 @@
+"""Known-bad layering fixture: imports outside the (empty) allowlist.
+
+The test scans this file with an empty allowlist, so only the standard
+library is legal — both repo-style imports below must be flagged.
+"""
+
+import json  # stdlib: always allowed
+
+import numpy as np  # noqa: F401  — outside an empty allowlist
+
+from repro.serving.app import serve  # noqa: F401  — upper tier
+
+_ = json

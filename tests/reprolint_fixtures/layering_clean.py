@@ -1,0 +1,16 @@
+"""Known-clean layering fixture: stdlib plus the allowlisted module only.
+
+Scanned with allowlist ``{"numpy"}``; the TYPE_CHECKING import must be
+ignored even though it names an upper tier.
+"""
+
+import os
+import sys
+from typing import TYPE_CHECKING
+
+import numpy as np  # noqa: F401  — explicitly allowlisted
+
+if TYPE_CHECKING:  # never executes: exempt from layering
+    from repro.serving.app import serve  # noqa: F401
+
+_ = (os, sys)

@@ -1,0 +1,16 @@
+"""Known-bad lock fixture: a counter written both under and outside a lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # __init__ writes never count: construction-time
+
+    def increment(self):
+        with self._lock:
+            self._count += 1
+
+    def reset(self):
+        self._count = 0  # bare write racing increment() — must be flagged

@@ -1,0 +1,27 @@
+"""Known-clean lock fixture: every shared write holds a lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._count = 0
+        self._sent = 0
+
+    def increment(self):
+        with self._lock:
+            self._count += 1
+
+    def reset(self):
+        with self._lock:
+            self._count = 0
+
+    def _drain_locked(self):
+        # *_locked naming convention: caller holds the lock already.
+        self._count = 0
+
+    def record_send(self):
+        with self._send_lock:  # any of the class's own locks counts
+            self._sent += 1

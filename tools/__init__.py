@@ -1,0 +1,6 @@
+"""Repository maintenance tools (lints, doc checks, API guards).
+
+The scripts in this directory run standalone (``python tools/check_docs.py``)
+except :mod:`tools.reprolint`, a package invoked as ``python -m
+tools.reprolint`` from the repository root.
+"""

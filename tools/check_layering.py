@@ -1,104 +1,28 @@
-"""Layering lint for the serving stack (run by the CI tests job).
+"""Layering lint for the serving stack — thin shim over ``tools.reprolint``.
 
-The transport/scheduling split of ``repro.system`` only stays a split if
-nothing quietly re-couples the layers:
-
-* ``repro/system/transport.py`` (frontends: sockets, framing, event loop)
-  may import the standard library and ``repro.system.messages`` — never
-  the scheduler, the engine, or anything that executes models.  A
-  frontend that peeks at admission control or compute is a layering bug.
-* ``repro/system/scheduler.py`` (admission control) is pure policy: the
-  standard library plus the wire-constant names of
-  ``repro.system.messages`` (the meta keys frames carry deadlines and
-  priorities under).  It must not know how frames arrive (transport) or
-  how they execute (engine / executor).
-* ``repro/system/messages.py`` (wire format) stays leaf-like: standard
-  library plus numpy.
-
-This tool walks each module's AST and fails on any import outside its
-allowlist, so the boundary is enforced mechanically instead of by review
-vigilance.
+The transport/scheduler/messages rules this script historically enforced
+(plus the runtime- and serving-tier allowlists that grew out of them) now
+live in the ``layering`` checker of :mod:`tools.reprolint`; see
+``tools/reprolint/config.py`` for the declarative per-module allowlists
+and ``docs/invariants.md`` for the rationale.  This entry point is kept so
+existing invocations and docs keep working: same CLI, same exit codes
+(0 clean, 1 violations).
 
 Run with:  python tools/check_layering.py
+(equivalent to:  python -m tools.reprolint --checker layering)
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
-SYSTEM = REPO / "src" / "repro" / "system"
+# Script execution puts tools/ (not the repo root) on sys.path; the
+# package import needs the root.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-try:
-    STDLIB = set(sys.stdlib_module_names)
-except AttributeError:  # pragma: no cover - Python < 3.10
-    STDLIB = set()
-
-#: module file -> in-repo import allowlist (absolute module names; the
-#: standard library is always allowed).
-RULES = {
-    SYSTEM / "transport.py": {"repro.system.messages"},
-    SYSTEM / "scheduler.py": {"repro.system.messages"},
-    SYSTEM / "messages.py": {"numpy"},
-}
-
-
-def resolve_relative(module_file: Path, node: ast.ImportFrom) -> str:
-    """Absolute dotted name of a ``from . import ...`` target."""
-    package_parts = module_file.relative_to(REPO / "src").parts[:-1]
-    base = list(package_parts)
-    for _ in range(node.level - 1):
-        base.pop()
-    if node.module:
-        base.append(node.module)
-    return ".".join(base)
-
-
-def imported_modules(module_file: Path):
-    tree = ast.parse(module_file.read_text(), filename=str(module_file))
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                yield alias.name, node.lineno
-        elif isinstance(node, ast.ImportFrom):
-            if node.level:
-                yield resolve_relative(module_file, node), node.lineno
-            else:
-                yield node.module or "", node.lineno
-
-
-def allowed(module: str, allowlist: set) -> bool:
-    root = module.split(".")[0]
-    if root in STDLIB:
-        return True
-    return any(module == entry or module.startswith(entry + ".")
-               for entry in allowlist)
-
-
-def main() -> int:
-    violations = []
-    for module_file, allowlist in sorted(RULES.items()):
-        if not module_file.exists():
-            violations.append(f"{module_file}: file missing (layering rules "
-                              "reference it — update tools/check_layering.py "
-                              "if it moved)")
-            continue
-        for module, lineno in imported_modules(module_file):
-            if not allowed(module, allowlist):
-                rel = module_file.relative_to(REPO)
-                violations.append(
-                    f"{rel}:{lineno}: imports {module!r} — outside this "
-                    f"layer's allowlist {sorted(allowlist) or '(stdlib only)'}")
-    if violations:
-        print("layering violations:")
-        for violation in violations:
-            print(f"  {violation}")
-        return 1
-    print(f"layering clean ({len(RULES)} modules checked)")
-    return 0
+from tools.reprolint.__main__ import main  # noqa: E402
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(main(["--checker", "layering"]))

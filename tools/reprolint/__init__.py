@@ -1,0 +1,29 @@
+"""reprolint — the repository's static-analysis framework.
+
+Mechanically enforces the serving stack's cross-cutting invariants
+(layering, dtype discipline, lock discipline, message-kind exhaustiveness,
+arena aliasing) as AST checkers over the source tree.  Pure standard
+library, no repository imports — it lints a tree it never executes.
+
+Run from the repository root::
+
+    python -m tools.reprolint [--format human|json] [--checker NAME ...]
+
+Exit codes: 0 clean (all findings baselined), 1 non-baselined findings,
+2 usage or configuration error (unknown checker, malformed baseline).
+
+The enforced invariants are catalogued in ``docs/invariants.md``; the
+accepted exceptions live in ``tools/reprolint/baseline.json``, one
+justification each.
+"""
+
+from .baseline import (BaselineEntry, BaselineError,  # noqa: F401
+                       DEFAULT_BASELINE, load_baseline, split_findings)
+from .core import (Checker, Finding, REGISTRY,  # noqa: F401
+                   parse_file, register, run_checkers)
+
+__all__ = [
+    "BaselineEntry", "BaselineError", "Checker", "DEFAULT_BASELINE",
+    "Finding", "REGISTRY", "load_baseline", "parse_file", "register",
+    "run_checkers", "split_findings",
+]

@@ -1,0 +1,83 @@
+"""CLI entry point: ``python -m tools.reprolint`` from the repository root.
+
+Exit-code contract (what CI keys off):
+
+* ``0`` — no findings, or every finding matches a justified baseline entry
+* ``1`` — at least one non-baselined finding
+* ``2`` — usage/configuration error (unknown checker, malformed baseline)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baseline import BaselineError, load_baseline, split_findings
+from .config import REPO_ROOT
+from .core import REGISTRY, run_checkers
+from .report import human_report, json_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Static-analysis checks for the repository's "
+                    "cross-cutting invariants (see docs/invariants.md).")
+    parser.add_argument("--format", choices=("human", "json"),
+                        default="human", help="report format")
+    parser.add_argument("--checker", action="append", default=[],
+                        metavar="NAME",
+                        help="run only this checker (repeatable; "
+                             "default: all)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file "
+                             "(default: tools/reprolint/baseline.json)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline: every finding fails")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write the report to this file "
+                             "(CI artifact)")
+    parser.add_argument("--root", type=Path, default=REPO_ROOT,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--list-checkers", action="store_true",
+                        help="list registered checkers and exit")
+    args = parser.parse_args(argv)
+
+    try:
+        findings = run_checkers(args.root, args.checker)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    checkers = sorted(args.checker) if args.checker else sorted(REGISTRY)
+
+    if args.list_checkers:
+        for name in sorted(REGISTRY):
+            print(f"{name}: {REGISTRY[name].description}")
+        return 0
+
+    try:
+        entries = ([] if args.no_baseline
+                   else (load_baseline(args.baseline) if args.baseline
+                         else load_baseline()))
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Only entries belonging to the checkers that ran can be judged stale.
+    entries = [e for e in entries
+               if e.key.split(":", 1)[0] in set(checkers)]
+    new, baselined, stale = split_findings(findings, entries)
+
+    if args.format == "json":
+        justifications = {e.key: e.justification for e in entries}
+        report = json_report(new, baselined, stale, checkers, justifications)
+    else:
+        report = human_report(new, baselined, stale, checkers)
+    print(report)
+    if args.output is not None:
+        args.output.write_text(report + "\n", encoding="utf-8")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Reviewed baseline of grandfathered findings.
+
+``baseline.json`` holds the findings the team has looked at and accepted,
+each with a mandatory human-written justification — the mechanism for
+"this is an intentional design, not a bug" (an atomic lock-free reference
+swap, a worker process that bootstraps an upper tier by design).  A
+baselined finding is still reported (so reports stay honest) but does not
+fail the run; anything *not* in the baseline does.
+
+Format::
+
+    {"entries": [{"key": "<checker>:<path>:<ident>",
+                  "justification": "<why this is acceptable>"}, ...]}
+
+Keys are the line-number-free stable keys from
+:class:`tools.reprolint.core.Finding`, so a baseline entry survives
+unrelated edits to the file.  Entries whose key no longer matches any
+finding are reported as stale so the baseline shrinks over time instead
+of rotting.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .core import Finding
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (missing keys or justifications)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    key: str
+    justification: str
+
+
+def load_baseline(path: Path = DEFAULT_BASELINE) -> List[BaselineEntry]:
+    if not path.exists():
+        return []
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: not valid JSON: {exc}") from exc
+    raw_entries = data.get("entries") if isinstance(data, dict) else None
+    if not isinstance(raw_entries, list):
+        raise BaselineError(f"{path}: expected an object with an "
+                            "'entries' list")
+    entries: List[BaselineEntry] = []
+    seen: set = set()
+    for index, raw in enumerate(raw_entries):
+        if not isinstance(raw, dict):
+            raise BaselineError(f"{path}: entries[{index}] is not an object")
+        key = raw.get("key")
+        justification = raw.get("justification")
+        if not isinstance(key, str) or not key.strip():
+            raise BaselineError(f"{path}: entries[{index}] has no key")
+        if not isinstance(justification, str) or not justification.strip():
+            raise BaselineError(
+                f"{path}: entries[{index}] ({key}) has no justification — "
+                "every baselined finding needs a written reason")
+        if key in seen:
+            raise BaselineError(f"{path}: duplicate baseline key {key!r}")
+        seen.add(key)
+        entries.append(BaselineEntry(key=key, justification=justification))
+    return entries
+
+
+def split_findings(findings: Sequence[Finding],
+                   entries: Sequence[BaselineEntry]
+                   ) -> Tuple[List[Finding], List[Finding],
+                              List[BaselineEntry]]:
+    """Partition findings into ``(new, baselined, stale_entries)``."""
+    by_key: Dict[str, BaselineEntry] = {e.key: e for e in entries}
+    matched: set = set()
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        if finding.key in by_key:
+            matched.add(finding.key)
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale = [e for e in entries if e.key not in matched]
+    return new, baselined, stale

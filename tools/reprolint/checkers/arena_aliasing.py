@@ -1,0 +1,137 @@
+"""arena-aliasing — arena buffers never escape a plan uncopied.
+
+``BufferArena.take`` returns a pooled buffer that the *next frame will
+overwrite*; the aliasing contract (see ``runtime/arena.py``) is that
+anything a plan hands back to its caller is copied out of the arena
+first.  ``PlanSegment.execute_out`` honors it dynamically via the
+``x_in_arena`` flag; this checker enforces the static half: inside the
+plan modules (``config.ARENA_TARGETS``), no function may ``return`` an
+expression rooted in a value obtained from ``*.take(...)`` on an arena
+without an intervening copy.
+
+Taint rules, per function body (lexical, no dataflow across calls):
+
+* ``x = <arena>.take(...)`` taints ``x``, where ``<arena>`` is any
+  name/attribute path ending in ``arena`` (``run.arena``, ``self.arena``,
+  a bare ``arena``).
+* ``y = x`` and ``y = x[...]`` propagate taint (views alias); any other
+  reassignment — ``x = x.copy()``, ``x = np.array(x)``, a fresh
+  ``np.empty`` — clears it.
+* ``return x``, ``return x[...]``, ``return x.T``-style expressions
+  rooted at a tainted name are findings, as is returning a ``take`` call
+  directly.  Returning a *container* that merely references the buffer
+  (e.g. the ``PlanRun`` state object) is out of scope — that is exactly
+  the case the dynamic ``x_in_arena`` contract covers.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Set
+
+from ..config import ARENA_TARGETS
+from ..core import Checker, Finding, parse_file, register
+
+
+def _is_arena_take(node: ast.expr) -> bool:
+    """True for ``<something ending in .arena or named arena>.take(...)``."""
+    if not (isinstance(node, ast.Call) and isinstance(node.func,
+                                                      ast.Attribute)):
+        return False
+    if node.func.attr != "take":
+        return False
+    owner = node.func.value
+    if isinstance(owner, ast.Name):
+        return "arena" in owner.id
+    if isinstance(owner, ast.Attribute):
+        return "arena" in owner.attr
+    return False
+
+
+def _root_name(node: ast.expr) -> str:
+    """The variable at the root of a Name/Subscript/Attribute chain."""
+    while isinstance(node, (ast.Subscript, ast.Attribute, ast.Starred)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    def __init__(self, func: ast.FunctionDef, rel_path: str) -> None:
+        self.func = func
+        self.rel_path = rel_path
+        self.tainted: Set[str] = set()
+        self.findings: List[Finding] = []
+
+    def _taints(self, value: ast.expr) -> bool:
+        if _is_arena_take(value):
+            return True
+        # Propagation: plain name copies and subscripts alias the buffer.
+        if isinstance(value, (ast.Name, ast.Subscript)):
+            return _root_name(value) in self.tainted
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        taints = self._taints(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if taints:
+                    self.tainted.add(target.id)
+                else:
+                    self.tainted.discard(target.id)
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        value = node.value
+        if value is None:
+            return
+        escaping = ""
+        if _is_arena_take(value):
+            escaping = ast.unparse(value)
+        else:
+            root = _root_name(value)
+            if root and root in self.tainted:
+                escaping = root
+        if escaping:
+            self.findings.append(Finding(
+                checker="arena-aliasing", path=self.rel_path,
+                line=node.lineno,
+                ident=f"{self.func.name}:{escaping}",
+                message=f"{self.func.name} returns {ast.unparse(value)!r}, "
+                        "which aliases an arena buffer the next frame will "
+                        "overwrite — copy it out first "
+                        "(.copy() / np.array(..., copy=True))"))
+        self.generic_visit(node)
+
+    # Nested functions get their own scan; don't mix their locals in.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node is not self.func:
+            return
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+def scan_module(tree: ast.Module, rel_path: str) -> List[Finding]:
+    findings = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scanner = _FunctionScanner(node, rel_path)
+            scanner.visit(node)
+            findings.extend(scanner.findings)
+    return findings
+
+
+@register
+class ArenaAliasingChecker(Checker):
+    name = "arena-aliasing"
+    description = ("plan functions must not return expressions rooted in "
+                   "arena-acquired buffers without a copy")
+
+    def check(self, root: Path) -> Iterator[Finding]:
+        for rel_path in ARENA_TARGETS:
+            module_file = root / rel_path
+            if module_file.exists():
+                yield from scan_module(parse_file(module_file), rel_path)

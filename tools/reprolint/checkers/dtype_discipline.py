@@ -1,0 +1,128 @@
+"""dtype-discipline — no bare Python float scalars in kernel array math.
+
+The runtime's numerical contract is "the compute dtype is the plan dtype":
+a float32 plan must never silently widen to float64.  Under NEP-50 the
+easy way to lose that is mixing an untyped Python scalar into array
+arithmetic — an integer array divided by a bare ``0.5`` promotes to
+float64, and a ``float(...)``-typed scale multiplied into an int8 tensor
+does the same (the exact bug class PR 8 fixed by hand).  The repo idiom is
+to type every scalar at the use site: ``out.dtype.type(0)``,
+``np.float32(scale)``, ``x.dtype.type(negative_slope)``.
+
+Two syntactic rules, scoped to the kernel-path modules in
+``config.DTYPE_TARGETS``:
+
+* a bare *float* literal may not be an operand of an arithmetic binop
+  whose other operand is a name/attribute/subscript/call (array-valued in
+  these modules) — ``x * 0.5`` is flagged, ``x * x.dtype.type(0.5)`` is
+  not.  Integer literals are exempt: index/shape arithmetic is pervasive
+  and integers stay weak under NEP-50.
+* a bare float literal may not be passed directly to the dtype-sensitive
+  numpy callables in ``config.DTYPE_UFUNCS`` (``np.maximum(x, 0.0)``,
+  ``np.full(shape, 1.0)``, ...).
+
+Comparisons are deliberately out of scope (they produce bools; ``q >
+127.0`` in the jittable kernels is fine), as are literals already wrapped
+in a cast from ``config.DTYPE_CASTS``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List
+
+from ..config import DTYPE_CASTS, DTYPE_TARGETS, DTYPE_UFUNCS
+from ..core import Checker, Finding, parse_file, register
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod,
+              ast.Pow)
+
+_ARRAYISH = (ast.Name, ast.Attribute, ast.Subscript, ast.Call)
+
+
+def _is_bare_float(node: ast.expr) -> bool:
+    if (isinstance(node, ast.UnaryOp)
+            and isinstance(node.op, (ast.USub, ast.UAdd))):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+class _Scanner(ast.NodeVisitor):
+    def __init__(self, rel_path: str) -> None:
+        self.rel_path = rel_path
+        self.findings: List[Finding] = []
+        self._scope = "<module>"
+
+    def _emit(self, node: ast.AST, literal: float, context: str) -> None:
+        self.findings.append(Finding(
+            checker="dtype-discipline", path=self.rel_path, line=node.lineno,
+            ident=f"{self._scope}:{literal!r}",
+            message=f"bare float scalar {literal!r} {context} in "
+                    f"{self._scope} — type it at the use site "
+                    "(e.g. x.dtype.type(...) / np.float32(...)) so the "
+                    "compute dtype cannot widen"))
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        outer, self._scope = self._scope, node.name
+        self.generic_visit(node)
+        self._scope = outer
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, _ARITH_OPS):
+            for literal, other in ((node.left, node.right),
+                                   (node.right, node.left)):
+                if _is_bare_float(literal) and isinstance(other, _ARRAYISH):
+                    value = literal.operand.value if isinstance(
+                        literal, ast.UnaryOp) else literal.value
+                    self._emit(node, value,
+                               f"in arithmetic with {ast.unparse(other)!r}")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        if name in DTYPE_CASTS:
+            # Approved wrapper: do not descend into its literal arguments,
+            # but still scan nested calls (np.float32(x * 0.5) must flag
+            # the inner binop).
+            for arg in node.args:
+                if not isinstance(arg, ast.Constant):
+                    self.visit(arg)
+            return
+        if name in DTYPE_UFUNCS:
+            for arg in node.args:
+                if _is_bare_float(arg):
+                    value = arg.operand.value if isinstance(
+                        arg, ast.UnaryOp) else arg.value
+                    self._emit(arg, value, f"passed to {name}()")
+        self.generic_visit(node)
+
+
+def scan_module(tree: ast.Module, rel_path: str) -> List[Finding]:
+    scanner = _Scanner(rel_path)
+    scanner.visit(tree)
+    return scanner.findings
+
+
+@register
+class DtypeDisciplineChecker(Checker):
+    name = "dtype-discipline"
+    description = ("kernel-path modules must type every float scalar at the "
+                   "use site (NEP-50 float64-upcast bug class)")
+
+    def check(self, root: Path) -> Iterator[Finding]:
+        for rel_path in DTYPE_TARGETS:
+            module_file = root / rel_path
+            if module_file.exists():
+                yield from scan_module(parse_file(module_file), rel_path)

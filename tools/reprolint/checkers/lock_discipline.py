@@ -1,0 +1,164 @@
+"""lock-discipline — a lightweight static race detector for threaded classes.
+
+For every class in the threaded serving modules (``config.LOCK_TARGETS``)
+that creates locks in ``__init__`` (``self._lock = threading.Lock()`` /
+``RLock()``), the checker infers, per instance attribute, whether writes
+happen inside a ``with self._lock:`` block, outside one, or both.  An
+attribute written *both* under a lock and bare is almost always a race:
+either the bare site forgot the lock or the locked sites are wasted —
+both are worth a human look.
+
+Inference rules (all lexical, deliberately simple):
+
+* ``__init__`` writes are construction-time and never counted — objects
+  are published to other threads only after construction.
+* Any of the class's own locks counts as "locked" (classes with split
+  locks — ``_send_lock``, ``_publish_lock`` — guard disjoint state; which
+  lock guards which attribute is a finer discipline than this checker
+  enforces).
+* Methods named ``*_locked`` are called with a lock already held (the
+  repo convention, e.g. ``Scheduler._reject_locked``) — their writes
+  count as locked.
+* Lock attributes themselves, and ``+=``-style augmented writes, count
+  the same as plain assignments.
+
+Intentional lock-free designs (atomic reference swaps, monotonic
+timestamps read only for observability) belong in the baseline with a
+justification, not silently exempted here.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..config import LOCK_TARGETS
+from ..core import Checker, Finding, parse_file, register
+
+_LOCK_FACTORIES = {"Lock", "RLock"}
+
+
+def _self_attr(node: ast.expr) -> str:
+    """``self.x`` -> ``"x"``; anything else -> ``""``."""
+    if (isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return ""
+
+
+def _lock_attrs(class_node: ast.ClassDef) -> Set[str]:
+    """Attributes assigned a ``threading.Lock()``/``RLock()`` anywhere."""
+    locks: Set[str] = set()
+    for node in ast.walk(class_node):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not (isinstance(value, ast.Call)
+                and isinstance(value.func, (ast.Attribute, ast.Name))):
+            continue
+        name = (value.func.attr if isinstance(value.func, ast.Attribute)
+                else value.func.id)
+        if name in _LOCK_FACTORIES:
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr:
+                    locks.add(attr)
+    return locks
+
+
+def _is_own_lock(item: ast.expr, locks: Set[str]) -> bool:
+    return _self_attr(item) in locks
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Collect ``self.x`` writes in one method, split by lock context."""
+
+    def __init__(self, locks: Set[str], initially_locked: bool) -> None:
+        self.locks = locks
+        self.depth = 1 if initially_locked else 0
+        # attr -> list of (lineno, locked?)
+        self.writes: List[Tuple[str, int, bool]] = []
+
+    def _record(self, target: ast.expr, lineno: int) -> None:
+        attr = _self_attr(target)
+        if attr and attr not in self.locks:
+            self.writes.append((attr, lineno, self.depth > 0))
+
+    def visit_With(self, node: ast.With) -> None:
+        holds = any(_is_own_lock(item.context_expr, self.locks)
+                    for item in node.items)
+        if holds:
+            self.depth += 1
+        self.generic_visit(node)
+        if holds:
+            self.depth -= 1
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record(target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record(node.target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record(node.target, node.lineno)
+        self.generic_visit(node)
+
+
+def scan_class(class_node: ast.ClassDef, rel_path: str) -> List[Finding]:
+    locks = _lock_attrs(class_node)
+    if not locks:
+        return []
+    # attr -> {"locked": [(line, method)], "bare": [(line, method)]}
+    sites: Dict[str, Dict[str, List[Tuple[int, str]]]] = {}
+    for method in class_node.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if method.name == "__init__":
+            continue
+        scanner = _MethodScanner(locks, method.name.endswith("_locked"))
+        for stmt in method.body:
+            scanner.visit(stmt)
+        for attr, lineno, locked in scanner.writes:
+            entry = sites.setdefault(attr, {"locked": [], "bare": []})
+            entry["locked" if locked else "bare"].append(
+                (lineno, method.name))
+    findings = []
+    for attr, entry in sorted(sites.items()):
+        if entry["locked"] and entry["bare"]:
+            locked_at = ", ".join(f"{m}:{ln}" for ln, m in entry["locked"])
+            bare_at = ", ".join(f"{m}:{ln}" for ln, m in entry["bare"])
+            findings.append(Finding(
+                checker="lock-discipline", path=rel_path,
+                line=entry["bare"][0][0],
+                ident=f"{class_node.name}.{attr}",
+                message=f"{class_node.name}.{attr} is written under a lock "
+                        f"({locked_at}) and without one ({bare_at}) — hold "
+                        "the lock at every write site or baseline the "
+                        "lock-free design with a justification"))
+    return findings
+
+
+def scan_module(tree: ast.Module, rel_path: str) -> List[Finding]:
+    findings = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            findings.extend(scan_class(node, rel_path))
+    return findings
+
+
+@register
+class LockDisciplineChecker(Checker):
+    name = "lock-discipline"
+    description = ("shared instance attributes must be written under their "
+                   "class lock at every site (or be baselined lock-free)")
+
+    def check(self, root: Path) -> Iterator[Finding]:
+        for rel_path in LOCK_TARGETS:
+            module_file = root / rel_path
+            if module_file.exists():
+                yield from scan_module(parse_file(module_file), rel_path)

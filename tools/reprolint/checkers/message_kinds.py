@@ -1,0 +1,187 @@
+"""message-kinds — wire message kinds are named constants, and all handled.
+
+``src/repro/system/messages.py`` owns every wire kind as a module-level
+constant (``KIND_*`` for the base protocol, ``SHARD_KIND_*`` for the
+shard control channel, ``NODE_KIND_*`` for cluster nodes).  Two rules over
+the wire-speaking modules in ``config.KIND_SCOPE``:
+
+* **No raw literals.**  Outside ``messages.py``, a ``Message(kind=...)``
+  construction or a ``.kind`` comparison/membership test must use the
+  named constant, never the string literal — a typo'd literal compiles
+  fine and then silently never matches on the other end of the socket.
+  Literal *values* that are not known kinds are flagged too (an unknown
+  kind is either a typo or a constant someone forgot to declare).
+  ``x.dtype.kind`` chains are recognized and exempt (numpy dtype kind
+  codes are not wire kinds).
+* **Exhaustiveness.**  Every declared kind constant must reach at least
+  one dispatch site in scope — a comparison or membership test against a
+  ``.kind`` attribute, directly or through one of the ``*_KINDS`` tuples
+  ``messages.py`` groups them into.  A declared-but-never-dispatched kind
+  means a handler went missing (or dead protocol surface is accumulating).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from ..config import KIND_CONSTANTS_MODULE, KIND_SCOPE
+from ..core import Checker, Finding, parse_file, register
+
+_KIND_NAME_RE = re.compile(r"^(KIND|SHARD_KIND|NODE_KIND)_[A-Z0-9_]+$")
+_GROUP_NAME_RE = re.compile(r"^[A-Z0-9_]*_KINDS$")
+
+
+def collect_constants(tree: ast.Module
+                      ) -> Tuple[Dict[str, str], Dict[str, Set[str]]]:
+    """Kind constants and constant groups declared in ``messages.py``.
+
+    Returns ``(constants, groups)``: ``constants`` maps constant name to
+    its string value; ``groups`` maps tuple names like
+    ``SHARD_CONTROL_KINDS`` to the member constant names.
+    """
+    constants: Dict[str, str] = {}
+    groups: Dict[str, Set[str]] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if (_KIND_NAME_RE.match(target.id)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)):
+            constants[target.id] = node.value.value
+        elif (_GROUP_NAME_RE.match(target.id)
+                and isinstance(node.value, (ast.Tuple, ast.List, ast.Set))):
+            members = {elt.id for elt in node.value.elts
+                       if isinstance(elt, ast.Name)}
+            if members:
+                groups[target.id] = members
+    return constants, groups
+
+
+def _is_dtype_kind(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Attribute) and node.attr == "kind"
+            and isinstance(node.value, ast.Attribute)
+            and node.value.attr == "dtype")
+
+
+def _is_kind_attr(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Attribute) and node.attr == "kind"
+            and not _is_dtype_kind(node))
+
+
+class _Scanner(ast.NodeVisitor):
+    def __init__(self, rel_path: str, known_values: Set[str]) -> None:
+        self.rel_path = rel_path
+        self.known_values = known_values
+        self.findings: List[Finding] = []
+        #: constant names seen in a ``.kind`` dispatch, plus group names
+        #: used the same way.
+        self.dispatched: Set[str] = set()
+
+    def _flag_literal(self, node: ast.AST, literal: str,
+                      context: str) -> None:
+        hint = ("use its named constant from repro.system.messages"
+                if literal in self.known_values else
+                "declare a named constant for it in repro.system.messages")
+        self.findings.append(Finding(
+            checker="message-kinds", path=self.rel_path, line=node.lineno,
+            ident=literal,
+            message=f"raw message-kind string {literal!r} {context} — "
+                    f"{hint}"))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name = (func.attr if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else "")
+        if name == "Message":
+            for keyword in node.keywords:
+                if (keyword.arg == "kind"
+                        and isinstance(keyword.value, ast.Constant)
+                        and isinstance(keyword.value.value, str)):
+                    self._flag_literal(keyword.value, keyword.value.value,
+                                       "in Message(kind=...)")
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        sides = [node.left, *node.comparators]
+        if any(_is_kind_attr(side) for side in sides):
+            for side in sides:
+                if isinstance(side, ast.Constant) and isinstance(side.value,
+                                                                 str):
+                    self._flag_literal(side, side.value,
+                                       "compared against .kind")
+                elif isinstance(side, (ast.Tuple, ast.List, ast.Set)):
+                    for elt in side.elts:
+                        if (isinstance(elt, ast.Constant)
+                                and isinstance(elt.value, str)):
+                            self._flag_literal(elt, elt.value,
+                                               "compared against .kind")
+                        elif isinstance(elt, ast.Name):
+                            self.dispatched.add(elt.id)
+                elif isinstance(side, ast.Name):
+                    self.dispatched.add(side.id)
+                elif isinstance(side, ast.Attribute) and not _is_kind_attr(
+                        side) and not _is_dtype_kind(side):
+                    self.dispatched.add(side.attr)
+        self.generic_visit(node)
+
+
+def scan_file(tree: ast.Module, rel_path: str, known_values: Set[str]
+              ) -> Tuple[List[Finding], Set[str]]:
+    """Scan one module; returns ``(findings, dispatched_constant_names)``."""
+    scanner = _Scanner(rel_path, known_values)
+    scanner.visit(tree)
+    return scanner.findings, scanner.dispatched
+
+
+def undispatched_constants(constants: Dict[str, str],
+                           groups: Dict[str, Set[str]],
+                           dispatched: Set[str]) -> Sequence[str]:
+    """Constant names with no dispatch site, after expanding group names."""
+    covered = set(dispatched)
+    for group, members in groups.items():
+        if group in dispatched:
+            covered |= members
+    return sorted(name for name in constants if name not in covered)
+
+
+@register
+class MessageKindsChecker(Checker):
+    name = "message-kinds"
+    description = ("wire kinds are produced/dispatched via the named "
+                   "constants of system/messages.py, and every kind is "
+                   "handled somewhere")
+
+    def check(self, root: Path) -> Iterator[Finding]:
+        constants_file = root / KIND_CONSTANTS_MODULE
+        if not constants_file.exists():
+            yield Finding(
+                checker=self.name, path=KIND_CONSTANTS_MODULE, line=0,
+                ident="missing-file",
+                message="wire-constant module missing — update "
+                        "tools/reprolint/config.py if it moved")
+            return
+        constants, groups = collect_constants(parse_file(constants_file))
+        known_values = set(constants.values())
+        dispatched: Set[str] = set()
+        for rel_path in KIND_SCOPE:
+            module_file = root / rel_path
+            if not module_file.exists():
+                continue
+            findings, seen = scan_file(parse_file(module_file), rel_path,
+                                       known_values)
+            yield from findings
+            dispatched |= seen
+        for name in undispatched_constants(constants, groups, dispatched):
+            yield Finding(
+                checker=self.name, path=KIND_CONSTANTS_MODULE, line=0,
+                ident=f"undispatched:{name}",
+                message=f"kind constant {name} ({constants[name]!r}) never "
+                        "reaches a .kind dispatch site in the wire-speaking "
+                        "modules — dead protocol surface or a missing "
+                        "handler")

@@ -1,0 +1,120 @@
+"""Declarative per-module configuration for the reprolint checkers.
+
+Everything a checker needs to know about *this* repository lives here —
+the checkers themselves are generic AST rules.  Paths are repo-relative
+posix strings so baseline keys and reports are machine-independent.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SYSTEM = "src/repro/system"
+RUNTIME = "src/repro/runtime"
+SERVING = "src/repro/serving"
+
+# ----------------------------------------------------------------------
+# layering: module -> in-repo import allowlist.
+# ----------------------------------------------------------------------
+# The standard library is always allowed; an entry allows the module and
+# any of its submodules.  Imports under ``if TYPE_CHECKING:`` are ignored
+# (they never execute, so they cannot re-couple layers at runtime).
+#
+# The tiering this encodes (lowest first):
+#   messages (wire format)  ->  transport / scheduler (no engine, no
+#   compute)  ->  runtime kernels/arena (pure array code)  ->  plan /
+#   backends / quantize (compiled runtime)  ->  engine (system tier)  ->
+#   serving (top).  Nothing below the serving tier may import it — the
+#   known, justified exception (the shard worker bootstrap in
+#   runtime/shard.py rebuilds a serving repository by design) is
+#   grandfathered in baseline.json rather than allowed here.
+LAYERING_RULES = {
+    f"{SYSTEM}/messages.py": {"numpy"},
+    f"{SYSTEM}/transport.py": {"repro.system.messages"},
+    f"{SYSTEM}/scheduler.py": {"repro.system.messages"},
+    f"{SYSTEM}/engine.py": {"numpy", "repro.core", "repro.system"},
+    f"{RUNTIME}/arena.py": {"numpy"},
+    f"{RUNTIME}/kernels.py": {"numpy", "repro.graph"},
+    f"{RUNTIME}/backends.py": {"numpy", "numba", "repro.runtime"},
+    f"{RUNTIME}/quantize.py": {"numpy", "repro.graph", "repro.runtime"},
+    f"{RUNTIME}/plan.py": {"numpy", "repro.gnn", "repro.graph", "repro.nn",
+                           "repro.runtime"},
+    f"{RUNTIME}/shard.py": {"numpy", "repro.core", "repro.runtime",
+                            "repro.system"},
+    f"{RUNTIME}/node.py": {"numpy", "repro.core", "repro.runtime",
+                           "repro.system"},
+    f"{SERVING}/config.py": {"numpy", "repro.core", "repro.runtime",
+                             "repro.system"},
+    f"{SERVING}/builders.py": {"repro.core", "repro.serving"},
+    f"{SERVING}/repository.py": {"repro.core", "repro.serving"},
+    f"{SERVING}/sharding.py": {"repro.core", "repro.runtime", "repro.system",
+                               "repro.serving"},
+    f"{SERVING}/cluster.py": {"repro.core", "repro.runtime", "repro.system",
+                              "repro.serving"},
+    f"{SERVING}/app.py": {"repro.core", "repro.system", "repro.serving"},
+}
+
+# ----------------------------------------------------------------------
+# dtype-discipline: modules whose array arithmetic must not mix in bare
+# Python float scalars (the NEP-50 float64-upcast bug class from PR 8).
+# ----------------------------------------------------------------------
+DTYPE_TARGETS = (
+    f"{RUNTIME}/kernels.py",
+    f"{RUNTIME}/plan.py",
+    f"{RUNTIME}/quantize.py",
+    f"{RUNTIME}/backends.py",
+)
+
+#: numpy callables where a bare float argument silently sets the result
+#: dtype (ufunc-style broadcasting against whatever array rides along).
+DTYPE_UFUNCS = frozenset({
+    "maximum", "minimum", "clip", "where", "add", "subtract", "multiply",
+    "divide", "true_divide", "power", "fmax", "fmin", "hypot", "mod",
+    "remainder", "copysign", "nextafter", "full", "full_like",
+})
+
+#: Wrappers that make a scalar's dtype explicit — literals inside these
+#: calls are the *approved* idiom, never flagged.
+DTYPE_CASTS = frozenset({
+    "float32", "float64", "float16", "int8", "int16", "int32", "int64",
+    "uint8", "uint16", "uint32", "uint64", "type", "dtype",
+})
+
+# ----------------------------------------------------------------------
+# lock-discipline: threaded modules whose classes guard shared state with
+# ``with self._lock:`` blocks.
+# ----------------------------------------------------------------------
+LOCK_TARGETS = (
+    f"{SYSTEM}/engine.py",
+    f"{SYSTEM}/scheduler.py",
+    f"{SERVING}/sharding.py",
+    f"{SERVING}/cluster.py",
+    f"{SERVING}/repository.py",
+)
+
+# ----------------------------------------------------------------------
+# message-kinds: the wire-constant module and every module that speaks
+# the wire protocol (produces or dispatches Message kinds).
+# ----------------------------------------------------------------------
+KIND_CONSTANTS_MODULE = f"{SYSTEM}/messages.py"
+
+KIND_SCOPE = (
+    f"{SYSTEM}/engine.py",
+    f"{SYSTEM}/transport.py",
+    f"{SYSTEM}/scheduler.py",
+    f"{RUNTIME}/shard.py",
+    f"{RUNTIME}/node.py",
+    f"{SERVING}/sharding.py",
+    f"{SERVING}/cluster.py",
+    f"{SERVING}/app.py",
+)
+
+# ----------------------------------------------------------------------
+# arena-aliasing: modules whose functions take buffers from a BufferArena
+# and must never return them uncopied.
+# ----------------------------------------------------------------------
+ARENA_TARGETS = (
+    f"{RUNTIME}/plan.py",
+)

@@ -1,0 +1,103 @@
+"""Checker registry and shared plumbing for reprolint.
+
+A *checker* inspects the repository's source ASTs and yields
+:class:`Finding` objects.  Checkers never import repository code — every
+rule is syntactic, so the lint runs in milliseconds with no dependencies
+beyond the standard library and survives a half-broken tree (the exact
+state in which a lint is most useful).
+
+Every finding carries a *stable key* (``checker:path:ident``) that
+deliberately excludes the line number, so a baseline entry keeps matching
+while unrelated edits move code around.  See :mod:`tools.reprolint.baseline`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one site.
+
+    ``ident`` is the checker-specific stable identifier used for baseline
+    keying (an imported module name, a ``Class.attr`` pair, a message-kind
+    literal, ...) — never a line number.
+    """
+
+    checker: str
+    path: str  # repo-relative posix path
+    line: int
+    ident: str
+    message: str
+
+    @property
+    def key(self) -> str:
+        return f"{self.checker}:{self.path}:{self.ident}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.checker}] {self.message}"
+
+
+class Checker:
+    """Base class for reprolint checkers.
+
+    Subclasses set ``name``/``description`` and implement :meth:`check`,
+    yielding findings for the live repository rooted at ``root``.  The
+    per-file scan logic should live in module-level functions so the
+    fixture tests can run it against arbitrary snippets.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, root: Path) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+REGISTRY: Dict[str, Checker] = {}
+
+
+def register(cls: Callable[[], Checker]) -> Callable[[], Checker]:
+    """Class decorator adding a checker (by its ``name``) to the registry."""
+    checker = cls()
+    if not checker.name:
+        raise ValueError(f"checker {cls!r} has no name")
+    if checker.name in REGISTRY:
+        raise ValueError(f"duplicate checker name {checker.name!r}")
+    REGISTRY[checker.name] = checker
+    return cls
+
+
+_TREE_CACHE: Dict[Path, ast.Module] = {}
+
+
+def parse_file(path: Path) -> ast.Module:
+    """Parse ``path`` into an AST (cached — several checkers share files)."""
+    tree = _TREE_CACHE.get(path)
+    if tree is None:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        _TREE_CACHE[path] = tree
+    return tree
+
+
+def run_checkers(root: Path, names: Iterable[str] = ()) -> List[Finding]:
+    """Run the named checkers (all registered ones by default) over ``root``.
+
+    Findings come back sorted by path/line for deterministic reports.
+    """
+    from . import checkers  # noqa: F401  (importing registers the checkers)
+
+    selected = list(names) or sorted(REGISTRY)
+    unknown = [name for name in selected if name not in REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown checker(s) {unknown!r} "
+                       f"(registered: {sorted(REGISTRY)})")
+    findings: List[Finding] = []
+    for name in selected:
+        findings.extend(REGISTRY[name].check(root))
+    findings.sort(key=lambda f: (f.path, f.line, f.checker, f.ident))
+    return findings

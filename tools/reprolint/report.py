@@ -1,0 +1,67 @@
+"""Human and JSON report rendering for reprolint runs."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .baseline import BaselineEntry
+from .core import REGISTRY, Finding
+
+
+def human_report(new: Sequence[Finding], baselined: Sequence[Finding],
+                 stale: Sequence[BaselineEntry], checkers: Sequence[str]
+                 ) -> str:
+    lines: List[str] = []
+    if new:
+        lines.append(f"{len(new)} finding(s):")
+        for finding in new:
+            lines.append(f"  {finding.render()}")
+    if baselined:
+        lines.append(f"{len(baselined)} baselined finding(s) "
+                     "(accepted with justification, not failing):")
+        for finding in baselined:
+            lines.append(f"  {finding.render()}")
+    if stale:
+        lines.append(f"{len(stale)} stale baseline entr(y/ies) — no current "
+                     "finding matches; remove from baseline.json:")
+        for entry in stale:
+            lines.append(f"  {entry.key}")
+    if not new:
+        lines.append(f"reprolint clean ({', '.join(checkers)})")
+    return "\n".join(lines)
+
+
+def json_report(new: Sequence[Finding], baselined: Sequence[Finding],
+                stale: Sequence[BaselineEntry], checkers: Sequence[str],
+                justifications: Dict[str, str]) -> str:
+    def encode(finding: Finding, is_baselined: bool) -> dict:
+        entry = {
+            "checker": finding.checker,
+            "path": finding.path,
+            "line": finding.line,
+            "key": finding.key,
+            "message": finding.message,
+            "baselined": is_baselined,
+        }
+        if is_baselined:
+            entry["justification"] = justifications.get(finding.key, "")
+        return entry
+
+    report = {
+        "version": 1,
+        "checkers": [
+            {"name": name, "description": REGISTRY[name].description}
+            for name in checkers
+        ],
+        "findings": ([encode(f, False) for f in new]
+                     + [encode(f, True) for f in baselined]),
+        "stale_baseline_entries": [e.key for e in stale],
+        "summary": {
+            "new": len(new),
+            "baselined": len(baselined),
+            "stale_baseline_entries": len(stale),
+            "clean": not new,
+        },
+    }
+    return json.dumps(report, indent=2, sort_keys=False)
