@@ -93,6 +93,12 @@ class NodeStats:
     #: Last heartbeat round-trip in milliseconds; ``None`` before the
     #: first pong (or after the node died).
     rtt_ms: Optional[float]
+    #: Times this slot was reconnected/respawned (0 = original connection).
+    restarts: int = 0
+    #: True once the supervisor stopped respawning this slot (crash loop).
+    quarantined: bool = False
+    #: Why the node behind this slot most recently died, if it ever did.
+    last_death_reason: Optional[str] = None
 
 
 def bootstrap_meta(repository) -> Dict:
@@ -305,6 +311,22 @@ class NodeProcess:
         if self._process is not None and self._process.is_alive():
             self._process.kill()
             self._process.join(timeout=10.0)
+
+    def restart(self, timeout: float = 30.0) -> "NodeProcess":
+        """Respawn a dead node on the address it previously bound.
+
+        The listener binds with ``SO_REUSEADDR``, so rebinding the same
+        port immediately after a crash is safe — the router's configured
+        ``host:port`` for this slot stays valid across the respawn.  The
+        fresh process starts *empty* exactly like the original; the
+        router's reconnect handshake replays the current snapshot.
+        """
+        if self.alive():
+            return self
+        if self.port is not None:
+            self._requested_port = self.port
+        self._process = None
+        return self.start(timeout=timeout)
 
     def stop(self) -> None:
         if self._process is None:

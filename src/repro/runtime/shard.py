@@ -131,6 +131,12 @@ class ShardStats:
     bytes_from_shard: int
     #: Snapshot version the shard last acknowledged.
     snapshot_version: int
+    #: Times this slot was respawned by the supervisor (0 = original worker).
+    restarts: int = 0
+    #: True once the supervisor stopped respawning this slot (crash loop).
+    quarantined: bool = False
+    #: Why the worker behind this slot most recently died, if it ever did.
+    last_death_reason: Optional[str] = None
 
 
 # ----------------------------------------------------------------------

@@ -41,6 +41,11 @@ Layer map
   :class:`ClusterConfig`-enabled app; frames travel to TCP replica nodes
   (:mod:`repro.runtime.node`) with heartbeat failover, least-loaded or
   consistent-hash routing, and publish-ack-before-swap zoo replication.
+* :mod:`repro.serving.supervisor` — :class:`Supervisor`: self-healing for
+  both pool tiers behind a :class:`SupervisorConfig`-enabled app — dead
+  shard/node respawn with jittered exponential backoff and crash-loop
+  quarantine; pairs with the client-side :class:`RetryPolicy` so worker
+  deaths stay invisible to callers.
 
 The engine primitives (:class:`~repro.system.engine.EdgeServer`,
 :class:`~repro.system.engine.DeviceClient`) stay available in
@@ -58,10 +63,11 @@ from .app import Client, ServingApp, serve
 from .builders import build_callables, build_zoo_callables
 from .cluster import ClusterPool
 from .config import (BatchingConfig, ClientConfig, ClusterConfig, QosConfig,
-                     RuntimeConfig, ServerConfig, ServingConfig,
-                     ShardingConfig)
+                     RetryPolicy, RuntimeConfig, ServerConfig, ServingConfig,
+                     ShardingConfig, SupervisorConfig)
 from .repository import SNAPSHOT_META_KEY, ModelRepository, ServingSnapshot
 from .sharding import ShardPool, sharding_supported
+from .supervisor import Supervisor
 
 __all__ = [
     "BatchingConfig",
@@ -74,6 +80,7 @@ __all__ = [
     "NodeStats",
     "QosConfig",
     "RequestRejectedError",
+    "RetryPolicy",
     "RuntimeConfig",
     "SNAPSHOT_META_KEY",
     "ServerConfig",
@@ -85,6 +92,8 @@ __all__ = [
     "ShardPool",
     "ShardStats",
     "ShardingConfig",
+    "Supervisor",
+    "SupervisorConfig",
     "available_backends",
     "build_callables",
     "build_zoo_callables",

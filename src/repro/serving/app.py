@@ -34,6 +34,7 @@ from .cluster import ClusterPool
 from .config import ClientConfig, RuntimeConfig, ServingConfig
 from .repository import ModelRepository
 from .sharding import ShardPool, sharding_supported
+from .supervisor import Supervisor
 
 
 def _as_serving_config(config: Union[ServingConfig, Mapping, None]
@@ -65,12 +66,28 @@ class ServingApp:
     """
 
     def __init__(self, repository: ModelRepository,
-                 config: Union[ServingConfig, Mapping, None] = None) -> None:
+                 config: Union[ServingConfig, Mapping, None] = None, *,
+                 node_processes: Optional[Sequence] = None) -> None:
         self.repository = repository
         self.config = _as_serving_config(config)
+        # NodeProcess replicas the *app* owns (started by the caller and
+        # handed over so the supervisor may respawn them).  Matched to
+        # cluster slots by "host:port" address; processes serving addresses
+        # outside config.cluster.nodes are rejected up front — a typo here
+        # would silently leave a replica unsupervised.
+        self._node_processes = list(node_processes or [])
+        if self._node_processes:
+            configured = set(self.config.cluster.nodes)
+            unknown = [p.address for p in self._node_processes
+                       if p.address not in configured]
+            if unknown:
+                raise ValueError(
+                    f"node_processes serve addresses absent from "
+                    f"config.cluster.nodes: {unknown}")
         self._server: Optional[EdgeServer] = None
         self._pool: Optional[ShardPool] = None
         self._cluster: Optional[ClusterPool] = None
+        self._supervisor: Optional[Supervisor] = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -210,6 +227,18 @@ class ServingApp:
         # repository; shard replication is already covered by the preparer
         # registered above).
         self._on_publish(self.repository.snapshot())
+        if (self.config.supervisor.enabled
+                and (self._pool is not None or self._cluster is not None)):
+            # Match app-owned node processes to their cluster slot index so
+            # the supervisor can respawn the right process for a dead slot.
+            by_address = {p.address: p for p in self._node_processes}
+            owned = {index: by_address[address]
+                     for index, address in
+                     enumerate(self.config.cluster.nodes)
+                     if address in by_address}
+            self._supervisor = Supervisor(
+                self.config.supervisor, shard_pool=self._pool,
+                cluster_pool=self._cluster, node_processes=owned).start()
         return self
 
     def _edge_fns(self):
@@ -246,6 +275,11 @@ class ServingApp:
         """The cluster pool behind this app (``None`` when not clustered)."""
         return self._cluster
 
+    @property
+    def supervisor(self) -> Optional[Supervisor]:
+        """The self-healing monitor (``None`` unless enabled and pooled)."""
+        return self._supervisor
+
     def _on_publish(self, snapshot) -> None:
         """Install the new snapshot's entry names on the live server.
 
@@ -264,10 +298,18 @@ class ServingApp:
                              selector=self.repository.select_for_meta)
 
     def stop(self) -> None:
-        """Stop serving and close the app (idempotent)."""
+        """Stop serving and close the app (idempotent).
+
+        The supervisor stops *first*: once the pools start tearing down,
+        every worker looks dead, and a respawn racing the teardown would
+        at best be wasted work (the pools abort it on their lifecycle
+        flag) and at worst delay shutdown by a full respawn budget.
+        """
         if self._closed:
             return
         self._closed = True
+        if self._supervisor is not None:
+            self._supervisor.stop()
         self.repository.unsubscribe(self._on_publish)
         if self._pool is not None:
             self.repository.remove_preparer(self._pool.prepare_publish)
@@ -370,7 +412,8 @@ class Client:
             wire_dtype=self.config.numpy_wire_dtype,
             deadline_ms=self.config.deadline_ms,
             priority=self.config.priority,
-            on_rejected=self.config.on_rejected)
+            on_rejected=self.config.on_rejected,
+            retry_policy=self.config.retry)
         return self
 
     def stop(self) -> None:
@@ -431,7 +474,8 @@ class Client:
 def serve(zoo: ArchitectureZoo,
           config: Union[ServingConfig, Mapping, None] = None, *,
           in_dim: int, num_classes: int, seed: int = 0,
-          repository: Optional[ModelRepository] = None) -> ServingApp:
+          repository: Optional[ModelRepository] = None,
+          node_processes: Optional[Sequence] = None) -> ServingApp:
     """One-liner: publish ``zoo`` and start serving it.
 
     Builds a :class:`~repro.serving.repository.ModelRepository` (honoring
@@ -439,6 +483,9 @@ def serve(zoo: ArchitectureZoo,
     *started* :class:`ServingApp` — use it as a context manager (or call
     ``stop()``) to tear the server down.  Pass an existing ``repository``
     to serve one repository from several apps or to pre-publish snapshots.
+    ``node_processes`` hands app-started :class:`~repro.runtime.node.
+    NodeProcess` replicas to the app so an enabled supervisor can respawn
+    them (matched to ``config.cluster.nodes`` by address).
     """
     config = _as_serving_config(config)
     if repository is None:
@@ -462,4 +509,5 @@ def serve(zoo: ArchitectureZoo,
                 "repository's seed")
     if repository.version == 0 or zoo is not repository.snapshot().zoo:
         repository.publish(zoo)
-    return ServingApp(repository, config).start()
+    return ServingApp(repository, config,
+                      node_processes=node_processes).start()

@@ -93,6 +93,9 @@ class _Node:
         self.request_timeout_s = request_timeout_s
         self.ready = threading.Event()
         self.ready_error: Optional[str] = None
+        #: Why this incarnation died (set once by ``mark_crashed``);
+        #: ``None`` while it lives.
+        self.death_reason: Optional[str] = None
         self._sock: Optional[socket.socket] = None
         self._reader: Optional[threading.Thread] = None
         self._lock = threading.Lock()
@@ -188,6 +191,7 @@ class _Node:
             pending = list(self._pending.values())
             self._pending.clear()
             self.errors += len(pending)
+        self.death_reason = reason
         self.ready_error = self.ready_error or reason
         self.ready.set()  # wake a wait_ready() on a node that died
         self._close_socket()
@@ -481,6 +485,11 @@ class ClusterPool:
         self._started = False
         self._stopped = False
         self._publish_lock = threading.Lock()
+        # Slot-level supervision bookkeeping that must survive _Node
+        # replacement (a reconnect swaps the object, not the slot).
+        self._restarts: List[int] = [0] * len(config.nodes)
+        self._quarantine: List[Optional[str]] = [None] * len(config.nodes)
+        self._death_reasons: List[Optional[str]] = [None] * len(config.nodes)
         # The bootstrap hello of the *latest replicated* snapshot: kept
         # current by prepare_publish so a node reconnecting in the window
         # between fleet replication and the parent's swap still receives
@@ -701,17 +710,21 @@ class ClusterPool:
                         node.send_ping()
                 elif (self.config.reconnect_s is not None
                       and node.died_at is not None
+                      and self._quarantine[index] is None
                       and now - node.died_at >= self.config.reconnect_s):
                     self._try_reconnect(index, node)
 
-    def _try_reconnect(self, index: int, old: _Node) -> None:
+    def _try_reconnect(self, index: int, old: _Node) -> bool:
         """Redial a dead node; it rejoins routing only after a full re-sync.
 
         Runs under the publish lock so a reconnect can never interleave
         with fleet replication: the hello the node receives is always the
         latest replicated snapshot, and a publish broadcast sees either the
-        dead node (skipped) or the fully re-synced replacement.
+        dead node (skipped) or the fully re-synced replacement.  Returns
+        True when the replacement entered rotation.
         """
+        self._death_reasons[index] = (old.death_reason
+                                      or self._death_reasons[index])
         replacement = _Node(old.node_id, old.address,
                             request_timeout_s=self.config.request_timeout_s)
         try:
@@ -721,14 +734,65 @@ class ClusterPool:
                 replacement.wait_ready(self.config.connect_timeout_s)
                 replacement.carry_counters(old)
                 self._nodes[index] = replacement
+                self._restarts[index] += 1
+            return True
         except Exception:
             replacement.stop()
             old.died_at = time.monotonic()  # back off before the next try
+            return False
+
+    # ------------------------------------------------------------------
+    # Self-healing (driven by repro.serving.supervisor)
+    # ------------------------------------------------------------------
+    def reconnect_node(self, index: int) -> bool:
+        """Redial slot ``index`` now, bypassing the ``reconnect_s`` pacing.
+
+        The supervisor's entry point after it has respawned the node
+        *process* behind the address: the re-handshake replays the latest
+        replicated snapshot under the publish lock (the same path the
+        heartbeat-driven reconnect takes), so the rejoined node can never
+        serve a version it missed while dead.  Returns True when the node
+        is back in rotation.
+        """
+        node = self._nodes[index]
+        if node.alive:
+            return True
+        if self._quarantine[index] is not None:
+            return False
+        return self._try_reconnect(index, node)
+
+    def set_quarantined(self, index: int, reason: str) -> None:
+        """Mark slot ``index`` crash-looping: no further reconnects, ever.
+
+        Both reconnect paths honor the flag — the supervisor's explicit
+        :meth:`reconnect_node` and the heartbeat loop's ``reconnect_s``
+        redial.
+        """
+        self._quarantine[index] = reason
+
+    def quarantine_reason(self, index: int) -> Optional[str]:
+        return self._quarantine[index]
+
+    def restarts(self, index: int) -> int:
+        return self._restarts[index]
 
     # ------------------------------------------------------------------
     def stats(self) -> List[NodeStats]:
-        """Per-node counters (router-side view), node order preserved."""
-        return [node.stats() for node in self._nodes]
+        """Per-node counters (router-side view), node order preserved.
+
+        Slot-level supervision fields (``restarts``, ``quarantined``,
+        ``last_death_reason``) survive node replacement: they live on the
+        pool, not on the ``_Node`` they describe.
+        """
+        folded = []
+        for index, node in enumerate(self._nodes):
+            stats = node.stats()
+            stats.restarts = self._restarts[index]
+            stats.quarantined = self._quarantine[index] is not None
+            stats.last_death_reason = (node.death_reason
+                                       or self._death_reasons[index])
+            folded.append(stats)
+        return folded
 
     def live_count(self) -> int:
         return sum(1 for node in self._nodes if node.alive)

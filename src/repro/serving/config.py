@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple, Type
 
@@ -529,6 +530,176 @@ class QosConfig(_Config):
 
 
 @dataclass(frozen=True)
+class RetryPolicy(_Config):
+    """Client-side resilience: bounded, jittered retry of failed frames.
+
+    ``max_retries=0`` (the default) preserves the historical behavior —
+    every rejection or connection failure surfaces immediately.  With
+    ``max_retries > 0`` the client re-submits a frame after a server
+    rejection (honoring the server's ``retry_after_ms`` hint) or, when
+    ``retry_connection_errors`` is on, after a server-side crash error
+    (``ShardCrashedError`` / ``NodeCrashedError`` — both
+    ``ConnectionError`` subclasses).  Re-submission is safe because frame
+    execution is pure: an edge callable maps input arrays to output
+    arrays with no server-side state mutation, so running a frame twice
+    can only cost time, never correctness (pinned by
+    ``tests/test_serving_retry.py``).
+
+    Parameters
+    ----------
+    max_retries:
+        Retry budget per frame (re-submissions beyond the first attempt).
+        ``0`` disables retries entirely.
+    backoff_ms:
+        Base delay before the first retry.  Each subsequent retry
+        multiplies it by ``backoff_multiplier`` (capped at
+        ``max_backoff_ms``); the server's ``retry_after_ms`` hint acts as
+        a floor on rejection retries.
+    backoff_multiplier:
+        Exponential growth factor of the delay between retries.
+    max_backoff_ms:
+        Upper bound on any single retry delay.
+    jitter:
+        Fraction of the delay randomized symmetrically (``0.1`` = ±10%)
+        so a fleet of rejected clients does not retry in lockstep.
+    retry_connection_errors:
+        Also retry frames that failed with a server-side
+        ``ConnectionError`` (crashed shard/node) rather than only
+        admission-control rejections.
+
+    Retries never outlive the client's ``deadline_ms``: a retry whose
+    delay would land past the frame's deadline is not attempted and the
+    original error surfaces instead.
+    """
+
+    max_retries: int = 0
+    backoff_ms: float = 25.0
+    backoff_multiplier: float = 2.0
+    max_backoff_ms: float = 2000.0
+    jitter: float = 0.1
+    retry_connection_errors: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "max_retries",
+                           _check_int(self.max_retries, knob="max_retries",
+                                      minimum=0))
+        object.__setattr__(self, "backoff_ms",
+                           _check_number(self.backoff_ms, knob="backoff_ms",
+                                         minimum=0.0))
+        object.__setattr__(self, "backoff_multiplier",
+                           _check_number(self.backoff_multiplier,
+                                         knob="backoff_multiplier",
+                                         minimum=1.0))
+        object.__setattr__(self, "max_backoff_ms",
+                           _check_number(self.max_backoff_ms,
+                                         knob="max_backoff_ms", minimum=0.0))
+        jitter = _check_number(self.jitter, knob="jitter", minimum=0.0)
+        if jitter > 1.0:
+            raise ValueError(f"jitter must be at most 1.0, got {jitter}")
+        object.__setattr__(self, "jitter", jitter)
+        object.__setattr__(self, "retry_connection_errors",
+                           bool(self.retry_connection_errors))
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_retries > 0
+
+    def delay_ms(self, attempt: int, *, floor_ms: float = 0.0,
+                 rand=random.random) -> float:
+        """Jittered exponential delay before retry ``attempt`` (1-based).
+
+        ``floor_ms`` is the server's ``retry_after_ms`` hint — the delay
+        never undercuts it (jitter applies on top of whichever is larger).
+        """
+        base = min(self.backoff_ms * self.backoff_multiplier ** (attempt - 1),
+                   self.max_backoff_ms)
+        base = max(base, floor_ms)
+        if self.jitter:
+            base *= 1.0 + self.jitter * (2.0 * rand() - 1.0)
+        return max(base, 0.0)
+
+
+@dataclass(frozen=True)
+class SupervisorConfig(_Config):
+    """Self-healing supervision of shard workers and cluster node replicas.
+
+    ``enabled=False`` (the default) preserves the historical behavior: a
+    dead worker is routed around but never respawned.  With the
+    supervisor on, a :class:`~repro.serving.ServingApp` runs a monitor
+    thread that respawns dead shard workers (and app-owned
+    :class:`~repro.runtime.node.NodeProcess` replicas) with jittered
+    exponential backoff, replaying the current repository snapshot into
+    each fresh worker before it re-enters rotation; a worker that dies
+    ``quarantine_deaths`` times within ``quarantine_window_s`` seconds is
+    quarantined — never respawned again — with the reason surfaced in
+    stats.  See :mod:`repro.serving.supervisor`.
+
+    Parameters
+    ----------
+    enabled:
+        Turn the supervisor thread on.
+    poll_interval_s:
+        How often the monitor scans worker health.
+    backoff_initial_s:
+        Delay before the first respawn of a freshly dead worker.
+    backoff_multiplier:
+        Exponential growth of the respawn delay on consecutive deaths.
+    backoff_max_s:
+        Upper bound on any single respawn delay.
+    backoff_jitter:
+        Fraction of the delay randomized symmetrically (``0.1`` = ±10%).
+    quarantine_deaths:
+        Deaths within the window that trigger quarantine (K).
+    quarantine_window_s:
+        Width of the crash-loop detection window in seconds (W).
+    respawn_timeout_s:
+        Bound on one respawn: process start + snapshot replay + ready ack.
+    """
+
+    enabled: bool = False
+    poll_interval_s: float = 0.05
+    backoff_initial_s: float = 0.1
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 5.0
+    backoff_jitter: float = 0.1
+    quarantine_deaths: int = 3
+    quarantine_window_s: float = 30.0
+    respawn_timeout_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "enabled", bool(self.enabled))
+        for knob in ("poll_interval_s", "backoff_initial_s",
+                     "backoff_max_s", "quarantine_window_s",
+                     "respawn_timeout_s"):
+            object.__setattr__(self, knob,
+                               _check_number(getattr(self, knob), knob=knob,
+                                             minimum=0.0, inclusive=False))
+        object.__setattr__(self, "backoff_multiplier",
+                           _check_number(self.backoff_multiplier,
+                                         knob="backoff_multiplier",
+                                         minimum=1.0))
+        jitter = _check_number(self.backoff_jitter, knob="backoff_jitter",
+                               minimum=0.0)
+        if jitter > 1.0:
+            raise ValueError(f"backoff_jitter must be at most 1.0, "
+                             f"got {jitter}")
+        object.__setattr__(self, "backoff_jitter", jitter)
+        object.__setattr__(self, "quarantine_deaths",
+                           _check_int(self.quarantine_deaths,
+                                      knob="quarantine_deaths", minimum=1))
+
+    def backoff_s(self, consecutive_deaths: int, *,
+                  rand=random.random) -> float:
+        """Jittered exponential respawn delay after ``consecutive_deaths``."""
+        exponent = max(consecutive_deaths - 1, 0)
+        base = min(self.backoff_initial_s * self.backoff_multiplier ** exponent,
+                   self.backoff_max_s)
+        if self.backoff_jitter:
+            base *= 1.0 + self.backoff_jitter * (2.0 * rand() - 1.0)
+        return max(base, 0.0)
+
+
+@dataclass(frozen=True)
 class ServerConfig(_Config):
     """Socket and worker-pool knobs of the :class:`~repro.system.engine.EdgeServer`.
 
@@ -583,6 +754,13 @@ class ClientConfig(_Config):
     whether a shed frame raises :class:`~repro.serving.RequestRejectedError`
     (``"raise"``, default) or is silently dropped and counted
     (``"drop"``).
+
+    ``retry`` attaches a :class:`RetryPolicy`: with ``max_retries > 0``
+    the client transparently re-submits rejected frames (honoring the
+    server's ``retry_after_ms``) and, optionally, frames lost to a
+    server-side crash, within a deadline-aware budget.  Retries apply
+    only under ``on_rejected="raise"`` semantics — ``"drop"`` keeps its
+    historical shed-and-count behavior untouched.
     """
 
     wire_format: str = WIRE_FORMAT_ZLIB
@@ -593,8 +771,17 @@ class ClientConfig(_Config):
     deadline_ms: Optional[float] = None
     priority: Optional[Any] = None
     on_rejected: str = "raise"
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    _nested = {"retry": RetryPolicy}
 
     def __post_init__(self) -> None:
+        if isinstance(self.retry, Mapping):
+            object.__setattr__(self, "retry",
+                               RetryPolicy.from_dict(self.retry))
+        if not isinstance(self.retry, RetryPolicy):
+            raise ValueError(f"retry must be a RetryPolicy (or a mapping), "
+                             f"got {type(self.retry).__name__}")
         if self.wire_format not in WIRE_FORMATS:
             raise ValueError(f"unknown wire format {self.wire_format!r} "
                              f"(expected one of {WIRE_FORMATS})")
@@ -629,8 +816,8 @@ class ClientConfig(_Config):
 class ServingConfig(_Config):
     """Everything a server-side deployment needs, in one value.
 
-    Composes the runtime, batching, server, sharding, QoS and cluster
-    configs; this is the single
+    Composes the runtime, batching, server, sharding, QoS, cluster and
+    supervisor configs; this is the single
     ``config`` argument of :func:`repro.serving.serve` and
     :class:`repro.serving.ServingApp`.  Plain dicts are accepted for any
     sub-config (handy for file-borne configs).
@@ -642,10 +829,12 @@ class ServingConfig(_Config):
     sharding: ShardingConfig = field(default_factory=ShardingConfig)
     qos: QosConfig = field(default_factory=QosConfig)
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    supervisor: SupervisorConfig = field(default_factory=SupervisorConfig)
 
     _nested = {"runtime": RuntimeConfig, "batching": BatchingConfig,
                "server": ServerConfig, "sharding": ShardingConfig,
-               "qos": QosConfig, "cluster": ClusterConfig}
+               "qos": QosConfig, "cluster": ClusterConfig,
+               "supervisor": SupervisorConfig}
 
     def __post_init__(self) -> None:
         for name, cls in self._nested.items():

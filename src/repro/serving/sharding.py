@@ -111,11 +111,15 @@ class _Shard:
         self.request_timeout_s = request_timeout_s
         self.ready = threading.Event()
         self.ready_error: Optional[str] = None
+        #: Why this worker died (first crash reason wins); ``None`` while
+        #: it lives.  Surfaced as ``ShardStats.last_death_reason``.
+        self.death_reason: Optional[str] = None
         self._lock = threading.Lock()
         self._send_lock = threading.Lock()
         self._pending: Dict[int, _PendingReply] = {}
         self._corr = itertools.count(1)
         self._stopping = False
+        self._stopped = False
         self.crashed = False
         # Counters (under self._lock) folded into ShardStats.
         self.frames = 0
@@ -144,6 +148,7 @@ class _Shard:
             pending = list(self._pending.values())
             self._pending.clear()
             self.errors += len(pending)
+        self.death_reason = reason
         self.ready_error = self.ready_error or reason
         self.ready.set()  # wake a start() waiting on a worker that died
         exc = ShardCrashedError(
@@ -383,6 +388,17 @@ class _Shard:
 
     # -- lifecycle -------------------------------------------------------
     def stop(self, join_timeout_s: float = 5.0) -> None:
+        """Kill the worker and release its transport (idempotent).
+
+        Safe to call twice — the supervisor stops a dead shard before
+        respawning its slot, and the pool's own ``stop()`` may race it.
+        Closing *and unlinking* the rings here, before any replacement is
+        spawned, is what keeps long respawn histories from leaking shared
+        memory segments (pinned by ``tests/test_serving_selfheal.py``).
+        """
+        if self._stopped:
+            return
+        self._stopped = True
         self._stopping = True
         if self.alive:
             try:
@@ -401,6 +417,21 @@ class _Shard:
         self.reader.join(timeout=join_timeout_s)
         self.channel.close()
         self.channel.unlink()
+
+    def carry_counters(self, old: "_Shard") -> None:
+        """Fold a dead predecessor's cumulative counters into this shard.
+
+        Keeps slot-level statistics monotonic across a respawn (``old`` is
+        dead and stopped, so reading its counters without its lock is
+        safe — nothing mutates them anymore).
+        """
+        with self._lock:
+            self.frames += old.frames
+            self.batches += old.batches
+            self.errors += old.errors
+            self.service_time_s += old.service_time_s
+            self.bytes_to_shard += old.bytes_to_shard
+            self.bytes_from_shard += old.bytes_from_shard
 
     def stats(self) -> ShardStats:
         with self._lock:
@@ -443,6 +474,12 @@ class ShardPool:
         self._started = False
         self._stopped = False
         self._publish_lock = threading.Lock()
+        #: Serializes respawns against stop(); guards _stopped.
+        self._lifecycle_lock = threading.Lock()
+        # Slot-level bookkeeping that must survive _Shard replacement.
+        self._restarts: List[int] = []
+        self._quarantine: List[Optional[str]] = []
+        self._death_reasons: List[Optional[str]] = []
 
     # ------------------------------------------------------------------
     def start(self) -> "ShardPool":
@@ -460,8 +497,28 @@ class ShardPool:
         # source — and spawn keeps the bootstrap honest (everything a shard
         # needs must cross as picklable/JSON data).
         ctx = multiprocessing.get_context("spawn")
+        bootstrap = self._bootstrap()
+        self._started = True
+        self._restarts = [0] * self.config.num_shards
+        self._quarantine = [None] * self.config.num_shards
+        self._death_reasons = [None] * self.config.num_shards
+        try:
+            for shard_id in range(self.config.num_shards):
+                self._shards.append(self._spawn_shard(ctx, shard_id,
+                                                      bootstrap))
+            deadline = time.monotonic() + self.config.start_timeout_s
+            for shard in self._shards:
+                self._wait_ready(shard, deadline,
+                                 self.config.start_timeout_s)
+        except Exception:
+            self.stop()
+            raise
+        return self
+
+    def _bootstrap(self) -> Dict:
+        """The worker bootstrap payload for the repository's current snapshot."""
         snapshot = self.repository.snapshot()
-        bootstrap = {
+        return {
             "zoo": zoo_to_payload(snapshot.zoo),
             "version": snapshot.version,
             "in_dim": self.repository.in_dim,
@@ -470,33 +527,109 @@ class ShardPool:
             "seed": self.repository.seed,
             "retain": self.repository.retain,
         }
-        self._started = True
-        try:
-            for shard_id in range(self.config.num_shards):
-                channel, spec = create_channel(ctx, self.config.transport,
-                                               self.config.ring_bytes)
-                process = ctx.Process(
-                    target=_shard_main, args=(shard_id, spec, bootstrap),
-                    daemon=True, name=f"serving-shard-{shard_id}")
-                process.start()
-                self._shards.append(_Shard(
-                    shard_id, process, channel,
-                    request_timeout_s=self.config.request_timeout_s))
-            deadline = time.monotonic() + self.config.start_timeout_s
-            for shard in self._shards:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0 or not shard.ready.wait(remaining):
+
+    def _spawn_shard(self, ctx, shard_id: int, bootstrap: Dict) -> _Shard:
+        channel, spec = create_channel(ctx, self.config.transport,
+                                       self.config.ring_bytes)
+        process = ctx.Process(
+            target=_shard_main, args=(shard_id, spec, bootstrap),
+            daemon=True, name=f"serving-shard-{shard_id}")
+        process.start()
+        return _Shard(shard_id, process, channel,
+                      request_timeout_s=self.config.request_timeout_s)
+
+    @staticmethod
+    def _wait_ready(shard: _Shard, deadline: float, budget: float) -> None:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0 or not shard.ready.wait(remaining):
+            raise RuntimeError(
+                f"shard {shard.shard_id} did not become ready "
+                f"within {budget:.1f}s")
+        if shard.crashed or not shard.process.is_alive():
+            raise RuntimeError(
+                f"shard {shard.shard_id} failed to start: "
+                f"{shard.ready_error or 'worker exited'}")
+
+    # ------------------------------------------------------------------
+    # Self-healing (driven by repro.serving.supervisor)
+    # ------------------------------------------------------------------
+    def respawn(self, index: int, timeout: Optional[float] = None) -> None:
+        """Replace the dead worker behind slot ``index`` with a fresh one.
+
+        Sequence, and why the order matters:
+
+        1. Stop the corpse — joining the process and closing *and
+           unlinking* its shared-memory rings before any replacement
+           transport exists, so restart cycles never accumulate leaked
+           segments.
+        2. Under the repository's ``publish_barrier`` (the same lock
+           ``publish()`` takes): read the current snapshot, spawn a fresh
+           worker bootstrapped from it, and wait for its ready ack.
+           Holding the barrier across spawn-and-swap means no publish can
+           land between the bootstrap read and the slot swap — so a frame
+           can never be stamped with a snapshot version the fresh worker
+           lacks (the sharded tier's pinning invariant, preserved across
+           restarts).  Publishes queue behind the respawn, exactly as
+           they queue behind a node reconnect in the cluster tier.
+        3. Swap the fresh shard into the slot — unless the pool stopped
+           meanwhile, in which case the fresh worker is torn down and the
+           respawn aborts cleanly.
+
+        Raises on failure (spawn error, ready timeout, pool stopped); the
+        supervisor counts a failed respawn as another death.
+        """
+        if not self._started:
+            raise RuntimeError("ShardPool is not started")
+        if self._quarantine[index] is not None:
+            raise RuntimeError(f"shard slot {index} is quarantined: "
+                               f"{self._quarantine[index]}")
+        old = self._shards[index]
+        if old.alive:
+            raise RuntimeError(
+                f"shard {index} is alive; refusing to respawn over it")
+        # The reader thread's liveness poll may not have named the death
+        # yet (a worker killed while idle, respawned within the poll
+        # quantum) — fall back to the exit code so the slot's
+        # ``last_death_reason`` never reads as "nothing happened".
+        self._death_reasons[index] = (
+            old.death_reason or self._death_reasons[index]
+            or f"worker process exited with code "
+               f"{getattr(old.process, 'exitcode', None)}")
+        old.stop()
+        import multiprocessing
+        ctx = multiprocessing.get_context("spawn")
+        budget = self.config.start_timeout_s if timeout is None else timeout
+        with self.repository.publish_barrier():
+            with self._lifecycle_lock:
+                if self._stopped:
                     raise RuntimeError(
-                        f"shard {shard.shard_id} did not become ready "
-                        f"within {self.config.start_timeout_s:.1f}s")
-                if shard.crashed or not shard.process.is_alive():
-                    raise RuntimeError(
-                        f"shard {shard.shard_id} failed to start: "
-                        f"{shard.ready_error or 'worker exited'}")
-        except Exception:
-            self.stop()
-            raise
-        return self
+                        "shard pool stopped; respawn aborted")
+            fresh = self._spawn_shard(ctx, index, self._bootstrap())
+            try:
+                self._wait_ready(fresh, time.monotonic() + budget, budget)
+                fresh.carry_counters(old)
+                with self._lifecycle_lock:
+                    if self._stopped:
+                        raise RuntimeError(
+                            "shard pool stopped during respawn")
+                    # A single list-item store: _pick() sees either the
+                    # old (dead, routed around) or the new (live) shard,
+                    # never a half-state.
+                    self._shards[index] = fresh
+                    self._restarts[index] += 1
+            except Exception:
+                fresh.stop()
+                raise
+
+    def set_quarantined(self, index: int, reason: str) -> None:
+        """Mark slot ``index`` crash-looping: no further respawns, ever."""
+        self._quarantine[index] = reason
+
+    def quarantine_reason(self, index: int) -> Optional[str]:
+        return self._quarantine[index]
+
+    def restarts(self, index: int) -> int:
+        return self._restarts[index]
 
     # ------------------------------------------------------------------
     # Routing
@@ -600,8 +733,21 @@ class ShardPool:
 
     # ------------------------------------------------------------------
     def stats(self) -> List[ShardStats]:
-        """Per-shard counters (parent-side view), shard order preserved."""
-        return [shard.stats() for shard in self._shards]
+        """Per-shard counters (parent-side view), shard order preserved.
+
+        Slot-level supervision fields (``restarts``, ``quarantined``,
+        ``last_death_reason``) survive worker replacement: they live on
+        the pool, not on the ``_Shard`` they describe.
+        """
+        folded = []
+        for index, shard in enumerate(self._shards):
+            stats = shard.stats()
+            stats.restarts = self._restarts[index]
+            stats.quarantined = self._quarantine[index] is not None
+            stats.last_death_reason = (shard.death_reason
+                                       or self._death_reasons[index])
+            folded.append(stats)
+        return folded
 
     def live_count(self) -> int:
         return sum(1 for shard in self._shards if shard.alive)
@@ -611,9 +757,16 @@ class ShardPool:
         return len(self._shards)
 
     def stop(self) -> None:
-        """Stop every worker (idempotent): stop envelope, join, kill, unlink."""
-        if self._stopped:
-            return
-        self._stopped = True
+        """Stop every worker (idempotent): stop envelope, join, kill, unlink.
+
+        Serialized against :meth:`respawn` by the lifecycle lock: a respawn
+        in flight either completes before the flag is read (its fresh shard
+        is in ``_shards`` and stopped below) or observes the flag and tears
+        its fresh worker down itself.
+        """
+        with self._lifecycle_lock:
+            if self._stopped:
+                return
+            self._stopped = True
         for shard in self._shards:
             shard.stop()

@@ -1,0 +1,271 @@
+"""Self-healing supervision: respawn dead workers, quarantine crash loops.
+
+The serving stack's failure *detection* is older than this module — a dead
+shard fails its in-flight frames with ``ShardCrashedError`` and is routed
+around, a dead cluster node likewise — but detection alone means every
+crash permanently shrinks the pool.  The :class:`Supervisor` is the
+*recovery* half: a monitor thread owned by
+:class:`~repro.serving.app.ServingApp` that watches
+:class:`~repro.serving.sharding.ShardPool` slots and app-owned
+:class:`~repro.runtime.node.NodeProcess` replicas and brings dead workers
+back, within explicit safety bounds:
+
+* **Jittered exponential backoff** — a freshly dead worker is respawned
+  after ``backoff_initial_s``; consecutive deaths of the same slot grow
+  the delay by ``backoff_multiplier`` up to ``backoff_max_s``, with
+  ``backoff_jitter`` randomization so a correlated crash (every worker
+  killed at once) does not respawn the whole fleet in lockstep.
+* **Snapshot replay before rotation** — a shard respawn runs under the
+  repository's ``publish_barrier`` (the fresh worker is bootstrapped from
+  the *current* snapshot and swapped into rotation before any publish can
+  land), and a node respawn re-enters rotation through the cluster pool's
+  re-handshake, which replays the latest replicated snapshot.  Either
+  way, the pinning invariant — no frame is ever stamped with a snapshot
+  version a worker in rotation lacks — survives restarts.
+* **Crash-loop quarantine** — a slot that dies ``quarantine_deaths``
+  times within ``quarantine_window_s`` seconds is *quarantined*: never
+  respawned again, with the reason surfaced in
+  ``EdgeServerStats.shards[k]`` / ``.nodes[k]`` (``quarantined`` +
+  ``last_death_reason``).  A worker that crashes on arrival (bad host,
+  poisoned model) must not burn CPU in a respawn loop forever; publishes
+  and traffic continue against the surviving slots.
+
+A *failed respawn attempt* counts as another death: it feeds the same
+window (so a slot whose replacement dies during bootstrap still reaches
+quarantine) and the same backoff schedule.
+
+The supervisor is deliberately poll-based (``poll_interval_s``) rather
+than event-driven: the pools already detect death synchronously for
+fail-fast error semantics, and a poll loop cannot deadlock against the
+publish/lifecycle locks it takes while healing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from .config import SupervisorConfig
+
+__all__ = ["Supervisor"]
+
+
+class _Slot:
+    """Supervision state of one worker slot (shard index or node index)."""
+
+    __slots__ = ("tier", "index", "deaths", "consecutive", "backoff_until",
+                 "restarts", "failed_respawns", "quarantined", "was_alive")
+
+    def __init__(self, tier: str, index: int) -> None:
+        self.tier = tier
+        self.index = index
+        #: ``time.monotonic`` of each observed death, pruned to the window.
+        self.deaths: Deque[float] = deque()
+        #: Deaths since the slot last served (resets once it is healthy).
+        self.consecutive = 0
+        self.backoff_until = 0.0
+        self.restarts = 0
+        self.failed_respawns = 0
+        self.quarantined: Optional[str] = None
+        self.was_alive = True
+
+
+class _Target:
+    """One supervised pool: uniform alive/respawn/quarantine surface."""
+
+    def __init__(self, tier: str, count: int,
+                 alive: Callable[[int], bool],
+                 respawn: Callable[[int], None],
+                 quarantine: Callable[[int, str], None],
+                 death_reason: Callable[[int], Optional[str]]) -> None:
+        self.tier = tier
+        self.slots = [_Slot(tier, index) for index in range(count)]
+        self.alive = alive
+        self.respawn = respawn
+        self.quarantine = quarantine
+        self.death_reason = death_reason
+
+
+class Supervisor:
+    """Monitor thread that heals a :class:`~repro.serving.app.ServingApp`.
+
+    Built by the app when ``ServingConfig.supervisor.enabled`` is set and
+    at least one pool exists.  ``node_processes`` maps cluster slot
+    indices to the :class:`~repro.runtime.node.NodeProcess` objects the
+    app owns — only owned processes can be respawned; a slot without one
+    (a remote machine's node) is still *reconnected* when its process
+    proves reachable again, mirroring ``ClusterConfig.reconnect_s``.
+    """
+
+    def __init__(self, config: SupervisorConfig, *, shard_pool=None,
+                 cluster_pool=None,
+                 node_processes: Optional[Dict[int, object]] = None) -> None:
+        self.config = config
+        self._shard_pool = shard_pool
+        self._cluster_pool = cluster_pool
+        self._node_processes = dict(node_processes or {})
+        self._targets: List[_Target] = []
+        if shard_pool is not None:
+            self._targets.append(_Target(
+                "shard", shard_pool.num_shards,
+                alive=lambda i: shard_pool.stats()[i].alive,
+                respawn=self._respawn_shard,
+                quarantine=shard_pool.set_quarantined,
+                death_reason=lambda i: shard_pool.stats()[i].last_death_reason))
+        if cluster_pool is not None:
+            self._targets.append(_Target(
+                "node", cluster_pool.num_nodes,
+                alive=lambda i: cluster_pool.stats()[i].alive,
+                respawn=self._respawn_node,
+                quarantine=cluster_pool.set_quarantined,
+                death_reason=lambda i: cluster_pool.stats()[i].last_death_reason))
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        # Observability (written only by the monitor thread; read anywhere).
+        self._degraded_since: Optional[float] = None
+        self._last_recovery_s: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Respawn actions
+    # ------------------------------------------------------------------
+    def _respawn_shard(self, index: int) -> None:
+        self._shard_pool.respawn(index,
+                                 timeout=self.config.respawn_timeout_s)
+
+    def _respawn_node(self, index: int) -> None:
+        process = self._node_processes.get(index)
+        if process is not None and not process.alive():
+            # SO_REUSEADDR in the node listener makes the same-port rebind
+            # safe; the configured address for this slot stays valid.
+            process.restart(timeout=self.config.respawn_timeout_s)
+        if not self._cluster_pool.reconnect_node(index):
+            raise ConnectionError(
+                f"node slot {index} respawned but did not re-enter rotation")
+
+    # ------------------------------------------------------------------
+    # Monitor loop
+    # ------------------------------------------------------------------
+    def _prune(self, slot: _Slot, now: float) -> None:
+        window = self.config.quarantine_window_s
+        while slot.deaths and now - slot.deaths[0] > window:
+            slot.deaths.popleft()
+
+    def _record_death(self, target: _Target, slot: _Slot,
+                      now: float) -> None:
+        """One observed death: feed the window, quarantine or back off."""
+        slot.deaths.append(now)
+        self._prune(slot, now)
+        slot.consecutive += 1
+        if len(slot.deaths) >= self.config.quarantine_deaths:
+            reason = (f"crash loop: {len(slot.deaths)} deaths within "
+                      f"{self.config.quarantine_window_s:.0f}s "
+                      f"(last: {target.death_reason(slot.index) or 'unknown'})")
+            slot.quarantined = reason
+            target.quarantine(slot.index, reason)
+            return
+        slot.backoff_until = now + self.config.backoff_s(slot.consecutive)
+
+    def _scan(self) -> None:
+        now = time.monotonic()
+        all_strong = True
+        for target in self._targets:
+            for slot in target.slots:
+                if slot.quarantined is not None:
+                    continue
+                try:
+                    alive = target.alive(slot.index)
+                except Exception:
+                    alive = False
+                if alive:
+                    if not slot.was_alive:
+                        slot.was_alive = True
+                        slot.consecutive = 0
+                    continue
+                all_strong = False
+                if self._degraded_since is None:
+                    self._degraded_since = now
+                if slot.was_alive:
+                    # Alive -> dead transition: this is the death event.
+                    slot.was_alive = False
+                    self._record_death(target, slot, now)
+                    continue
+                if now < slot.backoff_until:
+                    continue
+                try:
+                    target.respawn(slot.index)
+                except Exception:
+                    slot.failed_respawns += 1
+                    self._record_death(target, slot, now)
+                else:
+                    slot.restarts += 1
+                    slot.was_alive = True
+                    slot.consecutive = 0
+        if all_strong and self._degraded_since is not None:
+            # Quarantined slots are excluded above: "full strength" means
+            # every slot the supervisor still fights for is serving.
+            self._last_recovery_s = now - self._degraded_since
+            self._degraded_since = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.config.poll_interval_s):
+            self._scan()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Supervisor":
+        if self._thread is not None:
+            raise RuntimeError("Supervisor is already started")
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="serving-supervisor")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the monitor (idempotent).  Called *before* the pools stop.
+
+        The join budget covers a respawn in flight: a respawn that loses
+        the race with ``ShardPool.stop()`` aborts cleanly on the pool's
+        lifecycle flag, so a generous join here never hangs shutdown.
+        """
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=self.config.respawn_timeout_s + 10.0)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict:
+        """Machine-readable supervision counters (the CI artifact's body).
+
+        ``time_to_full_strength_s`` is the duration of the most recent
+        completed outage: first observed death after full strength until
+        every non-quarantined slot served again.  ``None`` while no
+        outage completed (never degraded, or still degraded —
+        ``degraded`` says which).
+        """
+        slots = []
+        for target in self._targets:
+            for slot in target.slots:
+                slots.append({
+                    "tier": slot.tier,
+                    "index": slot.index,
+                    "restarts": slot.restarts,
+                    "failed_respawns": slot.failed_respawns,
+                    "deaths_in_window": len(slot.deaths),
+                    "quarantined": slot.quarantined,
+                })
+        return {
+            "slots": slots,
+            "restarts_total": sum(s["restarts"] for s in slots),
+            "quarantined_total": sum(1 for s in slots if s["quarantined"]),
+            "degraded": self._degraded_since is not None,
+            "time_to_full_strength_s": self._last_recovery_s,
+        }

@@ -83,6 +83,7 @@ client from starving the rest.  Clients surface rejections as
 
 from __future__ import annotations
 
+import heapq
 import queue
 import socket
 import sys
@@ -101,6 +102,7 @@ if TYPE_CHECKING:  # import-free at runtime: engine must not drag in the
     # shard runtime (repro.serving builds on this module, not vice versa).
     from ..runtime.node import NodeStats
     from ..runtime.shard import ShardStats
+    from ..serving.config import RetryPolicy
 
 from .messages import (_LENGTH_SIZE as PAYLOAD_PREFIX_BYTES,
                        DEADLINE_MS_META_KEY, KIND_ERROR, KIND_FRAME,
@@ -223,6 +225,13 @@ class PipelineStats:
     #: executing (only non-zero for clients built with
     #: ``on_rejected="drop"`` — the default raises instead).
     frames_rejected: int = 0
+    #: Frames that needed at least one re-submission before completing
+    #: (only non-zero with a :class:`~repro.serving.RetryPolicy`).
+    frames_retried: int = 0
+    #: Retry-attempt histogram: ``{n: frames that needed exactly n
+    #: re-submissions}`` for ``n >= 1`` — frames served on the first
+    #: attempt are not recorded, so an empty dict means a clean run.
+    retry_histogram: Dict[int, int] = field(default_factory=dict)
 
     @property
     def throughput_fps(self) -> float:
@@ -1096,8 +1105,14 @@ class EdgeServer:
         try:
             sent = self._send_frame(request, serialize_message(Message(
                 kind=KIND_ERROR, frame_id=request.message.frame_id,
+                # Worker-crash errors (ShardCrashedError, NodeCrashedError —
+                # both ConnectionError subclasses) mean the frame was never
+                # (completely) executed; frame execution is pure, so clients
+                # with a RetryPolicy may safely re-submit.  Model-level
+                # failures are deterministic and must not be retried.
                 meta={"error": f"{type(exc).__name__}: {exc}",
-                      "traceback": traceback.format_exc()},
+                      "traceback": traceback.format_exc(),
+                      "retryable": isinstance(exc, ConnectionError)},
                 batch_index=batch_index,
                 wire_format=request.message.wire_format)))
         except OSError:
@@ -1256,6 +1271,30 @@ class DeviceClient:
     :class:`RequestRejectedError`, ``"drop"`` silently counts the frame in
     :attr:`PipelineStats.frames_rejected` — the natural mode for live
     streams where a stale frame is best replaced by the next one.
+
+    Resilience
+    ----------
+    ``retry_policy`` (a :class:`repro.serving.RetryPolicy`, duck-typed here
+    to keep this module import-free of the serving layer) turns transient
+    failures into bounded, jittered-backoff re-submissions inside
+    :meth:`run_pipeline`:
+
+    * a ``"rejected"`` reply is retried after
+      ``max(policy backoff, server retry_after_ms)`` — the server's hint
+      is a floor, never ignored;
+    * an ``"error"`` reply the server marked ``retryable`` (a worker
+      crashed mid-frame: ``ShardCrashedError`` / ``NodeCrashedError``) is
+      re-submitted, because frame execution is *pure* — device and edge
+      callables are deterministic functions of the frame payload with no
+      hidden state, so re-executing a frame that never produced a result
+      is observably identical to executing it once (pinned by
+      ``tests/test_serving_retry.py``);
+    * retries are deadline-aware: with ``deadline_ms`` set, no retry is
+      scheduled that would land past the frame's freshness budget — the
+      frame fails with its original typed error instead.
+
+    Retries apply only under ``on_rejected="raise"``; ``"drop"`` keeps
+    its shed-and-move-on semantics untouched.
     """
 
     def __init__(self, host: str, port: int, timeout_s: float = 30.0,
@@ -1265,7 +1304,8 @@ class DeviceClient:
                  wire_dtype=None,
                  deadline_ms: Optional[float] = None,
                  priority: Optional[object] = None,
-                 on_rejected: str = "raise") -> None:
+                 on_rejected: str = "raise",
+                 retry_policy: Optional["RetryPolicy"] = None) -> None:
         if wire_format not in WIRE_FORMATS:
             raise ValueError(f"unknown wire format {wire_format!r} "
                              f"(expected one of {WIRE_FORMATS})")
@@ -1274,9 +1314,14 @@ class DeviceClient:
                              f"got {on_rejected!r}")
         if deadline_ms is not None and not deadline_ms > 0:
             raise ValueError(f"deadline_ms must be positive, got {deadline_ms}")
+        if retry_policy is not None and not hasattr(retry_policy, "delay_ms"):
+            raise TypeError(
+                f"retry_policy must expose RetryPolicy's interface "
+                f"(max_retries/delay_ms/...), got {type(retry_policy).__name__}")
         self.deadline_ms = deadline_ms
         self.priority = priority
         self.on_rejected = on_rejected
+        self.retry_policy = retry_policy
         self.wire_format = wire_format
         self._wire_dtype = None if wire_dtype is None else np.dtype(wire_dtype)
         if (self._wire_dtype is not None
@@ -1432,6 +1477,21 @@ class DeviceClient:
         submitted: Dict[int, float] = {}
         base_id = self._next_frame_id
         self._next_frame_id += len(frames)
+        policy = self.retry_policy
+        # Retries only under on_rejected="raise": "drop" keeps its
+        # shed-and-move-on semantics (a stale live-stream frame is best
+        # replaced by the next one, not replayed).
+        retrying = (policy is not None and policy.enabled
+                    and self.on_rejected == "raise")
+        #: frame_id -> ready-to-send Message, kept only while a retry may
+        #: still need to re-submit it (re-serialization is pure).
+        payloads: Dict[int, Message] = {}
+        #: frame_id -> re-submissions performed so far (absent means 0).
+        attempts: Dict[int, int] = {}
+        #: Min-heap of (due_monotonic, frame_id) re-submissions waiting out
+        #: their backoff delay.  frame_ids are unique, so heap ties never
+        #: compare beyond the second element.
+        due: List[Tuple[float, int]] = []
         # Byte counters are per-connection; report this run's traffic only.
         sent_before, received_before = self.bytes_sent, self.bytes_received
         start = time.perf_counter()
@@ -1453,9 +1513,38 @@ class DeviceClient:
                 meta.setdefault(DEADLINE_MS_META_KEY, self.deadline_ms)
             if self.priority is not None:
                 meta.setdefault(PRIORITY_META_KEY, self.priority)
-            self._send_queue.put(Message(kind=KIND_FRAME, frame_id=base_id + offset,
-                                         arrays=arrays, meta=meta,
-                                         wire_format=self.wire_format))
+            message = Message(kind=KIND_FRAME, frame_id=base_id + offset,
+                              arrays=arrays, meta=meta,
+                              wire_format=self.wire_format)
+            if retrying:
+                payloads[base_id + offset] = message
+            self._send_queue.put(message)
+
+        def schedule_retry(frame_id: int, floor_ms: float) -> bool:
+            """Queue a re-submission of ``frame_id``; False = budget spent.
+
+            The delay honors the server's ``retry_after_ms`` as a floor and
+            the frame's ``deadline_ms`` as a ceiling: a retry that would
+            land after the freshness budget lapsed could only be shed again
+            (reason ``"deadline"``), so the frame fails *now* with the
+            error that exhausted its budget.
+            """
+            attempt = attempts.get(frame_id, 0) + 1
+            if attempt > policy.max_retries:
+                return False
+            delay_s = policy.delay_ms(attempt, floor_ms=floor_ms) / 1e3
+            now = time.monotonic()
+            if now + delay_s >= deadline:
+                return False  # would outlive the pipeline timeout
+            if self.deadline_ms is not None:
+                elapsed_ms = (time.perf_counter()
+                              - submitted[frame_id]) * 1e3
+                if elapsed_ms + delay_s * 1e3 > self.deadline_ms:
+                    return False  # would outlive the frame's deadline
+            attempts[frame_id] = attempt
+            heapq.heappush(due, (now + delay_s, frame_id))
+            return True
+
         results: List[FrameResult] = []
         rejected = 0
         # timeout_s bounds the wait for results (as it always has; device
@@ -1463,13 +1552,21 @@ class DeviceClient:
         # handshake wait — each phase gets at most timeout_s, not their sum.
         deadline = time.monotonic() + timeout_s
         while len(results) + rejected < len(frames):
-            remaining = deadline - time.monotonic()
+            now = time.monotonic()
+            while due and due[0][0] <= now:
+                _, frame_id = heapq.heappop(due)
+                self._send_queue.put(payloads[frame_id])
+            remaining = deadline - now
             if remaining <= 0:
                 raise TimeoutError("co-inference pipeline timed out waiting for results")
+            if due:
+                # Wake up for the next due re-submission even if no reply
+                # arrives in the meantime.
+                remaining = min(remaining, max(due[0][0] - now, 0.0))
             try:
                 message = self._results.get(timeout=remaining)
             except queue.Empty:
-                continue  # deadline expired: the check above raises TimeoutError
+                continue  # re-check the deadline and the due re-submissions
             if message.kind == _KIND_DISCONNECT:
                 raise ConnectionError(
                     "connection to the edge server was lost with "
@@ -1480,6 +1577,12 @@ class DeviceClient:
             if message.kind == KIND_ERROR:
                 detail = message.meta.get("error", "unknown edge failure")
                 remote_tb = message.meta.get("traceback", "")
+                if (retrying and policy.retry_connection_errors
+                        and message.meta.get("retryable")
+                        and schedule_retry(message.frame_id, floor_ms=0.0)):
+                    # A worker died mid-frame; execution is pure, so the
+                    # re-submission is observably identical to a first run.
+                    continue
                 raise RuntimeError(
                     f"edge execution failed for frame "
                     f"{message.frame_id - base_id}: {detail}\n"
@@ -1491,10 +1594,17 @@ class DeviceClient:
                                               "capacity"))
                 retry = float(message.meta.get(RETRY_AFTER_MS_META_KEY, 0.0))
                 if self.on_rejected == "raise":
+                    if retrying and schedule_retry(message.frame_id,
+                                                   floor_ms=retry):
+                        continue
+                    # Budget exhausted: the original typed error, not a
+                    # retry-specific wrapper — callers keep matching on
+                    # RequestRejectedError exactly as without a policy.
                     raise RequestRejectedError(message.frame_id - base_id,
                                                reason, retry)
                 rejected += 1
                 continue
+            payloads.pop(message.frame_id, None)
             results.append(FrameResult(
                 frame_id=message.frame_id - base_id, arrays=message.arrays,
                 meta=message.meta, submitted_at=submitted[message.frame_id],
@@ -1502,12 +1612,15 @@ class DeviceClient:
                 batch_index=message.batch_index))
         wall = time.perf_counter() - start
         results.sort(key=lambda r: r.frame_id)
+        histogram = Counter(attempts.values())
         stats = PipelineStats(
             num_frames=len(frames), wall_time_s=wall,
             mean_latency_s=float(np.mean([r.latency_s for r in results])) if results else 0.0,
             bytes_sent=self.bytes_sent - sent_before,
             bytes_received=self.bytes_received - received_before,
-            frames_rejected=rejected)
+            frames_rejected=rejected,
+            frames_retried=len(attempts),
+            retry_histogram=dict(histogram))
         return results, stats
 
     def close(self) -> None:

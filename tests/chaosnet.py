@@ -35,6 +35,11 @@ Failure modes
                        nothing is reset) until :meth:`ChaosProxy.heal`.
 ``kill_links()``       abruptly close every live connection (a crash's
                        TCP signature) while the listener keeps accepting.
+``flap(n, up, down)``  scripted partition/heal cycles on the injected
+                       clock: ``n`` times, up for ``up`` seconds then
+                       partitioned for ``down`` — the flaky-switch /
+                       wobbly-WiFi signature, each transition released by
+                       a test-driven ``ManualClock.advance``.
 
 Typical use::
 
@@ -305,6 +310,10 @@ class ChaosProxy:
         self._stopped = threading.Event()
         self.host: Optional[str] = None
         self.port: Optional[int] = None
+        #: Completed partition/heal cycles of the current/last :meth:`flap`
+        #: schedule (single writer: the flap driver thread).
+        self.flaps_completed = 0
+        self._flap_thread: Optional[threading.Thread] = None
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> "ChaosProxy":
@@ -359,6 +368,8 @@ class ChaosProxy:
         self.kill_links()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
+        if self._flap_thread is not None:
+            self._flap_thread.join(timeout=5.0)
 
     def __enter__(self) -> "ChaosProxy":
         return self if self._listener is not None else self.start()
@@ -377,6 +388,60 @@ class ChaosProxy:
     @property
     def partitioned(self) -> bool:
         return self._partitioned.is_set()
+
+    def flap(self, cycles: int, up_s: float, down_s: float
+             ) -> threading.Thread:
+        """Scripted partition/heal cycles: the flaky-link signature.
+
+        Each cycle keeps the link up for ``up_s`` seconds, then partitioned
+        for ``down_s``; after the last cycle the link is healed again.  The
+        schedule runs on the proxy's injected clock, so with a
+        :class:`ManualClock` every transition is released by a test-driven
+        ``advance()`` — nothing depends on wall time.  Progress is
+        observable via :attr:`flaps_completed` (and :attr:`partitioned`
+        mid-cycle); the returned driver thread can be joined once the
+        clock has been advanced past the whole schedule.
+        """
+        if cycles < 1:
+            raise ValueError(f"cycles must be >= 1, got {cycles}")
+        if up_s < 0 or down_s < 0:
+            raise ValueError(f"up_s/down_s must be >= 0, got "
+                             f"{up_s}/{down_s}")
+        if self._flap_thread is not None and self._flap_thread.is_alive():
+            raise RuntimeError("a flap schedule is already running")
+        # The whole schedule is fixed in *absolute* clock time now, before
+        # the driver thread starts: a test may advance() immediately after
+        # this call without racing the thread's first clock read.
+        deadlines = []
+        t = self.clock.now()
+        for _ in range(cycles):
+            t += up_s
+            down_at = t
+            t += down_s
+            deadlines.append((down_at, t))
+
+        def drive() -> None:
+            should_stop = self._stopped.is_set
+            for down_at, up_at in deadlines:
+                self.clock.wait_until(down_at, should_stop)
+                if should_stop():
+                    return
+                self.partition()
+                self.clock.wait_until(up_at, should_stop)
+                # Heal even on a stop request: a stopping proxy must not
+                # leave the fleet-level partition flag latched for a later
+                # assertion on proxy state.
+                self.heal()
+                if should_stop():
+                    return
+                self.flaps_completed += 1
+
+        self.flaps_completed = 0
+        self._flap_thread = threading.Thread(target=drive,
+                                             name="chaosnet-flap",
+                                             daemon=True)
+        self._flap_thread.start()
+        return self._flap_thread
 
     def kill_links(self) -> None:
         """Abruptly close every live connection (a crash's TCP signature)."""

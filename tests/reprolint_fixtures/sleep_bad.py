@@ -1,0 +1,22 @@
+"""Known-bad fixture for the sleep-discipline checker.
+
+Naps used as synchronization: at module level and directly inside a test
+body — both are timing guesses that flake under load.
+"""
+
+import time
+from time import sleep
+
+time.sleep(0.1)  # module-level nap while "waiting" for a fixture server
+
+
+def test_server_came_up(server):
+    server.start()
+    time.sleep(0.5)  # hope half a second is enough for the bind
+    assert server.running
+
+
+def test_from_imported_sleep(worker):
+    worker.submit(1)
+    sleep(0.2)  # bare from-import is the same anti-pattern
+    assert worker.done

@@ -1,0 +1,31 @@
+"""Known-clean fixture for the sleep-discipline checker.
+
+Condition polling via wait_until, and naps only inside nested workload
+callables (simulated slow work is the thing under test, not test
+synchronization).
+"""
+
+import threading
+import time
+
+
+def wait_until(predicate, timeout=10.0):  # stand-in for conftest.wait_until
+    deadline = timeout
+    while not predicate() and deadline > 0:
+        deadline -= 1
+    assert predicate()
+
+
+def test_server_came_up(server):
+    server.start()
+    wait_until(lambda: server.running)
+
+
+def test_slow_edge_workload(run):
+    def slow_edge(arrays, meta):  # nested: simulates slow work, exempt
+        time.sleep(0.05)
+        return arrays, meta
+
+    thread = threading.Thread(target=lambda: run(slow_edge))
+    thread.start()
+    wait_until(lambda: not thread.is_alive())

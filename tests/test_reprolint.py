@@ -28,7 +28,7 @@ from tools.reprolint import load_baseline, run_checkers, split_findings
 from tools.reprolint.baseline import DEFAULT_BASELINE
 from tools.reprolint.checkers import (arena_aliasing, dtype_discipline,
                                       layering, lock_discipline,
-                                      message_kinds)
+                                      message_kinds, sleep_discipline)
 
 
 def fixture_tree(name):
@@ -151,6 +151,25 @@ def test_arena_clean_fixture_passes():
 
 
 # ----------------------------------------------------------------------
+# sleep-discipline
+# ----------------------------------------------------------------------
+def test_sleep_flags_bad_fixture():
+    findings = sleep_discipline.scan_module(fixture_tree("sleep_bad.py"),
+                                            "sleep_bad.py")
+    flagged = [f.ident for f in findings]
+    assert flagged == ["<module>", "test_server_came_up",
+                       "test_from_imported_sleep"]
+    assert all(f.checker == "sleep-discipline" for f in findings)
+    assert "wait_until" in findings[0].message  # points at the idiom
+
+
+def test_sleep_clean_fixture_passes():
+    findings = sleep_discipline.scan_module(fixture_tree("sleep_clean.py"),
+                                            "sleep_clean.py")
+    assert findings == []  # nested workload callables and lambdas exempt
+
+
+# ----------------------------------------------------------------------
 # live-tree meta-test
 # ----------------------------------------------------------------------
 def test_live_tree_clean_modulo_baseline():
@@ -165,7 +184,7 @@ def test_live_tree_clean_modulo_baseline():
 
 def test_baseline_small_and_justified():
     entries = load_baseline()  # load_baseline raises on any missing reason
-    assert len(entries) <= 10
+    assert len(entries) <= 12
     for entry in entries:
         assert len(entry.justification) >= 30, (
             f"{entry.key}: justification too thin to count as reviewed")
@@ -183,7 +202,7 @@ def test_cli_json_contract():
     assert report["summary"]["new"] == 0
     names = {c["name"] for c in report["checkers"]}
     assert names == {"arena-aliasing", "dtype-discipline", "layering",
-                     "lock-discipline", "message-kinds"}
+                     "lock-discipline", "message-kinds", "sleep-discipline"}
     # Baselined findings ride along with their justifications.
     for finding in report["findings"]:
         assert finding["baselined"] is True

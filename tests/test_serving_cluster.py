@@ -758,3 +758,37 @@ class TestChaosnetPrimitives:
             if _recv_frame(sock, timeout=5.0) is None:
                 raise ConnectionError("closed")
         assert proxy.live_links() == 0
+
+    def test_flap_cycles_are_clock_driven(self, echo_proxy):
+        sock, proxy, clock = echo_proxy
+        driver = proxy.flap(2, up_s=10.0, down_s=5.0)
+        # Cycle 1, up phase: traffic flows.
+        _send_frame(sock, b"up-1")
+        assert _recv_frame(sock) == b"up-1"
+        clock.advance(10.0)
+        wait_until(lambda: proxy.partitioned, message="first down phase")
+        # Down phase: frames vanish silently, the link stays open.
+        _send_frame(sock, b"void")
+        with pytest.raises(socket.timeout):
+            _recv_frame(sock, timeout=0.2)
+        clock.advance(5.0)
+        wait_until(lambda: proxy.flaps_completed == 1,
+                   message="first cycle completed")
+        assert not proxy.partitioned
+        # Cycle 2, up phase again: the same connection recovers.
+        _send_frame(sock, b"up-2")
+        assert _recv_frame(sock) == b"up-2"
+        clock.advance(15.0)
+        wait_until(lambda: proxy.flaps_completed == 2,
+                   message="second cycle completed")
+        driver.join(timeout=10.0)
+        assert not driver.is_alive()
+        assert not proxy.partitioned
+        assert proxy.client_to_server.frames_dropped == 1
+
+    def test_flap_rejects_bad_schedules(self, echo_proxy):
+        _, proxy, _ = echo_proxy
+        with pytest.raises(ValueError):
+            proxy.flap(0, up_s=1.0, down_s=1.0)
+        with pytest.raises(ValueError):
+            proxy.flap(1, up_s=-1.0, down_s=1.0)

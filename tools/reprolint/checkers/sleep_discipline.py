@@ -1,0 +1,103 @@
+"""sleep-discipline — tests wait on conditions, not on wall-clock naps.
+
+A bare ``time.sleep(0.2)`` in a test encodes a guess about scheduler
+timing: too short and the test flakes on a loaded CI box, too long and
+every run pays the full nap even when the condition was met in a
+millisecond.  The repo's anti-flake idiom is ``conftest.wait_until``
+(poll a predicate, fail with a message on timeout) — this checker makes
+reaching for ``sleep`` instead a lint finding.
+
+Scope and exemptions (see ``config``):
+
+* Only files under ``tests/`` are scanned; production code has its own
+  synchronization disciplines (lock-discipline et al.).
+* ``tests/conftest.py`` and ``tests/chaosnet.py`` are exempt wholesale:
+  they *implement* the sanctioned waiting primitives, so their internal
+  ``sleep`` calls are the one place the nap belongs.
+* Sleeps inside **nested** functions and lambdas are exempt: a workload
+  closure handed to a thread or a fake server (``def slow_edge(...):
+  time.sleep(...)``) simulates slow *work* — it is the thing under test,
+  not test synchronization.  Only naps at module level or directly in a
+  test/helper body are flagged.
+
+A justified straggler (e.g. deliberately outwaiting a grace period that
+has no observable completion signal) belongs in the baseline with its
+reason, not silently exempted here.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List
+
+from ..config import SLEEP_EXEMPT_DIRS, SLEEP_EXEMPT_FILES, SLEEP_TARGET_DIR
+from ..core import Checker, Finding, parse_file, register
+
+
+def _is_sleep_call(func: ast.expr) -> bool:
+    """``time.sleep(...)`` or a bare ``sleep(...)`` (from-imported)."""
+    if isinstance(func, ast.Attribute) and func.attr == "sleep":
+        return isinstance(func.value, ast.Name) and func.value.id == "time"
+    return isinstance(func, ast.Name) and func.id == "sleep"
+
+
+class _SleepScanner(ast.NodeVisitor):
+    """Find sleep calls at module level or directly in a top-level def."""
+
+    def __init__(self, rel_path: str) -> None:
+        self.rel_path = rel_path
+        self.findings: List[Finding] = []
+        self._stack: List[str] = []  # enclosing function names
+
+    def _enter(self, name: str, node: ast.AST) -> None:
+        self._stack.append(name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter(node.name, node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter(node.name, node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._enter("<lambda>", node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _is_sleep_call(node.func) and len(self._stack) <= 1:
+            scope = self._stack[0] if self._stack else "<module>"
+            self.findings.append(Finding(
+                checker="sleep-discipline", path=self.rel_path,
+                line=node.lineno, ident=scope,
+                message=f"{scope} naps on time.sleep at line {node.lineno} "
+                        "— poll the condition with conftest.wait_until "
+                        "(or baseline a genuinely signal-free grace wait "
+                        "with a justification)"))
+        self.generic_visit(node)
+
+
+def scan_module(tree: ast.Module, rel_path: str) -> List[Finding]:
+    scanner = _SleepScanner(rel_path)
+    scanner.visit(tree)
+    return scanner.findings
+
+
+@register
+class SleepDisciplineChecker(Checker):
+    name = "sleep-discipline"
+    description = ("tests synchronize via conftest.wait_until, not bare "
+                   "time.sleep (nested workload callables exempt)")
+
+    def check(self, root: Path) -> Iterator[Finding]:
+        target = root / SLEEP_TARGET_DIR
+        if not target.is_dir():
+            return
+        for module_file in sorted(target.rglob("*.py")):
+            rel_path = module_file.relative_to(root).as_posix()
+            if rel_path in SLEEP_EXEMPT_FILES:
+                continue
+            if any(rel_path.startswith(exempt + "/")
+                   for exempt in SLEEP_EXEMPT_DIRS):
+                continue
+            yield from scan_module(parse_file(module_file), rel_path)

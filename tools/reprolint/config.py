@@ -118,3 +118,23 @@ KIND_SCOPE = (
 ARENA_TARGETS = (
     f"{RUNTIME}/plan.py",
 )
+
+# ----------------------------------------------------------------------
+# sleep-discipline: test files must synchronize on conditions
+# (``conftest.wait_until``), not on wall-clock naps.
+# ----------------------------------------------------------------------
+SLEEP_TARGET_DIR = "tests"
+
+#: Files allowed to call ``time.sleep`` directly: the synchronization
+#: helpers themselves (wait_until's poll nap) and chaosnet's clock
+#: internals (the RealClock fallback and the waiter wake quantum).
+SLEEP_EXEMPT_FILES = frozenset({
+    "tests/conftest.py",
+    "tests/chaosnet.py",
+})
+
+#: Directories under the target skipped entirely — known-bad checker
+#: fixtures are *supposed* to contain the anti-pattern.
+SLEEP_EXEMPT_DIRS = frozenset({
+    "tests/reprolint_fixtures",
+})
